@@ -1,0 +1,105 @@
+/// \file bench_fig3_false_positives.cpp
+/// Regenerates the point of **Figure 3** quantitatively: on event posters,
+/// a text-only pipeline (whole-page transcription + NER) produces a pile
+/// of Person/Organization candidates for 'Event Organizer' — most of them
+/// transcription-noise or description-decoy false positives — while VS2's
+/// logical blocks + multimodal disambiguation cut the candidate set down
+/// and pick the right one.
+
+#include <cstdio>
+
+#include "harness.hpp"
+#include "nlp/analyzer.hpp"
+#include "nlp/pattern.hpp"
+#include "util/strings.hpp"
+
+using namespace vs2;
+
+int main() {
+  bench::PrintBenchHeader(
+      "Figure 3: Organizer false positives, text-only vs VS2");
+
+  const embed::Embedding& embedding = datasets::PretrainedEmbedding();
+  ocr::OcrConfig ocr_config;
+  doc::Corpus corpus = bench::ObserveCorpus(
+      bench::BenchCorpus(doc::DatasetId::kD2EventPosters), ocr_config);
+
+  core::PipelineConfig config =
+      core::DefaultConfigFor(doc::DatasetId::kD2EventPosters);
+  config.simulate_ocr = false;
+  core::Vs2 vs2(doc::DatasetId::kD2EventPosters, embedding, config);
+
+  size_t docs = 0;
+  size_t text_only_candidates = 0;
+  size_t vs2_block_candidates = 0;
+  size_t vs2_correct = 0, text_only_would_be_correct_first = 0;
+
+  // Fig. 3's red boxes: every maximal Person/Organization span the NER
+  // proposes, single tokens included — each is a candidate a text-only
+  // pipeline must disambiguate for 'Event Organizer'.
+  auto ner_spans = [](const nlp::AnalyzedText& t) {
+    size_t spans = 0;
+    bool in_span = false;
+    for (const nlp::Token& tok : t.tokens) {
+      bool hit = tok.ner == nlp::NerClass::kPerson ||
+                 tok.ner == nlp::NerClass::kOrganization;
+      if (hit && !in_span) ++spans;
+      in_span = hit;
+    }
+    return spans;
+  };
+  for (const doc::Document& d : corpus.documents) {
+    ++docs;
+    nlp::AnalyzedText full = nlp::Analyze(d.FullText());
+    size_t full_candidates = ner_spans(full);
+    text_only_candidates += full_candidates;
+
+    // VS2: candidates within logical blocks + disambiguation.
+    auto result = vs2.Process(d);
+    if (!result.ok()) continue;
+    size_t block_cands = 0;
+    for (size_t leaf : result->tree.Leaves()) {
+      const auto& node = result->tree.node(leaf);
+      std::vector<size_t> text_idx;
+      for (size_t e : node.element_indices) {
+        if (result->observed.elements[e].is_text()) text_idx.push_back(e);
+      }
+      if (text_idx.empty()) continue;
+      nlp::AnalyzedText block =
+          nlp::Analyze(result->observed.TextOf(text_idx));
+      block_cands += ner_spans(block);
+    }
+    vs2_block_candidates += block_cands;
+
+    // Did the final organizer extraction land on the annotated block?
+    for (const core::Extraction& ex : result->extractions) {
+      if (ex.entity != "event_organizer") continue;
+      for (const doc::Annotation& a : d.annotations) {
+        if (a.entity_type == "event_organizer" &&
+            util::IoU(ex.block_bbox, a.bbox) > eval::kIouThreshold) {
+          ++vs2_correct;
+        }
+      }
+    }
+    (void)text_only_would_be_correct_first;
+  }
+
+  std::printf(
+      "documents analysed:                       %zu\n"
+      "Person/Org candidate matches, text-only:  %zu  (%.2f per doc)\n"
+      "Person/Org candidate matches, VS2 blocks: %zu  (%.2f per doc)\n"
+      "VS2 organizer extractions on the correct block: %zu (%.1f%% of docs)\n\n",
+      docs, text_only_candidates,
+      static_cast<double>(text_only_candidates) / static_cast<double>(docs),
+      vs2_block_candidates,
+      static_cast<double>(vs2_block_candidates) / static_cast<double>(docs),
+      vs2_correct,
+      100.0 * static_cast<double>(vs2_correct) / static_cast<double>(docs));
+  std::printf(
+      "Paper shape (Fig. 3): the text-only transcription is littered with\n"
+      "spurious Person/Organization spans (OCR noise + description decoys\n"
+      "like 'featuring <person>'); context boundaries do not remove the\n"
+      "candidates but disambiguation against interest points picks the\n"
+      "right block.\n");
+  return 0;
+}

@@ -1,0 +1,187 @@
+/// \file bench_micro.cpp
+/// google-benchmark micro-benchmarks for the hot paths: cut finding,
+/// Algorithm 1, clustering, full segmentation, NLP analysis, pattern
+/// matching, subtree mining, the end-to-end pipeline, plus throughput
+/// ablations of the design choices DESIGN.md calls out (banded cuts vs.
+/// straight cuts; semantic merging on/off).
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/segmentation.hpp"
+#include "core/pattern_learner.hpp"
+#include "core/pipeline.hpp"
+#include "datasets/pretrained.hpp"
+#include "nlp/analyzer.hpp"
+#include "nlp/chunk_tree.hpp"
+#include "nlp/pattern.hpp"
+
+using namespace vs2;
+
+namespace {
+
+const doc::Document& SamplePoster() {
+  static const doc::Document* doc = [] {
+    datasets::GeneratorConfig gc;
+    gc.num_documents = 1;
+    gc.seed = 42;
+    auto* d = new doc::Document(
+        datasets::GenerateD2(gc).documents[0]);
+    return d;
+  }();
+  return *doc;
+}
+
+const doc::Document& SampleObserved() {
+  static const doc::Document* doc = [] {
+    return new doc::Document(ocr::Transcribe(SamplePoster(), {}));
+  }();
+  return *doc;
+}
+
+void BM_FindSeparatorRuns(benchmark::State& state) {
+  const doc::Document& d = SampleObserved();
+  std::vector<util::BBox> boxes;
+  for (const auto& el : d.elements) boxes.push_back(el.bbox);
+  util::BBox region{0, 0, d.width, d.height};
+  raster::GridScale scale{0.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::FindSeparatorRuns(boxes, region, scale));
+  }
+}
+BENCHMARK(BM_FindSeparatorRuns);
+
+void BM_SelectDelimiters(benchmark::State& state) {
+  const doc::Document& d = SampleObserved();
+  std::vector<util::BBox> boxes;
+  for (const auto& el : d.elements) boxes.push_back(el.bbox);
+  auto runs = core::FindSeparatorRuns(boxes, {0, 0, d.width, d.height},
+                                      raster::GridScale{0.5});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SelectDelimiters(runs));
+  }
+}
+BENCHMARK(BM_SelectDelimiters);
+
+void BM_ClusterElements(benchmark::State& state) {
+  const doc::Document& d = SampleObserved();
+  std::vector<size_t> idx = d.TextElementIndices();
+  util::BBox region{0, 0, d.width, d.height};
+  core::SegmenterConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ClusterElements(d, idx, region, config));
+  }
+}
+BENCHMARK(BM_ClusterElements);
+
+void BM_Segment_Full(benchmark::State& state) {
+  const doc::Document& d = SampleObserved();
+  const auto& emb = datasets::PretrainedEmbedding();
+  core::SegmenterConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Segment(d, emb, config));
+  }
+}
+BENCHMARK(BM_Segment_Full);
+
+void BM_Segment_NoMerge(benchmark::State& state) {
+  const doc::Document& d = SampleObserved();
+  const auto& emb = datasets::PretrainedEmbedding();
+  core::SegmenterConfig config;
+  config.enable_semantic_merging = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Segment(d, emb, config));
+  }
+}
+BENCHMARK(BM_Segment_NoMerge);
+
+void BM_SegmentXYCut(benchmark::State& state) {
+  const doc::Document& d = SampleObserved();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::SegmentXYCut(d));
+  }
+}
+BENCHMARK(BM_SegmentXYCut);
+
+void BM_NlpAnalyze(benchmark::State& state) {
+  std::string text = SampleObserved().FullText();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nlp::Analyze(text));
+  }
+}
+BENCHMARK(BM_NlpAnalyze);
+
+void BM_PatternMatch(benchmark::State& state) {
+  nlp::AnalyzedText analyzed = nlp::Analyze(SampleObserved().FullText());
+  nlp::SyntacticPattern pattern{nlp::PatternKind::kNpWithTimex, {}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nlp::MatchPattern(analyzed, pattern));
+  }
+}
+BENCHMARK(BM_PatternMatch);
+
+void BM_OcrTranscribe(benchmark::State& state) {
+  const doc::Document& d = SamplePoster();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ocr::Transcribe(d, {}));
+  }
+}
+BENCHMARK(BM_OcrTranscribe);
+
+void BM_MineSubtrees(benchmark::State& state) {
+  datasets::HoldoutCorpus holdout =
+      datasets::BuildHoldoutCorpus(doc::DatasetId::kD2EventPosters, 7, 20);
+  std::vector<mining::FlatTree> transactions;
+  for (const auto& e : holdout.entries) {
+    if (e.entity != "event_organizer") continue;
+    nlp::AnalyzedText analyzed = nlp::Analyze(e.text);
+    // Rebuild the learner's flattening inline.
+    auto node = nlp::BuildChunkTree(analyzed);
+    mining::FlatTree t;
+    struct Frame { const nlp::ParseNode* n; int parent; };
+    std::vector<Frame> stack{{&node, -1}};
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      int id = static_cast<int>(t.labels.size());
+      t.labels.push_back(f.n->label);
+      t.parents.push_back(f.parent);
+      for (auto it = f.n->children.rbegin(); it != f.n->children.rend(); ++it)
+        stack.push_back({&*it, id});
+    }
+    transactions.push_back(std::move(t));
+  }
+  mining::MinerConfig config;
+  config.min_support = transactions.size() / 3 + 1;
+  config.max_nodes = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mining::MineFrequentSubtrees(transactions, config));
+  }
+}
+BENCHMARK(BM_MineSubtrees);
+
+void BM_Pipeline_EndToEnd(benchmark::State& state) {
+  const auto& emb = datasets::PretrainedEmbedding();
+  static const core::Vs2* vs2 = new core::Vs2(
+      doc::DatasetId::kD2EventPosters, emb,
+      core::DefaultConfigFor(doc::DatasetId::kD2EventPosters));
+  const doc::Document& d = SamplePoster();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vs2->Process(d));
+  }
+}
+BENCHMARK(BM_Pipeline_EndToEnd);
+
+void BM_EmbeddingTextSimilarity(benchmark::State& state) {
+  const auto& emb = datasets::PretrainedEmbedding();
+  std::string a = "annual jazz festival at memorial hall";
+  std::string b = "hosted by the columbus jazz society";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(emb.TextSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_EmbeddingTextSimilarity);
+
+}  // namespace
+
+BENCHMARK_MAIN();

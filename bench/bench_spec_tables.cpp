@@ -1,0 +1,99 @@
+/// \file bench_spec_tables.cpp
+/// Regenerates the paper's specification tables:
+///  * **Table 1** — the visual attributes used for clustering;
+///  * **Table 2** — holdout-corpus construction provenance;
+///  * **Tables 3/4** — the lexico-syntactic patterns *learned* per named
+///    entity for D2 and D3 via distant supervision (frequent-subtree
+///    mining over the holdout corpus), printed with their mined evidence.
+
+#include <cstdio>
+
+#include "harness.hpp"
+#include "util/strings.hpp"
+
+using namespace vs2;
+
+namespace {
+
+void PrintPatternTable(doc::DatasetId dataset, const char* title) {
+  datasets::HoldoutCorpus holdout = datasets::BuildHoldoutCorpus(dataset, 0x5EED);
+  core::PatternBook book = core::LearnPatterns(holdout);
+  eval::AsciiTable table({"Named entity", "Learned syntactic patterns",
+                          "Top mined subtree (support)"});
+  for (const core::LearnedEntityPatterns& e : book.entities) {
+    std::vector<std::string> pats;
+    for (const nlp::SyntacticPattern& p : e.patterns) {
+      pats.push_back(p.ToString());
+    }
+    std::string mined = "-";
+    if (!e.mined.empty()) {
+      mined = util::Format("%s (%zu)",
+                           e.mined[0].tree.ToSExpression().c_str(),
+                           e.mined[0].support);
+      if (mined.size() > 46) mined = mined.substr(0, 43) + "...";
+    }
+    table.AddRow({e.entity, util::Join(pats, ", "), mined});
+  }
+  std::printf("--- %s ---\n%s\n", title, table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBenchHeader("Spec tables: Tables 1-4 of the paper");
+
+  // Table 1.
+  {
+    eval::AsciiTable t({"Visual Attribute", "Description"});
+    t.AddRow({"centroid-position", "Position of the bbox centroid"});
+    t.AddRow({"height", "Height of the bounding box"});
+    t.AddRow({"color", "Average color in LAB colorspace"});
+    t.AddRow({"angular distance",
+              "Angular distance of the bbox centroid from origin"});
+    t.AddRow({"sum of angular distances",
+              "Sum of angular distances between two bbox centroids"});
+    std::printf("--- Table 1: Visual features used for clustering ---\n%s\n",
+                t.Render().c_str());
+  }
+
+  // Table 2.
+  {
+    eval::AsciiTable t({"Dataset", "Website", "Query", "Filter"});
+    struct Row {
+      doc::DatasetId id;
+      const char* label;
+    };
+    for (const Row& r : {Row{doc::DatasetId::kD1TaxForms, "D1"},
+                         Row{doc::DatasetId::kD2EventPosters, "D2"},
+                         Row{doc::DatasetId::kD3RealEstateFlyers, "D3"}}) {
+      for (const datasets::HoldoutSource& s : datasets::HoldoutSources(r.id)) {
+        t.AddRow({r.label, s.website, s.query, s.filter});
+      }
+    }
+    std::printf("--- Table 2: Constructing the holdout corpus ---\n%s\n",
+                t.Render().c_str());
+  }
+
+  // Tables 3 and 4 (learned, not hard-coded).
+  PrintPatternTable(doc::DatasetId::kD2EventPosters,
+                    "Table 3: Named entities extracted from D2");
+  PrintPatternTable(doc::DatasetId::kD3RealEstateFlyers,
+                    "Table 4: Named entities extracted from D3");
+
+  // D1's degenerate pattern rule (exact descriptor match) — show a sample.
+  {
+    datasets::HoldoutCorpus holdout =
+        datasets::BuildHoldoutCorpus(doc::DatasetId::kD1TaxForms, 0x5EED);
+    core::PatternBook book = core::LearnPatterns(holdout);
+    std::printf(
+        "--- D1 pattern rule (Sec 5.2.1): exact string match against the "
+        "field descriptors ---\n");
+    for (size_t i = 0; i < 3 && i < book.entities.size(); ++i) {
+      std::printf("  %s -> %s\n", book.entities[i].entity.c_str(),
+                  book.entities[i].patterns[0].ToString().c_str());
+    }
+    std::printf("  ... (%zu field descriptors total)\n\n",
+                book.entities.size());
+  }
+  return 0;
+}

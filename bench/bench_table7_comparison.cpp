@@ -1,0 +1,105 @@
+/// \file bench_table7_comparison.cpp
+/// Regenerates **Table 7**: end-to-end precision/recall of six methods
+/// (ClausIE, FSM, Zhou-ML, Apostolova et al., ReportMiner, VS2) on all
+/// three datasets. ML methods and ReportMiner train on a 60% split and are
+/// evaluated on the remaining 40%; to keep the comparison apples-to-apples
+/// every method is evaluated on that same 40% test split. Also covers the
+/// paper's in-text D1 numbers (VS2 95.25 P / 98.4 R).
+
+#include <cstdio>
+#include <memory>
+
+#include "harness.hpp"
+#include "util/strings.hpp"
+
+using namespace vs2;
+
+int main() {
+  bench::PrintBenchHeader(
+      "Table 7: Comparison of end-to-end performance against existing "
+      "methods");
+
+  const embed::Embedding& embedding = datasets::PretrainedEmbedding();
+  ocr::OcrConfig ocr_config;
+
+  struct Cell {
+    bool applicable = false;
+    eval::PrCounts counts;
+  };
+  // rows: methods, cols: datasets
+  std::vector<std::string> method_names = {"ClausIE",       "FSM",
+                                           "ML-based",      "Apostolova et al.",
+                                           "ReportMiner",   "VS2"};
+  std::vector<std::vector<Cell>> grid(method_names.size(),
+                                      std::vector<Cell>(3));
+
+  std::vector<doc::DatasetId> datasets_order = {
+      doc::DatasetId::kD1TaxForms, doc::DatasetId::kD2EventPosters,
+      doc::DatasetId::kD3RealEstateFlyers};
+
+  for (size_t dcol = 0; dcol < datasets_order.size(); ++dcol) {
+    doc::DatasetId dataset = datasets_order[dcol];
+    doc::Corpus corpus =
+        bench::ObserveCorpus(bench::BenchCorpus(dataset), ocr_config);
+    doc::Corpus train, test;
+    bench::SplitCorpus(corpus, /*train_fraction=*/0.6, &train, &test);
+
+    baselines::BaselineContext ctx{dataset, &embedding, ocr_config, 0x5EED};
+    std::vector<std::unique_ptr<baselines::EndToEndMethod>> methods;
+    methods.push_back(baselines::MakeClausIe(ctx));
+    methods.push_back(baselines::MakeFsm(ctx));
+    methods.push_back(baselines::MakeZhouMl(ctx));
+    methods.push_back(baselines::MakeApostolova(ctx));
+    methods.push_back(baselines::MakeReportMiner(ctx));
+
+    for (size_t m = 0; m < methods.size(); ++m) {
+      Status trained = methods[m]->Train(train);
+      if (!trained.ok() && !trained.IsNotApplicable()) {
+        std::fprintf(stderr, "%s train on %s: %s\n",
+                     methods[m]->name().c_str(), DatasetName(dataset),
+                     trained.ToString().c_str());
+      }
+      Cell& cell = grid[m][dcol];
+      cell.applicable = bench::RunEndToEnd(
+          [&](const doc::Document& d) { return methods[m]->Extract(d); },
+          test, &cell.counts, nullptr);
+    }
+
+    // VS2 (no training; distant supervision only), same test split.
+    core::PipelineConfig config = core::DefaultConfigFor(dataset);
+    config.simulate_ocr = false;
+    core::Vs2 vs2(dataset, embedding, config);
+    Cell& cell = grid[5][dcol];
+    cell.applicable = bench::RunEndToEnd(
+        [&](const doc::Document& d) { return bench::Vs2Predictions(vs2, d); },
+        test, &cell.counts, nullptr);
+  }
+
+  eval::AsciiTable table({"Index", "Algorithm", "D1 Pr(%)", "D1 Rec(%)",
+                          "D2 Pr(%)", "D2 Rec(%)", "D3 Pr(%)", "D3 Rec(%)"});
+  for (size_t m = 0; m < method_names.size(); ++m) {
+    std::vector<std::string> row = {util::Format("A%zu", m + 1),
+                                    method_names[m]};
+    for (size_t dcol = 0; dcol < 3; ++dcol) {
+      const Cell& cell = grid[m][dcol];
+      // A method that cannot produce a single prediction on a dataset
+      // (e.g. the block-classifier adaptations on the 320-way field task)
+      // is reported as not applicable, as the paper does.
+      if (!cell.applicable || cell.counts.predicted == 0) {
+        row.push_back("-");
+        row.push_back("-");
+      } else {
+        row.push_back(eval::Pct(cell.counts.Precision()));
+        row.push_back(eval::Pct(cell.counts.Recall()));
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Paper shape: VS2 best or tied on every dataset; ClausIE and Zhou-ML\n"
+      "inapplicable to D1; ReportMiner near-perfect on the fixed-template\n"
+      "D1 but collapsing on free-form D2; text-only ClausIE/FSM trail on\n"
+      "the visually rich corpora.\n");
+  return 0;
+}

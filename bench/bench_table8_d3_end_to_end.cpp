@@ -1,0 +1,67 @@
+/// \file bench_table8_d3_end_to_end.cpp
+/// Regenerates **Table 8**: end-to-end precision/recall of VS2 per named
+/// entity on D3 (real-estate flyers), plus ΔF1 against the text-only
+/// baseline.
+
+#include <cstdio>
+
+#include "harness.hpp"
+#include "util/strings.hpp"
+
+using namespace vs2;
+
+int main() {
+  bench::PrintBenchHeader("Table 8: End-to-end evaluation of VS2 on D3");
+
+  const embed::Embedding& embedding = datasets::PretrainedEmbedding();
+  ocr::OcrConfig ocr_config;
+  doc::Corpus corpus = bench::ObserveCorpus(
+      bench::BenchCorpus(doc::DatasetId::kD3RealEstateFlyers), ocr_config);
+
+  core::PipelineConfig config =
+      core::DefaultConfigFor(doc::DatasetId::kD3RealEstateFlyers);
+  config.simulate_ocr = false;
+  core::Vs2 vs2(doc::DatasetId::kD3RealEstateFlyers, embedding, config);
+
+  baselines::BaselineContext ctx{doc::DatasetId::kD3RealEstateFlyers,
+                                 &embedding, ocr_config, 0x5EED};
+  auto text_only = baselines::MakeTextOnly(ctx);
+
+  std::vector<std::pair<std::string, eval::PrCounts>> vs2_entities;
+  std::vector<std::pair<std::string, eval::PrCounts>> txt_entities;
+  for (const datasets::EntitySpec& spec :
+       datasets::EntitySpecsFor(doc::DatasetId::kD3RealEstateFlyers)) {
+    vs2_entities.push_back({spec.name, {}});
+    txt_entities.push_back({spec.name, {}});
+  }
+
+  eval::PrCounts vs2_total, txt_total;
+  bench::RunEndToEnd(
+      [&](const doc::Document& d) { return bench::Vs2Predictions(vs2, d); },
+      corpus, &vs2_total, &vs2_entities);
+  bench::RunEndToEnd(
+      [&](const doc::Document& d) { return text_only->Extract(d); }, corpus,
+      &txt_total, &txt_entities);
+
+  eval::AsciiTable table(
+      {"Index", "Named Entity", "Pr.(%)", "Rec.(%)", "dF1(%)"});
+  for (size_t e = 0; e < vs2_entities.size(); ++e) {
+    const auto& [name, vc] = vs2_entities[e];
+    const auto& tc = txt_entities[e].second;
+    table.AddRow({util::Format("N%zu", e + 1), name,
+                  eval::Pct(vc.Precision()), eval::Pct(vc.Recall()),
+                  util::Format("%+.2f", (vc.F1() - tc.F1()) * 100.0)});
+  }
+  table.AddRow({"", "Overall", eval::Pct(vs2_total.Precision()),
+                eval::Pct(vs2_total.Recall()),
+                util::Format("%+.2f", (vs2_total.F1() - txt_total.F1()) * 100.0)});
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "(text-only baseline overall: Pr %s  Rec %s)\n"
+      "Paper shape: biggest gains on the visually rich entities (Broker\n"
+      "Name +10.18, Property Address +4.60); small on Broker Phone/Email\n"
+      "(regex patterns, usually a single match) and Property Description.\n",
+      eval::Pct(txt_total.Precision()).c_str(),
+      eval::Pct(txt_total.Recall()).c_str());
+  return 0;
+}

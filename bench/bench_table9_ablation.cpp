@@ -1,0 +1,108 @@
+/// \file bench_table9_ablation.cpp
+/// Regenerates **Table 9**: ablation study measuring each VS2 component's
+/// contribution to end-to-end F1 on every dataset:
+///   A1 — semantic merging off;
+///   A2 — visual-feature clustering off;
+///   A3 — entity disambiguation off (first match wins);
+///   A4 — multimodal disambiguation replaced by text-only Lesk.
+/// Each cell is the F1 *drop* (ΔF1, percentage points) relative to full
+/// VS2 — matching the paper's "effect on overall F1-score" framing.
+/// An extra row A5 ablates the interest-point Pareto subset (candidates
+/// ranked against all blocks instead), a design choice DESIGN.md calls out.
+
+#include <cstdio>
+
+#include "harness.hpp"
+#include "util/strings.hpp"
+
+using namespace vs2;
+
+namespace {
+
+double F1For(doc::DatasetId dataset, const doc::Corpus& corpus,
+             const core::PipelineConfig& config) {
+  const embed::Embedding& embedding = datasets::PretrainedEmbedding();
+  core::Vs2 vs2(dataset, embedding, config);
+  eval::PrCounts total;
+  bench::RunEndToEnd(
+      [&](const doc::Document& d) { return bench::Vs2Predictions(vs2, d); },
+      corpus, &total, nullptr);
+  return total.F1();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBenchHeader(
+      "Table 9: Evaluating individual components in VS2 by ablation study");
+
+  ocr::OcrConfig ocr_config;
+  std::vector<doc::DatasetId> order = {doc::DatasetId::kD1TaxForms,
+                                       doc::DatasetId::kD2EventPosters,
+                                       doc::DatasetId::kD3RealEstateFlyers};
+
+  struct Scenario {
+    std::string index;
+    std::string visual;
+    std::string merging;
+    std::string disambiguation;
+    std::function<void(core::PipelineConfig*)> apply;
+  };
+  std::vector<Scenario> scenarios = {
+      {"A1", "yes", "NO", "multimodal",
+       [](core::PipelineConfig* c) {
+         c->segmenter.enable_semantic_merging = false;
+       }},
+      {"A2", "NO", "yes", "multimodal",
+       [](core::PipelineConfig* c) {
+         c->segmenter.enable_visual_clustering = false;
+       }},
+      {"A3", "yes", "yes", "NONE (first match)",
+       [](core::PipelineConfig* c) {
+         c->select.disambiguation = core::DisambiguationMode::kFirstMatch;
+       }},
+      {"A4", "yes", "yes", "text-only (Lesk)",
+       [](core::PipelineConfig* c) {
+         c->select.disambiguation = core::DisambiguationMode::kLesk;
+       }},
+      {"A5", "yes", "yes", "multimodal, NO interest points",
+       [](core::PipelineConfig* c) {
+         c->select.use_interest_points = false;
+       }},
+  };
+
+  eval::AsciiTable table({"Index", "Visual feat.", "Semantic merging",
+                          "Disambiguation", "dF1 D1", "dF1 D2", "dF1 D3"});
+
+  std::vector<double> full_f1(order.size());
+  std::vector<doc::Corpus> corpora;
+  for (size_t d = 0; d < order.size(); ++d) {
+    corpora.push_back(
+        bench::ObserveCorpus(bench::BenchCorpus(order[d]), ocr_config));
+    core::PipelineConfig config = core::DefaultConfigFor(order[d]);
+    config.simulate_ocr = false;
+    full_f1[d] = F1For(order[d], corpora[d], config);
+  }
+  std::printf("full VS2 F1: D1=%s D2=%s D3=%s\n\n", eval::Pct(full_f1[0]).c_str(),
+              eval::Pct(full_f1[1]).c_str(), eval::Pct(full_f1[2]).c_str());
+
+  for (const Scenario& s : scenarios) {
+    std::vector<std::string> row = {s.index, s.visual, s.merging,
+                                    s.disambiguation};
+    for (size_t d = 0; d < order.size(); ++d) {
+      core::PipelineConfig config = core::DefaultConfigFor(order[d]);
+      config.simulate_ocr = false;
+      s.apply(&config);
+      double f1 = F1For(order[d], corpora[d], config);
+      row.push_back(util::Format("%+.2f", (full_f1[d] - f1) * 100.0));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Cells are F1 drops vs. full VS2 (positive = the component helps).\n"
+      "Paper shape: every component contributes on every dataset; merging\n"
+      "and visual features matter most on D2/D3 (over-segmentation),\n"
+      "disambiguation (A3/A4) carries the largest single effect.\n");
+  return 0;
+}

@@ -1,0 +1,183 @@
+#include "harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/rng.hpp"
+
+namespace vs2::bench {
+
+size_t BenchCorpusSize(doc::DatasetId dataset) {
+  if (const char* env = std::getenv("VS2_BENCH_DOCS")) {
+    int v = std::atoi(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  switch (dataset) {
+    case doc::DatasetId::kD1TaxForms:
+      return 80;  // paper: 5 595
+    case doc::DatasetId::kD2EventPosters:
+      return 120;  // paper: 2 190
+    case doc::DatasetId::kD3RealEstateFlyers:
+      return 100;  // paper: 1 200
+  }
+  return 80;
+}
+
+doc::Corpus BenchCorpus(doc::DatasetId dataset, uint64_t seed) {
+  datasets::GeneratorConfig config;
+  config.num_documents = BenchCorpusSize(dataset);
+  config.seed = seed;
+  return datasets::Generate(dataset, config);
+}
+
+void SplitCorpus(const doc::Corpus& corpus, double train_fraction,
+                 doc::Corpus* train, doc::Corpus* test) {
+  train->dataset = corpus.dataset;
+  test->dataset = corpus.dataset;
+  train->entity_types = corpus.entity_types;
+  test->entity_types = corpus.entity_types;
+  train->documents.clear();
+  test->documents.clear();
+  // Deterministic interleaved split keeps every D1 form face in both
+  // splits.
+  size_t n = corpus.documents.size();
+  size_t train_target = static_cast<size_t>(train_fraction * n);
+  util::Rng rng(0x5711F7);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(&order);
+  for (size_t k = 0; k < n; ++k) {
+    if (k < train_target) {
+      train->documents.push_back(corpus.documents[order[k]]);
+    } else {
+      test->documents.push_back(corpus.documents[order[k]]);
+    }
+  }
+}
+
+doc::Corpus ObserveCorpus(const doc::Corpus& corpus,
+                          const ocr::OcrConfig& config) {
+  doc::Corpus observed = corpus;
+  for (doc::Document& d : observed.documents) {
+    d = ocr::Transcribe(d, config);
+  }
+  return observed;
+}
+
+std::vector<SegMethod> Table5Methods(const embed::Embedding& embedding,
+                                     const ocr::OcrConfig& ocr) {
+  (void)ocr;  // observation happens once in ObserveCorpus
+  auto boxes_of = [](const std::vector<baselines::SegBlock>& blocks) {
+    std::vector<util::BBox> out;
+    out.reserve(blocks.size());
+    for (const auto& b : blocks) out.push_back(b.bbox);
+    return out;
+  };
+
+  std::vector<SegMethod> methods;
+  methods.push_back(
+      {"Text-only", [&embedding, boxes_of](const doc::Document& observed)
+                        -> Result<std::vector<util::BBox>> {
+         return boxes_of(baselines::SegmentTextOnly(observed, embedding));
+       }});
+  methods.push_back({"XY-Cut", [boxes_of](const doc::Document& observed)
+                                   -> Result<std::vector<util::BBox>> {
+                       return boxes_of(baselines::SegmentXYCut(observed));
+                     }});
+  methods.push_back(
+      {"Voronoi-tessellation",
+       [boxes_of](const doc::Document& observed)
+           -> Result<std::vector<util::BBox>> {
+         return boxes_of(baselines::SegmentVoronoi(observed));
+       }});
+  methods.push_back({"VIPS", [boxes_of](const doc::Document& observed)
+                                 -> Result<std::vector<util::BBox>> {
+                       auto blocks = baselines::SegmentVips(observed);
+                       if (!blocks.ok()) return blocks.status();
+                       return boxes_of(*blocks);
+                     }});
+  methods.push_back({"Tesseract", [boxes_of](const doc::Document& observed)
+                                      -> Result<std::vector<util::BBox>> {
+                       return boxes_of(baselines::SegmentTesseract(observed));
+                     }});
+  methods.push_back(
+      {"VS2-Segment", [&embedding](const doc::Document& observed)
+                          -> Result<std::vector<util::BBox>> {
+         core::SegmenterConfig config;
+         VS2_ASSIGN_OR_RETURN(doc::LayoutTree tree,
+                              core::Segment(observed, embedding, config));
+         std::vector<util::BBox> out;
+         for (size_t leaf : tree.Leaves()) {
+           // Only blocks carrying text are entity-location proposals;
+           // image-only leaves (logos, surviving smudges) are not.
+           bool has_text = false;
+           for (size_t e : tree.node(leaf).element_indices) {
+             if (observed.elements[e].is_text()) {
+               has_text = true;
+               break;
+             }
+           }
+           if (has_text) out.push_back(tree.node(leaf).bbox);
+         }
+         return out;
+       }});
+  return methods;
+}
+
+bool RunSegmentation(const SegMethod& method, const doc::Corpus& corpus,
+                     eval::PrCounts* counts) {
+  for (const doc::Document& d : corpus.documents) {
+    Result<std::vector<util::BBox>> proposals = method.run(d);
+    if (!proposals.ok()) {
+      if (proposals.status().IsNotApplicable()) return false;
+      continue;  // skip failed documents, count nothing
+    }
+    counts->Add(eval::ScoreSegmentation(*proposals, d));
+  }
+  return true;
+}
+
+Result<std::vector<eval::LabeledPrediction>> Vs2Predictions(
+    const core::Vs2& vs2, const doc::Document& document) {
+  VS2_ASSIGN_OR_RETURN(core::Vs2::DocResult result, vs2.Process(document));
+  std::vector<eval::LabeledPrediction> out;
+  for (const core::Extraction& ex : result.extractions) {
+    out.push_back({ex.entity, ex.block_bbox, ex.text, ex.match_bbox});
+  }
+  return out;
+}
+
+bool RunEndToEnd(
+    const std::function<Result<std::vector<eval::LabeledPrediction>>(
+        const doc::Document&)>& extract,
+    const doc::Corpus& test, eval::PrCounts* total,
+    std::vector<std::pair<std::string, eval::PrCounts>>* per_entity) {
+  bool applicable_any = false;
+  for (const doc::Document& d : test.documents) {
+    Result<std::vector<eval::LabeledPrediction>> preds = extract(d);
+    if (!preds.ok()) {
+      if (preds.status().IsNotApplicable()) continue;
+      continue;
+    }
+    applicable_any = true;
+    total->Add(eval::ScoreEndToEnd(*preds, d));
+    if (per_entity != nullptr) {
+      for (auto& [entity, counts] : *per_entity) {
+        counts.Add(eval::ScoreEndToEndForEntity(*preds, d, entity));
+      }
+    }
+  }
+  return applicable_any;
+}
+
+void PrintBenchHeader(const std::string& title) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf(
+      "corpus sizes: D1=%zu D2=%zu D3=%zu (paper: 5595/2190/1200; set "
+      "VS2_BENCH_DOCS to scale) seed=2019\n\n",
+      BenchCorpusSize(doc::DatasetId::kD1TaxForms),
+      BenchCorpusSize(doc::DatasetId::kD2EventPosters),
+      BenchCorpusSize(doc::DatasetId::kD3RealEstateFlyers));
+}
+
+}  // namespace vs2::bench

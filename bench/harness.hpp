@@ -1,0 +1,76 @@
+#ifndef VS2_BENCH_HARNESS_HPP_
+#define VS2_BENCH_HARNESS_HPP_
+
+/// \file harness.hpp
+/// Shared experiment-driver code for the table benches. Every bench binary
+/// regenerates one table (or figure) of the paper; this header provides
+/// corpus generation, train/test splitting, and the per-method scoring
+/// loops both phases share.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/endtoend.hpp"
+#include "baselines/segmentation.hpp"
+#include "core/pipeline.hpp"
+#include "datasets/generator.hpp"
+#include "datasets/pretrained.hpp"
+#include "eval/metrics.hpp"
+#include "eval/table.hpp"
+
+namespace vs2::bench {
+
+/// Bench-scale corpus sizes. The paper's corpora are 5 595 / 2 190 / 1 200
+/// documents; benches default to a laptop-scale sample per dataset and
+/// honor the VS2_BENCH_DOCS environment variable for larger runs.
+size_t BenchCorpusSize(doc::DatasetId dataset);
+
+/// Deterministic bench corpus for a dataset.
+doc::Corpus BenchCorpus(doc::DatasetId dataset, uint64_t seed = 2019);
+
+/// Observes a corpus through the OCR channel (cleaning + deskew +
+/// transcription noise) exactly once. All methods consume the observed
+/// documents, and scoring uses the observed annotations, so every method
+/// sees the same input frame.
+doc::Corpus ObserveCorpus(const doc::Corpus& corpus,
+                          const ocr::OcrConfig& config);
+
+/// 60/40 split (ReportMiner's rule split; the SVM baselines' train split).
+void SplitCorpus(const doc::Corpus& corpus, double train_fraction,
+                 doc::Corpus* train, doc::Corpus* test);
+
+/// A segmentation method under test: name + per-document block proposals.
+struct SegMethod {
+  std::string name;
+  /// Returns proposals or NotApplicable.
+  std::function<Result<std::vector<util::BBox>>(const doc::Document&)> run;
+};
+
+/// The six Table 5 contenders, in paper order (A1–A6).
+std::vector<SegMethod> Table5Methods(const embed::Embedding& embedding,
+                                     const ocr::OcrConfig& ocr);
+
+/// Runs a segmentation method over a corpus; aggregates Sec 6.2 phase-1
+/// precision/recall. Returns false when NotApplicable for this corpus.
+bool RunSegmentation(const SegMethod& method, const doc::Corpus& corpus,
+                     eval::PrCounts* counts);
+
+/// VS2 end-to-end predictions for one document.
+Result<std::vector<eval::LabeledPrediction>> Vs2Predictions(
+    const core::Vs2& vs2, const doc::Document& document);
+
+/// Runs an end-to-end method over a test corpus; per-entity counts are
+/// accumulated into `per_entity` (keyed by entity name) when non-null.
+bool RunEndToEnd(
+    const std::function<Result<std::vector<eval::LabeledPrediction>>(
+        const doc::Document&)>& extract,
+    const doc::Corpus& test, eval::PrCounts* total,
+    std::vector<std::pair<std::string, eval::PrCounts>>* per_entity);
+
+/// Prints the standard bench header (seed, corpus sizes).
+void PrintBenchHeader(const std::string& title);
+
+}  // namespace vs2::bench
+
+#endif  // VS2_BENCH_HARNESS_HPP_

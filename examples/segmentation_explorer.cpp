@@ -1,0 +1,90 @@
+/// \file segmentation_explorer.cpp
+/// Side-by-side comparison of the segmentation algorithms on one poster:
+/// prints each method's blocks as an ASCII page sketch — the quickest way
+/// to build intuition for why whitespace cuts + clustering + semantic
+/// merging behave differently from XY-cut or Tesseract's line grouping.
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/segmentation.hpp"
+#include "core/segmenter.hpp"
+#include "datasets/generator.hpp"
+#include "datasets/pretrained.hpp"
+#include "ocr/ocr.hpp"
+
+using namespace vs2;
+
+namespace {
+
+void Sketch(const doc::Document& d, const char* title,
+            const std::vector<util::BBox>& boxes) {
+  constexpr int kCols = 64;
+  constexpr int kRows = 32;
+  std::vector<std::string> canvas(kRows, std::string(kCols, '.'));
+  auto col = [&](double x) {
+    return std::min(kCols - 1, std::max(0, static_cast<int>(x / d.width * kCols)));
+  };
+  auto row = [&](double y) {
+    return std::min(kRows - 1, std::max(0, static_cast<int>(y / d.height * kRows)));
+  };
+  char label = 'A';
+  for (const util::BBox& b : boxes) {
+    int c0 = col(b.x), c1 = col(b.right());
+    int r0 = row(b.y), r1 = row(b.bottom());
+    for (int r = r0; r <= r1; ++r) {
+      for (int c = c0; c <= c1; ++c) {
+        canvas[static_cast<size_t>(r)][static_cast<size_t>(c)] = label;
+      }
+    }
+    label = label == 'Z' ? 'A' : static_cast<char>(label + 1);
+  }
+  std::printf("--- %s (%zu blocks) ---\n", title, boxes.size());
+  for (const std::string& line : canvas) std::printf("%s\n", line.c_str());
+  std::printf("\n");
+}
+
+std::vector<util::BBox> Boxes(const std::vector<baselines::SegBlock>& blocks) {
+  std::vector<util::BBox> out;
+  for (const auto& b : blocks) out.push_back(b.bbox);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2019;
+  datasets::GeneratorConfig gc;
+  gc.num_documents = 1;
+  gc.seed = seed;
+  gc.mobile_capture_fraction = 0.0;
+  doc::Document poster = datasets::GenerateD2(gc).documents[0];
+  doc::Document observed = ocr::Transcribe(poster, {});
+  const embed::Embedding& embedding = datasets::PretrainedEmbedding();
+
+  std::printf("poster seed %llu: %zu elements, %zu annotated entities\n\n",
+              static_cast<unsigned long long>(seed), observed.elements.size(),
+              poster.annotations.size());
+
+  Sketch(observed, "XY-Cut", Boxes(baselines::SegmentXYCut(observed)));
+  Sketch(observed, "Voronoi", Boxes(baselines::SegmentVoronoi(observed)));
+  Sketch(observed, "Tesseract", Boxes(baselines::SegmentTesseract(observed)));
+
+  auto tree = core::Segment(observed, embedding, {});
+  if (tree.ok()) {
+    std::vector<util::BBox> boxes;
+    for (size_t leaf : tree->Leaves()) {
+      if (!tree->node(leaf).element_indices.empty()) {
+        boxes.push_back(tree->node(leaf).bbox);
+      }
+    }
+    Sketch(observed, "VS2-Segment", boxes);
+  }
+
+  std::printf("ground truth:\n");
+  for (const doc::Annotation& a : poster.annotations) {
+    std::printf("  %-18s %s\n", a.entity_type.c_str(),
+                a.bbox.ToString().c_str());
+  }
+  return 0;
+}

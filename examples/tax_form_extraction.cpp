@@ -1,0 +1,55 @@
+/// \file tax_form_extraction.cpp
+/// The paper's structured-form task (dataset D1): extract every labelled
+/// field value from scanned 1988 tax forms. Shows the degenerate pattern
+/// rule the paper uses on D1 (exact field-descriptor match) plus OCR-
+/// tolerant matching, and reports per-document field coverage.
+
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "datasets/generator.hpp"
+#include "datasets/pretrained.hpp"
+#include "eval/metrics.hpp"
+
+using namespace vs2;
+
+int main() {
+  datasets::GeneratorConfig gc;
+  gc.num_documents = 6;
+  gc.seed = 11;
+  doc::Corpus forms = datasets::GenerateD1(gc);
+
+  const embed::Embedding& embedding = datasets::PretrainedEmbedding();
+  core::Vs2 vs2(doc::DatasetId::kD1TaxForms, embedding,
+                core::DefaultConfigFor(doc::DatasetId::kD1TaxForms));
+
+  std::printf("pattern book: %zu field descriptors across %d form faces\n\n",
+              vs2.pattern_book().entities.size(), datasets::kNumFormFaces);
+
+  for (const doc::Document& form : forms.documents) {
+    auto result = vs2.Process(form);
+    if (!result.ok()) {
+      std::fprintf(stderr, "form %llu failed: %s\n",
+                   static_cast<unsigned long long>(form.id),
+                   result.status().ToString().c_str());
+      continue;
+    }
+    // Score against the synthetic ground truth carried by the corpus.
+    std::vector<eval::LabeledPrediction> preds;
+    for (const core::Extraction& ex : result->extractions) {
+      preds.push_back({ex.entity, ex.block_bbox, ex.text, ex.match_bbox});
+    }
+    eval::PrCounts counts = eval::ScoreEndToEnd(preds, result->observed);
+
+    std::printf("form face %2d (quality %.2f): %zu/%zu fields correct\n",
+                form.template_id, form.capture_quality,
+                counts.true_positives, counts.actual);
+    int shown = 0;
+    for (const core::Extraction& ex : result->extractions) {
+      if (shown++ >= 4) break;
+      std::printf("    %-14s -> \"%s\"\n", ex.entity.c_str(),
+                  ex.text.c_str());
+    }
+  }
+  return 0;
+}

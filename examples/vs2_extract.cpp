@@ -1,0 +1,136 @@
+/// \file vs2_extract.cpp
+/// Command-line extractor — the deployment entry point. Reads a document
+/// in the JSON interchange format (see `doc/serialization.hpp`) from a
+/// file or stdin, runs the VS2 pipeline, and prints the extracted
+/// key-value pairs as JSON on stdout.
+///
+/// Usage:
+///   vs2_extract [--dataset 1|2|3] [--no-ocr-noise] [file.json]
+///   ... | vs2_extract --dataset 2
+///
+/// With `--demo`, generates a sample poster, prints its JSON to stderr
+/// (as a template for your own producer) and extracts from it.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/pipeline.hpp"
+#include "datasets/generator.hpp"
+#include "datasets/pretrained.hpp"
+#include "doc/serialization.hpp"
+#include "util/strings.hpp"
+
+using namespace vs2;
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+std::string ExtractionsToJson(const core::Vs2::DocResult& result) {
+  std::string out = "{\"extractions\":[";
+  bool first = true;
+  for (const core::Extraction& ex : result.extractions) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"entity\":";
+    AppendEscaped(&out, ex.entity);
+    out += ",\"text\":";
+    AppendEscaped(&out, ex.text);
+    out += util::Format(
+        ",\"block\":{\"x\":%.1f,\"y\":%.1f,\"w\":%.1f,\"h\":%.1f}",
+        ex.block_bbox.x, ex.block_bbox.y, ex.block_bbox.width,
+        ex.block_bbox.height);
+    out += util::Format(
+        ",\"span\":{\"x\":%.1f,\"y\":%.1f,\"w\":%.1f,\"h\":%.1f}}",
+        ex.match_bbox.x, ex.match_bbox.y, ex.match_bbox.width,
+        ex.match_bbox.height);
+  }
+  out += util::Format("],\"blocks\":%zu,\"interest_points\":%zu}",
+                      result.tree.Leaves().size(),
+                      result.interest_points.size());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int dataset = 2;
+  bool ocr_noise = true;
+  bool demo = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dataset") == 0 && i + 1 < argc) {
+      dataset = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--no-ocr-noise") == 0) {
+      ocr_noise = false;
+    } else if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::fprintf(stderr,
+                   "usage: vs2_extract [--dataset 1|2|3] [--no-ocr-noise] "
+                   "[--demo] [file.json]\n");
+      return 0;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (dataset < 1 || dataset > 3) {
+    std::fprintf(stderr, "dataset must be 1, 2 or 3\n");
+    return 2;
+  }
+  doc::DatasetId id = static_cast<doc::DatasetId>(dataset);
+
+  std::string json;
+  if (demo) {
+    datasets::GeneratorConfig gc;
+    gc.num_documents = 1;
+    gc.seed = 4;
+    gc.mobile_capture_fraction = 0.0;
+    doc::Corpus corpus = datasets::Generate(id, gc);
+    json = doc::ToJson(corpus.documents[0]);
+    std::fprintf(stderr, "%s\n", json.c_str());
+  } else if (path != nullptr) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    json = buffer.str();
+  } else {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    json = buffer.str();
+  }
+
+  auto document = doc::FromJson(json);
+  if (!document.ok()) {
+    std::fprintf(stderr, "bad document JSON: %s\n",
+                 document.status().ToString().c_str());
+    return 2;
+  }
+
+  const embed::Embedding& embedding = datasets::PretrainedEmbedding();
+  core::PipelineConfig config = core::DefaultConfigFor(id);
+  config.simulate_ocr = ocr_noise;
+  core::Vs2 vs2(id, embedding, config);
+  auto result = vs2.Process(*document);
+  if (!result.ok()) {
+    std::fprintf(stderr, "extraction failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", ExtractionsToJson(*result).c_str());
+  return 0;
+}

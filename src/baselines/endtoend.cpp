@@ -1,0 +1,602 @@
+#include "baselines/endtoend.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/segmentation.hpp"
+#include "nlp/analyzer.hpp"
+#include "nlp/lesk.hpp"
+#include "nlp/pattern.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace vs2::baselines {
+namespace {
+
+using doc::Document;
+using eval::LabeledPrediction;
+
+/// Analyzed layout block with back-pointers into the observed document.
+struct AnalyzedBlock {
+  SegBlock block;
+  nlp::AnalyzedText analyzed;
+  std::string text;
+};
+
+std::vector<AnalyzedBlock> AnalyzeBlocks(const Document& observed,
+                                         const std::vector<SegBlock>& blocks) {
+  std::vector<AnalyzedBlock> out;
+  for (const SegBlock& b : blocks) {
+    std::vector<size_t> text_idx;
+    for (size_t i : b.element_indices) {
+      if (observed.elements[i].is_text()) text_idx.push_back(i);
+    }
+    if (text_idx.empty()) continue;
+    std::vector<size_t> ordered = doc::ReadingOrder(observed, text_idx);
+    std::string joined;
+    for (size_t i : ordered) {
+      if (!joined.empty()) joined.push_back(' ');
+      joined += observed.elements[i].text;
+    }
+    AnalyzedBlock ab;
+    ab.block = b;
+    // Anchor the block on its text extent (noise images do not move the
+    // predicted entity location).
+    util::BBox text_bbox;
+    for (size_t i : text_idx) {
+      text_bbox = util::Union(text_bbox, observed.elements[i].bbox);
+    }
+    if (!text_bbox.Empty()) ab.block.bbox = text_bbox;
+    ab.text = joined;
+    ab.analyzed = nlp::Analyze(joined, ordered);
+    out.push_back(std::move(ab));
+  }
+  return out;
+}
+
+util::BBox SpanBBox(const Document& observed, const nlp::AnalyzedText& text,
+                    size_t begin, size_t end, const util::BBox& fallback) {
+  util::BBox acc;
+  for (size_t t = begin; t < end && t < text.tokens.size(); ++t) {
+    size_t el = text.tokens[t].element_index;
+    if (el < observed.elements.size()) {
+      acc = util::Union(acc, observed.elements[el].bbox);
+    }
+  }
+  return acc.Empty() ? fallback : acc;
+}
+
+// ---------------------------------------------------------------------------
+// Text-only baseline: Tesseract blocks + learned patterns + Lesk.
+// ---------------------------------------------------------------------------
+
+class TextOnlyMethod : public EndToEndMethod {
+ public:
+  explicit TextOnlyMethod(const BaselineContext& ctx) : ctx_(ctx) {
+    datasets::HoldoutCorpus holdout =
+        datasets::BuildHoldoutCorpus(ctx.dataset, ctx.holdout_seed);
+    book_ = core::LearnPatterns(holdout);
+    specs_ = datasets::EntitySpecsFor(ctx.dataset);
+  }
+
+  std::string name() const override { return "Text-only"; }
+
+  Result<std::vector<LabeledPrediction>> Extract(
+      const Document& document) const override {
+    const Document& observed = document;  // already observed by the caller
+    std::vector<AnalyzedBlock> blocks =
+        AnalyzeBlocks(observed, SegmentTesseract(observed));
+    std::vector<LabeledPrediction> out;
+    for (const datasets::EntitySpec& spec : specs_) {
+      const core::LearnedEntityPatterns* learned = book_.Find(spec.name);
+      if (learned == nullptr) continue;
+      // All matches across blocks; Lesk picks among block contexts.
+      struct Cand {
+        size_t block;
+        nlp::PatternMatch match;
+      };
+      std::vector<Cand> cands;
+      for (size_t bi = 0; bi < blocks.size(); ++bi) {
+        for (const nlp::SyntacticPattern& p : learned->patterns) {
+          for (const nlp::PatternMatch& m :
+               nlp::MatchPattern(blocks[bi].analyzed, p)) {
+            cands.push_back({bi, m});
+          }
+        }
+      }
+      if (cands.empty()) continue;
+      std::vector<std::string> contexts;
+      for (const Cand& c : cands) contexts.push_back(blocks[c.block].text);
+      size_t pick = nlp::LeskSelect(contexts, spec.hint_words);
+      const Cand& c = cands[pick];
+      LabeledPrediction pred;
+      pred.entity = spec.name;
+      pred.bbox = blocks[c.block].block.bbox;
+      pred.text = blocks[c.block].analyzed.SpanText(c.match.begin, c.match.end);
+      pred.span_bbox = SpanBBox(observed, blocks[c.block].analyzed,
+                                c.match.begin, c.match.end, pred.bbox);
+      out.push_back(std::move(pred));
+    }
+    return out;
+  }
+
+ private:
+  BaselineContext ctx_;
+  core::PatternBook book_;
+  std::vector<datasets::EntitySpec> specs_;
+};
+
+// ---------------------------------------------------------------------------
+// ClausIE: clause-based open IE over the whole transcription.
+// ---------------------------------------------------------------------------
+
+class ClausIeMethod : public EndToEndMethod {
+ public:
+  explicit ClausIeMethod(const BaselineContext& ctx) : ctx_(ctx) {
+    specs_ = datasets::EntitySpecsFor(ctx.dataset);
+  }
+
+  std::string name() const override { return "ClausIE"; }
+
+  Result<std::vector<LabeledPrediction>> Extract(
+      const Document& document) const override {
+    if (ctx_.dataset == doc::DatasetId::kD1TaxForms) {
+      return Status::NotApplicable(
+          "clause rules do not express the form-field task");
+    }
+    const Document& observed = document;  // already observed by the caller
+    std::vector<size_t> text_idx = observed.TextElementIndices();
+    std::vector<size_t> ordered = doc::ReadingOrder(observed, text_idx);
+    std::string full;
+    for (size_t i : ordered) {
+      if (!full.empty()) full.push_back(' ');
+      full += observed.elements[i].text;
+    }
+    nlp::AnalyzedText analyzed = nlp::Analyze(full, ordered);
+
+    // Clause extraction: each SVO/VP clause becomes a candidate relation;
+    // clauses are assigned to the entity whose hint vocabulary they best
+    // overlap (greedy, one clause per entity).
+    struct Clause {
+      nlp::Chunk chunk;
+      std::string text;
+    };
+    std::vector<Clause> clauses;
+    for (const nlp::Chunk& c : analyzed.chunks) {
+      if (c.kind == nlp::ChunkKind::kSvo ||
+          c.kind == nlp::ChunkKind::kVerbPhrase ||
+          (c.kind == nlp::ChunkKind::kNounPhrase && c.size() >= 2)) {
+        clauses.push_back({c, analyzed.ChunkText(c)});
+      }
+    }
+    std::vector<LabeledPrediction> out;
+    std::vector<bool> used(clauses.size(), false);
+    // Relation mapping: a ClausIE deployment maps its (S, V, O) triples to
+    // the target schema with hand-written rules; the usual rules key on
+    // argument shapes (phones, emails, dates, names) plus keyword overlap.
+    auto shape_score = [&](const datasets::EntitySpec& spec,
+                           const Clause& clause) {
+      double score = 0.0;
+      size_t n = std::max<size_t>(1, clause.chunk.size());
+      size_t timex = 0, geo = 0, ner = 0, cd = 0, hyper = 0;
+      bool phone = false, email = false;
+      for (size_t t = clause.chunk.begin; t < clause.chunk.end; ++t) {
+        const nlp::Token& tok = analyzed.tokens[t];
+        timex += tok.is_timex ? 1 : 0;
+        geo += tok.has_geocode ? 1 : 0;
+        ner += (tok.ner == nlp::NerClass::kPerson ||
+                tok.ner == nlp::NerClass::kOrganization)
+                   ? 1
+                   : 0;
+        cd += tok.pos == nlp::Pos::kCardinal ? 1 : 0;
+        hyper += !tok.hypernyms.empty() ? 1 : 0;
+        phone = phone || nlp::MatchesPhoneShape(tok.text);
+        email = email || nlp::MatchesEmailShape(tok.text);
+      }
+      const std::string& name = spec.name;
+      if (name.find("phone") != std::string::npos) {
+        score += phone ? 4.0 : 0.0;
+      } else if (name.find("email") != std::string::npos) {
+        score += email ? 4.0 : 0.0;
+      } else if (name.find("address") != std::string::npos ||
+                 name.find("place") != std::string::npos) {
+        score += 4.0 * static_cast<double>(geo) / static_cast<double>(n);
+      } else if (name.find("time") != std::string::npos) {
+        score += 4.0 * static_cast<double>(timex) / static_cast<double>(n);
+      } else if (name.find("name") != std::string::npos ||
+                 name.find("organizer") != std::string::npos) {
+        score += 3.0 * static_cast<double>(ner) / static_cast<double>(n);
+      } else if (name.find("size") != std::string::npos) {
+        score += 2.0 * static_cast<double>(cd + hyper) /
+                 static_cast<double>(n);
+      }
+      return score;
+    };
+    for (const datasets::EntitySpec& spec : specs_) {
+      double best_score = 0.0;
+      size_t best = clauses.size();
+      for (size_t i = 0; i < clauses.size(); ++i) {
+        if (used[i]) continue;
+        double score = shape_score(spec, clauses[i]);
+        for (const std::string& hint : spec.hint_words) {
+          score += nlp::LeskOverlap(hint, clauses[i].text);
+          if (util::ToLower(clauses[i].text).find(util::ToLower(hint)) !=
+              std::string::npos) {
+            score += 1.0;
+          }
+        }
+        if (score > best_score) {
+          best_score = score;
+          best = i;
+        }
+      }
+      if (best >= clauses.size()) continue;
+      used[best] = true;
+      LabeledPrediction pred;
+      pred.entity = spec.name;
+      pred.text = clauses[best].text;
+      pred.bbox = SpanBBox(observed, analyzed, clauses[best].chunk.begin,
+                           clauses[best].chunk.end, observed.ContentBounds());
+      pred.span_bbox = pred.bbox;
+      out.push_back(std::move(pred));
+    }
+    return out;
+  }
+
+ private:
+  BaselineContext ctx_;
+  std::vector<datasets::EntitySpec> specs_;
+};
+
+// ---------------------------------------------------------------------------
+// FSM: mined patterns over the whole text, first match.
+// ---------------------------------------------------------------------------
+
+class FsmMethod : public EndToEndMethod {
+ public:
+  explicit FsmMethod(const BaselineContext& ctx) : ctx_(ctx) {
+    datasets::HoldoutCorpus holdout =
+        datasets::BuildHoldoutCorpus(ctx.dataset, ctx.holdout_seed);
+    book_ = core::LearnPatterns(holdout);
+    specs_ = datasets::EntitySpecsFor(ctx.dataset);
+  }
+
+  std::string name() const override { return "FSM"; }
+
+  Result<std::vector<LabeledPrediction>> Extract(
+      const Document& document) const override {
+    const Document& observed = document;  // already observed by the caller
+    std::vector<size_t> ordered =
+        doc::ReadingOrder(observed, observed.TextElementIndices());
+    std::string full;
+    for (size_t i : ordered) {
+      if (!full.empty()) full.push_back(' ');
+      full += observed.elements[i].text;
+    }
+    nlp::AnalyzedText analyzed = nlp::Analyze(full, ordered);
+
+    std::vector<LabeledPrediction> out;
+    for (const datasets::EntitySpec& spec : specs_) {
+      const core::LearnedEntityPatterns* learned = book_.Find(spec.name);
+      if (learned == nullptr) continue;
+      // First match in document order — no context boundaries, no
+      // disambiguation (the FSM weakness Sec 6.4 reports).
+      const nlp::PatternMatch* first = nullptr;
+      nlp::PatternMatch best;
+      for (const nlp::SyntacticPattern& p : learned->patterns) {
+        for (const nlp::PatternMatch& m : nlp::MatchPattern(analyzed, p)) {
+          if (first == nullptr || m.begin < best.begin) {
+            best = m;
+            first = &best;
+          }
+        }
+      }
+      if (first == nullptr) continue;
+      LabeledPrediction pred;
+      pred.entity = spec.name;
+      pred.text = analyzed.SpanText(best.begin, best.end);
+      pred.bbox = SpanBBox(observed, analyzed, best.begin, best.end,
+                           observed.ContentBounds());
+      pred.span_bbox = pred.bbox;
+      out.push_back(std::move(pred));
+    }
+    return out;
+  }
+
+ private:
+  BaselineContext ctx_;
+  core::PatternBook book_;
+  std::vector<datasets::EntitySpec> specs_;
+};
+
+// ---------------------------------------------------------------------------
+// SVM block classifiers (Zhou-ML and Apostolova).
+// ---------------------------------------------------------------------------
+
+class SvmBlockMethod : public EndToEndMethod {
+ public:
+  SvmBlockMethod(const BaselineContext& ctx, bool use_visual,
+                 bool needs_markup, std::string method_name)
+      : ctx_(ctx),
+        use_visual_(use_visual),
+        needs_markup_(needs_markup),
+        name_(std::move(method_name)) {
+    specs_ = datasets::EntitySpecsFor(ctx.dataset);
+  }
+
+  std::string name() const override { return name_; }
+
+  Status Train(const doc::Corpus& train) override {
+    std::vector<std::vector<double>> rows;
+    std::vector<int> labels;
+    for (const Document& document : train.documents) {
+      if (!Applicable(document)) continue;
+      const Document& observed = document;  // already observed by the caller
+      std::vector<AnalyzedBlock> blocks =
+          AnalyzeBlocks(observed, SegmentTesseract(observed));
+      for (const AnalyzedBlock& ab : blocks) {
+        rows.push_back(Features(observed, ab));
+        labels.push_back(LabelOf(document, ab.block.bbox));
+      }
+    }
+    if (rows.empty()) {
+      return Status::InvalidArgument(name_ + ": empty training split");
+    }
+    scaler_.Fit(rows);
+    for (auto& r : rows) r = scaler_.Transform(r);
+    ml::SvmConfig config;
+    config.epochs = 40;
+    return svm_.Fit(rows, labels, static_cast<int>(specs_.size()) + 1,
+                    config);
+  }
+
+  Result<std::vector<LabeledPrediction>> Extract(
+      const Document& document) const override {
+    if (!Applicable(document)) {
+      return Status::NotApplicable(name_ + " requires convertible markup");
+    }
+    if (svm_.num_classes() == 0 && centroids_.empty()) {
+      return Status::Internal(name_ + ": Train() was not called");
+    }
+    const Document& observed = document;  // already observed by the caller
+    std::vector<AnalyzedBlock> blocks =
+        AnalyzeBlocks(observed, SegmentXYCut(observed));
+    std::vector<LabeledPrediction> out;
+    std::vector<std::vector<double>> block_rows;
+    for (const AnalyzedBlock& ab : blocks) {
+      block_rows.push_back(scaler_.Transform(Features(observed, ab)));
+    }
+    // Per entity class, the block with the highest decision value wins.
+    for (size_t cls = 0; cls < specs_.size(); ++cls) {
+      double best_score = centroids_.empty() ? 0.0 : 0.55;
+      const AnalyzedBlock* best = nullptr;
+      for (size_t bi = 0; bi < blocks.size(); ++bi) {
+        const AnalyzedBlock& ab = blocks[bi];
+        double score;
+        if (!centroids_.empty()) {
+          score = centroids_[cls].empty()
+                      ? -1.0
+                      : util::CosineSimilarity(block_rows[bi],
+                                               centroids_[cls]);
+        } else {
+          score = svm_.Decision(block_rows[bi], static_cast<int>(cls));
+        }
+        if (score > best_score) {
+          best_score = score;
+          best = &ab;
+        }
+      }
+      if (best == nullptr) continue;
+      LabeledPrediction pred;
+      pred.entity = specs_[cls].name;
+      pred.bbox = best->block.bbox;
+      pred.text = best->text;
+      out.push_back(std::move(pred));
+    }
+    return out;
+  }
+
+ private:
+  bool Applicable(const Document& document) const {
+    if (!needs_markup_) return true;
+    // Convertible: native HTML or born-digital PDF; scans are not.
+    return document.format == doc::DocumentFormat::kHtml ||
+           document.format == doc::DocumentFormat::kDigitalPdf;
+  }
+
+  /// Block label for training: the entity whose ground-truth box overlaps
+  /// the block best (IoU > 0.3), else the background class.
+  int LabelOf(const Document& truth, const util::BBox& block) const {
+    int best = static_cast<int>(specs_.size());  // background
+    double best_iou = 0.3;
+    for (const doc::Annotation& a : truth.annotations) {
+      double iou = util::IoU(block, a.bbox);
+      if (iou > best_iou) {
+        for (size_t s = 0; s < specs_.size(); ++s) {
+          if (specs_[s].name == a.entity_type) {
+            best = static_cast<int>(s);
+            best_iou = iou;
+            break;
+          }
+        }
+      }
+    }
+    return best;
+  }
+
+  std::vector<double> Features(const Document& observed,
+                               const AnalyzedBlock& ab) const {
+    std::vector<double> f;
+    // Textual features (both methods).
+    size_t words = 0, digits = 0, caps = 0, geo = 0, timex = 0, ner = 0;
+    bool phone = false, email = false;
+    for (const nlp::Token& t : ab.analyzed.tokens) {
+      ++words;
+      if (util::HasDigit(t.text)) ++digits;
+      if (util::IsCapitalized(t.text)) ++caps;
+      if (t.has_geocode) ++geo;
+      if (t.is_timex) ++timex;
+      if (t.ner != nlp::NerClass::kNone) ++ner;
+      phone = phone || nlp::MatchesPhoneShape(t.text);
+      email = email || nlp::MatchesEmailShape(t.text);
+    }
+    double n = std::max<double>(1.0, static_cast<double>(words));
+    f.push_back(static_cast<double>(words));
+    f.push_back(digits / n);
+    f.push_back(caps / n);
+    f.push_back(geo / n);
+    f.push_back(timex / n);
+    f.push_back(ner / n);
+    f.push_back(phone ? 1.0 : 0.0);
+    f.push_back(email ? 1.0 : 0.0);
+    // Markup histogram (Zhou) — zero vector when absent.
+    double hint_sum = 0.0, hint_h1 = 0.0;
+    for (size_t i : ab.block.element_indices) {
+      hint_sum += observed.elements[i].markup_hint;
+      if (observed.elements[i].markup_hint == 1) hint_h1 += 1.0;
+    }
+    f.push_back(hint_sum / n);
+    f.push_back(hint_h1 / n);
+    // Hashed bag-of-stems (both methods): the lexical signature that lets
+    // the classifier tell one field descriptor from another.
+    {
+      double hashed[16] = {0};
+      for (const nlp::Token& t : ab.analyzed.tokens) {
+        if (t.is_stopword || t.stem.empty()) continue;
+        uint64_t h = util::Fnv1a64(t.stem);
+        hashed[h % 16] += ((h >> 32) & 1) ? 1.0 : -1.0;
+      }
+      for (double v : hashed) f.push_back(v / n);
+    }
+    if (use_visual_) {
+      // Visual features (Apostolova): normalized position, size, font.
+      util::PointF c = ab.block.bbox.Centroid();
+      f.push_back(c.x / std::max(observed.width, 1.0));
+      f.push_back(c.y / std::max(observed.height, 1.0));
+      f.push_back(ab.block.bbox.width / std::max(observed.width, 1.0));
+      f.push_back(ab.block.bbox.height / std::max(observed.height, 1.0));
+      double max_h = 0.0;
+      for (size_t i : ab.block.element_indices) {
+        max_h = std::max(max_h, observed.elements[i].bbox.height);
+      }
+      f.push_back(max_h / 40.0);
+    }
+    return f;
+  }
+
+  BaselineContext ctx_;
+  bool use_visual_;
+  bool needs_markup_;
+  std::string name_;
+  std::vector<datasets::EntitySpec> specs_;
+  ml::StandardScaler scaler_;
+  ml::OneVsRestSvm svm_;
+  std::vector<std::vector<double>> centroids_;  ///< nearest-centroid mode
+};
+
+// ---------------------------------------------------------------------------
+// ReportMiner: per-template bbox masks from the rule split.
+// ---------------------------------------------------------------------------
+
+class ReportMinerMethod : public EndToEndMethod {
+ public:
+  explicit ReportMinerMethod(const BaselineContext& ctx) : ctx_(ctx) {
+    specs_ = datasets::EntitySpecsFor(ctx.dataset);
+  }
+
+  std::string name() const override { return "ReportMiner"; }
+
+  Status Train(const doc::Corpus& train) override {
+    // An expert defines one mask per (template, entity): the mean bbox of
+    // the entity over the rule split. Free-form corpora (template_id = -1)
+    // collapse to a single global template — exactly why the tool degrades
+    // as layout variability rises (Sec 6.4).
+    struct Acc {
+      util::BBox sum;
+      size_t n = 0;
+    };
+    std::map<std::pair<int, std::string>, Acc> acc;
+    for (const Document& d : train.documents) {
+      for (const doc::Annotation& a : d.annotations) {
+        Acc& slot = acc[{d.template_id, a.entity_type}];
+        slot.sum.x += a.bbox.x;
+        slot.sum.y += a.bbox.y;
+        slot.sum.width += a.bbox.width;
+        slot.sum.height += a.bbox.height;
+        slot.n += 1;
+      }
+    }
+    masks_.clear();
+    for (const auto& [key, slot] : acc) {
+      double n = static_cast<double>(slot.n);
+      masks_[key] = util::BBox{slot.sum.x / n, slot.sum.y / n,
+                               slot.sum.width / n, slot.sum.height / n};
+    }
+    if (masks_.empty()) {
+      return Status::InvalidArgument("ReportMiner: empty rule split");
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<LabeledPrediction>> Extract(
+      const Document& document) const override {
+    if (masks_.empty()) {
+      return Status::Internal("ReportMiner: Train() was not called");
+    }
+    const Document& observed = document;  // already observed by the caller
+    std::vector<LabeledPrediction> out;
+    for (const datasets::EntitySpec& spec : specs_) {
+      auto it = masks_.find({document.template_id, spec.name});
+      if (it == masks_.end()) continue;
+      LabeledPrediction pred;
+      pred.entity = spec.name;
+      pred.bbox = it->second;
+      // The mask harvests whatever text lies under it.
+      std::vector<size_t> covered;
+      for (size_t i = 0; i < observed.elements.size(); ++i) {
+        if (observed.elements[i].is_text() &&
+            util::IoU(observed.elements[i].bbox,
+                      util::Intersect(observed.elements[i].bbox,
+                                      pred.bbox)) > 0.0 &&
+            pred.bbox.Intersects(observed.elements[i].bbox)) {
+          covered.push_back(i);
+        }
+      }
+      pred.text = observed.TextOf(covered);
+      out.push_back(std::move(pred));
+    }
+    return out;
+  }
+
+ private:
+  BaselineContext ctx_;
+  std::vector<datasets::EntitySpec> specs_;
+  std::map<std::pair<int, std::string>, util::BBox> masks_;
+};
+
+}  // namespace
+
+std::unique_ptr<EndToEndMethod> MakeTextOnly(const BaselineContext& ctx) {
+  return std::make_unique<TextOnlyMethod>(ctx);
+}
+std::unique_ptr<EndToEndMethod> MakeClausIe(const BaselineContext& ctx) {
+  return std::make_unique<ClausIeMethod>(ctx);
+}
+std::unique_ptr<EndToEndMethod> MakeFsm(const BaselineContext& ctx) {
+  return std::make_unique<FsmMethod>(ctx);
+}
+std::unique_ptr<EndToEndMethod> MakeZhouMl(const BaselineContext& ctx) {
+  return std::make_unique<SvmBlockMethod>(ctx, /*use_visual=*/false,
+                                          /*needs_markup=*/true, "ML-based");
+}
+std::unique_ptr<EndToEndMethod> MakeApostolova(const BaselineContext& ctx) {
+  return std::make_unique<SvmBlockMethod>(ctx, /*use_visual=*/true,
+                                          /*needs_markup=*/false,
+                                          "Apostolova et al.");
+}
+std::unique_ptr<EndToEndMethod> MakeReportMiner(const BaselineContext& ctx) {
+  return std::make_unique<ReportMinerMethod>(ctx);
+}
+
+}  // namespace vs2::baselines

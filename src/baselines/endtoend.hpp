@@ -1,0 +1,71 @@
+#ifndef VS2_BASELINES_ENDTOEND_HPP_
+#define VS2_BASELINES_ENDTOEND_HPP_
+
+/// \file endtoend.hpp
+/// End-to-end extraction comparators of Tables 6–8:
+///  * **Text-only** (the ΔF1 reference of Tables 6/8): Tesseract layout
+///    blocks + the same learned patterns + Lesk disambiguation.
+///  * **ClausIE** [10]: clause-based open IE over the full transcription —
+///    no layout; NotApplicable for D1's field task.
+///  * **FSM** [48]: frequent-subtree-mined patterns searched over the whole
+///    text, first match wins (no blocks, no visual disambiguation).
+///  * **Zhou-ML** [49]: supervised SVM over markup/text features of blocks;
+///    needs (converted) HTML, hence NotApplicable on D1.
+///  * **Apostolova et al.** [2]: SVM over combined visual + textual block
+///    features; 60/40 split.
+///  * **ReportMiner** [22]: human-in-the-loop mask rules; reproduced as
+///    per-template bbox masks learned from the 60% rule split.
+///
+/// All methods observe documents through the same OCR channel as VS2.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pattern_learner.hpp"
+#include "datasets/generator.hpp"
+#include "embed/embedding.hpp"
+#include "eval/metrics.hpp"
+#include "ml/svm.hpp"
+#include "ocr/ocr.hpp"
+
+namespace vs2::baselines {
+
+/// Common interface: optional training on a split, then per-document
+/// extraction. `Extract` returns NotApplicable when the method cannot
+/// process the document's format.
+class EndToEndMethod {
+ public:
+  virtual ~EndToEndMethod() = default;
+  virtual std::string name() const = 0;
+
+  /// Trains on a labelled split; default: no training needed.
+  virtual Status Train(const doc::Corpus& train) {
+    (void)train;
+    return Status::OK();
+  }
+
+  virtual Result<std::vector<eval::LabeledPrediction>> Extract(
+      const doc::Document& document) const = 0;
+};
+
+/// Shared construction context.
+struct BaselineContext {
+  doc::DatasetId dataset;
+  const embed::Embedding* embedding = nullptr;
+  ocr::OcrConfig ocr;
+  uint64_t holdout_seed = 0x5EED;
+};
+
+/// Factory helpers.
+std::unique_ptr<EndToEndMethod> MakeTextOnly(const BaselineContext& ctx);
+std::unique_ptr<EndToEndMethod> MakeClausIe(const BaselineContext& ctx);
+std::unique_ptr<EndToEndMethod> MakeFsm(const BaselineContext& ctx);
+std::unique_ptr<EndToEndMethod> MakeZhouMl(const BaselineContext& ctx);
+std::unique_ptr<EndToEndMethod> MakeApostolova(const BaselineContext& ctx);
+std::unique_ptr<EndToEndMethod> MakeReportMiner(const BaselineContext& ctx);
+
+}  // namespace vs2::baselines
+
+#endif  // VS2_BASELINES_ENDTOEND_HPP_

@@ -1,0 +1,54 @@
+#ifndef VS2_BASELINES_SEGMENTATION_HPP_
+#define VS2_BASELINES_SEGMENTATION_HPP_
+
+/// \file segmentation.hpp
+/// The five segmentation comparators of Table 5:
+///  * **A1 Text-only** — groups words with similar word embeddings; no
+///    layout knowledge beyond transcription order.
+///  * **A2 XY-Cut** — recursive straight horizontal/vertical whitespace
+///    cuts (Krishnamoorthy et al.); cannot split non-rectangular layouts.
+///  * **A3 Voronoi tessellation** — neighborhood-graph segmentation driven
+///    by inter-element distance and area-ratio statistics (Kise-style).
+///  * **A4 VIPS** — markup-cue-driven vision-based page segmentation (Cai
+///    et al.); requires (possibly lossy, converted) HTML markup, hence
+///    NotApplicable on scanned forms (D1).
+///  * **A5 Tesseract** — the OCR engine's hierarchical layout analysis
+///    (lines → blocks), re-exported from `vs2::ocr`.
+///
+/// VS2-Segment itself (A6) lives in `core/segmenter.hpp`.
+
+#include <vector>
+
+#include "doc/document.hpp"
+#include "embed/embedding.hpp"
+#include "ocr/ocr.hpp"
+#include "util/status.hpp"
+
+namespace vs2::baselines {
+
+/// A proposed block: element indices plus the enclosing box.
+using SegBlock = ocr::LayoutBlock;
+
+/// A1: text-only embedding clustering over the transcription sequence.
+/// Breaks the reading-order stream where adjacent word embeddings diverge.
+std::vector<SegBlock> SegmentTextOnly(const doc::Document& doc,
+                                      const embed::Embedding& embedding);
+
+/// A2: recursive XY-cut with straight projection-profile gaps.
+std::vector<SegBlock> SegmentXYCut(const doc::Document& doc);
+
+/// A3: Voronoi-flavored neighborhood segmentation (distance + area-ratio
+/// thresholds from document statistics).
+std::vector<SegBlock> SegmentVoronoi(const doc::Document& doc);
+
+/// A4: VIPS. Native-markup documents use their hints; convertible formats
+/// (born-digital PDFs) get style-derived pseudo-markup; lossy captures get
+/// noisy pseudo-markup; scanned forms are NotApplicable.
+Result<std::vector<SegBlock>> SegmentVips(const doc::Document& doc);
+
+/// A5: Tesseract layout analysis.
+std::vector<SegBlock> SegmentTesseract(const doc::Document& doc);
+
+}  // namespace vs2::baselines
+
+#endif  // VS2_BASELINES_SEGMENTATION_HPP_

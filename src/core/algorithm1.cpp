@@ -1,0 +1,108 @@
+#include "core/algorithm1.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/math.hpp"
+
+namespace vs2::core {
+
+std::vector<size_t> SelectDelimiters(const std::vector<SeparatorRun>& all_runs,
+                                     const DelimiterConfig& config) {
+  std::vector<size_t> delimiters;
+  if (all_runs.empty()) return delimiters;
+
+  // Pre-filter: drop runs too narrow relative to their tallest neighbour
+  // (inter-word and inter-line gaps).
+  std::vector<size_t> index;  // into all_runs
+  std::vector<SeparatorRun> runs;
+  for (size_t i = 0; i < all_runs.size(); ++i) {
+    const SeparatorRun& r = all_runs[i];
+    if (r.width_units >= config.min_width_vs_neighbor * r.neighbor_max_height &&
+        r.width_units >= config.min_absolute_width) {
+      index.push_back(i);
+      runs.push_back(r);
+    }
+  }
+  if (runs.empty()) return delimiters;
+
+  std::vector<double> scaled;
+  scaled.reserve(runs.size());
+  for (const SeparatorRun& r : runs) scaled.push_back(r.scaled_width);
+
+  // Degenerate: one or two candidate runs — both already cleared the
+  // relative-width floor, so accept them.
+  if (runs.size() <= 2) {
+    for (size_t i = 0; i < runs.size(); ++i) delimiters.push_back(index[i]);
+    return delimiters;
+  }
+
+  // Uniform widths among the *filtered* (already wide) runs indicate a
+  // regular grid of blocks (a form face, a footer row): every run
+  // separates content, so all are delimiters. Narrow uniform gaps — the
+  // paragraph case this test originally guarded — never reach this point;
+  // the relative-width floor removed them.
+  double mean = util::Mean(scaled);
+  double sd = util::StdDev(scaled);
+  if (mean <= 0.0 || sd / mean < config.uniformity_threshold) {
+    return index;
+  }
+
+  // Lines 8–11: running correlation between prefix widths and neighbor
+  // heights, runs visited in topological order (the order of `runs`).
+  std::vector<double> correlation;
+  {
+    std::vector<double> widths, heights;
+    for (const SeparatorRun& r : runs) {
+      widths.push_back(r.scaled_width);
+      heights.push_back(r.neighbor_max_height);
+      if (widths.size() >= 2) {
+        correlation.push_back(util::PearsonCorrelation(widths, heights));
+      }
+    }
+  }
+
+  // Line 12: sort on scaled width, decreasing.
+  std::vector<size_t> order(runs.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (scaled[a] != scaled[b]) return scaled[a] > scaled[b];
+    return a < b;
+  });
+
+  // Line 15: first inflection point of the correlation distribution. The
+  // fallback, when the running correlation has no curvature change, is the
+  // knee of the sorted width sequence itself (largest relative drop).
+  size_t knee = 0;
+  {
+    size_t t = util::FirstInflectionPoint(
+        correlation, /*fallback=*/correlation.size());
+    if (t < correlation.size()) {
+      // Map the correlation-space inflection to a count of delimiters:
+      // the inflection index bounds how many prefix separators carried the
+      // correlated (wide ∝ tall-neighbor) regime.
+      knee = std::min(t + 1, runs.size() - 1);
+    } else {
+      // Width-sequence knee: position of the largest multiplicative drop.
+      double best_ratio = 1.0;
+      for (size_t i = 0; i + 1 < order.size(); ++i) {
+        double hi = scaled[order[i]];
+        double lo = std::max(scaled[order[i + 1]], 1e-9);
+        double ratio = hi / lo;
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          knee = i + 1;
+        }
+      }
+      if (best_ratio < config.lone_run_factor) return delimiters;
+    }
+  }
+
+  for (size_t i = 0; i < knee && i < order.size(); ++i) {
+    delimiters.push_back(index[order[i]]);
+  }
+  std::sort(delimiters.begin(), delimiters.end());
+  return delimiters;
+}
+
+}  // namespace vs2::core

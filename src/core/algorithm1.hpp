@@ -1,0 +1,58 @@
+#ifndef VS2_CORE_ALGORITHM1_HPP_
+#define VS2_CORE_ALGORITHM1_HPP_
+
+/// \file algorithm1.hpp
+/// Paper Algorithm 1: "Identification of visual delimiters in D".
+///
+/// Given the candidate separator runs of a visual area, the algorithm
+/// scales each run's width by the ratio of its tallest neighboring
+/// bounding box to the area's tallest element (line 6), computes the
+/// running Pearson correlation ρ between widths and neighbor heights in
+/// topological order (lines 8–11), sorts the runs by scaled width in
+/// decreasing order (line 12) and declares the runs above the *first
+/// inflection point* of the correlation distribution (footnote 3:
+/// d²f/di² = 0) to be visual delimiters.
+///
+/// Interpretation notes (the published pseudo-code is partly garbled by
+/// OCR): we return the runs at sorted positions [0, t) — the wide,
+/// tall-neighbor separators before the knee. Degenerate regimes are
+/// handled explicitly:
+///  * one or two runs: accept a run iff its scaled width dominates the
+///    area's typical line gap (no distribution to take a knee of);
+///  * near-uniform width distribution (relative stddev < 0.18): no
+///    delimiters — a uniformly spaced area (a paragraph) has no internal
+///    visual separator, only line gaps.
+
+#include <vector>
+
+#include "core/cuts.hpp"
+
+namespace vs2::core {
+
+/// Tuning knobs for the delimiter test.
+struct DelimiterConfig {
+  /// Runs are "uniform" (⇒ no delimiters) when stddev/mean of scaled
+  /// widths falls below this.
+  double uniformity_threshold = 0.18;
+  /// With ≤ 2 candidate runs, accept those at least this factor above the
+  /// median scaled width of all runs (or any run when only one exists and
+  /// it is wide in absolute units).
+  double lone_run_factor = 1.6;
+  /// Absolute floor: a lone run must be at least this many units wide.
+  double min_absolute_width = 6.0;
+  /// Pre-filter: a run is a *candidate* separator only when its width is at
+  /// least this fraction of its tallest neighboring element. Inter-word
+  /// gaps (≈ 0.32 em vs. line height ≈ 1.15 em) fall below it; block gaps
+  /// clear it — the robust stand-in for the correlation signal at line
+  /// granularity.
+  double min_width_vs_neighbor = 0.55;
+};
+
+/// \brief Selects visual delimiters among `runs` (Algorithm 1).
+/// Returns indices into `runs`.
+std::vector<size_t> SelectDelimiters(const std::vector<SeparatorRun>& runs,
+                                     const DelimiterConfig& config = {});
+
+}  // namespace vs2::core
+
+#endif  // VS2_CORE_ALGORITHM1_HPP_

@@ -1,0 +1,240 @@
+#include "core/cuts.hpp"
+
+#include <algorithm>
+
+namespace vs2::core {
+namespace {
+
+// The drift band (in cells) a cut path may wander from its origin row.
+//
+// The paper's valid k-hop movement allows ±1 drift per hop with no global
+// bound; at a coarse occupancy-grid resolution an unbounded path can snake
+// around *any* content via the page margins, making every row a "cut" and
+// destroying the run/width semantics Algorithm 1 depends on. At the
+// paper's raster resolution (300 dpi page images) glyph geometry prevents
+// that; we recover the same behaviour by bounding the cumulative drift to
+// a small band — wide enough to follow moderately rotated gap bands,
+// narrow enough that a path cannot climb around a text line.
+constexpr int kMaxDriftBand = 8;
+
+// cut[y] is true when a path of valid 1-hop horizontal movements runs from
+// column 0 to column w-1 staying within `drift` rows of y.
+std::vector<bool> BandedHorizontalCuts(const raster::OccupancyGrid& grid,
+                                       int drift) {
+  int w = grid.width();
+  int h = grid.height();
+  int band = 2 * drift + 1;
+  std::vector<bool> cuts(static_cast<size_t>(h), false);
+  std::vector<uint8_t> cur(static_cast<size_t>(band));
+  std::vector<uint8_t> next(static_cast<size_t>(band));
+  for (int y0 = 0; y0 < h; ++y0) {
+    if (!grid.IsWhitespace(0, y0)) continue;
+    std::fill(cur.begin(), cur.end(), 0);
+    cur[static_cast<size_t>(drift)] = 1;  // start at drift 0
+    bool alive = true;
+    for (int x = 1; x < w && alive; ++x) {
+      alive = false;
+      for (int d = 0; d < band; ++d) {
+        bool ok = false;
+        int y = y0 + d - drift;
+        if (grid.IsWhitespace(x, y)) {
+          ok = cur[static_cast<size_t>(d)] != 0;
+          if (!ok && d > 0) ok = cur[static_cast<size_t>(d - 1)] != 0;
+          if (!ok && d + 1 < band) ok = cur[static_cast<size_t>(d + 1)] != 0;
+        }
+        next[static_cast<size_t>(d)] = ok ? 1 : 0;
+        alive = alive || ok;
+      }
+      std::swap(cur, next);
+    }
+    cuts[static_cast<size_t>(y0)] = alive;
+  }
+  return cuts;
+}
+
+std::vector<bool> BandedVerticalCuts(const raster::OccupancyGrid& grid,
+                                     int drift) {
+  int w = grid.width();
+  int h = grid.height();
+  int band = 2 * drift + 1;
+  std::vector<bool> cuts(static_cast<size_t>(w), false);
+  std::vector<uint8_t> cur(static_cast<size_t>(band));
+  std::vector<uint8_t> next(static_cast<size_t>(band));
+  for (int x0 = 0; x0 < w; ++x0) {
+    if (!grid.IsWhitespace(x0, 0)) continue;
+    std::fill(cur.begin(), cur.end(), 0);
+    cur[static_cast<size_t>(drift)] = 1;
+    bool alive = true;
+    for (int y = 1; y < h && alive; ++y) {
+      alive = false;
+      for (int d = 0; d < band; ++d) {
+        bool ok = false;
+        int x = x0 + d - drift;
+        if (grid.IsWhitespace(x, y)) {
+          ok = cur[static_cast<size_t>(d)] != 0;
+          if (!ok && d > 0) ok = cur[static_cast<size_t>(d - 1)] != 0;
+          if (!ok && d + 1 < band) ok = cur[static_cast<size_t>(d + 1)] != 0;
+        }
+        next[static_cast<size_t>(d)] = ok ? 1 : 0;
+        alive = alive || ok;
+      }
+      std::swap(cur, next);
+    }
+    cuts[static_cast<size_t>(x0)] = alive;
+  }
+  return cuts;
+}
+
+}  // namespace
+
+std::vector<bool> ValidHorizontalCuts(const raster::OccupancyGrid& grid) {
+  return BandedHorizontalCuts(grid, kMaxDriftBand);
+}
+
+std::vector<bool> ValidVerticalCuts(const raster::OccupancyGrid& grid) {
+  return BandedVerticalCuts(grid, kMaxDriftBand);
+}
+
+std::vector<SeparatorRun> FindSeparatorRuns(
+    const std::vector<util::BBox>& element_boxes, const util::BBox& full_region,
+    const raster::GridScale& scale) {
+  std::vector<SeparatorRun> runs;
+  if (full_region.Empty() || element_boxes.empty()) return runs;
+
+  // Trim the analysis window to the content bounds (plus one cell of
+  // padding): page margins are whitespace freeways that would let drifting
+  // cut paths climb around any thin content line, making every coordinate
+  // a "cut" and merging all separator runs into one.
+  util::BBox content = util::UnionAll(element_boxes);
+  double pad = scale.ToUnits(1);
+  util::BBox region = util::Intersect(
+      full_region, util::BBox{content.x - pad, content.y - pad,
+                              content.width + 2 * pad,
+                              content.height + 2 * pad});
+  if (region.Empty()) return runs;
+
+  raster::OccupancyGrid grid =
+      raster::RasterizeBoxes(element_boxes, region, scale);
+
+  double max_elem_height = 1.0;
+  std::vector<double> heights;
+  heights.reserve(element_boxes.size());
+  for (const util::BBox& b : element_boxes) {
+    max_elem_height = std::max(max_elem_height, b.height);
+    heights.push_back(b.height);
+  }
+  std::sort(heights.begin(), heights.end());
+  double median_height = heights[heights.size() / 2];
+
+  // Drift wide enough to route around noise blobs, but capped so a path
+  // cannot climb around a typical text line through the page margin —
+  // which would turn every row into a "cut" and merge all separator runs.
+  int drift = std::clamp(scale.ToCellsFloor(median_height * 0.6), 2,
+                         kMaxDriftBand);
+
+  // Straight (drift-free) cuts: a row/column is straight-cut when every
+  // cell along it is whitespace. Banded cuts decide run *existence*
+  // (robust to rotation); straight cuts measure run *width* so that
+  // drift-widened L-shaped passages do not masquerade as wide separators.
+  auto straight_rows = [&grid]() {
+    std::vector<bool> out(static_cast<size_t>(grid.height()), false);
+    for (int y = 0; y < grid.height(); ++y) {
+      bool clear = true;
+      for (int x = 0; x < grid.width() && clear; ++x) {
+        clear = grid.IsWhitespace(x, y);
+      }
+      out[static_cast<size_t>(y)] = clear;
+    }
+    return out;
+  }();
+  auto straight_cols = [&grid]() {
+    std::vector<bool> out(static_cast<size_t>(grid.width()), false);
+    for (int x = 0; x < grid.width(); ++x) {
+      bool clear = true;
+      for (int y = 0; y < grid.height() && clear; ++y) {
+        clear = grid.IsWhitespace(x, y);
+      }
+      out[static_cast<size_t>(x)] = clear;
+    }
+    return out;
+  }();
+
+  auto emit_runs = [&](const std::vector<bool>& cuts, bool horizontal) {
+    const std::vector<bool>& straight =
+        horizontal ? straight_rows : straight_cols;
+    size_t n = cuts.size();
+    size_t i = 0;
+    while (i < n) {
+      if (!cuts[i]) {
+        ++i;
+        continue;
+      }
+      size_t j = i;
+      while (j < n && cuts[j]) ++j;
+      // Trim border runs: separators flush against the region edge are
+      // margins, not content separators.
+      bool touches_start = (i == 0);
+      bool touches_end = (j == n);
+      if (!(touches_start && touches_end) && !touches_start && !touches_end) {
+        SeparatorRun run;
+        run.horizontal = horizontal;
+        double offset = horizontal ? region.y : region.x;
+        run.start_units = offset + scale.ToUnits(static_cast<int>(i));
+        size_t straight_cells = 0;
+        for (size_t k = i; k < j; ++k) {
+          if (straight[k]) ++straight_cells;
+        }
+        double banded_width = scale.ToUnits(static_cast<int>(j - i));
+        run.width_units =
+            straight_cells > 0
+                ? scale.ToUnits(static_cast<int>(straight_cells))
+                : banded_width * 0.35;  // fully rotated gap: discounted
+        run.mid_units = offset + scale.ToUnits(static_cast<int>(i + j)) / 2.0;
+
+        // Neighboring bbox: the element at minimum distance from the
+        // separator band; among ties (distance < 1 unit apart) keep the
+        // tallest.
+        util::BBox band;
+        if (horizontal) {
+          band = util::BBox{region.x, run.start_units, region.width,
+                            run.width_units};
+        } else {
+          band = util::BBox{run.start_units, region.y, run.width_units,
+                            region.height};
+        }
+        double best_dist = 1e18;
+        double best_height = 0.0;
+        for (const util::BBox& b : element_boxes) {
+          double d = util::BoxGap(band, b);
+          if (d < best_dist - 1.0) {
+            best_dist = d;
+            best_height = b.height;
+          } else if (d < best_dist + 1.0) {
+            best_height = std::max(best_height, b.height);
+            best_dist = std::min(best_dist, d);
+          }
+        }
+        run.neighbor_max_height = best_height;
+        run.scaled_width =
+            run.width_units * best_height / max_elem_height;
+        if (run.width_units >= scale.ToUnits(1)) {
+          runs.push_back(run);
+        }
+      }
+      i = j;
+    }
+  };
+
+  emit_runs(BandedHorizontalCuts(grid, drift), /*horizontal=*/true);
+  emit_runs(BandedVerticalCuts(grid, drift), /*horizontal=*/false);
+
+  // Topological order (top-to-bottom, left-to-right) as Algorithm 1 expects.
+  std::sort(runs.begin(), runs.end(),
+            [](const SeparatorRun& a, const SeparatorRun& b) {
+              if (a.horizontal != b.horizontal) return a.horizontal;
+              return a.start_units < b.start_units;
+            });
+  return runs;
+}
+
+}  // namespace vs2::core

@@ -1,0 +1,53 @@
+#ifndef VS2_CORE_CUTS_HPP_
+#define VS2_CORE_CUTS_HPP_
+
+/// \file cuts.hpp
+/// The whitespace-cut machinery of paper Sec 5.1.1. A *valid k-hop
+/// horizontal movement* walks k cells rightward through whitespace, drifting
+/// at most one cell up or down per hop; a *horizontal cut* originates at
+/// (0, y) when a valid W-hop movement exists from it. Vertical cuts are the
+/// transpose. Runs of consecutive valid cuts form candidate visual
+/// separators which Algorithm 1 then filters.
+
+#include <vector>
+
+#include "doc/document.hpp"
+#include "raster/grid.hpp"
+#include "util/geometry.hpp"
+
+namespace vs2::core {
+
+/// \brief Per-row flags: `cut[y]` is true when a horizontal cut originates
+/// from (0, y) — computed by backward reachability with ±1 drift per hop.
+std::vector<bool> ValidHorizontalCuts(const raster::OccupancyGrid& grid);
+
+/// Per-column flags for vertical cuts.
+std::vector<bool> ValidVerticalCuts(const raster::OccupancyGrid& grid);
+
+/// \brief A maximal run of consecutive valid cuts: the candidate separator
+/// V_s of Fig. 5b, with the measurements Algorithm 1 consumes.
+struct SeparatorRun {
+  bool horizontal = true;       ///< run of horizontal cuts (splits top/bottom)
+  double start_units = 0.0;     ///< first cut coordinate, layout units (page frame)
+  double width_units = 0.0;     ///< |s| in layout units
+  double mid_units = 0.0;       ///< separator midline coordinate
+  /// argmax_k height(neighbor-bbox_k(s)): the tallest element bbox at
+  /// minimum distance from the run.
+  double neighbor_max_height = 0.0;
+  /// Algorithm 1's width_i = |s| · max-neighbor-height / max-element-height.
+  double scaled_width = 0.0;
+};
+
+/// \brief Finds separator runs (both directions) inside `region` given the
+/// element boxes of the area being segmented.
+///
+/// Runs touching the region border are trimmed to interior separators only
+/// (margins do not separate content). Runs narrower than one grid cell in
+/// units are dropped.
+std::vector<SeparatorRun> FindSeparatorRuns(
+    const std::vector<util::BBox>& element_boxes, const util::BBox& region,
+    const raster::GridScale& scale);
+
+}  // namespace vs2::core
+
+#endif  // VS2_CORE_CUTS_HPP_

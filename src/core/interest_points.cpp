@@ -1,0 +1,81 @@
+#include "core/interest_points.hpp"
+
+#include <algorithm>
+
+#include "ml/pareto.hpp"
+#include "util/math.hpp"
+#include "util/strings.hpp"
+
+namespace vs2::core {
+
+BlockObjectives ComputeObjectives(const doc::Document& doc,
+                                  const doc::LayoutTree& tree, size_t node_id,
+                                  const embed::Embedding& embedding) {
+  BlockObjectives obj;
+  obj.node_id = node_id;
+  const doc::LayoutNode& node = tree.node(node_id);
+
+  size_t words = 0;
+  std::vector<std::vector<float>> word_vecs;
+  for (size_t i : node.element_indices) {
+    const doc::AtomicElement& el = doc.elements[i];
+    if (!el.is_text()) continue;
+    ++words;
+    obj.font_height = std::max(obj.font_height, el.bbox.height);
+    if (word_vecs.size() < 24) {  // sample cap keeps O(n²) cosine cheap
+      word_vecs.push_back(embedding.Embed(el.text));
+    }
+  }
+
+  if (word_vecs.size() >= 2) {
+    double acc = 0.0;
+    size_t pairs = 0;
+    for (size_t a = 0; a < word_vecs.size(); ++a) {
+      for (size_t b = a + 1; b < word_vecs.size(); ++b) {
+        acc += util::CosineSimilarity(word_vecs[a], word_vecs[b]);
+        ++pairs;
+      }
+    }
+    obj.coherence = acc / static_cast<double>(pairs);
+  } else {
+    obj.coherence = word_vecs.empty() ? 0.0 : 1.0;
+  }
+
+  double area = std::max(node.bbox.Area(), 1.0);
+  double page_area = std::max(doc.width * doc.height, 1.0);
+  double density = static_cast<double>(words) / area;
+  // Blocks covering a significant page share get their sparsity rewarded.
+  double area_share = area / page_area;
+  obj.neg_word_density = -density / std::max(area_share, 0.01);
+  return obj;
+}
+
+std::vector<size_t> SelectInterestPoints(const doc::Document& doc,
+                                         const doc::LayoutTree& tree,
+                                         const embed::Embedding& embedding) {
+  std::vector<size_t> leaves = tree.Leaves();
+  // Pure-image or empty blocks cannot anchor textual matches.
+  std::vector<size_t> candidates;
+  for (size_t id : leaves) {
+    for (size_t e : tree.node(id).element_indices) {
+      if (doc.elements[e].is_text()) {
+        candidates.push_back(id);
+        break;
+      }
+    }
+  }
+  if (candidates.size() <= 1) return candidates;
+
+  std::vector<std::vector<double>> points;
+  points.reserve(candidates.size());
+  for (size_t id : candidates) {
+    points.push_back(ComputeObjectives(doc, tree, id, embedding).ToVector());
+  }
+  std::vector<size_t> front = ml::ParetoFront(points);
+  std::vector<size_t> out;
+  out.reserve(front.size());
+  for (size_t idx : front) out.push_back(candidates[idx]);
+  return out;
+}
+
+}  // namespace vs2::core

@@ -1,0 +1,54 @@
+#ifndef VS2_CORE_INTEREST_POINTS_HPP_
+#define VS2_CORE_INTEREST_POINTS_HPP_
+
+/// \file interest_points.hpp
+/// Interest-point selection (paper Sec 5.3.1): the optimal subset of
+/// logical blocks under three objectives, solved by non-dominated sorting —
+/// the first-order Pareto front is the interest-point set.
+///
+/// Objectives per logical block s ∈ S:
+///  1. maximize the height of the enclosing bounding box — implemented as
+///     the tallest element height in the block, the direct proxy for the
+///     "larger font size … used to highlight significant areas" rationale
+///     (a multi-line paragraph has a tall *block* box but small fonts);
+///  2. maximize semantic coherence: mean pairwise cosine similarity
+///     between the block's text elements;
+///  3. minimize average word density: words per unit area, scaled by the
+///     block's share of the page ("sparsely worded blocks covering a
+///     significant area").
+
+#include <vector>
+
+#include "doc/document.hpp"
+#include "doc/layout_tree.hpp"
+#include "embed/embedding.hpp"
+
+namespace vs2::core {
+
+/// A logical block's objective scores (maximization convention; density is
+/// negated).
+struct BlockObjectives {
+  size_t node_id = 0;
+  double font_height = 0.0;
+  double coherence = 0.0;
+  double neg_word_density = 0.0;
+
+  std::vector<double> ToVector() const {
+    return {font_height, coherence, neg_word_density};
+  }
+};
+
+/// Computes the three objectives for one layout-tree node.
+BlockObjectives ComputeObjectives(const doc::Document& doc,
+                                  const doc::LayoutTree& tree, size_t node_id,
+                                  const embed::Embedding& embedding);
+
+/// \brief Selects interest points among `block_ids` (default: all leaves of
+/// `tree`). Returns node ids on the first-order Pareto front.
+std::vector<size_t> SelectInterestPoints(const doc::Document& doc,
+                                         const doc::LayoutTree& tree,
+                                         const embed::Embedding& embedding);
+
+}  // namespace vs2::core
+
+#endif  // VS2_CORE_INTEREST_POINTS_HPP_

@@ -1,0 +1,40 @@
+#include "core/pipeline.hpp"
+
+namespace vs2::core {
+
+PipelineConfig DefaultConfigFor(doc::DatasetId dataset) {
+  PipelineConfig config;
+  config.select.weights = MultimodalWeights::ForDataset(dataset);
+  return config;
+}
+
+Vs2::Vs2(doc::DatasetId dataset, const embed::Embedding& embedding,
+         PipelineConfig config)
+    : dataset_(dataset),
+      embedding_(embedding),
+      config_(std::move(config)),
+      specs_(datasets::EntitySpecsFor(dataset)) {
+  datasets::HoldoutCorpus holdout =
+      datasets::BuildHoldoutCorpus(dataset, config_.holdout_seed);
+  book_ = LearnPatterns(holdout, config_.learner);
+}
+
+Result<doc::LayoutTree> Vs2::SegmentOnly(const doc::Document& observed) const {
+  return Segment(observed, embedding_, config_.segmenter);
+}
+
+Result<Vs2::DocResult> Vs2::Process(const doc::Document& doc) const {
+  DocResult result;
+  result.observed =
+      config_.simulate_ocr ? ocr::Transcribe(doc, config_.ocr) : doc;
+
+  VS2_ASSIGN_OR_RETURN(result.tree,
+                       Segment(result.observed, embedding_, config_.segmenter));
+  result.interest_points =
+      SelectInterestPoints(result.observed, result.tree, embedding_);
+  result.extractions = SelectEntities(result.observed, result.tree, book_,
+                                      specs_, embedding_, config_.select);
+  return result;
+}
+
+}  // namespace vs2::core

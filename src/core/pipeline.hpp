@@ -1,0 +1,74 @@
+#ifndef VS2_CORE_PIPELINE_HPP_
+#define VS2_CORE_PIPELINE_HPP_
+
+/// \file pipeline.hpp
+/// The end-to-end VS2 system (paper Fig. 2): OCR observation → VS2-Segment
+/// → VS2-Select, with every ablation toggle of Table 9 exposed.
+
+#include <vector>
+
+#include "core/pattern_learner.hpp"
+#include "core/segmenter.hpp"
+#include "core/select.hpp"
+#include "datasets/generator.hpp"
+#include "datasets/holdout.hpp"
+#include "ocr/ocr.hpp"
+
+namespace vs2::core {
+
+/// End-to-end configuration.
+struct PipelineConfig {
+  SegmenterConfig segmenter;
+  SelectConfig select;
+  ocr::OcrConfig ocr;
+  /// Simulate transcription noise (always on in the paper's setting; off
+  /// is useful for tests wanting clean text).
+  bool simulate_ocr = true;
+  LearnerConfig learner;
+  uint64_t holdout_seed = 0x5EED;
+};
+
+/// \brief The assembled VS2 system for one dataset/IE task. Construction
+/// learns the pattern book from the (isolated, text-only) holdout corpus —
+/// the distant-supervision step. Thereafter `Process` handles any number
+/// of documents.
+class Vs2 {
+ public:
+  Vs2(doc::DatasetId dataset, const embed::Embedding& embedding,
+      PipelineConfig config = {});
+
+  /// Per-document output.
+  struct DocResult {
+    doc::Document observed;               ///< transcribed document
+    doc::LayoutTree tree;                 ///< layout model T_D
+    std::vector<size_t> interest_points;  ///< node ids
+    std::vector<Extraction> extractions;  ///< key-value pairs
+  };
+
+  /// Runs the full pipeline on one document.
+  Result<DocResult> Process(const doc::Document& doc) const;
+
+  /// Segmentation only (phase 1), on the observed document.
+  Result<doc::LayoutTree> SegmentOnly(const doc::Document& observed) const;
+
+  const PatternBook& pattern_book() const { return book_; }
+  const std::vector<datasets::EntitySpec>& entity_specs() const {
+    return specs_;
+  }
+  const PipelineConfig& config() const { return config_; }
+  doc::DatasetId dataset() const { return dataset_; }
+
+ private:
+  doc::DatasetId dataset_;
+  const embed::Embedding& embedding_;
+  PipelineConfig config_;
+  PatternBook book_;
+  std::vector<datasets::EntitySpec> specs_;
+};
+
+/// Convenience: a pipeline with the paper's per-dataset Eq. 2 weights.
+PipelineConfig DefaultConfigFor(doc::DatasetId dataset);
+
+}  // namespace vs2::core
+
+#endif  // VS2_CORE_PIPELINE_HPP_

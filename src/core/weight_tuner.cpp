@@ -1,0 +1,74 @@
+#include "core/weight_tuner.hpp"
+
+#include "eval/metrics.hpp"
+
+namespace vs2::core {
+namespace {
+
+MultimodalWeights Normalized(MultimodalWeights w) {
+  double sum = w.alpha + w.beta + w.gamma + w.nu;
+  if (sum <= 0.0) return MultimodalWeights{};
+  w.alpha /= sum;
+  w.beta /= sum;
+  w.gamma /= sum;
+  w.nu /= sum;
+  return w;
+}
+
+double EvaluateF1(doc::DatasetId dataset, const doc::Corpus& dev,
+                  const embed::Embedding& embedding,
+                  PipelineConfig config, const MultimodalWeights& weights) {
+  config.select.weights = weights;
+  Vs2 vs2(dataset, embedding, config);
+  eval::PrCounts total;
+  for (const doc::Document& d : dev.documents) {
+    auto result = vs2.Process(d);
+    if (!result.ok()) continue;
+    std::vector<eval::LabeledPrediction> preds;
+    for (const Extraction& ex : result->extractions) {
+      preds.push_back({ex.entity, ex.block_bbox, ex.text, ex.match_bbox});
+    }
+    total.Add(eval::ScoreEndToEnd(preds, d));
+  }
+  return total.F1();
+}
+
+}  // namespace
+
+WeightTuneResult TuneWeights(doc::DatasetId dataset, const doc::Corpus& dev,
+                             const embed::Embedding& embedding,
+                             const PipelineConfig& base,
+                             const WeightTunerConfig& config) {
+  WeightTuneResult result;
+  result.weights = Normalized(base.select.weights);
+  result.dev_f1 =
+      EvaluateF1(dataset, dev, embedding, base, result.weights);
+  result.evaluations = 1;
+
+  for (int round = 0; round < config.rounds; ++round) {
+    bool improved = false;
+    for (int coord = 0; coord < 4; ++coord) {
+      for (double mult : config.multipliers) {
+        if (mult == 1.0) continue;
+        MultimodalWeights trial = result.weights;
+        double* field = coord == 0   ? &trial.alpha
+                        : coord == 1 ? &trial.beta
+                        : coord == 2 ? &trial.gamma
+                                     : &trial.nu;
+        *field *= mult;
+        trial = Normalized(trial);
+        double f1 = EvaluateF1(dataset, dev, embedding, base, trial);
+        ++result.evaluations;
+        if (f1 > result.dev_f1) {
+          result.dev_f1 = f1;
+          result.weights = trial;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return result;
+}
+
+}  // namespace vs2::core

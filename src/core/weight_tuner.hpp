@@ -1,0 +1,40 @@
+#ifndef VS2_CORE_WEIGHT_TUNER_HPP_
+#define VS2_CORE_WEIGHT_TUNER_HPP_
+
+/// \file weight_tuner.hpp
+/// The paper's future-work extension (Sec 7): "learning to weight each
+/// feature based on observed data". Eq. 2's weights (α, β, γ, ν) are set
+/// by corpus character in the paper; this module *learns* them from a
+/// small labelled development split by coordinate ascent on end-to-end F1.
+
+#include "core/pipeline.hpp"
+
+namespace vs2::core {
+
+/// Outcome of a tuning run.
+struct WeightTuneResult {
+  MultimodalWeights weights;  ///< best weights found (normalized)
+  double dev_f1 = 0.0;        ///< F1 they achieve on the dev split
+  size_t evaluations = 0;     ///< number of full dev evaluations
+};
+
+/// Tuning knobs.
+struct WeightTunerConfig {
+  int rounds = 2;  ///< coordinate-ascent sweeps over the four weights
+  /// Multipliers tried per coordinate per round.
+  std::vector<double> multipliers = {0.5, 1.0, 2.0};
+};
+
+/// \brief Learns Eq. 2 weights on `dev` (annotated documents) for the
+/// given dataset, starting from `base.select.weights`.
+///
+/// `dev` should already be OCR-observed (the tuner processes it as-is).
+/// Deterministic; cost = evaluations × (dev size × pipeline cost).
+WeightTuneResult TuneWeights(doc::DatasetId dataset, const doc::Corpus& dev,
+                             const embed::Embedding& embedding,
+                             const PipelineConfig& base,
+                             const WeightTunerConfig& config = {});
+
+}  // namespace vs2::core
+
+#endif  // VS2_CORE_WEIGHT_TUNER_HPP_

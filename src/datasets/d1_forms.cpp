@@ -1,0 +1,203 @@
+#include <algorithm>
+
+#include "datasets/generator.hpp"
+#include "datasets/vocab.hpp"
+#include "raster/noise.hpp"
+#include "raster/renderer.hpp"
+#include "util/math.hpp"
+#include "util/strings.hpp"
+
+namespace vs2::datasets {
+namespace {
+
+using doc::Document;
+using doc::TextStyle;
+using util::BBox;
+using util::Rng;
+
+constexpr double kPageW = 612.0;
+constexpr double kPageH = 792.0;
+
+/// A form face: a deterministic arrangement of labelled field rows. Faces
+/// differ in column count, row pitch, which field labels they carry and
+/// their header band — mirroring the 20 form faces of the IRS 1040 package.
+struct FormFace {
+  int id = 0;
+  std::string title;
+  int columns = 1;
+  double row_pitch = 30.0;
+  std::vector<std::string> field_labels;  ///< kFieldsPerFace entries
+};
+
+FormFace MakeFace(int face_id) {
+  // Faces are derived deterministically from the face id so every run (and
+  // every test) sees the same 20 faces.
+  Rng rng(0xF0F0ULL + static_cast<uint64_t>(face_id) * 7919ULL);
+  FormFace face;
+  face.id = face_id;
+  face.title = util::Format("Form 1040-%c (1988)  Schedule %d",
+                            'A' + (face_id % 6), face_id + 1);
+  face.columns = (face_id % 3 == 2) ? 2 : 1;
+  face.row_pitch = 28.0 + static_cast<double>(face_id % 4) * 4.0;
+  const auto& pool = Vocab::TaxFieldLabels();
+  std::vector<size_t> order(pool.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(&order);
+  for (int f = 0; f < kFieldsPerFace; ++f) {
+    face.field_labels.push_back(
+        pool[order[static_cast<size_t>(f) % order.size()]]);
+  }
+  return face;
+}
+
+std::string FieldValue(const std::string& label, Rng* rng) {
+  std::string lower = util::ToLower(label);
+  if (lower.find("status") != std::string::npos ||
+      lower.find("checkbox") != std::string::npos ||
+      lower.find("campaign") != std::string::npos) {
+    return rng->Bernoulli(0.5) ? "Yes" : "No";
+  }
+  if (lower.find("name") != std::string::npos) {
+    return RandomPersonName(rng);
+  }
+  if (lower.find("relationship") != std::string::npos) {
+    static const std::vector<std::string> kRel = {"Son", "Daughter",
+                                                  "Parent", "Spouse"};
+    return rng->Choice(kRel);
+  }
+  if (lower.find("occupation") != std::string::npos) {
+    static const std::vector<std::string> kOcc = {"Teacher", "Engineer",
+                                                  "Nurse", "Clerk"};
+    return rng->Choice(kOcc);
+  }
+  if (lower.find("phone") != std::string::npos) {
+    return RandomPhone(rng);
+  }
+  if (lower.find("date") != std::string::npos) {
+    return util::Format("%02d/%02d/1989", rng->UniformInt(1, 12),
+                        rng->UniformInt(1, 28));
+  }
+  if (lower.find("social security number") != std::string::npos) {
+    return util::Format("%03d-%02d-%04d", rng->UniformInt(100, 899),
+                        rng->UniformInt(10, 99), rng->UniformInt(1000, 9999));
+  }
+  if (lower.find("number of") != std::string::npos) {
+    return std::to_string(rng->UniformInt(0, 8));
+  }
+  // Dollar amounts for everything else.
+  return util::Format("%d.%02d", rng->UniformInt(0, 99999),
+                      rng->UniformInt(0, 99));
+}
+
+}  // namespace
+
+std::vector<std::string> FormFaceFieldLabels(int face_id) {
+  return MakeFace(face_id).field_labels;
+}
+
+doc::Corpus GenerateD1(const GeneratorConfig& config) {
+  doc::Corpus corpus;
+  corpus.dataset = doc::DatasetId::kD1TaxForms;
+  for (const EntitySpec& spec : EntitySpecsFor(doc::DatasetId::kD1TaxForms)) {
+    corpus.entity_types.push_back(spec.name);
+  }
+
+  Rng master(config.seed ^ 0xD1D1D1D1ULL);
+  for (size_t i = 0; i < config.num_documents; ++i) {
+    Rng rng = master.Fork(i);
+    int face_id = static_cast<int>(i) % kNumFormFaces;
+    FormFace face = MakeFace(face_id);
+
+    Document d;
+    d.id = 0xD1000000ULL + i;
+    d.dataset = doc::DatasetId::kD1TaxForms;
+    d.format = doc::DocumentFormat::kScannedForm;
+    d.template_id = face_id;
+    d.width = kPageW;
+    d.height = kPageH;
+    // 1988 scans: decent but imperfect quality.
+    d.capture_quality = util::Clamp(rng.Normal(0.89, 0.04), 0.78, 0.97);
+
+    // Header band.
+    TextStyle header;
+    header.font_size = 16.0;
+    header.bold = true;
+    BBox hb = raster::PlaceLine(&d, face.title, 36.0, 36.0, header, 0);
+    TextStyle sub;
+    sub.font_size = 9.0;
+    raster::PlaceLine(&d, "Department of the Treasury Internal Revenue Service",
+                      36.0, hb.bottom() + 4.0, sub, 1);
+
+    // Field grid.
+    TextStyle labelStyle;
+    labelStyle.font_size = 9.5;
+    TextStyle valueStyle;
+    valueStyle.font_size = 11.0;
+    valueStyle.bold = true;
+
+    double top = hb.bottom() + 40.0;
+    double col_w = (kPageW - 72.0) / static_cast<double>(face.columns);
+    int rows_per_col =
+        (kFieldsPerFace + face.columns - 1) / face.columns;
+
+    for (int f = 0; f < kFieldsPerFace; ++f) {
+      int col = f / rows_per_col;
+      int row = f % rows_per_col;
+      double x = 36.0 + static_cast<double>(col) * col_w;
+      double y = top + static_cast<double>(row) * face.row_pitch;
+      std::string label = util::Format("%d %s", f + 1,
+                                       face.field_labels[static_cast<size_t>(f)].c_str());
+      BBox lb = raster::PlaceLine(&d, label, x, y, labelStyle, 10 + f);
+      std::string value = FieldValue(face.field_labels[static_cast<size_t>(f)],
+                                     &rng);
+      // Values sit a fixed gap after their ragged-width labels (no aligned
+      // value column — a full-height vertical cut between labels and values
+      // would detach descriptors from the values they describe).
+      double vx = lb.right() + 5.0;
+      BBox vb = raster::PlaceLine(&d, value, vx, y - 1.0, valueStyle,
+                                  10 + f);
+      // The named entity is the whole field row (descriptor + value box),
+      // labelled by its global field id — SD6-style.
+      BBox field_box = util::Union(lb, vb);
+      std::string entity = util::Format("field_%02d_%02d", face_id, f);
+      d.annotations.push_back({entity, field_box, value});
+    }
+
+    // Signature strip at the bottom.
+    TextStyle sig;
+    sig.font_size = 9.0;
+    raster::PlaceLine(&d,
+                      "Sign here Under penalties of perjury I declare this "
+                      "return is true correct and complete",
+                      36.0, kPageH - 60.0, sig, 90);
+
+    // Scanner artifacts: wobble and slight skew, no smudges worth noting.
+    raster::ArtifactConfig scan_artifacts;
+    scan_artifacts.rotation_stddev_degrees = 0.6;
+    scan_artifacts.max_rotation_degrees = 1.8;
+    scan_artifacts.jitter_stddev = 1.1;
+    // 1988-era scans are dirty: smudges along feed rollers are common and
+    // land in the whitespace between rows as often as on text.
+    scan_artifacts.smudge_probability = 0.5;
+    scan_artifacts.max_smudges = 4;
+    scan_artifacts.speckle_per_kilo_unit2 = 0.03;
+    raster::ApplyCaptureArtifacts(&d, scan_artifacts, &rng);
+
+    corpus.documents.push_back(std::move(d));
+  }
+  return corpus;
+}
+
+doc::Corpus Generate(doc::DatasetId dataset, const GeneratorConfig& config) {
+  switch (dataset) {
+    case doc::DatasetId::kD1TaxForms:
+      return GenerateD1(config);
+    case doc::DatasetId::kD2EventPosters:
+      return GenerateD2(config);
+    case doc::DatasetId::kD3RealEstateFlyers:
+      return GenerateD3(config);
+  }
+  return doc::Corpus{};
+}
+
+}  // namespace vs2::datasets

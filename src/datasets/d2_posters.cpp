@@ -1,0 +1,374 @@
+#include <algorithm>
+
+#include "datasets/generator.hpp"
+#include "datasets/vocab.hpp"
+#include "raster/noise.hpp"
+#include "raster/renderer.hpp"
+#include "util/math.hpp"
+#include "util/strings.hpp"
+
+namespace vs2::datasets {
+namespace {
+
+using doc::Document;
+using doc::TextStyle;
+using util::BBox;
+using util::Rng;
+
+constexpr double kPageW = 560.0;
+constexpr double kPageH = 740.0;
+
+struct PosterContent {
+  std::string title;
+  std::string organizer_prefix;  ///< "Hosted by" etc.
+  std::string organizer;         ///< entity value
+  std::string date_phrase;
+  std::string time_phrase;       ///< entity value = date + time
+  std::string venue;
+  std::string address;           ///< entity value = venue + address
+  std::string city_state_zip;
+  std::vector<std::string> description;  ///< sentences
+  std::string featured;  ///< decoy Person/Org inside the description
+};
+
+PosterContent MakeContent(Rng* rng) {
+  PosterContent c;
+  std::string topic = rng->Choice(Vocab::EventTopics());
+  std::string noun = rng->Choice(Vocab::EventNouns());
+  std::string adj = rng->Choice(Vocab::EventAdjectives());
+  switch (rng->UniformInt(0, 3)) {
+    case 0:
+      c.title = adj + " " + topic + " " + noun;
+      break;
+    case 1:
+      c.title = util::Format("%s %s %s %d", adj.c_str(), topic.c_str(),
+                             noun.c_str(), rng->UniformInt(2024, 2027));
+      break;
+    case 2:
+      c.title = topic + " " + noun;
+      break;
+    default:
+      c.title = util::Format("%dth %s %s %s", rng->UniformInt(2, 25),
+                             adj.c_str(), topic.c_str(), noun.c_str());
+      break;
+  }
+
+  static const std::vector<std::string> kPrefixes = {
+      "Hosted by",    "Presented by", "Organized by", "Sponsored by",
+      "Hosted by",    "Presented by", "Organized by", "Sponsored by",
+      "Curated by",   "Brought to you by"};
+  c.organizer_prefix = rng->Choice(kPrefixes);
+  c.organizer =
+      rng->Bernoulli(0.7) ? RandomOrgName(rng) : RandomPersonName(rng);
+
+  c.date_phrase = RandomDatePhrase(rng);
+  std::string clock = RandomClockTime(rng);
+  if (rng->Bernoulli(0.35)) {
+    clock += " - " + RandomClockTime(rng);
+  }
+  c.time_phrase = c.date_phrase + " at " + clock;
+
+  c.venue = rng->Choice(Vocab::Venues());
+  c.address = RandomStreetAddress(rng);
+  c.city_state_zip = RandomCityStateZip(rng);
+
+  int sentences = rng->UniformInt(2, 4);
+  std::vector<std::string> pool = Vocab::DescriptionSentencesD2();
+  rng->Shuffle(&pool);
+  for (int i = 0; i < sentences && i < static_cast<int>(pool.size()); ++i) {
+    c.description.push_back(pool[static_cast<size_t>(i)]);
+  }
+  // Decoy entity inside the description: the Fig. 3 trap for text-only
+  // methods and for disambiguation (Event Organizer false positives).
+  if (rng->Bernoulli(0.7)) {
+    c.featured = rng->Bernoulli(0.5)
+                     ? ("featuring " + RandomPersonName(rng) +
+                        (rng->Bernoulli(0.5) ? " and friends" : ""))
+                     : ("with special guests from " + RandomOrgName(rng));
+    c.description.insert(
+        c.description.begin() + rng->UniformInt(0, static_cast<int>(c.description.size())),
+        "Come " + c.featured + ".");
+  }
+  return c;
+}
+
+TextStyle TitleStyle(Rng* rng) {
+  TextStyle s;
+  s.font_size = rng->UniformDouble(28.0, 40.0);
+  s.bold = true;
+  switch (rng->UniformInt(0, 3)) {
+    case 0: s.color = util::DarkBlue(); break;
+    case 1: s.color = util::Crimson(); break;
+    case 2: s.color = util::ForestGreen(); break;
+    default: s.color = util::Black(); break;
+  }
+  return s;
+}
+
+struct BlockRecord {
+  BBox bbox;
+  std::string entity;  ///< empty for non-entity blocks
+  std::string value;
+};
+
+/// Places a text blob and returns its bbox.
+BBox Blob(Document* d, const std::string& text, double x, double y, double w,
+          const TextStyle& style, int line_base) {
+  return raster::PlaceText(d, text, x, y, w, style, line_base);
+}
+
+void Annotate(Document* d, std::vector<BlockRecord>* records) {
+  for (const BlockRecord& r : *records) {
+    if (r.entity.empty()) continue;
+    d->annotations.push_back(doc::Annotation{r.entity, r.bbox, r.value});
+  }
+}
+
+// --- layout archetypes -----------------------------------------------------
+
+/// A. Centered stack: generous vertical gaps, XY-cut friendly.
+void LayoutCenteredStack(Document* d, const PosterContent& c, Rng* rng,
+                         std::vector<BlockRecord>* rec) {
+  double y = rng->UniformDouble(30.0, 60.0);
+  TextStyle title = TitleStyle(rng);
+  BBox tb = raster::PlaceCenteredLine(d, c.title, 40.0, kPageW - 40.0, y,
+                                      title, 0);
+  // Long titles wrap manually into a second centered line.
+  rec->push_back({tb, "event_title", c.title});
+  y = tb.bottom() + rng->UniformDouble(40.0, 70.0);
+
+  if (rng->Bernoulli(0.5)) {
+    // decorative image banner
+    double h = rng->UniformDouble(60.0, 120.0);
+    BBox img{kPageW * 0.2, y, kPageW * 0.6, h};
+    d->elements.push_back(doc::MakeImageElement(1, img, util::Goldenrod()));
+    y = img.bottom() + rng->UniformDouble(30.0, 50.0);
+  }
+
+  TextStyle timeStyle;
+  timeStyle.font_size = rng->UniformDouble(16.0, 22.0);
+  timeStyle.bold = rng->Bernoulli(0.5);
+  BBox time_b = raster::PlaceCenteredLine(d, c.time_phrase, 60.0,
+                                          kPageW - 60.0, y, timeStyle, 10);
+  rec->push_back({time_b, "event_time", c.time_phrase});
+  y = time_b.bottom() + rng->UniformDouble(24.0, 44.0);
+
+  TextStyle placeStyle;
+  placeStyle.font_size = rng->UniformDouble(13.0, 17.0);
+  BBox p1 = raster::PlaceCenteredLine(d, c.venue, 60.0, kPageW - 60.0, y,
+                                      placeStyle, 20);
+  BBox p2 = raster::PlaceCenteredLine(
+      d, c.address + " " + c.city_state_zip, 60.0, kPageW - 60.0,
+      p1.bottom() + 4.0, placeStyle, 21);
+  BBox place_b = util::Union(p1, p2);
+  rec->push_back({place_b, "event_place",
+                  c.venue + ", " + c.address + ", " + c.city_state_zip});
+  y = place_b.bottom() + rng->UniformDouble(30.0, 55.0);
+
+  TextStyle descStyle;
+  descStyle.font_size = rng->UniformDouble(10.5, 12.5);
+  BBox desc_b = Blob(d, util::Join(c.description, " "), 70.0, y,
+                     kPageW - 140.0, descStyle, 30);
+  rec->push_back({desc_b, "event_description",
+                  util::Join(c.description, " ")});
+  y = desc_b.bottom() + rng->UniformDouble(28.0, 50.0);
+
+  TextStyle orgStyle;
+  orgStyle.font_size = rng->UniformDouble(13.0, 17.0);
+  orgStyle.italic = true;
+  BBox org_b = raster::PlaceCenteredLine(
+      d, c.organizer_prefix + " " + c.organizer, 60.0, kPageW - 60.0, y,
+      orgStyle, 40);
+  rec->push_back({org_b, "event_organizer", c.organizer});
+}
+
+/// B. Side-bar: title+description left, logistics right, staggered rows.
+void LayoutSideBar(Document* d, const PosterContent& c, Rng* rng,
+                   std::vector<BlockRecord>* rec) {
+  double left_w = kPageW * 0.56;
+  double right_x = left_w + 40.0;
+  double right_w = kPageW - right_x - 24.0;
+
+  TextStyle title = TitleStyle(rng);
+  title.font_size = std::min(title.font_size, 30.0);
+  BBox tb = Blob(d, c.title, 28.0, 48.0, left_w - 40.0, title, 0);
+  rec->push_back({tb, "event_title", c.title});
+
+  TextStyle descStyle;
+  descStyle.font_size = 11.0;
+  BBox desc_b = Blob(d, util::Join(c.description, " "), 28.0,
+                     tb.bottom() + 36.0, left_w - 50.0, descStyle, 30);
+  rec->push_back({desc_b, "event_description",
+                  util::Join(c.description, " ")});
+
+  // Right rail rows, vertically offset from left-column content so a full
+  // horizontal cut across the page does not exist between them.
+  double y = tb.bottom() - rng->UniformDouble(0.0, 18.0);
+  TextStyle railHead;
+  railHead.font_size = 14.0;
+  railHead.bold = true;
+  TextStyle railBody;
+  railBody.font_size = 12.5;
+
+  raster::PlaceLine(d, "WHEN", right_x, y, railHead, 9);
+  // Experts annotate the labelled rail row as one region (header + value),
+  // mirroring Fig. 8's block-level ground-truth boxes.
+  BBox time_b = Blob(d, c.time_phrase, right_x, y + 20.0, right_w, railBody, 10);
+  time_b = util::Union(time_b, BBox{right_x, y, 50.0, 16.0});
+  rec->push_back({time_b, "event_time", c.time_phrase});
+  y = time_b.bottom() + rng->UniformDouble(34.0, 60.0);
+
+  raster::PlaceLine(d, "WHERE", right_x, y, railHead, 19);
+  BBox place_b = Blob(d, c.venue + " " + c.address + " " + c.city_state_zip,
+                      right_x, y + 20.0, right_w, railBody, 20);
+  place_b = util::Union(place_b, BBox{right_x, y, 56.0, 16.0});
+  rec->push_back({place_b, "event_place",
+                  c.venue + ", " + c.address + ", " + c.city_state_zip});
+  y = place_b.bottom() + rng->UniformDouble(34.0, 60.0);
+
+  raster::PlaceLine(d, "WHO", right_x, y, railHead, 39);
+  BBox org_b = Blob(d, c.organizer_prefix + " " + c.organizer, right_x,
+                    y + 20.0, right_w, railBody, 40);
+  org_b = util::Union(org_b, BBox{right_x, y, 44.0, 16.0});
+  rec->push_back({org_b, "event_organizer", c.organizer});
+}
+
+/// C. Staggered overlap: two content boxes arranged diagonally such that no
+/// single straight whitespace cut separates them (the case VIPS/XY-cut
+/// cannot split; paper Sec 2: "ability to segment overlapping blocks").
+void LayoutStaggered(Document* d, const PosterContent& c, Rng* rng,
+                     std::vector<BlockRecord>* rec) {
+  TextStyle title = TitleStyle(rng);
+  BBox tb = raster::PlaceCenteredLine(d, c.title, 30.0, kPageW - 30.0, 52.0,
+                                      title, 0);
+  rec->push_back({tb, "event_title", c.title});
+
+  double band_top = tb.bottom() + 40.0;
+
+  // Box 1 (upper-left): time + place.
+  TextStyle body;
+  body.font_size = 13.0;
+  double b1x = 40.0;
+  double b1w = kPageW * 0.44;
+  BBox time_b = Blob(d, c.time_phrase, b1x, band_top, b1w, body, 10);
+  rec->push_back({time_b, "event_time", c.time_phrase});
+  BBox place_b = Blob(d, c.venue + " " + c.address + " " + c.city_state_zip,
+                      b1x, time_b.bottom() + 14.0, b1w, body, 20);
+  rec->push_back({place_b, "event_place",
+                  c.venue + ", " + c.address + ", " + c.city_state_zip});
+  double box1_bottom = place_b.bottom();
+
+  // Box 2 (lower-right): description; overlaps box 1's y-range and x-range
+  // diagonally. Vertical gap between them is L-shaped, not a straight cut.
+  double b2x = b1x + b1w + 36.0;
+  double b2y = band_top + (box1_bottom - band_top) * 0.55;
+  TextStyle descStyle;
+  descStyle.font_size = 11.0;
+  BBox desc_b = Blob(d, util::Join(c.description, " "), b2x, b2y,
+                     kPageW - b2x - 26.0, descStyle, 30);
+  rec->push_back({desc_b, "event_description",
+                  util::Join(c.description, " ")});
+
+  // Organizer strip at the bottom.
+  TextStyle orgStyle;
+  orgStyle.font_size = 15.0;
+  orgStyle.bold = true;
+  double oy = std::max(box1_bottom, desc_b.bottom()) + 48.0;
+  BBox org_b = raster::PlaceCenteredLine(
+      d, c.organizer_prefix + " " + c.organizer, 50.0, kPageW - 50.0, oy,
+      orgStyle, 40);
+  rec->push_back({org_b, "event_organizer", c.organizer});
+
+  if (rng->Bernoulli(0.4)) {
+    BBox img{kPageW * 0.12, oy + 40.0, 90.0, 60.0};
+    if (img.bottom() < kPageH - 10.0) {
+      d->elements.push_back(doc::MakeImageElement(2, img, util::Crimson()));
+    }
+  }
+}
+
+/// D. Banner + footer cells: wide banner title, centered image, footer row
+/// of three cells (time | place | organizer).
+void LayoutBannerFooter(Document* d, const PosterContent& c, Rng* rng,
+                        std::vector<BlockRecord>* rec) {
+  TextStyle title = TitleStyle(rng);
+  title.font_size = std::min(title.font_size, 32.0);
+  BBox tb = raster::PlaceCenteredLine(d, c.title, 24.0, kPageW - 24.0, 44.0,
+                                      title, 0);
+  rec->push_back({tb, "event_title", c.title});
+
+  BBox img{kPageW * 0.25, tb.bottom() + 40.0, kPageW * 0.5, 180.0};
+  d->elements.push_back(doc::MakeImageElement(3, img, util::SlateGray()));
+
+  TextStyle descStyle;
+  descStyle.font_size = 11.5;
+  BBox desc_b = Blob(d, util::Join(c.description, " "), 60.0,
+                     img.bottom() + 30.0, kPageW - 120.0, descStyle, 30);
+  rec->push_back({desc_b, "event_description",
+                  util::Join(c.description, " ")});
+
+  double fy = std::max(desc_b.bottom() + 50.0, kPageH - 150.0);
+  TextStyle cell;
+  cell.font_size = 11.5;
+  double cell_w = (kPageW - 80.0) / 3.0 - 20.0;
+  BBox time_b = Blob(d, c.time_phrase, 40.0, fy, cell_w, cell, 10);
+  rec->push_back({time_b, "event_time", c.time_phrase});
+  BBox place_b = Blob(d, c.venue + " " + c.address + " " + c.city_state_zip,
+                      40.0 + cell_w + 30.0, fy, cell_w, cell, 20);
+  rec->push_back({place_b, "event_place",
+                  c.venue + ", " + c.address + ", " + c.city_state_zip});
+  BBox org_b = Blob(d, c.organizer_prefix + " " + c.organizer,
+                    40.0 + 2.0 * (cell_w + 30.0), fy, cell_w, cell, 40);
+  rec->push_back({org_b, "event_organizer", c.organizer});
+  (void)rng;
+}
+
+}  // namespace
+
+doc::Corpus GenerateD2(const GeneratorConfig& config) {
+  doc::Corpus corpus;
+  corpus.dataset = doc::DatasetId::kD2EventPosters;
+  for (const EntitySpec& spec :
+       EntitySpecsFor(doc::DatasetId::kD2EventPosters)) {
+    corpus.entity_types.push_back(spec.name);
+  }
+
+  Rng master(config.seed ^ 0xD2D2D2D2ULL);
+  for (size_t i = 0; i < config.num_documents; ++i) {
+    Rng rng = master.Fork(i);
+    Document d;
+    d.id = 0xD2000000ULL + i;
+    d.dataset = doc::DatasetId::kD2EventPosters;
+    d.width = kPageW;
+    d.height = kPageH;
+
+    PosterContent content = MakeContent(&rng);
+    std::vector<BlockRecord> records;
+    double archetype = rng.UniformDouble();
+    if (archetype < 0.30) {
+      LayoutCenteredStack(&d, content, &rng, &records);
+    } else if (archetype < 0.55) {
+      LayoutSideBar(&d, content, &rng, &records);
+    } else if (archetype < 0.90) {
+      LayoutStaggered(&d, content, &rng, &records);
+    } else {
+      LayoutBannerFooter(&d, content, &rng, &records);
+    }
+    Annotate(&d, &records);
+
+    bool mobile = rng.Bernoulli(config.mobile_capture_fraction);
+    if (mobile) {
+      d.format = doc::DocumentFormat::kMobileCapture;
+      d.capture_quality = util::Clamp(rng.Normal(0.66, 0.08), 0.4, 0.85);
+      raster::ArtifactConfig artifacts;
+      raster::ApplyCaptureArtifacts(&d, artifacts, &rng);
+    } else {
+      d.format = doc::DocumentFormat::kDigitalPdf;
+      d.capture_quality = util::Clamp(rng.Normal(0.96, 0.02), 0.9, 1.0);
+    }
+    corpus.documents.push_back(std::move(d));
+  }
+  return corpus;
+}
+
+}  // namespace vs2::datasets

@@ -1,0 +1,232 @@
+#include <algorithm>
+
+#include "datasets/generator.hpp"
+#include "datasets/vocab.hpp"
+#include "raster/renderer.hpp"
+#include "util/math.hpp"
+#include "util/strings.hpp"
+
+namespace vs2::datasets {
+namespace {
+
+using doc::Document;
+using doc::TextStyle;
+using util::BBox;
+using util::Rng;
+
+constexpr double kPageW = 612.0;
+constexpr double kPageH = 792.0;
+
+struct FlyerContent {
+  std::string property_type;
+  std::string address;        ///< entity: street + city/state/zip
+  std::string street;
+  std::string city_state_zip;
+  std::string price;
+  std::string size_line;      ///< entity: "4 Beds | 2 Baths | 2,465 SqFt"
+  std::vector<std::string> description;  ///< entity (joined)
+  std::string broker_name;    ///< entity
+  std::string broker_org;
+  std::string broker_phone;   ///< entity
+  std::string broker_email;   ///< entity
+};
+
+std::string WithThousands(int v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out.insert(out.begin(), ',');
+    out.insert(out.begin(), *it);
+    ++count;
+  }
+  return out;
+}
+
+FlyerContent MakeContent(Rng* rng) {
+  FlyerContent c;
+  c.property_type = rng->Choice(Vocab::PropertyTypes());
+  c.street = RandomStreetAddress(rng);
+  c.city_state_zip = RandomCityStateZip(rng);
+  c.address = c.street + ", " + c.city_state_zip;
+  c.price = "$" + WithThousands(rng->UniformInt(120, 3200) * 1000);
+
+  bool residential = c.property_type.find("Home") != std::string::npos ||
+                     c.property_type == "Townhouse" ||
+                     c.property_type == "Condo" || c.property_type == "Duplex";
+  if (residential) {
+    c.size_line = util::Format(
+        "%d Beds | %d Baths | %s SqFt", rng->UniformInt(1, 6),
+        rng->UniformInt(1, 4),
+        WithThousands(rng->UniformInt(800, 5200)).c_str());
+  } else if (c.property_type == "Land Lot") {
+    c.size_line = util::Format("%d.%d Acres | Zoned Commercial",
+                               rng->UniformInt(1, 40),
+                               rng->UniformInt(0, 9));
+  } else {
+    c.size_line = util::Format(
+        "%s SqFt | %d Floors | Built %d",
+        WithThousands(rng->UniformInt(2000, 60000)).c_str(),
+        rng->UniformInt(1, 6), rng->UniformInt(1950, 2020));
+  }
+
+  std::vector<std::string> pool = Vocab::AmenityPhrases();
+  rng->Shuffle(&pool);
+  int n = rng->UniformInt(2, 4);
+  std::string sentence = "This " + util::ToLower(c.property_type) +
+                         " offers " + pool[0] + ".";
+  c.description.push_back(sentence);
+  for (int i = 1; i < n; ++i) {
+    c.description.push_back("Features include " +
+                            pool[static_cast<size_t>(i)] + ".");
+  }
+
+  c.broker_name = RandomPersonName(rng);
+  std::vector<std::string> name_parts = util::SplitWhitespace(c.broker_name);
+  c.broker_org = name_parts.back() + " " +
+                 rng->Choice(Vocab::BrokerOrgSuffixes());
+  c.broker_phone = RandomPhone(rng);
+  c.broker_email = RandomEmail(c.broker_name, rng);
+  return c;
+}
+
+}  // namespace
+
+doc::Corpus GenerateD3(const GeneratorConfig& config) {
+  doc::Corpus corpus;
+  corpus.dataset = doc::DatasetId::kD3RealEstateFlyers;
+  for (const EntitySpec& spec :
+       EntitySpecsFor(doc::DatasetId::kD3RealEstateFlyers)) {
+    corpus.entity_types.push_back(spec.name);
+  }
+
+  Rng master(config.seed ^ 0xD3D3D3D3ULL);
+  for (size_t i = 0; i < config.num_documents; ++i) {
+    Rng rng = master.Fork(i);
+    Document d;
+    d.id = 0xD3000000ULL + i;
+    d.dataset = doc::DatasetId::kD3RealEstateFlyers;
+    d.format = doc::DocumentFormat::kHtml;
+    d.width = kPageW;
+    d.height = kPageH;
+    d.capture_quality = util::Clamp(rng.Normal(0.93, 0.03), 0.82, 1.0);
+
+    FlyerContent c = MakeContent(&rng);
+
+    // --- header: property type kicker + address headline (h1) ---
+    TextStyle kicker;
+    kicker.font_size = 13.0;
+    kicker.color = util::Crimson();
+    size_t first_el = d.elements.size();
+    raster::PlaceLine(&d, util::ToUpper(c.property_type) + " FOR SALE", 36.0,
+                      40.0, kicker, 0);
+    for (size_t e = first_el; e < d.elements.size(); ++e)
+      d.elements[e].markup_hint = 3;  // h3
+
+    TextStyle headline;
+    headline.font_size = rng.UniformDouble(22.0, 28.0);
+    headline.bold = true;
+    headline.color = util::DarkBlue();
+    first_el = d.elements.size();
+    BBox addr1 = raster::PlaceLine(&d, c.street, 36.0, 66.0, headline, 1);
+    BBox addr2 = raster::PlaceLine(&d, c.city_state_zip, 36.0,
+                                   addr1.bottom() + 4.0, headline, 2);
+    BBox addr_b = util::Union(addr1, addr2);
+    for (size_t e = first_el; e < d.elements.size(); ++e)
+      d.elements[e].markup_hint = 1;  // h1
+    d.annotations.push_back({"property_address", addr_b, c.address});
+
+    // --- price + size strip ---
+    TextStyle priceStyle;
+    priceStyle.font_size = 20.0;
+    priceStyle.bold = true;
+    priceStyle.color = util::ForestGreen();
+    first_el = d.elements.size();
+    BBox price_b =
+        raster::PlaceLine(&d, c.price, 36.0, addr_b.bottom() + 26.0,
+                          priceStyle, 5);
+    for (size_t e = first_el; e < d.elements.size(); ++e)
+      d.elements[e].markup_hint = 7;  // emphasized
+
+    TextStyle sizeStyle;
+    sizeStyle.font_size = 14.0;
+    sizeStyle.bold = rng.Bernoulli(0.5);
+    first_el = d.elements.size();
+    BBox size_b = raster::PlaceLine(&d, c.size_line,
+                                    price_b.right() + 50.0,
+                                    addr_b.bottom() + 30.0, sizeStyle, 6);
+    for (size_t e = first_el; e < d.elements.size(); ++e)
+      d.elements[e].markup_hint = 8;  // table-cell-ish strip
+    d.annotations.push_back({"property_size", size_b, c.size_line});
+
+    // --- hero image ---
+    double img_y = size_b.bottom() + 24.0;
+    BBox img{36.0, img_y, kPageW - 72.0, rng.UniformDouble(150.0, 210.0)};
+    d.elements.push_back(doc::MakeImageElement(11, img, util::SlateGray()));
+
+    // --- description paragraph ---
+    TextStyle body;
+    body.font_size = 11.5;
+    bool l_shaped = rng.Bernoulli(0.6);
+    double desc_w = l_shaped ? kPageW * 0.64 : kPageW * 0.55;
+    BBox desc_b = raster::PlaceText(&d, util::Join(c.description, " "), 36.0,
+                                    img.bottom() + 24.0, desc_w, body, 20);
+    d.annotations.push_back(
+        {"property_description", desc_b, util::Join(c.description, " ")});
+
+    // --- broker card. In the L-shaped variant (60% of flyers) the card's
+    // x-range overlaps the description column and its y-range overlaps the
+    // description's last lines: the two regions are separated only by an
+    // L-shaped whitespace region, which no straight horizontal or vertical
+    // cut can express — the case the paper credits VS2's clustering with
+    // handling ("visual areas that are not separated by a rectangular
+    // whitespace separator"). ---
+    double card_x = l_shaped ? 36.0 + desc_w - kPageW * 0.06
+                             : kPageW * 0.66;
+    double card_y = l_shaped ? desc_b.bottom() - 26.0 : img.bottom() + 60.0;
+    card_y = std::min(card_y, kPageH - 170.0);
+
+    TextStyle cardHead;
+    cardHead.font_size = 10.5;
+    cardHead.bold = true;
+    cardHead.color = util::Crimson();
+    raster::PlaceLine(&d, "CONTACT", card_x, card_y, cardHead, 30);
+
+    TextStyle cardName;
+    cardName.font_size = 14.5;
+    cardName.bold = true;
+    cardName.color = util::DarkBlue();
+    first_el = d.elements.size();
+    BBox name_b = raster::PlaceLine(&d, c.broker_name, card_x, card_y + 26.0,
+                                    cardName, 31);
+    for (size_t e = first_el; e < d.elements.size(); ++e)
+      d.elements[e].markup_hint = 7;
+    d.annotations.push_back({"broker_name", name_b, c.broker_name});
+
+    TextStyle cardBody;
+    cardBody.font_size = 11.0;
+    cardBody.color = util::SlateGray();
+    BBox org_b = raster::PlaceLine(&d, c.broker_org, card_x,
+                                   name_b.bottom() + 12.0, cardBody, 32);
+    BBox phone_b = raster::PlaceLine(&d, c.broker_phone, card_x,
+                                     org_b.bottom() + 16.0, cardBody, 33);
+    d.annotations.push_back({"broker_phone", phone_b, c.broker_phone});
+    BBox email_b = raster::PlaceLine(&d, c.broker_email, card_x,
+                                     phone_b.bottom() + 13.5, cardBody, 34);
+    d.annotations.push_back({"broker_email", email_b, c.broker_email});
+
+    // --- footer strip with a decoy org mention (equal-housing notice) ---
+    TextStyle footer;
+    footer.font_size = 8.5;
+    footer.color = util::SlateGray();
+    raster::PlaceLine(&d,
+                      "Listing provided by " + c.broker_org +
+                          ". Equal Housing Opportunity.",
+                      36.0, kPageH - 34.0, footer, 50);
+
+    corpus.documents.push_back(std::move(d));
+  }
+  return corpus;
+}
+
+}  // namespace vs2::datasets

@@ -1,0 +1,74 @@
+#include "datasets/generator.hpp"
+#include "util/strings.hpp"
+
+namespace vs2::datasets {
+
+std::vector<EntitySpec> EntitySpecsFor(doc::DatasetId dataset) {
+  std::vector<EntitySpec> specs;
+  switch (dataset) {
+    case doc::DatasetId::kD1TaxForms: {
+      for (int face = 0; face < kNumFormFaces; ++face) {
+        std::vector<std::string> labels = FormFaceFieldLabels(face);
+        for (int f = 0; f < kFieldsPerFace; ++f) {
+          EntitySpec spec;
+          spec.name = util::Format("field_%02d_%02d", face, f);
+          spec.description = labels[static_cast<size_t>(f)];
+          for (const std::string& w :
+               util::SplitWhitespace(labels[static_cast<size_t>(f)])) {
+            spec.hint_words.push_back(util::ToLower(w));
+          }
+          specs.push_back(std::move(spec));
+        }
+      }
+      break;
+    }
+    case doc::DatasetId::kD2EventPosters: {
+      specs = {
+          {"event_title",
+           "Short description of the event",
+           {"title", "event", "festival", "concert", "workshop", "night"}},
+          {"event_place",
+           "Full address of the event",
+           {"place", "address", "venue", "hall", "park"}},
+          {"event_time",
+           "Time of the event",
+           {"time", "date", "when", "pm", "doors"}},
+          {"event_organizer",
+           "Person/organization responsible for the event",
+           {"organizer", "host", "hosted", "presented", "sponsored"}},
+          {"event_description",
+           "Essential details of the event",
+           {"description", "join", "welcome", "free", "tickets", "admission",
+            "bring"}},
+      };
+      break;
+    }
+    case doc::DatasetId::kD3RealEstateFlyers: {
+      specs = {
+          {"broker_name",
+           "Full name of the listing broker",
+           {"broker", "agent", "contact", "name"}},
+          {"broker_phone",
+           "Contact number of the listing broker",
+           {"phone", "call", "contact", "number"}},
+          {"broker_email",
+           "Email address of the listing broker",
+           {"email", "contact"}},
+          {"property_address",
+           "Full address information of the listing",
+           {"address", "property", "street", "location"}},
+          {"property_size",
+           "Size attributes summarizing the listing",
+           {"size", "beds", "baths", "sqft", "acres", "built", "zoned"}},
+          {"property_description",
+           "Property type and essential details",
+           {"description", "features", "offers", "include", "parking",
+            "grocery"}},
+      };
+      break;
+    }
+  }
+  return specs;
+}
+
+}  // namespace vs2::datasets

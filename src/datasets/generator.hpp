@@ -1,0 +1,69 @@
+#ifndef VS2_DATASETS_GENERATOR_HPP_
+#define VS2_DATASETS_GENERATOR_HPP_
+
+/// \file generator.hpp
+/// Synthetic stand-ins for the paper's three experimental corpora
+/// (Sec 6.1). Each generator emits documents *plus* expert-style ground
+/// truth (smallest bounding box per named entity + label, Sec 6.2).
+///
+///  * **D1** — NIST SD6 tax forms: 20 deterministic form faces of labelled
+///    field rows; scanned-form provenance.
+///  * **D2** — event posters: free-form, visually ornate layouts; ~63%
+///    simulated mobile captures (skew, artifacts, low OCR quality), rest
+///    born-digital PDFs.
+///  * **D3** — commercial real-estate flyers: semi-structured HTML-ish
+///    listings with markup hints, broker contact cards and address blocks.
+
+#include <string>
+#include <vector>
+
+#include "doc/document.hpp"
+
+namespace vs2::datasets {
+
+/// Generation knobs shared by the three corpora.
+struct GeneratorConfig {
+  size_t num_documents = 100;
+  uint64_t seed = 2019;  ///< the SIGMOD year, for luck
+  /// D2 only: fraction of posters that are mobile captures (paper: 1375 of
+  /// 2190 ≈ 0.628).
+  double mobile_capture_fraction = 0.628;
+};
+
+/// An extraction-vocabulary entry: the entity name plus disambiguation
+/// hint words (used by Lesk baselines and by interest-point affinity).
+struct EntitySpec {
+  std::string name;
+  std::string description;
+  std::vector<std::string> hint_words;
+};
+
+/// The entity vocabulary N for a dataset (Tables 3, 4; D1: per-field ids).
+std::vector<EntitySpec> EntitySpecsFor(doc::DatasetId dataset);
+
+/// Generates the D1 tax-form corpus.
+doc::Corpus GenerateD1(const GeneratorConfig& config);
+
+/// Generates the D2 event-poster corpus.
+doc::Corpus GenerateD2(const GeneratorConfig& config);
+
+/// Generates the D3 real-estate-flyer corpus.
+doc::Corpus GenerateD3(const GeneratorConfig& config);
+
+/// Dispatch by id.
+doc::Corpus Generate(doc::DatasetId dataset, const GeneratorConfig& config);
+
+/// Field labels of a D1 form face (deterministic per face id); used by the
+/// entity registry and the holdout-corpus builder.
+std::vector<std::string> FormFaceFieldLabels(int face_id);
+
+/// Number of distinct D1 form faces (paper: 20).
+inline constexpr int kNumFormFaces = 20;
+
+/// Fields per D1 form face (paper: 1 369 fields over 20 faces ≈ 68/face;
+/// scaled to 16/face here so full-corpus benches stay laptop-sized).
+inline constexpr int kFieldsPerFace = 16;
+
+}  // namespace vs2::datasets
+
+#endif  // VS2_DATASETS_GENERATOR_HPP_

@@ -1,0 +1,133 @@
+#include "datasets/holdout.hpp"
+
+#include "datasets/generator.hpp"
+#include "datasets/vocab.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace vs2::datasets {
+
+std::vector<const HoldoutEntry*> HoldoutCorpus::EntriesFor(
+    const std::string& entity) const {
+  std::vector<const HoldoutEntry*> out;
+  for (const HoldoutEntry& e : entries) {
+    if (e.entity == entity) out.push_back(&e);
+  }
+  return out;
+}
+
+namespace {
+
+using util::Rng;
+
+void AddD2Entries(HoldoutCorpus* corpus, Rng* rng, size_t per_entity) {
+  // allevents.in / dl.acm.org style listing sentences.
+  for (size_t i = 0; i < per_entity; ++i) {
+    std::string topic = rng->Choice(Vocab::EventTopics());
+    std::string noun = rng->Choice(Vocab::EventNouns());
+    std::string adj = rng->Choice(Vocab::EventAdjectives());
+    std::string title = adj + " " + topic + " " + noun;
+    std::string org =
+        rng->Bernoulli(0.65) ? RandomOrgName(rng) : RandomPersonName(rng);
+    std::string venue = rng->Choice(Vocab::Venues());
+    std::string address = RandomStreetAddress(rng);
+    std::string csz = RandomCityStateZip(rng);
+    std::string when = RandomDatePhrase(rng) + " at " + RandomClockTime(rng);
+    static const std::vector<std::string> kHostVerb = {
+        "hosted by", "presented by", "organized by", "sponsored by"};
+    std::string host_verb = rng->Choice(kHostVerb);
+
+    std::string context = "The " + title + " is " + host_verb + " " + org +
+                          " at " + venue + " " + address + " " + csz +
+                          " on " + when + ".";
+
+    corpus->entries.push_back({"event_title", title, context});
+    corpus->entries.push_back(
+        {"event_organizer", host_verb + " " + org, context});
+    corpus->entries.push_back(
+        {"event_place", venue + " " + address + " " + csz, context});
+    corpus->entries.push_back({"event_time", when, context});
+
+    std::vector<std::string> pool = Vocab::DescriptionSentencesD2();
+    std::string desc = rng->Choice(pool) + " " + rng->Choice(pool);
+    corpus->entries.push_back({"event_description", desc, desc});
+  }
+}
+
+void AddD3Entries(HoldoutCorpus* corpus, Rng* rng, size_t per_entity) {
+  for (size_t i = 0; i < per_entity; ++i) {
+    std::string name = RandomPersonName(rng);
+    std::string phone = RandomPhone(rng);
+    std::string email = RandomEmail(name, rng);
+    std::string address = RandomStreetAddress(rng) + " " +
+                          RandomCityStateZip(rng);
+    std::string size_line = util::Format(
+        "%d Beds %d Baths %d SqFt", rng->UniformInt(1, 6),
+        rng->UniformInt(1, 4), rng->UniformInt(900, 5200));
+    std::string context = "Contact listing agent " + name + " at " + phone +
+                          " or " + email + " about the property at " +
+                          address + " offering " + size_line + ".";
+
+    corpus->entries.push_back({"broker_name", name, context});
+    corpus->entries.push_back({"broker_phone", phone, context});
+    corpus->entries.push_back({"broker_email", email, context});
+    corpus->entries.push_back({"property_address", address, context});
+    corpus->entries.push_back({"property_size", size_line, context});
+
+    std::string amenity = rng->Choice(Vocab::AmenityPhrases());
+    std::string ptype = rng->Choice(Vocab::PropertyTypes());
+    std::string desc = "This " + util::ToLower(ptype) + " offers " + amenity +
+                       ".";
+    corpus->entries.push_back({"property_description", desc, desc});
+  }
+}
+
+void AddD1Entries(HoldoutCorpus* corpus) {
+  // irs.gov style: 20 two-column tables (field id, field descriptor).
+  for (int face = 0; face < kNumFormFaces; ++face) {
+    std::vector<std::string> labels = FormFaceFieldLabels(face);
+    for (int f = 0; f < kFieldsPerFace; ++f) {
+      std::string entity = util::Format("field_%02d_%02d", face, f);
+      std::string descriptor = util::Format(
+          "%d %s", f + 1, labels[static_cast<size_t>(f)].c_str());
+      corpus->entries.push_back({entity, descriptor, descriptor});
+    }
+  }
+}
+
+}  // namespace
+
+HoldoutCorpus BuildHoldoutCorpus(doc::DatasetId dataset, uint64_t seed,
+                                 size_t entries_per_entity) {
+  HoldoutCorpus corpus;
+  corpus.dataset = dataset;
+  Rng rng(seed ^ 0x401D007ULL);
+  switch (dataset) {
+    case doc::DatasetId::kD1TaxForms:
+      AddD1Entries(&corpus);
+      break;
+    case doc::DatasetId::kD2EventPosters:
+      AddD2Entries(&corpus, &rng, entries_per_entity);
+      break;
+    case doc::DatasetId::kD3RealEstateFlyers:
+      AddD3Entries(&corpus, &rng, entries_per_entity);
+      break;
+  }
+  return corpus;
+}
+
+std::vector<HoldoutSource> HoldoutSources(doc::DatasetId dataset) {
+  switch (dataset) {
+    case doc::DatasetId::kD1TaxForms:
+      return {{"irs.gov", "1988", "1040"}};
+    case doc::DatasetId::kD2EventPosters:
+      return {{"allevents.in", "NY", "04/01-05/31"},
+              {"dl.acm.org", "Talks", "Sorted by views"}};
+    case doc::DatasetId::kD3RealEstateFlyers:
+      return {{"fsbo.com", "NY", "None"},
+              {"homesbyowner.com", "NY", "None"}};
+  }
+  return {};
+}
+
+}  // namespace vs2::datasets

@@ -1,0 +1,55 @@
+#ifndef VS2_DATASETS_HOLDOUT_HPP_
+#define VS2_DATASETS_HOLDOUT_HPP_
+
+/// \file holdout.hpp
+/// Holdout-corpus construction (paper Sec 5.2.1, Table 2). The paper
+/// scrapes fixed-format public-domain websites (irs.gov, allevents.in,
+/// dl.acm.org, fsbo.com, homesbyowner.com) into an annotated, text-only
+/// corpus H = Σ_i (N_i, T_{N_i}); VS2 learns each entity's syntactic
+/// patterns from H by frequent-subtree mining — *distant supervision*,
+/// fully isolated from the evaluation documents.
+///
+/// Here the "scrape" is synthesized: each builder emits the kind of
+/// fixed-format annotated tuples the corresponding website would yield.
+
+#include <string>
+#include <vector>
+
+#include "doc/document.hpp"
+
+namespace vs2::datasets {
+
+/// One (N_i, T_{N_i}) tuple: entity name, its text, and the fixed-format
+/// sentence context the text appeared in.
+struct HoldoutEntry {
+  std::string entity;
+  std::string text;     ///< the annotated entity text (with local syntax)
+  std::string context;  ///< full surrounding sentence
+};
+
+/// The holdout corpus for one IE task.
+struct HoldoutCorpus {
+  doc::DatasetId dataset;
+  std::vector<HoldoutEntry> entries;
+
+  /// All entries of one entity.
+  std::vector<const HoldoutEntry*> EntriesFor(const std::string& entity) const;
+};
+
+/// Synthesizes the holdout corpus for a dataset. `entries_per_entity`
+/// mirrors the paper's "insert until the pattern distribution is
+/// approximately normal or exhausted" stopping rule with a fixed budget.
+HoldoutCorpus BuildHoldoutCorpus(doc::DatasetId dataset, uint64_t seed,
+                                 size_t entries_per_entity = 40);
+
+/// Table 2 provenance rows (website / query / filter), for the spec bench.
+struct HoldoutSource {
+  const char* website;
+  const char* query;
+  const char* filter;
+};
+std::vector<HoldoutSource> HoldoutSources(doc::DatasetId dataset);
+
+}  // namespace vs2::datasets
+
+#endif  // VS2_DATASETS_HOLDOUT_HPP_

@@ -1,0 +1,74 @@
+#include "datasets/pretrained.hpp"
+
+#include "datasets/holdout.hpp"
+#include "datasets/vocab.hpp"
+#include "nlp/tokenizer.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace vs2::datasets {
+namespace {
+
+std::vector<std::string> SentenceTokens(const std::string& sentence) {
+  std::vector<std::string> tokens;
+  for (const std::string& t : nlp::Tokenize(sentence)) {
+    if (t.size() == 1 && !util::HasAlpha(t) && !util::HasDigit(t)) continue;
+    tokens.push_back(util::ToLower(t));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> BackgroundCorpusSentences() {
+  std::vector<std::vector<std::string>> sentences;
+  util::Rng rng(0xE3BEDD17ULL);
+
+  // Holdout-style sentences from all three domains (they are exactly the
+  // fixed-format public text a scraper would return).
+  for (doc::DatasetId id :
+       {doc::DatasetId::kD1TaxForms, doc::DatasetId::kD2EventPosters,
+        doc::DatasetId::kD3RealEstateFlyers}) {
+    HoldoutCorpus corpus = BuildHoldoutCorpus(id, /*seed=*/0xBACC, 60);
+    for (const HoldoutEntry& e : corpus.entries) {
+      sentences.push_back(SentenceTokens(e.context));
+    }
+  }
+
+  // Topic glue sentences so domain words co-occur coherently.
+  for (int i = 0; i < 300; ++i) {
+    std::string s;
+    switch (rng.UniformInt(0, 2)) {
+      case 0:
+        s = "The " + rng.Choice(Vocab::EventAdjectives()) + " " +
+            rng.Choice(Vocab::EventTopics()) + " " +
+            rng.Choice(Vocab::EventNouns()) + " welcomes guests at " +
+            rng.Choice(Vocab::Venues()) + " with music food and friends";
+        break;
+      case 1:
+        s = "This " + rng.Choice(Vocab::PropertyTypes()) + " features " +
+            rng.Choice(Vocab::AmenityPhrases()) + " near " +
+            rng.Choice(Vocab::Cities());
+        break;
+      default:
+        s = "Enter the amount of " +
+            util::ToLower(rng.Choice(Vocab::TaxFieldLabels())) +
+            " on the line for " +
+            util::ToLower(rng.Choice(Vocab::TaxFieldLabels()));
+        break;
+    }
+    sentences.push_back(SentenceTokens(s));
+  }
+  return sentences;
+}
+
+const embed::Embedding& PretrainedEmbedding() {
+  static const embed::Embedding* instance = [] {
+    auto* e = new embed::Embedding(64);
+    e->TrainPpmi(BackgroundCorpusSentences(), /*window=*/5);
+    return e;
+  }();
+  return *instance;
+}
+
+}  // namespace vs2::datasets

@@ -1,0 +1,24 @@
+#ifndef VS2_DATASETS_PRETRAINED_HPP_
+#define VS2_DATASETS_PRETRAINED_HPP_
+
+/// \file pretrained.hpp
+/// The "pre-trained Word2Vec embedding" of the paper (Sec 5.1.2). Since
+/// shipping GoogleNews vectors is impossible offline, a PPMI embedding is
+/// trained once, lazily, on a deterministic synthetic background corpus
+/// drawn from all three document domains — giving topical cosine
+/// similarity for Eq. 1 (semantic merging) and Eq. 2 (ΔSim).
+
+#include "embed/embedding.hpp"
+
+namespace vs2::datasets {
+
+/// Returns the shared pre-trained embedding (thread-safe lazy init;
+/// training takes a few hundred milliseconds once per process).
+const embed::Embedding& PretrainedEmbedding();
+
+/// The background training sentences (exposed for tests).
+std::vector<std::vector<std::string>> BackgroundCorpusSentences();
+
+}  // namespace vs2::datasets
+
+#endif  // VS2_DATASETS_PRETRAINED_HPP_

@@ -1,0 +1,301 @@
+#include "datasets/vocab.hpp"
+
+#include "util/strings.hpp"
+
+namespace vs2::datasets {
+
+const std::vector<std::string>& Vocab::FirstNames() {
+  static const std::vector<std::string> kPool = {
+      // in-gazetteer
+      "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+      "Linda", "David", "Elizabeth", "William", "Barbara", "Richard",
+      "Susan", "Joseph", "Jessica", "Thomas", "Sarah", "Daniel", "Lisa",
+      "Matthew", "Nancy", "Karen", "Kevin", "Brian", "Amanda", "Emily",
+      "Carlos", "Elena", "Miguel", "Sofia", "Priya", "Omar", "Fatima",
+      // out-of-gazetteer (~15%)
+      "Quinlan", "Zadie", "Bram", "Ottoline", "Caspian", "Maren"};
+  return kPool;
+}
+
+const std::vector<std::string>& Vocab::LastNames() {
+  static const std::vector<std::string> kPool = {
+      "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+      "Davis", "Rodriguez", "Martinez", "Wilson", "Anderson", "Taylor",
+      "Moore", "Jackson", "Martin", "Lee", "Thompson", "White", "Harris",
+      "Clark", "Lewis", "Walker", "Young", "Allen", "King", "Wright",
+      "Scott", "Nguyen", "Hill", "Green", "Adams", "Baker", "Campbell",
+      "Patel", "Kim", "Singh", "Kumar",
+      // out-of-gazetteer
+      "Vexley", "Thornquist", "Abernathy-Cole", "Okonkwo", "Marchetti",
+      "Delacroix"};
+  return kPool;
+}
+
+const std::vector<std::string>& Vocab::EventTopics() {
+  static const std::vector<std::string> kPool = {
+      "Databases",  "Jazz",      "Yoga",       "Photography", "Robotics",
+      "Poetry",     "Salsa",     "Chess",      "Pottery",     "Cooking",
+      "Painting",   "Gardening", "Astronomy",  "Coding",      "Theater",
+      "Film",       "History",   "Blues",      "Ballet",      "Improv",
+      "Writing",    "Knitting",  "Archery",    "Cycling",     "Science"};
+  return kPool;
+}
+
+const std::vector<std::string>& Vocab::EventNouns() {
+  static const std::vector<std::string> kPool = {
+      "Workshop", "Concert",  "Festival", "Seminar",  "Lecture",
+      "Class",    "Fair",     "Gala",     "Night",    "Showcase",
+      "Meetup",   "Recital",  "Jam",      "Social",   "Series",
+      "Exhibition", "Fundraiser", "Marathon", "Camp",  "Session"};
+  return kPool;
+}
+
+const std::vector<std::string>& Vocab::EventAdjectives() {
+  static const std::vector<std::string> kPool = {
+      "Annual",   "Spring", "Summer", "Winter", "Fall",  "Community",
+      "Free",     "Live",   "Grand",  "Monthly", "Weekly", "Family",
+      "Downtown", "Open",   "Special", "Beginner", "Advanced", "Midnight"};
+  return kPool;
+}
+
+const std::vector<std::string>& Vocab::Venues() {
+  static const std::vector<std::string> kPool = {
+      "Memorial Hall",      "Riverside Park",   "Weston Auditorium",
+      "Main Library",       "Civic Center",     "Northside Commons",
+      "Franklin Gardens",   "Union Terrace",    "Harmony Theater",
+      "Lakeview Pavilion",  "Founders Hall",    "Prairie Lodge",
+      "The Grove Stage",    "Hawthorne Studio", "Summit Ballroom",
+      "Eastwood Gymnasium", "Cedar Amphitheater", "Oak Room"};
+  return kPool;
+}
+
+const std::vector<std::string>& Vocab::OrgTemplates() {
+  static const std::vector<std::string> kPool = {
+      "{city} {topic} Society",     "{city} {topic} Club",
+      "ACM Student Chapter",        "{last} Foundation",
+      "{city} Parks Department",    "Friends of {city}",
+      "{topic} Collective",         "{city} Arts Council",
+      "The {last} Group",           "{city} Community College",
+      "State University {topic} Department", "{topic} Guild of {city}",
+      "{city} Public Library",      "Rotary Club of {city}"};
+  return kPool;
+}
+
+const std::vector<std::string>& Vocab::Cities() {
+  static const std::vector<std::string> kPool = {
+      "Columbus",   "Cleveland",  "Cincinnati", "Dayton",    "Toledo",
+      "Akron",      "Westerville", "Dublin",    "Hilliard",  "Gahanna",
+      "Chicago",    "Boston",     "Seattle",    "Austin",    "Denver",
+      "Portland",   "Atlanta",    "Madison",    "Nashville", "Buffalo",
+      // out-of-gazetteer
+      "Braxholm", "Tressville"};
+  return kPool;
+}
+
+const std::vector<std::string>& Vocab::StateAbbrevs() {
+  static const std::vector<std::string> kPool = {"OH", "NY", "CA", "TX",
+                                                 "IL", "WA", "MA", "CO",
+                                                 "GA", "TN", "WI", "OR"};
+  return kPool;
+}
+
+const std::vector<std::string>& Vocab::StreetNames() {
+  static const std::vector<std::string> kPool = {
+      "Oak",     "Maple",  "High",    "Main",   "Cedar",   "Walnut",
+      "Elm",     "Chestnut", "Spruce", "Birch", "Summit",  "Franklin",
+      "Madison", "Monroe", "Jefferson", "Grant", "Lincoln", "Park",
+      "Lake",    "River",  "Hilltop", "Meadow", "Sunset",  "Prospect"};
+  return kPool;
+}
+
+const std::vector<std::string>& Vocab::StreetSuffixes() {
+  static const std::vector<std::string> kPool = {
+      "Street", "Avenue", "Road", "Drive", "Lane", "Boulevard",
+      "Court",  "Place",  "Way",  "Parkway"};
+  return kPool;
+}
+
+const std::vector<std::string>& Vocab::DescriptionSentencesD2() {
+  static const std::vector<std::string> kPool = {
+      "Join us for an evening of live music and great food.",
+      "All ages are welcome and admission is free.",
+      "Bring your friends and family for a night to remember.",
+      "Light refreshments will be served during the break.",
+      "Learn the basics from experienced local instructors.",
+      "No prior experience is required for this class.",
+      "Doors open thirty minutes before the show starts.",
+      "Tickets are available online and at the door.",
+      "Come explore hands-on activities for children and adults.",
+      "Proceeds will support local community programs.",
+      "Seating is limited so register early to save your spot.",
+      "Enjoy food trucks, local vendors, and live entertainment.",
+      "Meet fellow enthusiasts and share your latest projects.",
+      "A question and answer session will follow the talk.",
+      "Free parking is available in the garage across the street."};
+  return kPool;
+}
+
+const std::vector<std::string>& Vocab::AmenityPhrases() {
+  static const std::vector<std::string> kPool = {
+      "hardwood floors throughout",
+      "granite counters and stainless appliances",
+      "two car garage with storage",
+      "fenced backyard with mature trees",
+      "walking distance to downtown shops",
+      "newly renovated kitchen and baths",
+      "finished basement with rec room",
+      "ample parking and easy highway access",
+      "close to grocery and restaurants",
+      "vaulted ceilings and bright open floor plan",
+      "new roof and updated mechanicals",
+      "large corner lot in a quiet neighborhood",
+      "ideal for retail or office use",
+      "high visibility location with signage",
+      "move in ready with fresh paint"};
+  return kPool;
+}
+
+const std::vector<std::string>& Vocab::PropertyTypes() {
+  static const std::vector<std::string> kPool = {
+      "Single Family Home", "Townhouse",        "Condo",
+      "Duplex",             "Office Building",  "Retail Space",
+      "Warehouse",          "Mixed Use Building", "Land Lot",
+      "Restaurant Space",   "Apartment Building", "Ranch Home"};
+  return kPool;
+}
+
+const std::vector<std::string>& Vocab::BrokerOrgSuffixes() {
+  static const std::vector<std::string> kPool = {
+      "Realty", "Properties", "Real Estate", "Brokerage", "Group",
+      "Realty LLC", "Properties Inc", "Commercial"};
+  return kPool;
+}
+
+const std::vector<std::string>& Vocab::TaxFieldLabels() {
+  static const std::vector<std::string> kPool = {
+      "Wages salaries tips",            "Taxable interest income",
+      "Dividend income",                "Taxable refunds",
+      "Alimony received",               "Business income",
+      "Capital gain",                   "Total IRA distributions",
+      "Pensions and annuities",         "Rents royalties partnerships",
+      "Farm income",                    "Unemployment compensation",
+      "Social security benefits",       "Other income",
+      "Total income",                   "Moving expenses",
+      "Self employment tax deduction",  "Self employed health insurance",
+      "Keogh retirement plan",          "Penalty on early withdrawal",
+      "Alimony paid",                   "Adjusted gross income",
+      "Itemized deductions",            "Standard deduction",
+      "Exemption amount",               "Taxable income",
+      "Tentative tax",                  "Additional taxes",
+      "Total credits",                  "Foreign tax credit",
+      "Child care credit",              "Elderly credit",
+      "Estimated tax payments",         "Earned income credit",
+      "Amount overpaid",                "Refund amount",
+      "Amount you owe",                 "Total tax",
+      "Federal income tax withheld",    "Excess social security",
+      "Medical and dental expenses",    "State and local taxes",
+      "Real estate taxes",              "Home mortgage interest",
+      "Charitable contributions",       "Casualty losses",
+      "Unreimbursed employee expenses", "Tax preparation fees",
+      "Filing status",                  "Spouse social security number",
+      "Presidential election campaign", "Total number of exemptions",
+      "Dependents first name",          "Dependents relationship",
+      "Qualifying widow status",        "Head of household status",
+      "Interest from seller financed mortgage", "Tax exempt interest",
+      "Ordinary dividends",             "Qualified dividends",
+      "State tax refund",               "Total payments",
+      "Blind spouse checkbox",          "Over 65 checkbox",
+      "Occupation",                     "Daytime phone number",
+      "Signature date",                 "Preparer name"};
+  return kPool;
+}
+
+const std::vector<std::string>& Vocab::EmailDomains() {
+  static const std::vector<std::string> kPool = {
+      "gmail.com",     "yahoo.com",     "outlook.com", "realtypro.com",
+      "homelist.net",  "brokermail.com", "osu.edu",    "cityevents.org"};
+  return kPool;
+}
+
+std::string RandomPersonName(util::Rng* rng) {
+  return rng->Choice(Vocab::FirstNames()) + " " +
+         rng->Choice(Vocab::LastNames());
+}
+
+std::string RandomOrgName(util::Rng* rng) {
+  std::string tmpl = rng->Choice(Vocab::OrgTemplates());
+  tmpl = util::ReplaceAll(tmpl, "{city}", rng->Choice(Vocab::Cities()));
+  tmpl = util::ReplaceAll(tmpl, "{topic}", rng->Choice(Vocab::EventTopics()));
+  tmpl = util::ReplaceAll(tmpl, "{last}", rng->Choice(Vocab::LastNames()));
+  return tmpl;
+}
+
+std::string RandomStreetAddress(util::Rng* rng) {
+  return util::Format("%d %s %s", rng->UniformInt(100, 9999),
+                      rng->Choice(Vocab::StreetNames()).c_str(),
+                      rng->Choice(Vocab::StreetSuffixes()).c_str());
+}
+
+std::string RandomCityStateZip(util::Rng* rng) {
+  return util::Format("%s, %s %05d", rng->Choice(Vocab::Cities()).c_str(),
+                      rng->Choice(Vocab::StateAbbrevs()).c_str(),
+                      rng->UniformInt(10000, 99999));
+}
+
+std::string RandomPhone(util::Rng* rng) {
+  int area = rng->UniformInt(201, 989);
+  int mid = rng->UniformInt(200, 999);
+  int last = rng->UniformInt(0, 9999);
+  switch (rng->UniformInt(0, 2)) {
+    case 0:
+      return util::Format("(%03d) %03d-%04d", area, mid, last);
+    case 1:
+      return util::Format("%03d-%03d-%04d", area, mid, last);
+    default:
+      return util::Format("%03d.%03d.%04d", area, mid, last);
+  }
+}
+
+std::string RandomEmail(const std::string& person_name, util::Rng* rng) {
+  std::vector<std::string> parts = util::SplitWhitespace(person_name);
+  std::string local;
+  if (parts.size() >= 2) {
+    local = util::ToLower(parts[0].substr(0, 1)) + util::ToLower(parts[1]);
+  } else if (!parts.empty()) {
+    local = util::ToLower(parts[0]);
+  } else {
+    local = "agent";
+  }
+  // strip characters emails cannot hold
+  local = util::ReplaceAll(local, "-", "");
+  if (rng->Bernoulli(0.3)) local += std::to_string(rng->UniformInt(1, 99));
+  return local + "@" + rng->Choice(Vocab::EmailDomains());
+}
+
+std::string RandomClockTime(util::Rng* rng) {
+  int hour = rng->UniformInt(1, 12);
+  const char* ampm = rng->Bernoulli(0.8) ? "PM" : "AM";
+  if (rng->Bernoulli(0.5)) {
+    int minute = rng->Bernoulli(0.5) ? 30 : 0;
+    return util::Format("%d:%02d %s", hour, minute, ampm);
+  }
+  return util::Format("%d %s", hour, ampm);
+}
+
+std::string RandomDatePhrase(util::Rng* rng) {
+  static const std::vector<std::string> kWeekdays = {
+      "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday",
+      "Sunday"};
+  static const std::vector<std::string> kMonths = {
+      "January", "February", "March",     "April",   "May",      "June",
+      "July",    "August",   "September", "October", "November", "December"};
+  int day = rng->UniformInt(1, 28);
+  if (rng->Bernoulli(0.6)) {
+    return util::Format("%s, %s %d", rng->Choice(kWeekdays).c_str(),
+                        rng->Choice(kMonths).c_str(), day);
+  }
+  return util::Format("%02d/%02d/%d", rng->UniformInt(1, 12), day,
+                      rng->UniformInt(2024, 2027));
+}
+
+}  // namespace vs2::datasets

@@ -1,0 +1,64 @@
+#ifndef VS2_DATASETS_VOCAB_HPP_
+#define VS2_DATASETS_VOCAB_HPP_
+
+/// \file vocab.hpp
+/// Content pools used by the synthetic dataset generators. Pools
+/// deliberately mix gazetteer-known and out-of-gazetteer entries (~15%)
+/// so NER recall is realistic rather than perfect.
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vs2::datasets {
+
+/// Named pools of generator vocabulary; all accessors return stable
+/// references to compiled-in data.
+struct Vocab {
+  static const std::vector<std::string>& FirstNames();
+  static const std::vector<std::string>& LastNames();
+  static const std::vector<std::string>& EventTopics();
+  static const std::vector<std::string>& EventNouns();
+  static const std::vector<std::string>& EventAdjectives();
+  static const std::vector<std::string>& Venues();
+  static const std::vector<std::string>& OrgTemplates();  ///< with {city}/{topic}/{last}
+  static const std::vector<std::string>& Cities();
+  static const std::vector<std::string>& StateAbbrevs();
+  static const std::vector<std::string>& StreetNames();
+  static const std::vector<std::string>& StreetSuffixes();
+  static const std::vector<std::string>& DescriptionSentencesD2();
+  static const std::vector<std::string>& AmenityPhrases();
+  static const std::vector<std::string>& PropertyTypes();
+  static const std::vector<std::string>& BrokerOrgSuffixes();
+  static const std::vector<std::string>& TaxFieldLabels();
+  static const std::vector<std::string>& EmailDomains();
+};
+
+/// "Jordan Blake" style full name; ~15% of draws use out-of-gazetteer parts.
+std::string RandomPersonName(util::Rng* rng);
+
+/// Organization name, e.g. "Columbus Jazz Society" / "ACM Student Chapter".
+std::string RandomOrgName(util::Rng* rng);
+
+/// Street address "1420 Oak Street".
+std::string RandomStreetAddress(util::Rng* rng);
+
+/// "Columbus, OH 43213".
+std::string RandomCityStateZip(util::Rng* rng);
+
+/// US phone in one of several separator shapes.
+std::string RandomPhone(util::Rng* rng);
+
+/// Email derived from a person name.
+std::string RandomEmail(const std::string& person_name, util::Rng* rng);
+
+/// Clock time like "7:30 PM".
+std::string RandomClockTime(util::Rng* rng);
+
+/// Date phrase like "Saturday, April 12" or "04/12/2026".
+std::string RandomDatePhrase(util::Rng* rng);
+
+}  // namespace vs2::datasets
+
+#endif  // VS2_DATASETS_VOCAB_HPP_

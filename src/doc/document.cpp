@@ -1,0 +1,69 @@
+#include "doc/document.hpp"
+
+#include <algorithm>
+
+namespace vs2::doc {
+
+const char* DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kD1TaxForms:
+      return "D1 (NIST tax forms)";
+    case DatasetId::kD2EventPosters:
+      return "D2 (event posters)";
+    case DatasetId::kD3RealEstateFlyers:
+      return "D3 (real-estate flyers)";
+  }
+  return "unknown";
+}
+
+std::vector<size_t> Document::TextElementIndices() const {
+  std::vector<size_t> out;
+  out.reserve(elements.size());
+  for (size_t i = 0; i < elements.size(); ++i) {
+    if (elements[i].is_text()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> ReadingOrder(const Document& doc,
+                                 std::vector<size_t> indices) {
+  // Estimate a line tolerance from element heights.
+  std::vector<double> heights;
+  heights.reserve(indices.size());
+  for (size_t i : indices) heights.push_back(doc.elements[i].bbox.height);
+  std::sort(heights.begin(), heights.end());
+  double median_h =
+      heights.empty() ? 12.0 : heights[heights.size() / 2];
+  double tol = std::max(1.0, median_h * 0.6);
+
+  std::sort(indices.begin(), indices.end(), [&](size_t a, size_t b) {
+    const util::BBox& ba = doc.elements[a].bbox;
+    const util::BBox& bb = doc.elements[b].bbox;
+    double ya = ba.y + ba.height / 2.0;
+    double yb = bb.y + bb.height / 2.0;
+    if (std::abs(ya - yb) > tol) return ya < yb;
+    return ba.x < bb.x;
+  });
+  return indices;
+}
+
+std::string Document::TextOf(const std::vector<size_t>& indices) const {
+  std::vector<size_t> ordered = ReadingOrder(*this, indices);
+  std::string out;
+  for (size_t i : ordered) {
+    if (!elements[i].is_text()) continue;
+    if (!out.empty()) out.push_back(' ');
+    out += elements[i].text;
+  }
+  return out;
+}
+
+std::string Document::FullText() const { return TextOf(TextElementIndices()); }
+
+util::BBox Document::ContentBounds() const {
+  util::BBox acc;
+  for (const AtomicElement& el : elements) acc = util::Union(acc, el.bbox);
+  return acc;
+}
+
+}  // namespace vs2::doc

@@ -1,0 +1,108 @@
+#ifndef VS2_DOC_DOCUMENT_HPP_
+#define VS2_DOC_DOCUMENT_HPP_
+
+/// \file document.hpp
+/// The document container and its ground-truth annotations.
+///
+/// A `Document` is the input to every segmentation and extraction method in
+/// this library: a page geometry plus a bag of atomic elements (Sec 4.1).
+/// Ground truth (`Annotation`) mirrors the paper's expert annotation
+/// protocol (Sec 6.2): the smallest bounding box containing each named
+/// entity plus the entity label.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "doc/element.hpp"
+#include "util/geometry.hpp"
+
+namespace vs2::doc {
+
+/// Provenance/format of a document; affects OCR quality and which baselines
+/// apply (VIPS and Zhou-ML need markup; mobile captures get heavy noise).
+enum class DocumentFormat : uint8_t {
+  kScannedForm = 0,   ///< D1: scanned structured form
+  kMobileCapture = 1, ///< D2: phone photo of a physical poster
+  kDigitalPdf = 2,    ///< D2: born-digital flyer
+  kHtml = 3,          ///< D3: online listing with markup hints
+};
+
+/// Which experimental dataset a document belongs to.
+enum class DatasetId : uint8_t {
+  kD1TaxForms = 1,
+  kD2EventPosters = 2,
+  kD3RealEstateFlyers = 3,
+};
+
+const char* DatasetName(DatasetId id);
+
+/// \brief A ground-truth named-entity annotation: the smallest bounding box
+/// containing the entity, the entity label, and the canonical text.
+struct Annotation {
+  std::string entity_type;  ///< e.g. "event_title", "broker_phone", "field:7"
+  util::BBox bbox;          ///< averaged expert bounding box
+  std::string text;         ///< canonical entity text
+};
+
+/// \brief A visually rich document: page geometry + atomic elements +
+/// annotations + provenance metadata.
+struct Document {
+  uint64_t id = 0;
+  DatasetId dataset = DatasetId::kD2EventPosters;
+  DocumentFormat format = DocumentFormat::kDigitalPdf;
+
+  double width = 0.0;   ///< page width in layout units (≈ points)
+  double height = 0.0;  ///< page height in layout units
+
+  /// Bag of atomic elements, A_T ∪ A_I.
+  std::vector<AtomicElement> elements;
+
+  /// Expert ground truth (never visible to extractors).
+  std::vector<Annotation> annotations;
+
+  /// Template / form-face identifier for template-based corpora (D1); -1
+  /// when the corpus is free-form. ReportMiner-style baselines key on this.
+  int template_id = -1;
+
+  /// Perceived capture quality in [0, 1]; drives the OCR noise model.
+  /// 1.0 = pristine born-digital, ~0.5 = poor mobile capture.
+  double capture_quality = 1.0;
+
+  /// Page rotation applied at capture time, degrees (skew artifact).
+  double rotation_degrees = 0.0;
+
+  /// Indices of textual elements, in insertion (reading) order.
+  std::vector<size_t> TextElementIndices() const;
+
+  /// Concatenated text of the given element indices, reading order
+  /// (sorted by line, then x).
+  std::string TextOf(const std::vector<size_t>& indices) const;
+
+  /// Full transcription in reading order.
+  std::string FullText() const;
+
+  /// Bounding box of the whole content.
+  util::BBox ContentBounds() const;
+
+  /// True when elements carry markup hints (HTML-ish provenance).
+  bool HasMarkup() const { return format == DocumentFormat::kHtml; }
+};
+
+/// A labelled corpus of documents plus its entity vocabulary.
+struct Corpus {
+  DatasetId dataset = DatasetId::kD2EventPosters;
+  std::vector<Document> documents;
+  std::vector<std::string> entity_types;  ///< the extraction vocabulary N
+};
+
+/// Sorts element indices into reading order (top-to-bottom lines, then
+/// left-to-right within a line, tolerance = half median element height).
+std::vector<size_t> ReadingOrder(const Document& doc,
+                                 std::vector<size_t> indices);
+
+}  // namespace vs2::doc
+
+#endif  // VS2_DOC_DOCUMENT_HPP_

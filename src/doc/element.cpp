@@ -1,0 +1,26 @@
+#include "doc/element.hpp"
+
+namespace vs2::doc {
+
+AtomicElement MakeTextElement(std::string word, util::BBox bbox,
+                              TextStyle style) {
+  AtomicElement el;
+  el.kind = ElementKind::kText;
+  el.text = std::move(word);
+  el.bbox = bbox;
+  el.style = style;
+  el.color = util::RgbToLab(style.color);
+  return el;
+}
+
+AtomicElement MakeImageElement(uint64_t image_id, util::BBox bbox,
+                               util::Rgb average_color) {
+  AtomicElement el;
+  el.kind = ElementKind::kImage;
+  el.image_id = image_id;
+  el.bbox = bbox;
+  el.color = util::RgbToLab(average_color);
+  return el;
+}
+
+}  // namespace vs2::doc

@@ -1,0 +1,86 @@
+#ifndef VS2_DOC_ELEMENT_HPP_
+#define VS2_DOC_ELEMENT_HPP_
+
+/// \file element.hpp
+/// Atomic elements of a visually rich document (paper Sec 4.1).
+///
+/// An atomic element is "the smallest unit of visual content" and is either
+/// a *textual element* (a word, with LAB color and a tight bounding box) or
+/// an *image element* (a bitmap with a bounding box).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/color.hpp"
+#include "util/geometry.hpp"
+
+namespace vs2::doc {
+
+/// Kinds of atomic elements (Sec 4.1).
+enum class ElementKind : uint8_t {
+  kText = 0,
+  kImage = 1,
+};
+
+/// \brief Styling attributes that the renderer and the synthetic generators
+/// attach to text. `font_size` drives the element's bbox height; bold text
+/// renders wider.
+struct TextStyle {
+  double font_size = 12.0;
+  bool bold = false;
+  bool italic = false;
+  util::Rgb color = util::Black();
+
+  bool operator==(const TextStyle&) const = default;
+};
+
+/// \brief An atomic element: `a_t = (text-data, color, width, height)` for
+/// text, `a_i = (image-data, width, height)` for images (Sec 4.1.1–4.1.2).
+///
+/// A "word" is the textual element of a document. Image payloads are kept as
+/// an opaque id plus an average color — the algorithms only consume the
+/// geometry and the color statistics, never the pixels themselves.
+struct AtomicElement {
+  ElementKind kind = ElementKind::kText;
+
+  /// The word, for textual elements; empty for images.
+  std::string text;
+
+  /// Tight bounding box in page coordinates (top-left origin).
+  util::BBox bbox;
+
+  /// Average color in LAB colorspace over the element's visual area.
+  util::Lab color;
+
+  /// Style ground truth used by the renderer (not visible to extractors;
+  /// extractors must recover size cues from `bbox.height`).
+  TextStyle style;
+
+  /// Opaque identifier of the image payload; 0 for text.
+  uint64_t image_id = 0;
+
+  /// Markup hint carried by born-digital documents (HTML-ish corpora, D3).
+  /// 0 = none, 1..6 = heading level h1..h6, 7 = emphasized, 8 = table cell.
+  /// Only markup-aware baselines (VIPS, Zhou-ML) may read this field.
+  int markup_hint = 0;
+
+  /// Index of the source line during generation; -1 when unknown. Used by
+  /// ground-truth bookkeeping, never by extractors.
+  int line_id = -1;
+
+  bool is_text() const { return kind == ElementKind::kText; }
+  bool is_image() const { return kind == ElementKind::kImage; }
+};
+
+/// Convenience builder for a textual element.
+AtomicElement MakeTextElement(std::string word, util::BBox bbox,
+                              TextStyle style = {});
+
+/// Convenience builder for an image element.
+AtomicElement MakeImageElement(uint64_t image_id, util::BBox bbox,
+                               util::Rgb average_color);
+
+}  // namespace vs2::doc
+
+#endif  // VS2_DOC_ELEMENT_HPP_

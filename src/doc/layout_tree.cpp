@@ -1,0 +1,185 @@
+#include "doc/layout_tree.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace vs2::doc {
+namespace {
+
+util::BBox BBoxOfElements(const Document& doc,
+                          const std::vector<size_t>& indices) {
+  util::BBox acc;
+  for (size_t i : indices) acc = util::Union(acc, doc.elements[i].bbox);
+  return acc;
+}
+
+}  // namespace
+
+LayoutTree LayoutTree::ForDocument(const Document& doc) {
+  LayoutTree tree;
+  LayoutNode root;
+  // Capture noise (skew, jitter) can push element boxes slightly past the
+  // nominal page frame; the root must still enclose every element.
+  root.bbox = util::Union(util::BBox{0.0, 0.0, doc.width, doc.height},
+                          doc.ContentBounds());
+  root.element_indices.resize(doc.elements.size());
+  for (size_t i = 0; i < doc.elements.size(); ++i)
+    root.element_indices[i] = i;
+  root.parent = kNoNode;
+  root.depth = 0;
+  tree.nodes_.push_back(std::move(root));
+  return tree;
+}
+
+size_t LayoutTree::AddChild(const Document& doc, size_t parent,
+                            std::vector<size_t> element_indices) {
+  // Compute the bbox before handing the vector over — evaluation order of
+  // function arguments is unspecified and the move would empty it.
+  util::BBox bbox = BBoxOfElements(doc, element_indices);
+  return AddChildWithBBox(parent, bbox, std::move(element_indices));
+}
+
+size_t LayoutTree::AddChildWithBBox(size_t parent, util::BBox bbox,
+                                    std::vector<size_t> element_indices) {
+  LayoutNode node;
+  node.bbox = bbox;
+  node.element_indices = std::move(element_indices);
+  node.parent = parent;
+  node.depth = nodes_[parent].depth + 1;
+  size_t id = nodes_.size();
+  nodes_.push_back(std::move(node));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+Result<size_t> LayoutTree::MergeSiblings(const Document& doc, size_t a,
+                                         size_t b) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    return Status::OutOfRange("MergeSiblings: node id out of range");
+  }
+  if (a == b) return Status::InvalidArgument("MergeSiblings: a == b");
+  LayoutNode& na = nodes_[a];
+  LayoutNode& nb = nodes_[b];
+  if (na.parent != nb.parent || na.parent == kNoNode) {
+    return Status::InvalidArgument("MergeSiblings: nodes are not siblings");
+  }
+  if (!na.IsLeaf() || !nb.IsLeaf()) {
+    return Status::InvalidArgument("MergeSiblings: nodes must be leaves");
+  }
+
+  std::vector<size_t> merged = na.element_indices;
+  merged.insert(merged.end(), nb.element_indices.begin(),
+                nb.element_indices.end());
+  std::sort(merged.begin(), merged.end());
+
+  size_t parent = na.parent;
+  // Detach a and b from the parent, then append the merged node. The old
+  // nodes stay in the arena (tombstoned by having no parent link from the
+  // tree); arena compaction is unnecessary at document scale.
+  auto& siblings = nodes_[parent].children;
+  siblings.erase(std::remove_if(siblings.begin(), siblings.end(),
+                                [&](size_t c) { return c == a || c == b; }),
+                 siblings.end());
+  nodes_[a].parent = kNoNode;
+  nodes_[b].parent = kNoNode;
+  return AddChild(doc, parent, std::move(merged));
+}
+
+std::vector<size_t> LayoutTree::Leaves() const {
+  std::vector<size_t> out;
+  if (nodes_.empty()) return out;
+  std::vector<size_t> stack = {root()};
+  while (!stack.empty()) {
+    size_t id = stack.back();
+    stack.pop_back();
+    const LayoutNode& n = nodes_[id];
+    if (n.IsLeaf()) {
+      out.push_back(id);
+      continue;
+    }
+    // push children in reverse so traversal is pre-order left-to-right
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it)
+      stack.push_back(*it);
+  }
+  return out;
+}
+
+int LayoutTree::Height() const {
+  int height = 0;
+  for (const LayoutNode& n : nodes_) {
+    if (n.parent != kNoNode || (&n == &nodes_[0])) {
+      height = std::max(height, n.depth);
+    }
+  }
+  return height;
+}
+
+Status LayoutTree::Validate(const Document& doc) const {
+  if (nodes_.empty()) return Status::Internal("empty layout tree");
+  constexpr double kEps = 1e-6;
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    const LayoutNode& n = nodes_[id];
+    if (n.parent == kNoNode && id != 0) continue;  // tombstoned merge remnant
+    for (size_t e : n.element_indices) {
+      if (e >= doc.elements.size()) {
+        return Status::Internal("element index out of range");
+      }
+    }
+    std::set<size_t> parent_set(n.element_indices.begin(),
+                                n.element_indices.end());
+    std::set<size_t> seen;
+    for (size_t c : n.children) {
+      const LayoutNode& child = nodes_[c];
+      if (child.parent != id) {
+        return Status::Internal("child parent-link mismatch");
+      }
+      util::BBox grown = n.bbox;
+      grown.x -= kEps;
+      grown.y -= kEps;
+      grown.width += 2 * kEps;
+      grown.height += 2 * kEps;
+      if (!child.bbox.Empty() && !grown.Contains(child.bbox)) {
+        return Status::Internal("child bbox escapes parent bbox");
+      }
+      for (size_t e : child.element_indices) {
+        if (!parent_set.count(e)) {
+          return Status::Internal("child holds element absent from parent");
+        }
+        if (!seen.insert(e).second) {
+          return Status::Internal("siblings share an element");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string LayoutTree::ToAsciiArt(const Document& doc,
+                                   size_t max_preview_chars) const {
+  std::string out;
+  if (nodes_.empty()) return out;
+  struct Frame {
+    size_t id;
+  };
+  std::vector<Frame> stack = {{root()}};
+  while (!stack.empty()) {
+    size_t id = stack.back().id;
+    stack.pop_back();
+    const LayoutNode& n = nodes_[id];
+    std::string preview = doc.TextOf(n.element_indices);
+    if (preview.size() > max_preview_chars) {
+      preview = preview.substr(0, max_preview_chars) + "...";
+    }
+    out += std::string(static_cast<size_t>(n.depth) * 2, ' ');
+    out += util::Format("%s node#%zu %s \"%s\"\n",
+                        n.IsLeaf() ? "leaf" : "area", id,
+                        n.bbox.ToString().c_str(), preview.c_str());
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it)
+      stack.push_back({*it});
+  }
+  return out;
+}
+
+}  // namespace vs2::doc

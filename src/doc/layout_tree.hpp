@@ -1,0 +1,92 @@
+#ifndef VS2_DOC_LAYOUT_TREE_HPP_
+#define VS2_DOC_LAYOUT_TREE_HPP_
+
+/// \file layout_tree.hpp
+/// The hierarchical document layout model T_D = (V, E) of paper Sec 4.2.
+///
+/// Each node represents a visual area by the smallest bounding box enclosing
+/// it; an edge parent→child means the child's area is enclosed by the
+/// parent's. Non-leaf nodes are nested, semantically diverse areas; leaf
+/// nodes — after VS2-Segment converges — are the *logical blocks*.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "doc/document.hpp"
+#include "util/geometry.hpp"
+#include "util/status.hpp"
+
+namespace vs2::doc {
+
+/// Sentinel for "no node".
+inline constexpr size_t kNoNode = static_cast<size_t>(-1);
+
+/// \brief Node n_v = (B, x, y, width, height): a visual area, the indices of
+/// the atomic elements appearing within it, and tree links.
+struct LayoutNode {
+  util::BBox bbox;
+  std::vector<size_t> element_indices;  ///< indices into Document::elements
+  size_t parent = kNoNode;
+  std::vector<size_t> children;
+  int depth = 0;  ///< root = 0
+
+  bool IsLeaf() const { return children.empty(); }
+};
+
+/// \brief The layout tree; owns nodes in a flat arena (indices as links).
+///
+/// Invariants (checked by `Validate`):
+///  * node 0 is the root and covers every element of the document;
+///  * each child's element set is a subset of its parent's;
+///  * the element sets of siblings are disjoint;
+///  * each child's bbox is contained in its parent's bbox (within epsilon).
+class LayoutTree {
+ public:
+  LayoutTree() = default;
+
+  /// Creates a tree whose root holds all elements of `doc`.
+  static LayoutTree ForDocument(const Document& doc);
+
+  /// Adds a child of `parent` covering `element_indices` of `doc`; computes
+  /// the bbox as the union of the elements' boxes. Returns the new node id.
+  size_t AddChild(const Document& doc, size_t parent,
+                  std::vector<size_t> element_indices);
+
+  /// Adds a child with an explicit bbox (used when an area is defined by a
+  /// separator geometry rather than by its content).
+  size_t AddChildWithBBox(size_t parent, util::BBox bbox,
+                          std::vector<size_t> element_indices);
+
+  /// Replaces the children `a` and `b` of a common parent with one merged
+  /// node (used by semantic merging). Returns the merged node id.
+  /// Fails unless `a` and `b` are sibling leaves.
+  Result<size_t> MergeSiblings(const Document& doc, size_t a, size_t b);
+
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  const LayoutNode& node(size_t id) const { return nodes_[id]; }
+  LayoutNode& mutable_node(size_t id) { return nodes_[id]; }
+  size_t root() const { return 0; }
+
+  /// Ids of all leaf nodes (the logical blocks after segmentation),
+  /// pre-order.
+  std::vector<size_t> Leaves() const;
+
+  /// Height of the tree (root-only tree has height 0).
+  int Height() const;
+
+  /// Verifies the structural invariants listed above.
+  Status Validate(const Document& doc) const;
+
+  /// Multi-line ASCII rendering (one node per line, indentation by depth,
+  /// bbox plus a text preview) — regenerates the Fig. 4 illustration.
+  std::string ToAsciiArt(const Document& doc, size_t max_preview_chars = 28) const;
+
+ private:
+  std::vector<LayoutNode> nodes_;
+};
+
+}  // namespace vs2::doc
+
+#endif  // VS2_DOC_LAYOUT_TREE_HPP_

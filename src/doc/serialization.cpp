@@ -1,0 +1,412 @@
+#include "doc/serialization.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace vs2::doc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value model + recursive-descent parser.
+// ---------------------------------------------------------------------------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, std::shared_ptr<JsonValue>>;
+using JsonArray = std::vector<std::shared_ptr<JsonValue>>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  JsonArray array;
+  JsonObject object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<std::shared_ptr<JsonValue>> Parse() {
+    VS2_ASSIGN_OR_RETURN(std::shared_ptr<JsonValue> v, ParseValue());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::shared_ptr<JsonValue>> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of JSON");
+    }
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  Result<std::shared_ptr<JsonValue>> ParseObject() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::kObject;
+    if (!Consume('{')) return Status::InvalidArgument("expected '{'");
+    SkipWs();
+    if (Consume('}')) return v;
+    while (true) {
+      VS2_ASSIGN_OR_RETURN(std::shared_ptr<JsonValue> key, ParseString());
+      if (!Consume(':')) return Status::InvalidArgument("expected ':'");
+      VS2_ASSIGN_OR_RETURN(std::shared_ptr<JsonValue> val, ParseValue());
+      v->object[key->string] = val;
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Status::InvalidArgument("expected ',' or '}' in object");
+    }
+    return v;
+  }
+
+  Result<std::shared_ptr<JsonValue>> ParseArray() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::kArray;
+    if (!Consume('[')) return Status::InvalidArgument("expected '['");
+    SkipWs();
+    if (Consume(']')) return v;
+    while (true) {
+      VS2_ASSIGN_OR_RETURN(std::shared_ptr<JsonValue> item, ParseValue());
+      v->array.push_back(item);
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Status::InvalidArgument("expected ',' or ']' in array");
+    }
+    return v;
+  }
+
+  Result<std::shared_ptr<JsonValue>> ParseString() {
+    SkipWs();
+    if (!Consume('"')) return Status::InvalidArgument("expected '\"'");
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': v->string.push_back('"'); break;
+          case '\\': v->string.push_back('\\'); break;
+          case '/': v->string.push_back('/'); break;
+          case 'n': v->string.push_back('\n'); break;
+          case 't': v->string.push_back('\t'); break;
+          case 'r': v->string.push_back('\r'); break;
+          case 'b': v->string.push_back('\b'); break;
+          case 'f': v->string.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Status::InvalidArgument("truncated \\u escape");
+            }
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Status::InvalidArgument("bad \\u escape digit");
+            }
+            // ASCII-only corpus: encode as UTF-8 for the BMP.
+            if (code < 0x80) {
+              v->string.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              v->string.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              v->string.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              v->string.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              v->string.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              v->string.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Status::InvalidArgument("unknown escape sequence");
+        }
+      } else {
+        v->string.push_back(c);
+      }
+    }
+    return Status::InvalidArgument("unterminated string");
+  }
+
+  Result<std::shared_ptr<JsonValue>> ParseBool() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v->boolean = true;
+      pos_ += 4;
+      return v;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      v->boolean = false;
+      pos_ += 5;
+      return v;
+    }
+    return Status::InvalidArgument("bad literal");
+  }
+
+  Result<std::shared_ptr<JsonValue>> ParseNull() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return std::make_shared<JsonValue>();
+    }
+    return Status::InvalidArgument("bad literal");
+  }
+
+  Result<std::shared_ptr<JsonValue>> ParseNumber() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::InvalidArgument("expected number");
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::kNumber;
+    try {
+      v->number = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return Status::InvalidArgument("malformed number");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Writer helpers.
+// ---------------------------------------------------------------------------
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      case '\r': out->append("\\r"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out->append(util::Format("\\u%04x", c));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string Num(double v) {
+  // Round-trippable compact formatting.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return util::Format("%.0f", v);
+  }
+  return util::Format("%.6g", v);
+}
+
+// Typed field accessors with defaults.
+double GetNum(const JsonObject& obj, const char* key, double fallback) {
+  auto it = obj.find(key);
+  if (it == obj.end() || it->second->kind != JsonValue::Kind::kNumber) {
+    return fallback;
+  }
+  return it->second->number;
+}
+
+std::string GetStr(const JsonObject& obj, const char* key,
+                   const std::string& fallback = "") {
+  auto it = obj.find(key);
+  if (it == obj.end() || it->second->kind != JsonValue::Kind::kString) {
+    return fallback;
+  }
+  return it->second->string;
+}
+
+bool GetBool(const JsonObject& obj, const char* key, bool fallback) {
+  auto it = obj.find(key);
+  if (it == obj.end() || it->second->kind != JsonValue::Kind::kBool) {
+    return fallback;
+  }
+  return it->second->boolean;
+}
+
+}  // namespace
+
+std::string ToJson(const Document& d) {
+  std::string out = "{";
+  out += util::Format("\"id\":%llu,", static_cast<unsigned long long>(d.id));
+  out += util::Format("\"dataset\":%d,", static_cast<int>(d.dataset));
+  out += util::Format("\"format\":%d,", static_cast<int>(d.format));
+  out += "\"width\":" + Num(d.width) + ",\"height\":" + Num(d.height) + ",";
+  out += "\"capture_quality\":" + Num(d.capture_quality) + ",";
+  out += util::Format("\"template_id\":%d,", d.template_id);
+  out += "\"rotation_degrees\":" + Num(d.rotation_degrees) + ",";
+
+  out += "\"elements\":[";
+  for (size_t i = 0; i < d.elements.size(); ++i) {
+    const AtomicElement& el = d.elements[i];
+    if (i > 0) out.push_back(',');
+    out += "{";
+    out += el.is_text() ? "\"kind\":\"text\"," : "\"kind\":\"image\",";
+    if (el.is_text()) {
+      out += "\"text\":";
+      AppendEscaped(&out, el.text);
+      out += ",";
+      out += "\"font_size\":" + Num(el.style.font_size) + ",";
+      out += std::string("\"bold\":") + (el.style.bold ? "true," : "false,");
+      out += std::string("\"italic\":") +
+             (el.style.italic ? "true," : "false,");
+      out += util::Format("\"r\":%d,\"g\":%d,\"b\":%d,", el.style.color.r,
+                          el.style.color.g, el.style.color.b);
+    } else {
+      out += util::Format("\"image_id\":%llu,",
+                          static_cast<unsigned long long>(el.image_id));
+    }
+    out += "\"x\":" + Num(el.bbox.x) + ",\"y\":" + Num(el.bbox.y) +
+           ",\"w\":" + Num(el.bbox.width) + ",\"h\":" + Num(el.bbox.height) +
+           ",";
+    out += util::Format("\"markup_hint\":%d,\"line_id\":%d", el.markup_hint,
+                        el.line_id);
+    out += "}";
+  }
+  out += "],";
+
+  out += "\"annotations\":[";
+  for (size_t i = 0; i < d.annotations.size(); ++i) {
+    const Annotation& a = d.annotations[i];
+    if (i > 0) out.push_back(',');
+    out += "{\"entity\":";
+    AppendEscaped(&out, a.entity_type);
+    out += ",\"x\":" + Num(a.bbox.x) + ",\"y\":" + Num(a.bbox.y) +
+           ",\"w\":" + Num(a.bbox.width) + ",\"h\":" + Num(a.bbox.height) +
+           ",\"text\":";
+    AppendEscaped(&out, a.text);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Result<Document> FromJson(const std::string& json) {
+  JsonParser parser(json);
+  VS2_ASSIGN_OR_RETURN(std::shared_ptr<JsonValue> root, parser.Parse());
+  if (root->kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("document JSON must be an object");
+  }
+  const JsonObject& obj = root->object;
+
+  Document d;
+  d.id = static_cast<uint64_t>(GetNum(obj, "id", 0));
+  int dataset = static_cast<int>(GetNum(obj, "dataset", 2));
+  if (dataset < 1 || dataset > 3) {
+    return Status::InvalidArgument("dataset must be 1, 2 or 3");
+  }
+  d.dataset = static_cast<DatasetId>(dataset);
+  int format = static_cast<int>(GetNum(obj, "format", 2));
+  if (format < 0 || format > 3) {
+    return Status::InvalidArgument("format must be in [0, 3]");
+  }
+  d.format = static_cast<DocumentFormat>(format);
+  d.width = GetNum(obj, "width", 0.0);
+  d.height = GetNum(obj, "height", 0.0);
+  if (d.width <= 0.0 || d.height <= 0.0) {
+    return Status::InvalidArgument("document must have positive page size");
+  }
+  d.capture_quality = GetNum(obj, "capture_quality", 1.0);
+  d.template_id = static_cast<int>(GetNum(obj, "template_id", -1));
+  d.rotation_degrees = GetNum(obj, "rotation_degrees", 0.0);
+
+  auto elements_it = obj.find("elements");
+  if (elements_it != obj.end() &&
+      elements_it->second->kind == JsonValue::Kind::kArray) {
+    for (const auto& item : elements_it->second->array) {
+      if (item->kind != JsonValue::Kind::kObject) {
+        return Status::InvalidArgument("element must be an object");
+      }
+      const JsonObject& e = item->object;
+      util::BBox bbox{GetNum(e, "x", 0), GetNum(e, "y", 0),
+                      GetNum(e, "w", 0), GetNum(e, "h", 0)};
+      std::string kind = GetStr(e, "kind", "text");
+      if (kind == "text") {
+        TextStyle style;
+        style.font_size = GetNum(e, "font_size", 12.0);
+        style.bold = GetBool(e, "bold", false);
+        style.italic = GetBool(e, "italic", false);
+        style.color = util::Rgb{
+            static_cast<uint8_t>(GetNum(e, "r", 0)),
+            static_cast<uint8_t>(GetNum(e, "g", 0)),
+            static_cast<uint8_t>(GetNum(e, "b", 0))};
+        AtomicElement el = MakeTextElement(GetStr(e, "text"), bbox, style);
+        el.markup_hint = static_cast<int>(GetNum(e, "markup_hint", 0));
+        el.line_id = static_cast<int>(GetNum(e, "line_id", -1));
+        d.elements.push_back(std::move(el));
+      } else if (kind == "image") {
+        AtomicElement el = MakeImageElement(
+            static_cast<uint64_t>(GetNum(e, "image_id", 0)), bbox,
+            util::SlateGray());
+        el.markup_hint = static_cast<int>(GetNum(e, "markup_hint", 0));
+        d.elements.push_back(std::move(el));
+      } else {
+        return Status::InvalidArgument("element kind must be text or image");
+      }
+    }
+  }
+
+  auto ann_it = obj.find("annotations");
+  if (ann_it != obj.end() &&
+      ann_it->second->kind == JsonValue::Kind::kArray) {
+    for (const auto& item : ann_it->second->array) {
+      if (item->kind != JsonValue::Kind::kObject) {
+        return Status::InvalidArgument("annotation must be an object");
+      }
+      const JsonObject& a = item->object;
+      Annotation ann;
+      ann.entity_type = GetStr(a, "entity");
+      ann.bbox = util::BBox{GetNum(a, "x", 0), GetNum(a, "y", 0),
+                            GetNum(a, "w", 0), GetNum(a, "h", 0)};
+      ann.text = GetStr(a, "text");
+      d.annotations.push_back(std::move(ann));
+    }
+  }
+  return d;
+}
+
+}  // namespace vs2::doc

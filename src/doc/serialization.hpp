@@ -1,0 +1,49 @@
+#ifndef VS2_DOC_SERIALIZATION_HPP_
+#define VS2_DOC_SERIALIZATION_HPP_
+
+/// \file serialization.hpp
+/// JSON import/export for documents — the integration surface for real
+/// deployments: an OCR front-end (Tesseract's TSV/hOCR, a cloud OCR API)
+/// is converted into this JSON shape and fed to the pipeline; extraction
+/// results are read back out programmatically.
+///
+/// The dialect is plain JSON (UTF-8, no comments). Document shape:
+/// ```json
+/// {
+///   "id": 7, "dataset": 2, "format": 1,
+///   "width": 560.0, "height": 740.0,
+///   "capture_quality": 0.8,
+///   "template_id": -1,
+///   "elements": [
+///     {"kind": "text", "text": "Jazz", "x": 10, "y": 20, "w": 40, "h": 14,
+///      "font_size": 12.0, "bold": false, "r": 0, "g": 0, "b": 0,
+///      "markup_hint": 0, "line_id": 3},
+///     {"kind": "image", "image_id": 4, "x": 0, "y": 0, "w": 9, "h": 9}
+///   ],
+///   "annotations": [
+///     {"entity": "event_title", "x": 10, "y": 20, "w": 200, "h": 30,
+///      "text": "Jazz Night"}
+///   ]
+/// }
+/// ```
+/// A hand-rolled writer/parser keeps the library dependency-free; the
+/// parser accepts any standards-compliant JSON for this schema and rejects
+/// malformed input with a descriptive `Status`.
+
+#include <string>
+
+#include "doc/document.hpp"
+#include "util/status.hpp"
+
+namespace vs2::doc {
+
+/// Serializes a document (elements + annotations + metadata) to JSON.
+std::string ToJson(const Document& document);
+
+/// Parses a document from JSON produced by `ToJson` (or any conforming
+/// producer). Unknown keys are ignored; missing optional keys default.
+Result<Document> FromJson(const std::string& json);
+
+}  // namespace vs2::doc
+
+#endif  // VS2_DOC_SERIALIZATION_HPP_

@@ -1,0 +1,85 @@
+#ifndef VS2_EMBED_EMBEDDING_HPP_
+#define VS2_EMBED_EMBEDDING_HPP_
+
+/// \file embedding.hpp
+/// Word-embedding substrate standing in for the paper's pre-trained
+/// Word2Vec vectors (Sec 5.1.2, Eq. 1; Sec 5.3.2, Eq. 2).
+///
+/// Two sources are combined:
+///  * a **PPMI-trained** component: positive pointwise mutual information
+///    over a training corpus's co-occurrence counts, sketched into a fixed
+///    dimension via deterministic random projection (sign hashing). This is
+///    the topical-similarity signal semantic merging needs.
+///  * a **character-n-gram hash** component for out-of-vocabulary words:
+///    OCR-corrupted words share most of their trigrams with the clean word
+///    and therefore remain nearby in embedding space — mirroring how
+///    subword-aware embeddings degrade gracefully under transcription noise.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace vs2::embed {
+
+/// Interns words to dense ids.
+class Vocabulary {
+ public:
+  /// Returns the id of `word`, interning it if new.
+  int Intern(const std::string& word);
+
+  /// Returns the id of `word` or -1 when unknown.
+  int Lookup(const std::string& word) const;
+
+  const std::string& WordOf(int id) const { return words_[static_cast<size_t>(id)]; }
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_map<std::string, int> ids_;
+  std::vector<std::string> words_;
+};
+
+/// \brief The embedding space. Immutable after training; thread-compatible.
+class Embedding {
+ public:
+  explicit Embedding(int dim = 64);
+
+  int dim() const { return dim_; }
+
+  /// \brief Trains the PPMI component from tokenized sentences.
+  ///
+  /// Symmetric window of `window` tokens; words are lowercased by the
+  /// caller. Safe to call once; a second call retrains from scratch.
+  void TrainPpmi(const std::vector<std::vector<std::string>>& sentences,
+                 int window = 4);
+
+  /// Number of in-vocabulary (trained) words.
+  size_t TrainedVocabSize() const { return vectors_.size(); }
+
+  /// Unit-norm vector for a word: trained vector when in vocabulary,
+  /// blended with the n-gram hash vector; pure hash vector otherwise.
+  std::vector<float> Embed(const std::string& word) const;
+
+  /// Mean of the word vectors of whitespace-tokenized `text`, renormalized;
+  /// the zero vector for empty text.
+  std::vector<float> EmbedText(const std::string& text) const;
+
+  /// Cosine similarity of two words in [-1, 1].
+  double Similarity(const std::string& a, const std::string& b) const;
+
+  /// Cosine similarity of two texts' mean vectors.
+  double TextSimilarity(const std::string& a, const std::string& b) const;
+
+ private:
+  std::vector<float> HashVector(const std::string& word) const;
+  static void Normalize(std::vector<float>* v);
+
+  int dim_;
+  Vocabulary vocab_;
+  std::vector<std::vector<float>> vectors_;  ///< indexed by vocab id
+};
+
+}  // namespace vs2::embed
+
+#endif  // VS2_EMBED_EMBEDDING_HPP_

@@ -1,0 +1,170 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace vs2::eval {
+namespace {
+
+struct Pair {
+  size_t proposal;
+  size_t truth;
+  double iou;
+};
+
+/// Greedy one-to-one matching by descending IoU above the threshold.
+size_t GreedyMatch(const std::vector<util::BBox>& proposals,
+                   const std::vector<util::BBox>& truths,
+                   const std::vector<bool>& label_ok) {
+  std::vector<Pair> pairs;
+  for (size_t p = 0; p < proposals.size(); ++p) {
+    for (size_t t = 0; t < truths.size(); ++t) {
+      if (!label_ok[p * truths.size() + t]) continue;
+      double iou = util::IoU(proposals[p], truths[t]);
+      if (iou > kIouThreshold) pairs.push_back({p, t, iou});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& a, const Pair& b) { return a.iou > b.iou; });
+  std::vector<bool> p_used(proposals.size(), false);
+  std::vector<bool> t_used(truths.size(), false);
+  size_t matches = 0;
+  for (const Pair& pair : pairs) {
+    if (p_used[pair.proposal] || t_used[pair.truth]) continue;
+    p_used[pair.proposal] = true;
+    t_used[pair.truth] = true;
+    ++matches;
+  }
+  return matches;
+}
+
+}  // namespace
+
+PrCounts ScoreSegmentation(const std::vector<util::BBox>& proposals,
+                           const doc::Document& ground_truth) {
+  PrCounts counts;
+  counts.actual = ground_truth.annotations.size();
+  std::vector<util::BBox> truths;
+  truths.reserve(ground_truth.annotations.size());
+  for (const doc::Annotation& a : ground_truth.annotations) {
+    truths.push_back(a.bbox);
+  }
+  // Only *entity proposals* enter the precision denominator: a proposal
+  // that touches no annotated entity region (decoration, blank margins,
+  // body filler the experts did not annotate) is neither right nor wrong
+  // about entity localization. Fragmenting or swallowing an entity region,
+  // however, produces overlapping-but-inaccurate proposals that do count
+  // against precision — the paper's over-/under-segmentation errors.
+  std::vector<util::BBox> entity_proposals;
+  for (const util::BBox& p : proposals) {
+    if (p.Area() < 25.0) continue;  // sub-word noise (specks), not proposals
+    for (const util::BBox& t : truths) {
+      if (util::Intersect(p, t).Area() >
+          0.25 * std::min(p.Area(), t.Area())) {
+        entity_proposals.push_back(p);
+        break;
+      }
+    }
+  }
+  counts.predicted = entity_proposals.size();
+  std::vector<bool> label_ok(
+      std::max<size_t>(entity_proposals.size() * truths.size(), 1), true);
+  counts.true_positives = GreedyMatch(entity_proposals, truths, label_ok);
+  return counts;
+}
+
+PrCounts ScoreEndToEnd(const std::vector<LabeledPrediction>& predictions,
+                       const doc::Document& ground_truth) {
+  PrCounts counts;
+  counts.predicted = predictions.size();
+  counts.actual = ground_truth.annotations.size();
+  const auto& truths = ground_truth.annotations;
+
+  // Greedy one-to-one matching: a prediction matches an annotation when
+  // labels agree and either its context box or its matched-span box clears
+  // the IoU threshold.
+  struct Pair {
+    size_t p;
+    size_t t;
+    double iou;
+  };
+  std::vector<Pair> pairs;
+  for (size_t p = 0; p < predictions.size(); ++p) {
+    for (size_t t = 0; t < truths.size(); ++t) {
+      if (predictions[p].entity != truths[t].entity_type) continue;
+      double iou = std::max(util::IoU(predictions[p].bbox, truths[t].bbox),
+                            util::IoU(predictions[p].span_bbox,
+                                      truths[t].bbox));
+      // A prediction also counts when the extracted *text* agrees with
+      // the canonical entity text (OCR-tolerant token matching): phase 2
+      // measures classification of the extracted value, and a correct
+      // value whose box was fragmented by noise is still a correct
+      // extraction.
+      if (iou <= kIouThreshold &&
+          TextMatches(predictions[p].text, truths[t].text)) {
+        iou = kIouThreshold + 1e-6;
+      }
+      if (iou > kIouThreshold) pairs.push_back({p, t, iou});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& a, const Pair& b) { return a.iou > b.iou; });
+  std::vector<bool> p_used(predictions.size(), false);
+  std::vector<bool> t_used(truths.size(), false);
+  for (const Pair& pair : pairs) {
+    if (p_used[pair.p] || t_used[pair.t]) continue;
+    p_used[pair.p] = true;
+    t_used[pair.t] = true;
+    ++counts.true_positives;
+  }
+  return counts;
+}
+
+PrCounts ScoreEndToEndForEntity(
+    const std::vector<LabeledPrediction>& predictions,
+    const doc::Document& ground_truth, const std::string& entity) {
+  std::vector<LabeledPrediction> filtered;
+  for (const LabeledPrediction& p : predictions) {
+    if (p.entity == entity) filtered.push_back(p);
+  }
+  doc::Document truth_view = ground_truth;
+  truth_view.annotations.clear();
+  for (const doc::Annotation& a : ground_truth.annotations) {
+    if (a.entity_type == entity) truth_view.annotations.push_back(a);
+  }
+  // Element payloads are irrelevant for scoring; annotations drive it.
+  return ScoreEndToEnd(filtered, truth_view);
+}
+
+bool TextMatches(const std::string& predicted, const std::string& truth) {
+  auto tokens_of = [](const std::string& text) {
+    std::vector<std::string> out;
+    for (const std::string& piece : util::SplitWhitespace(text)) {
+      std::string t = util::ToLower(util::StripChars(piece, ".,;:!?()[]|"));
+      if (!t.empty()) out.push_back(t);
+    }
+    return out;
+  };
+  std::vector<std::string> pred = tokens_of(predicted);
+  std::vector<std::string> gt = tokens_of(truth);
+  if (gt.empty() || pred.empty()) return false;
+  if (pred.size() > gt.size() * 3 + 2) return false;  // page dumps
+
+  std::vector<bool> used(pred.size(), false);
+  size_t matched = 0;
+  for (const std::string& g : gt) {
+    size_t budget = std::max<size_t>(1, g.size() / 4);
+    for (size_t p = 0; p < pred.size(); ++p) {
+      if (used[p]) continue;
+      if (util::Levenshtein(g, pred[p]) <= budget) {
+        used[p] = true;
+        ++matched;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(matched) >= 0.65 * static_cast<double>(gt.size());
+}
+
+}  // namespace vs2::eval

@@ -1,0 +1,87 @@
+#ifndef VS2_EVAL_METRICS_HPP_
+#define VS2_EVAL_METRICS_HPP_
+
+/// \file metrics.hpp
+/// The paper's two-phase evaluation protocol (Sec 6.2):
+///  * **Phase 1 (segmentation)** — a bounding-box proposal is accurate when
+///    its IoU against a ground-truth entity box exceeds 0.65 (the
+///    PASCAL-VOC protocol of Everingham et al.); labels are ignored.
+///  * **Phase 2 (end-to-end)** — a prediction is accurate when it is
+///    localized (IoU > 0.65 against the ground-truth box of the same
+///    document) *and* its predicted entity label matches.
+/// Precision and recall are reported for both phases.
+
+#include <string>
+#include <vector>
+
+#include "doc/document.hpp"
+#include "util/geometry.hpp"
+
+namespace vs2::eval {
+
+/// IoU acceptance threshold (Sec 6.2).
+inline constexpr double kIouThreshold = 0.65;
+
+/// Counts that accumulate across documents.
+struct PrCounts {
+  size_t true_positives = 0;
+  size_t predicted = 0;  ///< total proposals / predictions
+  size_t actual = 0;     ///< total ground-truth entities
+
+  double Precision() const {
+    return predicted == 0 ? 0.0
+                          : static_cast<double>(true_positives) / predicted;
+  }
+  double Recall() const {
+    return actual == 0 ? 0.0
+                       : static_cast<double>(true_positives) / actual;
+  }
+  double F1() const {
+    double p = Precision();
+    double r = Recall();
+    return (p + r) <= 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+
+  void Add(const PrCounts& other) {
+    true_positives += other.true_positives;
+    predicted += other.predicted;
+    actual += other.actual;
+  }
+};
+
+/// \brief Phase-1 scoring for one document: greedy one-to-one matching of
+/// proposals to ground-truth boxes at IoU > 0.65 (highest IoU first).
+PrCounts ScoreSegmentation(const std::vector<util::BBox>& proposals,
+                           const doc::Document& ground_truth);
+
+/// A labelled end-to-end prediction. Extractors report both the logical
+/// block the entity was found in (`bbox`) and, when available, the exact
+/// matched span (`span_bbox`); localization is credited when either box
+/// aligns with the expert annotation at IoU > 0.65.
+struct LabeledPrediction {
+  std::string entity;
+  util::BBox bbox;       ///< context block (text extent)
+  std::string text;
+  util::BBox span_bbox;  ///< exact matched span; may be empty
+};
+
+/// \brief Phase-2 scoring for one document: a prediction is a true
+/// positive when a ground-truth annotation with the same entity label has
+/// IoU > 0.65 with it (one-to-one, highest IoU first).
+PrCounts ScoreEndToEnd(const std::vector<LabeledPrediction>& predictions,
+                       const doc::Document& ground_truth);
+
+/// Phase-2 scoring restricted to a single entity type.
+PrCounts ScoreEndToEndForEntity(
+    const std::vector<LabeledPrediction>& predictions,
+    const doc::Document& ground_truth, const std::string& entity);
+
+/// \brief OCR-tolerant text agreement between an extracted string and the
+/// canonical entity text: ≥ 65% of the ground-truth tokens must appear in
+/// the prediction (edit distance ≤ 1, or ≤ len/4 for long tokens), and the
+/// prediction must not be a dump (> 3× the ground-truth length + 2).
+bool TextMatches(const std::string& predicted, const std::string& truth);
+
+}  // namespace vs2::eval
+
+#endif  // VS2_EVAL_METRICS_HPP_

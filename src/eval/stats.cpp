@@ -1,0 +1,172 @@
+#include "eval/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace vs2::eval {
+namespace {
+
+double LogGamma(double x) { return std::lgamma(x); }
+
+// Lentz's continued fraction for the incomplete beta function.
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 200;
+  constexpr double kEps = 3e-12;
+  constexpr double kFpMin = 1e-300;
+
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+double SampleVariance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double mu = util::Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  double ln_beta = LogGamma(a + b) - LogGamma(a) - LogGamma(b) +
+                   a * std::log(x) + b * std::log(1.0 - x);
+  double front = std::exp(ln_beta);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  TTestResult result;
+  if (a.size() < 2 || b.size() < 2) return result;
+  double ma = util::Mean(a);
+  double mb = util::Mean(b);
+  double va = SampleVariance(a);
+  double vb = SampleVariance(b);
+  double na = static_cast<double>(a.size());
+  double nb = static_cast<double>(b.size());
+  double se2 = va / na + vb / nb;
+  if (se2 <= 0.0) {
+    result.p_value = (ma == mb) ? 1.0 : 0.0;
+    return result;
+  }
+  result.t_statistic = (ma - mb) / std::sqrt(se2);
+  double num = se2 * se2;
+  double den = (va / na) * (va / na) / (na - 1.0) +
+               (vb / nb) * (vb / nb) / (nb - 1.0);
+  result.degrees_of_freedom = den > 0.0 ? num / den : na + nb - 2.0;
+
+  // Two-sided p from the t CDF via the incomplete beta function.
+  double t = std::abs(result.t_statistic);
+  double df = result.degrees_of_freedom;
+  double x = df / (df + t * t);
+  result.p_value = RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+  return result;
+}
+
+ShapiroWilkResult ShapiroWilk(const std::vector<double>& xs) {
+  ShapiroWilkResult result;
+  size_t n = xs.size();
+  if (n < 3) return result;
+
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+
+  // Royston-style coefficients from the expected normal order statistics
+  // m_i = Φ⁻¹((i − 3/8)/(n + 1/4)), normalized.
+  auto norm_quantile = [](double p) {
+    // Acklam's rational approximation of Φ⁻¹.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    double q, r;
+    if (p < 0.02425) {
+      q = std::sqrt(-2.0 * std::log(p));
+      return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+              c[5]) /
+             ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p > 1.0 - 0.02425) {
+      q = std::sqrt(-2.0 * std::log(1.0 - p));
+      return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+               c[5]) /
+             ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  };
+
+  std::vector<double> m(n);
+  double m_norm2 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double p = (static_cast<double>(i + 1) - 0.375) /
+               (static_cast<double>(n) + 0.25);
+    m[i] = norm_quantile(p);
+    m_norm2 += m[i] * m[i];
+  }
+  double inv_norm = 1.0 / std::sqrt(m_norm2);
+
+  double numerator = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    numerator += m[i] * inv_norm * sorted[i];
+  }
+  numerator *= numerator;
+
+  double mu = util::Mean(sorted);
+  double ss = 0.0;
+  for (double x : sorted) ss += (x - mu) * (x - mu);
+  if (ss <= 0.0) return result;  // constant sample: W undefined
+
+  result.w_statistic = numerator / ss;
+  double cutoff = 0.9 - 2.0 / static_cast<double>(n);
+  result.approximately_normal = result.w_statistic > cutoff;
+  return result;
+}
+
+}  // namespace vs2::eval

@@ -1,0 +1,44 @@
+#ifndef VS2_EVAL_STATS_HPP_
+#define VS2_EVAL_STATS_HPP_
+
+/// \file stats.hpp
+/// Statistical tests the paper leans on: the t-test behind "the average
+/// improvement … was statistically significant (t-test reveals p < 0.05)"
+/// (Sec 6.4) and the Shapiro–Wilk normality test used as the holdout-corpus
+/// stopping rule ("until the distribution … was approximately normal",
+/// Sec 5.2.1; the paper cites Shapiro & Wilk 1965).
+
+#include <vector>
+
+namespace vs2::eval {
+
+/// Result of Welch's two-sample t-test.
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value = 1.0;  ///< two-sided
+};
+
+/// Welch's unequal-variance t-test over two samples. Returns p = 1 for
+/// degenerate inputs (fewer than 2 observations in either sample).
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// Result of the Shapiro–Wilk test.
+struct ShapiroWilkResult {
+  double w_statistic = 0.0;  ///< in (0, 1]; near 1 = consistent with normal
+  bool approximately_normal = false;  ///< W above the n-dependent cutoff
+};
+
+/// Shapiro–Wilk W statistic (Royston's approximation of the coefficients)
+/// for 3 ≤ n ≤ 5000. The boolean uses the conventional α = 0.05 cutoff
+/// approximated by W > 0.9 − 2/n (adequate for the corpus stopping rule).
+ShapiroWilkResult ShapiroWilk(const std::vector<double>& xs);
+
+/// Regularized incomplete beta function I_x(a, b) (continued fraction),
+/// used for the t-distribution CDF. Exposed for tests.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+}  // namespace vs2::eval
+
+#endif  // VS2_EVAL_STATS_HPP_

@@ -1,0 +1,49 @@
+#include "eval/table.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace vs2::eval {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::Render() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (size_t c = 0; c < header_.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      out += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return out + "\n";
+  };
+  std::string out = render_row(header_);
+  std::string sep = "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Pct(double ratio) {
+  return util::Format("%.2f", ratio * 100.0);
+}
+
+}  // namespace vs2::eval

@@ -1,0 +1,33 @@
+#ifndef VS2_EVAL_TABLE_HPP_
+#define VS2_EVAL_TABLE_HPP_
+
+/// \file table.hpp
+/// ASCII table renderer used by the bench binaries to print paper-shaped
+/// tables (Tables 5–9) to stdout.
+
+#include <string>
+#include <vector>
+
+namespace vs2::eval {
+
+/// Simple column-aligned table with a header row.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column padding and a separator under the header.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a ratio as a percentage with two decimals, e.g. "88.26".
+std::string Pct(double ratio);
+
+}  // namespace vs2::eval
+
+#endif  // VS2_EVAL_TABLE_HPP_

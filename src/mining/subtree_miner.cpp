@@ -1,0 +1,285 @@
+#include "mining/subtree_miner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace vs2::mining {
+namespace {
+
+// Children lists materialized from the parent array.
+std::vector<std::vector<int>> ChildrenOf(const FlatTree& t) {
+  std::vector<std::vector<int>> children(t.size());
+  for (size_t i = 1; i < t.size(); ++i) {
+    children[static_cast<size_t>(t.parents[i])].push_back(
+        static_cast<int>(i));
+  }
+  return children;
+}
+
+// True when pattern node `p` can be matched at tree node `t` (labels equal,
+// pattern children map to an order-preserving subsequence of tree children,
+// recursively).
+bool MatchAt(const FlatTree& tree, const std::vector<std::vector<int>>& tch,
+             const FlatTree& pattern,
+             const std::vector<std::vector<int>>& pch, int t, int p) {
+  if (tree.labels[static_cast<size_t>(t)] !=
+      pattern.labels[static_cast<size_t>(p)]) {
+    return false;
+  }
+  const std::vector<int>& pc = pch[static_cast<size_t>(p)];
+  const std::vector<int>& tc = tch[static_cast<size_t>(t)];
+  if (pc.empty()) return true;
+  if (pc.size() > tc.size()) return false;
+  // Greedy-with-backtracking via DP: can pattern children pc[i..] match an
+  // increasing subsequence of tree children tc[j..]?
+  size_t np = pc.size(), nt = tc.size();
+  // dp[i][j]: pc[i..] matchable within tc[j..]
+  std::vector<std::vector<char>> dp(np + 1, std::vector<char>(nt + 1, 0));
+  for (size_t j = 0; j <= nt; ++j) dp[np][j] = 1;
+  for (size_t i = np; i-- > 0;) {
+    for (size_t j = nt; j-- > 0;) {
+      bool take = false;
+      if (nt - j >= np - i) {
+        if (MatchAt(tree, tch, pattern, pch, tc[j], pc[i])) {
+          take = dp[i + 1][j + 1] != 0;
+        }
+        take = take || dp[i][j + 1] != 0;
+      }
+      dp[i][j] = take ? 1 : 0;
+    }
+  }
+  return dp[0][0] != 0;
+}
+
+// Candidate pattern in (label, depth) preorder encoding; depth[0] == 0.
+struct Encoded {
+  std::vector<std::string> labels;
+  std::vector<int> depths;
+
+  bool operator<(const Encoded& other) const {
+    if (labels != other.labels) return labels < other.labels;
+    return depths < other.depths;
+  }
+
+  FlatTree ToTree() const {
+    FlatTree t;
+    t.labels = labels;
+    t.parents.assign(labels.size(), -1);
+    std::vector<int> last_at_depth(labels.size() + 1, -1);
+    for (size_t i = 0; i < labels.size(); ++i) {
+      int d = depths[i];
+      if (d > 0) t.parents[i] = last_at_depth[static_cast<size_t>(d - 1)];
+      last_at_depth[static_cast<size_t>(d)] = static_cast<int>(i);
+    }
+    return t;
+  }
+};
+
+}  // namespace
+
+Status FlatTree::Validate() const {
+  if (labels.size() != parents.size()) {
+    return Status::InvalidArgument("labels/parents size mismatch");
+  }
+  if (labels.empty()) return Status::InvalidArgument("empty tree");
+  if (parents[0] != -1) return Status::InvalidArgument("root parent != -1");
+  for (size_t i = 1; i < parents.size(); ++i) {
+    if (parents[i] < 0 || static_cast<size_t>(parents[i]) >= i) {
+      return Status::InvalidArgument(
+          "parents must be preorder (parent index < node index)");
+    }
+  }
+  return Status::OK();
+}
+
+std::string FlatTree::ToSExpression() const {
+  if (labels.empty()) return "()";
+  auto children = ChildrenOf(*this);
+  std::string out;
+  // recursive lambda via explicit stack of (node, phase)
+  struct Frame {
+    int node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack{{0, 0}};
+  auto leaf = [&](int n) {
+    return children[static_cast<size_t>(n)].empty();
+  };
+  if (leaf(0)) return labels[0];
+  out += "(" + labels[0];
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    auto& ch = children[static_cast<size_t>(f.node)];
+    if (f.next_child >= ch.size()) {
+      out += ")";
+      stack.pop_back();
+      continue;
+    }
+    int c = ch[f.next_child++];
+    out += " ";
+    if (leaf(c)) {
+      out += labels[static_cast<size_t>(c)];
+    } else {
+      out += "(" + labels[static_cast<size_t>(c)];
+      stack.push_back({c, 0});
+    }
+  }
+  return out;
+}
+
+Result<FlatTree> ParseSExpression(const std::string& text) {
+  FlatTree tree;
+  std::vector<int> ancestor_stack;
+  std::string token;
+  bool token_opens = false;
+  auto flush = [&]() -> Status {
+    if (token.empty()) return Status::OK();
+    int parent = ancestor_stack.empty() ? -1 : ancestor_stack.back();
+    if (parent == -1 && !tree.labels.empty()) {
+      return Status::InvalidArgument("multiple roots");
+    }
+    tree.labels.push_back(token);
+    tree.parents.push_back(parent);
+    if (token_opens) {
+      ancestor_stack.push_back(static_cast<int>(tree.labels.size()) - 1);
+    }
+    token.clear();
+    token_opens = false;
+    return Status::OK();
+  };
+  for (char c : text) {
+    if (c == '(') {
+      VS2_RETURN_IF_ERROR(flush());
+      token_opens = true;
+    } else if (c == ')') {
+      VS2_RETURN_IF_ERROR(flush());
+      if (ancestor_stack.empty()) {
+        return Status::InvalidArgument("unbalanced ')'");
+      }
+      ancestor_stack.pop_back();
+    } else if (c == ' ' || c == '\t' || c == '\n') {
+      VS2_RETURN_IF_ERROR(flush());
+    } else {
+      token.push_back(c);
+    }
+  }
+  VS2_RETURN_IF_ERROR(flush());
+  if (!ancestor_stack.empty()) {
+    return Status::InvalidArgument("unbalanced '('");
+  }
+  VS2_RETURN_IF_ERROR(tree.Validate());
+  return tree;
+}
+
+bool ContainsSubtree(const FlatTree& tree, const FlatTree& pattern) {
+  if (pattern.size() == 0 || pattern.size() > tree.size()) return false;
+  auto tch = ChildrenOf(tree);
+  auto pch = ChildrenOf(pattern);
+  for (size_t t = 0; t < tree.size(); ++t) {
+    if (MatchAt(tree, tch, pattern, pch, static_cast<int>(t), 0)) return true;
+  }
+  return false;
+}
+
+std::vector<MinedPattern> MineFrequentSubtrees(
+    const std::vector<FlatTree>& transactions, const MinerConfig& config) {
+  std::vector<MinedPattern> result;
+  if (transactions.empty()) return result;
+
+  auto support_of = [&](const FlatTree& pattern) {
+    size_t support = 0;
+    for (const FlatTree& t : transactions) {
+      if (ContainsSubtree(t, pattern)) ++support;
+    }
+    return support;
+  };
+
+  // Frequent labels seed the 1-node candidates.
+  std::map<std::string, size_t> label_support;
+  for (const FlatTree& t : transactions) {
+    std::set<std::string> distinct(t.labels.begin(), t.labels.end());
+    for (const std::string& l : distinct) label_support[l] += 1;
+  }
+  std::vector<std::string> frequent_labels;
+  for (const auto& [label, sup] : label_support) {
+    if (sup >= config.min_support) frequent_labels.push_back(label);
+  }
+
+  std::vector<std::pair<Encoded, size_t>> frontier;
+  for (const std::string& l : frequent_labels) {
+    Encoded e;
+    e.labels = {l};
+    e.depths = {0};
+    frontier.push_back({e, label_support[l]});
+  }
+
+  std::set<Encoded> emitted;
+  std::vector<std::pair<Encoded, size_t>> frequent_all = frontier;
+  size_t explored = frontier.size();
+
+  while (!frontier.empty() && explored < config.max_candidates) {
+    std::vector<std::pair<Encoded, size_t>> next;
+    for (const auto& [enc, sup] : frontier) {
+      if (enc.labels.size() >= config.max_nodes) continue;
+      // Rightmost path = depths of the suffix maxima walking back from the
+      // last node: attach the new node as a child of any rightmost-path
+      // node, i.e. new depth d_new in [1, depth(last)+1].
+      int last_depth = enc.depths.back();
+      for (int d = 1; d <= last_depth + 1; ++d) {
+        for (const std::string& l : frequent_labels) {
+          Encoded grown = enc;
+          grown.labels.push_back(l);
+          grown.depths.push_back(d);
+          if (emitted.count(grown)) continue;
+          ++explored;
+          if (explored >= config.max_candidates) break;
+          FlatTree candidate = grown.ToTree();
+          size_t s = support_of(candidate);
+          if (s >= config.min_support) {
+            emitted.insert(grown);
+            next.push_back({grown, s});
+            frequent_all.push_back({grown, s});
+          }
+        }
+        if (explored >= config.max_candidates) break;
+      }
+      if (explored >= config.max_candidates) break;
+    }
+    frontier = std::move(next);
+  }
+
+  // Materialize and (optionally) filter to maximal patterns.
+  std::vector<MinedPattern> all;
+  all.reserve(frequent_all.size());
+  for (const auto& [enc, sup] : frequent_all) {
+    all.push_back({enc.ToTree(), sup});
+  }
+  std::vector<bool> keep(all.size(), true);
+  if (config.maximal_only) {
+    for (size_t i = 0; i < all.size(); ++i) {
+      for (size_t j = 0; j < all.size() && keep[i]; ++j) {
+        if (i == j) continue;
+        if (all[j].tree.size() > all[i].tree.size() &&
+            ContainsSubtree(all[j].tree, all[i].tree)) {
+          keep[i] = false;
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (keep[i]) result.push_back(std::move(all[i]));
+  }
+  std::sort(result.begin(), result.end(),
+            [](const MinedPattern& a, const MinedPattern& b) {
+              if (a.support != b.support) return a.support > b.support;
+              if (a.tree.size() != b.tree.size())
+                return a.tree.size() > b.tree.size();
+              return a.tree.ToSExpression() < b.tree.ToSExpression();
+            });
+  return result;
+}
+
+}  // namespace vs2::mining

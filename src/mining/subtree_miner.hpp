@@ -1,0 +1,74 @@
+#ifndef VS2_MINING_SUBTREE_MINER_HPP_
+#define VS2_MINING_SUBTREE_MINER_HPP_
+
+/// \file subtree_miner.hpp
+/// Frequent subtree mining over labelled ordered trees — the TreeMiner
+/// substrate (Zaki 2002) VS2-Select uses to learn syntactic patterns from
+/// the holdout corpus (Sec 5.2.1: "the maximal frequent subtrees across the
+/// chunks were obtained").
+///
+/// We mine *induced, ordered* subtrees by rightmost-path extension:
+/// a candidate is grown one (node, attach-depth) at a time along the
+/// rightmost path, and support is counted per transaction tree (a
+/// transaction supports a pattern when the pattern occurs at least once as
+/// an induced embedding preserving parent/child and sibling order).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace vs2::mining {
+
+/// Flat labelled ordered tree in preorder; `parents[i] < i` for i > 0 and
+/// `parents[0] == -1`.
+struct FlatTree {
+  std::vector<std::string> labels;
+  std::vector<int> parents;
+
+  size_t size() const { return labels.size(); }
+
+  /// Validates the preorder/parent invariants.
+  Status Validate() const;
+
+  /// S-expression rendering.
+  std::string ToSExpression() const;
+};
+
+/// Builder for `FlatTree` from nested S-expression-ish code in tests:
+/// `ParseSExpression("(S (NP DT NN) (VP VB))")`.
+Result<FlatTree> ParseSExpression(const std::string& text);
+
+/// A mined pattern with its transaction support.
+struct MinedPattern {
+  FlatTree tree;
+  size_t support = 0;
+};
+
+/// Mining knobs.
+struct MinerConfig {
+  /// Minimum number of supporting transactions.
+  size_t min_support = 2;
+  /// Patterns with more nodes than this are not extended (cost guard).
+  size_t max_nodes = 6;
+  /// Keep only maximal patterns (no frequent super-pattern also reported).
+  bool maximal_only = true;
+  /// Hard cap on candidates explored (runaway guard).
+  size_t max_candidates = 200000;
+};
+
+/// \brief Mines frequent (optionally maximal) induced ordered subtrees.
+///
+/// Deterministic: output sorted by (support desc, size desc, s-expression).
+std::vector<MinedPattern> MineFrequentSubtrees(
+    const std::vector<FlatTree>& transactions, const MinerConfig& config);
+
+/// \brief Counts the transactions containing `pattern` as an induced
+/// ordered subtree (reference implementation; used by the miner and by
+/// property tests against brute-force enumeration).
+bool ContainsSubtree(const FlatTree& tree, const FlatTree& pattern);
+
+}  // namespace vs2::mining
+
+#endif  // VS2_MINING_SUBTREE_MINER_HPP_

@@ -1,0 +1,57 @@
+#include "ml/pareto.hpp"
+
+#include <algorithm>
+
+namespace vs2::ml {
+
+bool Dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty()) return false;
+  bool strictly_better = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return false;
+    if (a[i] > b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<std::vector<size_t>> NonDominatedSort(
+    const std::vector<std::vector<double>>& points) {
+  size_t n = points.size();
+  std::vector<int> domination_count(n, 0);
+  std::vector<std::vector<size_t>> dominated_by(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (Dominates(points[i], points[j])) {
+        dominated_by[i].push_back(j);
+      } else if (Dominates(points[j], points[i])) {
+        ++domination_count[i];
+      }
+    }
+  }
+  std::vector<std::vector<size_t>> fronts;
+  std::vector<size_t> current;
+  for (size_t i = 0; i < n; ++i) {
+    if (domination_count[i] == 0) current.push_back(i);
+  }
+  while (!current.empty()) {
+    fronts.push_back(current);
+    std::vector<size_t> next;
+    for (size_t i : current) {
+      for (size_t j : dominated_by[i]) {
+        if (--domination_count[j] == 0) next.push_back(j);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    current = std::move(next);
+  }
+  return fronts;
+}
+
+std::vector<size_t> ParetoFront(
+    const std::vector<std::vector<double>>& points) {
+  auto fronts = NonDominatedSort(points);
+  return fronts.empty() ? std::vector<size_t>{} : fronts[0];
+}
+
+}  // namespace vs2::ml

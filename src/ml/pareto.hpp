@@ -1,0 +1,34 @@
+#ifndef VS2_ML_PARETO_HPP_
+#define VS2_ML_PARETO_HPP_
+
+/// \file pareto.hpp
+/// Non-dominated sorting for multi-objective subset selection. VS2 selects
+/// interest points (Sec 5.3.1) as the first-order Pareto front of the
+/// logical blocks under three objectives; this header provides the generic
+/// machinery (NSGA-style fronts, all objectives maximized — negate to
+/// minimize).
+
+#include <cstddef>
+#include <vector>
+
+namespace vs2::ml {
+
+/// True when `a` dominates `b`: a is >= b on every objective and > on at
+/// least one (maximization convention).
+bool Dominates(const std::vector<double>& a, const std::vector<double>& b);
+
+/// \brief Partitions points into Pareto fronts. `fronts[0]` is the
+/// first-order (non-dominated) front the paper selects as interest points;
+/// `fronts[k]` is non-dominated once fronts 0..k-1 are removed.
+///
+/// Returns indices into `points`. Deterministic ordering (ascending index
+/// within each front).
+std::vector<std::vector<size_t>> NonDominatedSort(
+    const std::vector<std::vector<double>>& points);
+
+/// Convenience: indices of the first-order Pareto front only.
+std::vector<size_t> ParetoFront(const std::vector<std::vector<double>>& points);
+
+}  // namespace vs2::ml
+
+#endif  // VS2_ML_PARETO_HPP_

@@ -1,0 +1,132 @@
+#include "ml/svm.hpp"
+
+#include <cmath>
+
+namespace vs2::ml {
+
+void StandardScaler::Fit(const std::vector<std::vector<double>>& rows) {
+  means_.clear();
+  stddevs_.clear();
+  if (rows.empty()) return;
+  size_t width = rows[0].size();
+  means_.assign(width, 0.0);
+  stddevs_.assign(width, 0.0);
+  for (const auto& row : rows) {
+    for (size_t j = 0; j < width; ++j) means_[j] += row[j];
+  }
+  for (double& m : means_) m /= static_cast<double>(rows.size());
+  for (const auto& row : rows) {
+    for (size_t j = 0; j < width; ++j) {
+      double d = row[j] - means_[j];
+      stddevs_[j] += d * d;
+    }
+  }
+  for (double& s : stddevs_) {
+    s = std::sqrt(s / static_cast<double>(rows.size()));
+    if (s < 1e-12) s = 1.0;
+  }
+}
+
+std::vector<double> StandardScaler::Transform(
+    const std::vector<double>& row) const {
+  std::vector<double> out(row.size());
+  for (size_t j = 0; j < row.size() && j < means_.size(); ++j) {
+    out[j] = (row[j] - means_[j]) / stddevs_[j];
+  }
+  return out;
+}
+
+Status LinearSvm::Fit(const std::vector<std::vector<double>>& rows,
+                      const std::vector<int>& labels, const SvmConfig& config) {
+  if (rows.size() != labels.size()) {
+    return Status::InvalidArgument("rows/labels size mismatch");
+  }
+  if (rows.empty()) return Status::InvalidArgument("empty training set");
+  size_t width = rows[0].size();
+  for (const auto& row : rows) {
+    if (row.size() != width) {
+      return Status::InvalidArgument("inconsistent feature width");
+    }
+  }
+  for (int y : labels) {
+    if (y != -1 && y != 1) {
+      return Status::InvalidArgument("labels must be -1 or +1");
+    }
+  }
+
+  weights_.assign(width, 0.0);
+  bias_ = 0.0;
+  util::Rng rng(config.seed);
+  std::vector<size_t> order(rows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  size_t t = 1;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t idx : order) {
+      double eta = 1.0 / (config.lambda * static_cast<double>(t));
+      const auto& x = rows[idx];
+      double y = static_cast<double>(labels[idx]);
+      double margin = y * (Decision(x));
+      // L2 shrink.
+      double shrink = 1.0 - eta * config.lambda;
+      if (shrink < 0.0) shrink = 0.0;
+      for (double& w : weights_) w *= shrink;
+      if (margin < 1.0) {
+        for (size_t j = 0; j < width; ++j) {
+          weights_[j] += eta * y * x[j];
+        }
+        bias_ += eta * y * 0.1;  // lightly-regularized bias
+      }
+      ++t;
+    }
+  }
+  return Status::OK();
+}
+
+double LinearSvm::Decision(const std::vector<double>& row) const {
+  double acc = bias_;
+  for (size_t j = 0; j < row.size() && j < weights_.size(); ++j) {
+    acc += weights_[j] * row[j];
+  }
+  return acc;
+}
+
+Status OneVsRestSvm::Fit(const std::vector<std::vector<double>>& rows,
+                         const std::vector<int>& labels, int num_classes,
+                         const SvmConfig& config) {
+  if (num_classes < 2) {
+    return Status::InvalidArgument("need at least two classes");
+  }
+  machines_.assign(static_cast<size_t>(num_classes), LinearSvm());
+  for (int cls = 0; cls < num_classes; ++cls) {
+    std::vector<int> binary(labels.size());
+    for (size_t i = 0; i < labels.size(); ++i) {
+      binary[i] = labels[i] == cls ? 1 : -1;
+    }
+    SvmConfig c = config;
+    c.seed = config.seed + static_cast<uint64_t>(cls) * 1000003ULL;
+    VS2_RETURN_IF_ERROR(machines_[static_cast<size_t>(cls)].Fit(rows, binary, c));
+  }
+  return Status::OK();
+}
+
+int OneVsRestSvm::Predict(const std::vector<double>& row) const {
+  if (machines_.empty()) return -1;
+  int best = 0;
+  double best_score = machines_[0].Decision(row);
+  for (size_t cls = 1; cls < machines_.size(); ++cls) {
+    double s = machines_[cls].Decision(row);
+    if (s > best_score) {
+      best_score = s;
+      best = static_cast<int>(cls);
+    }
+  }
+  return best;
+}
+
+double OneVsRestSvm::Decision(const std::vector<double>& row, int cls) const {
+  return machines_[static_cast<size_t>(cls)].Decision(row);
+}
+
+}  // namespace vs2::ml

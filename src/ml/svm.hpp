@@ -1,0 +1,89 @@
+#ifndef VS2_ML_SVM_HPP_
+#define VS2_ML_SVM_HPP_
+
+/// \file svm.hpp
+/// Linear SVM trained with Pegasos-style SGD (hinge loss, L2 penalty).
+/// Substrate for two of the paper's end-to-end comparators:
+///  * Zhou et al. [49] — "an SVM based classifier … trained on the dataset
+///    (60%-40% split) using some visual and textual features";
+///  * Apostolova & Tomuro [2] — "a combination of textual and visual
+///    features to train an SVM classifier".
+/// A one-vs-rest wrapper provides multi-class classification.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace vs2::ml {
+
+/// Standardizes features to zero mean / unit variance (fit on train only).
+class StandardScaler {
+ public:
+  /// Fits means and stddevs; constant features get stddev 1.
+  void Fit(const std::vector<std::vector<double>>& rows);
+
+  /// Transforms one row (must match fitted width).
+  std::vector<double> Transform(const std::vector<double>& row) const;
+
+  bool fitted() const { return !means_.empty(); }
+  size_t width() const { return means_.size(); }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+/// SVM training knobs.
+struct SvmConfig {
+  double lambda = 1e-3;  ///< L2 regularization strength
+  int epochs = 30;
+  uint64_t seed = 7;
+};
+
+/// Binary linear SVM.
+class LinearSvm {
+ public:
+  /// Trains on rows with labels in {-1, +1}. Rows must share a width.
+  Status Fit(const std::vector<std::vector<double>>& rows,
+             const std::vector<int>& labels, const SvmConfig& config = {});
+
+  /// Signed decision value w·x + b.
+  double Decision(const std::vector<double>& row) const;
+
+  /// Predicted label in {-1, +1}.
+  int Predict(const std::vector<double>& row) const {
+    return Decision(row) >= 0.0 ? 1 : -1;
+  }
+
+  bool trained() const { return !weights_.empty(); }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+/// One-vs-rest multi-class linear SVM.
+class OneVsRestSvm {
+ public:
+  /// Trains `num_classes` binary machines. Labels are in [0, num_classes).
+  Status Fit(const std::vector<std::vector<double>>& rows,
+             const std::vector<int>& labels, int num_classes,
+             const SvmConfig& config = {});
+
+  /// Class with the highest decision value; -1 when untrained.
+  int Predict(const std::vector<double>& row) const;
+
+  /// Decision value of a specific class machine.
+  double Decision(const std::vector<double>& row, int cls) const;
+
+  int num_classes() const { return static_cast<int>(machines_.size()); }
+
+ private:
+  std::vector<LinearSvm> machines_;
+};
+
+}  // namespace vs2::ml
+
+#endif  // VS2_ML_SVM_HPP_

@@ -1,0 +1,80 @@
+#include "nlp/chunk_tree.hpp"
+
+#include <algorithm>
+
+namespace vs2::nlp {
+namespace {
+
+ParseNode TokenFeatureNode(const Token& tok) {
+  ParseNode node;
+  node.label = PosName(tok.pos);
+  if (tok.ner != NerClass::kNone) {
+    node.children.push_back({std::string("ner:") + NerClassName(tok.ner), {}});
+  }
+  if (tok.is_timex) node.children.push_back({"timex", {}});
+  if (tok.has_geocode) node.children.push_back({"geo", {}});
+  for (const std::string& h : tok.hypernyms) {
+    node.children.push_back({"hyp:" + h, {}});
+  }
+  for (const std::string& s : tok.verb_senses) {
+    node.children.push_back({"sense:" + s, {}});
+  }
+  return node;
+}
+
+}  // namespace
+
+ParseNode BuildChunkTree(const AnalyzedText& text) {
+  ParseNode root;
+  root.label = "S";
+
+  // Tokens covered by an NP/VP chunk hang under that chunk; others hang
+  // directly under S. SVO chunks are superspans and are skipped here (their
+  // signal is captured by the SVO pattern kind directly).
+  std::vector<int> owner(text.tokens.size(), -1);
+  std::vector<const Chunk*> phrase_chunks;
+  for (const Chunk& c : text.chunks) {
+    if (c.kind != ChunkKind::kNounPhrase && c.kind != ChunkKind::kVerbPhrase)
+      continue;
+    int id = static_cast<int>(phrase_chunks.size());
+    phrase_chunks.push_back(&c);
+    for (size_t i = c.begin; i < c.end && i < owner.size(); ++i) {
+      if (owner[i] < 0) owner[i] = id;
+    }
+  }
+
+  size_t i = 0;
+  while (i < text.tokens.size()) {
+    if (owner[i] >= 0) {
+      const Chunk& c = *phrase_chunks[static_cast<size_t>(owner[i])];
+      ParseNode chunk_node;
+      chunk_node.label = ChunkKindName(c.kind);
+      for (size_t k = c.begin; k < c.end; ++k) {
+        if (text.tokens[k].pos == Pos::kPunct) continue;
+        chunk_node.children.push_back(TokenFeatureNode(text.tokens[k]));
+      }
+      if (!chunk_node.children.empty()) root.children.push_back(chunk_node);
+      i = c.end;
+    } else {
+      if (text.tokens[i].pos != Pos::kPunct &&
+          !text.tokens[i].is_stopword) {
+        root.children.push_back(TokenFeatureNode(text.tokens[i]));
+      }
+      ++i;
+    }
+  }
+  return root;
+}
+
+std::string ToSExpression(const ParseNode& node) {
+  if (node.children.empty()) return node.label;
+  std::string out = "(" + node.label;
+  for (const ParseNode& child : node.children) {
+    out += " ";
+    out += ToSExpression(child);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace vs2::nlp

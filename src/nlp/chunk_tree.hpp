@@ -1,0 +1,39 @@
+#ifndef VS2_NLP_CHUNK_TREE_HPP_
+#define VS2_NLP_CHUNK_TREE_HPP_
+
+/// \file chunk_tree.hpp
+/// Dependency-ish chunk trees. The paper's pattern learner (Sec 5.2.1)
+/// chunks holdout-corpus text, builds dependency parse trees, annotates
+/// them with NER/geocode/hypernym/VerbNet features and mines maximal
+/// frequent subtrees. This header builds the labelled ordered tree each
+/// annotated sentence induces: root = clause, children = chunks, chunk
+/// children = feature labels of their tokens.
+
+#include <string>
+#include <vector>
+
+#include "nlp/analyzer.hpp"
+
+namespace vs2::nlp {
+
+/// Labelled ordered tree node (children ordered left-to-right).
+struct ParseNode {
+  std::string label;
+  std::vector<ParseNode> children;
+};
+
+/// \brief Builds the feature tree of an analyzed sentence.
+///
+/// Layout:
+///   (S (VP VB sense:captain) (NP DT JJ NN ner:ORG geo) ...)
+/// Token-level feature labels are: POS names, `ner:<CLASS>`, `timex`,
+/// `geo`, `hyp:<sense>`, `sense:<verb-sense>`. Lexical identity is dropped
+/// — patterns must generalize across documents (distant supervision).
+ParseNode BuildChunkTree(const AnalyzedText& text);
+
+/// S-expression rendering, for tests and debugging.
+std::string ToSExpression(const ParseNode& node);
+
+}  // namespace vs2::nlp
+
+#endif  // VS2_NLP_CHUNK_TREE_HPP_

@@ -1,0 +1,62 @@
+#include "nlp/lesk.hpp"
+
+#include <unordered_set>
+
+#include "nlp/lexicon.hpp"
+#include "nlp/stemmer.hpp"
+#include "nlp/tokenizer.hpp"
+#include "util/strings.hpp"
+
+namespace vs2::nlp {
+namespace {
+
+std::unordered_set<std::string> ContentStems(const std::string& text) {
+  const Lexicon& lex = Lexicon::Get();
+  std::unordered_set<std::string> stems;
+  for (const std::string& tok : Tokenize(text)) {
+    std::string lo = util::ToLower(tok);
+    if (lex.IsStopword(lo) || lo.size() < 2) continue;
+    stems.insert(PorterStem(lo));
+  }
+  return stems;
+}
+
+}  // namespace
+
+double LeskOverlap(const std::string& target_word,
+                   const std::string& context_text) {
+  const Lexicon& lex = Lexicon::Get();
+  const std::string& gloss = lex.Gloss(util::ToLower(target_word));
+  if (gloss.empty()) return 0.0;
+  std::unordered_set<std::string> gloss_stems = ContentStems(gloss);
+  std::unordered_set<std::string> context_stems = ContentStems(context_text);
+  double overlap = 0.0;
+  for (const std::string& s : gloss_stems) {
+    if (context_stems.count(s)) overlap += 1.0;
+  }
+  return overlap;
+}
+
+size_t LeskSelect(const std::vector<std::string>& candidate_contexts,
+                  const std::vector<std::string>& entity_hint_words) {
+  if (candidate_contexts.empty()) return 0;
+  size_t best = 0;
+  double best_score = -1.0;
+  for (size_t i = 0; i < candidate_contexts.size(); ++i) {
+    double score = 0.0;
+    for (const std::string& hint : entity_hint_words) {
+      score += LeskOverlap(hint, candidate_contexts[i]);
+      // Direct mention of the hint word in the context is strong evidence.
+      std::unordered_set<std::string> ctx =
+          ContentStems(candidate_contexts[i]);
+      if (ctx.count(PorterStem(util::ToLower(hint)))) score += 1.5;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace vs2::nlp

@@ -1,0 +1,30 @@
+#ifndef VS2_NLP_LESK_HPP_
+#define VS2_NLP_LESK_HPP_
+
+/// \file lesk.hpp
+/// Simplified-Lesk word-sense/entity disambiguation (Banerjee & Pedersen
+/// 2002). The paper's text-only baselines rank multiple candidate matches
+/// by gloss–context overlap; VS2's multimodal disambiguation (Eq. 2) is
+/// compared against this method in the ablation study (Table 9, row A4).
+
+#include <string>
+#include <vector>
+
+namespace vs2::nlp {
+
+/// \brief Gloss-overlap score between a target word and a context window:
+/// the number of non-stopword stems shared by the target's dictionary gloss
+/// and the context. Unknown glosses score 0.
+double LeskOverlap(const std::string& target_word,
+                   const std::string& context_text);
+
+/// \brief Ranks candidate texts for a named entity by Lesk overlap between
+/// the entity's gloss vocabulary (`entity_hint_words`) and each candidate's
+/// surrounding context. Returns the index of the best candidate (ties →
+/// first). Returns 0 for empty scores.
+size_t LeskSelect(const std::vector<std::string>& candidate_contexts,
+                  const std::vector<std::string>& entity_hint_words);
+
+}  // namespace vs2::nlp
+
+#endif  // VS2_NLP_LESK_HPP_

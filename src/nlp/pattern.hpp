@@ -1,0 +1,82 @@
+#ifndef VS2_NLP_PATTERN_HPP_
+#define VS2_NLP_PATTERN_HPP_
+
+/// \file pattern.hpp
+/// The lexico-syntactic pattern language of VS2-Select. Tables 3 and 4 of
+/// the paper describe each named entity's patterns in terms of phrase kinds
+/// (NP/VP/SVO), modifiers (CD/JJ), NER tags, TIMEX/geocode tags, VerbNet
+/// senses, Hypernym-Tree senses, and regular expressions (phone, email).
+/// `SyntacticPattern` renders those descriptions as data so they can be
+/// *learned* (frequent-subtree mining over a holdout corpus) rather than
+/// hard-coded; `MatchPattern` searches them inside analyzed block text.
+
+#include <string>
+#include <vector>
+
+#include "nlp/analyzer.hpp"
+
+namespace vs2::nlp {
+
+/// Pattern kinds mirroring the Tables 3/4 vocabulary.
+enum class PatternKind : uint8_t {
+  kVerbPhrase,         ///< any VP chunk
+  kNounPhraseModified, ///< NP containing a CD or JJ modifier
+  kSvo,                ///< subject–verb–object clause
+  kNpWithGeocode,      ///< NP whose tokens carry geocode tags
+  kNpWithTimex,        ///< NP/time-run with TIMEX tags
+  kVpWithVerbSense,    ///< VP whose verb has one of the given senses
+  kNpWithNer,          ///< NP containing the given NER classes
+  kNerNgram,           ///< bigram/trigram run of given NER classes
+  kPhoneRegex,         ///< digits/char/separator phone shape
+  kEmailRegex,         ///< RFC-5322-lite email shape
+  kNounWithHypernym,   ///< noun tokens whose hypernym chain hits the senses
+  kFieldDescriptor,    ///< exact string match (D1 form fields)
+  kProperNounPhrase,   ///< NP dominated by proper nouns (titles, headings)
+};
+
+const char* PatternKindName(PatternKind kind);
+
+/// \brief A searchable pattern: a kind plus its arguments (senses, NER
+/// class names, or the literal descriptor for `kFieldDescriptor`).
+struct SyntacticPattern {
+  PatternKind kind = PatternKind::kNounPhraseModified;
+  std::vector<std::string> args;
+
+  /// Human-readable form, e.g. `VP[sense=captain|create]`.
+  std::string ToString() const;
+
+  bool operator==(const SyntacticPattern&) const = default;
+};
+
+/// \brief A match: token span plus a kind-specific base score in (0, 1].
+struct PatternMatch {
+  size_t begin = 0;  ///< first token index
+  size_t end = 0;    ///< one past last token index
+  double score = 1.0;
+};
+
+/// Finds all matches of `pattern` in `text`. Matches never overlap for the
+/// same pattern; longer candidates win.
+std::vector<PatternMatch> MatchPattern(const AnalyzedText& text,
+                                       const SyntacticPattern& pattern);
+
+/// Convenience: matches any of `patterns`, deduplicating identical spans
+/// (keeping the best score).
+std::vector<PatternMatch> MatchAny(const AnalyzedText& text,
+                                   const std::vector<SyntacticPattern>& patterns);
+
+/// \name Regex-style shape recognizers (no std::regex; hand-rolled for
+/// speed and determinism).
+/// @{
+
+/// Phone: optional `(`, 3 digits, optional `)`, separators `-. `, 3+4
+/// digits; or 10 consecutive digits; or leading `+1`.
+bool MatchesPhoneShape(const std::string& token);
+
+/// Email: `local@domain.tld` with RFC-5322-lite local part.
+bool MatchesEmailShape(const std::string& token);
+/// @}
+
+}  // namespace vs2::nlp
+
+#endif  // VS2_NLP_PATTERN_HPP_

@@ -1,0 +1,170 @@
+#include "nlp/stemmer.hpp"
+
+#include <vector>
+
+namespace vs2::nlp {
+namespace {
+
+bool IsVowelAt(const std::string& w, size_t i) {
+  char c = w[i];
+  if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') return true;
+  // 'y' is a vowel when preceded by a consonant.
+  if (c == 'y' && i > 0) return !IsVowelAt(w, i - 1);
+  return false;
+}
+
+// Measure m of the stem w[0..len): the number of VC sequences.
+int Measure(const std::string& w, size_t len) {
+  int m = 0;
+  bool in_vowel_run = false;
+  for (size_t i = 0; i < len; ++i) {
+    bool v = IsVowelAt(w, i);
+    if (v) {
+      in_vowel_run = true;
+    } else if (in_vowel_run) {
+      ++m;
+      in_vowel_run = false;
+    }
+  }
+  return m;
+}
+
+bool ContainsVowel(const std::string& w, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    if (IsVowelAt(w, i)) return true;
+  }
+  return false;
+}
+
+bool EndsWithDoubleConsonant(const std::string& w) {
+  size_t n = w.size();
+  return n >= 2 && w[n - 1] == w[n - 2] && !IsVowelAt(w, n - 1);
+}
+
+// *o: stem ends cvc where the final c is not w, x or y.
+bool EndsCvc(const std::string& w, size_t len) {
+  if (len < 3) return false;
+  if (IsVowelAt(w, len - 1) || !IsVowelAt(w, len - 2) || IsVowelAt(w, len - 3))
+    return false;
+  char c = w[len - 1];
+  return c != 'w' && c != 'x' && c != 'y';
+}
+
+bool EndsWith(const std::string& w, std::string_view suffix) {
+  return w.size() >= suffix.size() &&
+         w.compare(w.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Replaces `suffix` with `repl` when the remaining stem has measure > m_min.
+bool ReplaceIfMeasure(std::string* w, std::string_view suffix,
+                      std::string_view repl, int m_min) {
+  if (!EndsWith(*w, suffix)) return false;
+  size_t stem_len = w->size() - suffix.size();
+  if (Measure(*w, stem_len) <= m_min) return true;  // matched, no change
+  w->resize(stem_len);
+  w->append(repl);
+  return true;
+}
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  std::string w(word);
+  if (w.size() < 3) return w;
+
+  // Step 1a: plurals.
+  if (EndsWith(w, "sses")) {
+    w.resize(w.size() - 2);
+  } else if (EndsWith(w, "ies")) {
+    w.resize(w.size() - 2);
+  } else if (EndsWith(w, "ss")) {
+    // no-op
+  } else if (EndsWith(w, "s")) {
+    w.resize(w.size() - 1);
+  }
+
+  // Step 1b: -ed / -ing.
+  bool step1b_cleanup = false;
+  if (EndsWith(w, "eed")) {
+    if (Measure(w, w.size() - 3) > 0) w.resize(w.size() - 1);
+  } else if (EndsWith(w, "ed") && ContainsVowel(w, w.size() - 2)) {
+    w.resize(w.size() - 2);
+    step1b_cleanup = true;
+  } else if (EndsWith(w, "ing") && ContainsVowel(w, w.size() - 3)) {
+    w.resize(w.size() - 3);
+    step1b_cleanup = true;
+  }
+  if (step1b_cleanup) {
+    if (EndsWith(w, "at") || EndsWith(w, "bl") || EndsWith(w, "iz")) {
+      w.push_back('e');
+    } else if (EndsWithDoubleConsonant(w) && !EndsWith(w, "l") &&
+               !EndsWith(w, "s") && !EndsWith(w, "z")) {
+      w.resize(w.size() - 1);
+    } else if (Measure(w, w.size()) == 1 && EndsCvc(w, w.size())) {
+      w.push_back('e');
+    }
+  }
+
+  // Step 1c: y → i when a vowel precedes.
+  if (EndsWith(w, "y") && ContainsVowel(w, w.size() - 1)) {
+    w.back() = 'i';
+  }
+
+  // Step 2.
+  static const std::vector<std::pair<std::string_view, std::string_view>>
+      kStep2 = {{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+                {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+                {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+                {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+                {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+                {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+                {"iviti", "ive"},   {"biliti", "ble"}};
+  for (const auto& [suf, repl] : kStep2) {
+    if (ReplaceIfMeasure(&w, suf, repl, 0)) break;
+  }
+
+  // Step 3.
+  static const std::vector<std::pair<std::string_view, std::string_view>>
+      kStep3 = {{"icate", "ic"}, {"ative", ""}, {"alize", "al"},
+                {"iciti", "ic"}, {"ical", "ic"}, {"ful", ""},
+                {"ness", ""}};
+  for (const auto& [suf, repl] : kStep3) {
+    if (ReplaceIfMeasure(&w, suf, repl, 0)) break;
+  }
+
+  // Step 4: drop derivational suffixes when m > 1.
+  static const std::vector<std::string_view> kStep4 = {
+      "al",   "ance", "ence", "er",   "ic",   "able", "ible", "ant",
+      "ement", "ment", "ent",  "ou",   "ism",  "ate",  "iti",  "ous",
+      "ive",  "ize"};
+  for (std::string_view suf : kStep4) {
+    if (!EndsWith(w, suf)) continue;
+    size_t stem_len = w.size() - suf.size();
+    if (suf == "ion") continue;  // handled below
+    if (Measure(w, stem_len) > 1) w.resize(stem_len);
+    break;
+  }
+  if (EndsWith(w, "ion") && w.size() >= 4 &&
+      (w[w.size() - 4] == 's' || w[w.size() - 4] == 't') &&
+      Measure(w, w.size() - 3) > 1) {
+    w.resize(w.size() - 3);
+  }
+
+  // Step 5a: drop final e.
+  if (EndsWith(w, "e")) {
+    size_t stem_len = w.size() - 1;
+    int m = Measure(w, stem_len);
+    if (m > 1 || (m == 1 && !EndsCvc(w, stem_len))) {
+      w.resize(stem_len);
+    }
+  }
+
+  // Step 5b: -ll → -l when m > 1.
+  if (Measure(w, w.size()) > 1 && EndsWith(w, "ll")) {
+    w.resize(w.size() - 1);
+  }
+
+  return w;
+}
+
+}  // namespace vs2::nlp

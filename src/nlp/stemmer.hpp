@@ -1,0 +1,20 @@
+#ifndef VS2_NLP_STEMMER_HPP_
+#define VS2_NLP_STEMMER_HPP_
+
+/// \file stemmer.hpp
+/// Porter stemming algorithm (Porter 1980) — the lexical-feature substrate
+/// the paper's introduction cites ("lexical features (e.g. stemming)").
+/// Faithful implementation of steps 1a–5b over lowercase ASCII words.
+
+#include <string>
+#include <string_view>
+
+namespace vs2::nlp {
+
+/// Returns the Porter stem of a lowercase ASCII word. Words shorter than
+/// three characters are returned unchanged.
+std::string PorterStem(std::string_view word);
+
+}  // namespace vs2::nlp
+
+#endif  // VS2_NLP_STEMMER_HPP_

@@ -1,0 +1,59 @@
+#include "nlp/token.hpp"
+
+#include <algorithm>
+
+namespace vs2::nlp {
+
+const char* PosName(Pos pos) {
+  switch (pos) {
+    case Pos::kNoun: return "NN";
+    case Pos::kProperNoun: return "NNP";
+    case Pos::kVerb: return "VB";
+    case Pos::kModal: return "MD";
+    case Pos::kAdjective: return "JJ";
+    case Pos::kAdverb: return "RB";
+    case Pos::kDeterminer: return "DT";
+    case Pos::kPreposition: return "IN";
+    case Pos::kConjunction: return "CC";
+    case Pos::kPronoun: return "PRP";
+    case Pos::kCardinal: return "CD";
+    case Pos::kPunct: return "PUNCT";
+    case Pos::kSymbol: return "SYM";
+    case Pos::kOther: return "X";
+  }
+  return "X";
+}
+
+const char* NerClassName(NerClass ner) {
+  switch (ner) {
+    case NerClass::kNone: return "O";
+    case NerClass::kPerson: return "PERSON";
+    case NerClass::kOrganization: return "ORG";
+    case NerClass::kLocation: return "LOC";
+    case NerClass::kTime: return "TIME";
+    case NerClass::kMoney: return "MONEY";
+  }
+  return "O";
+}
+
+const char* ChunkKindName(ChunkKind kind) {
+  switch (kind) {
+    case ChunkKind::kNounPhrase: return "NP";
+    case ChunkKind::kVerbPhrase: return "VP";
+    case ChunkKind::kSvo: return "SVO";
+    case ChunkKind::kOther: return "O";
+  }
+  return "O";
+}
+
+bool Token::HasHypernym(const std::string& sense) const {
+  return std::find(hypernyms.begin(), hypernyms.end(), sense) !=
+         hypernyms.end();
+}
+
+bool Token::HasVerbSense(const std::string& sense) const {
+  return std::find(verb_senses.begin(), verb_senses.end(), sense) !=
+         verb_senses.end();
+}
+
+}  // namespace vs2::nlp

@@ -1,0 +1,32 @@
+#ifndef VS2_NLP_TOKENIZER_HPP_
+#define VS2_NLP_TOKENIZER_HPP_
+
+/// \file tokenizer.hpp
+/// Word tokenizer. Splits on whitespace, detaches leading/trailing
+/// punctuation as separate tokens, and keeps intact the token shapes that
+/// downstream extraction needs verbatim: phone numbers `(614) 555-0134`,
+/// emails `a@b.com`, money `$1,250`, times `7:30PM`, ordinals `2nd`.
+
+#include <string>
+#include <vector>
+
+namespace vs2::nlp {
+
+/// Tokenizes `text` into surface forms.
+std::vector<std::string> Tokenize(const std::string& text);
+
+/// True when the token looks like a number (digits with optional , . $ %).
+bool LooksNumeric(const std::string& token);
+
+/// True when the token looks like a time literal (7pm, 7:30, 19:00).
+bool LooksLikeClockTime(const std::string& token);
+
+/// True for US ZIP shapes: 43210 or 43210-1101.
+bool LooksLikeZipCode(const std::string& token);
+
+/// True for `$1,250`, `$950000`, `1.2M` money shapes.
+bool LooksLikeMoney(const std::string& token);
+
+}  // namespace vs2::nlp
+
+#endif  // VS2_NLP_TOKENIZER_HPP_

@@ -1,0 +1,78 @@
+#include "raster/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vs2::raster {
+
+OccupancyGrid::OccupancyGrid(int width, int height)
+    : width_(std::max(width, 1)),
+      height_(std::max(height, 1)),
+      cells_(static_cast<size_t>(width_) * height_, 0) {}
+
+void OccupancyGrid::FillBox(const util::BBox& box) {
+  if (box.Empty()) return;
+  int x0 = std::max(0, static_cast<int>(std::floor(box.x)));
+  int y0 = std::max(0, static_cast<int>(std::floor(box.y)));
+  int x1 = std::min(width_ - 1, static_cast<int>(std::ceil(box.right())) - 1);
+  int y1 = std::min(height_ - 1, static_cast<int>(std::ceil(box.bottom())) - 1);
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      cells_[static_cast<size_t>(y) * width_ + x] = 1;
+    }
+  }
+}
+
+double OccupancyGrid::OccupancyRatio() const {
+  if (cells_.empty()) return 0.0;
+  size_t count = 0;
+  for (uint8_t c : cells_) count += c;
+  return static_cast<double>(count) / static_cast<double>(cells_.size());
+}
+
+std::string OccupancyGrid::ToAsciiArt() const {
+  std::string out;
+  out.reserve(static_cast<size_t>(height_) * (width_ + 1));
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      out.push_back(occupied(x, y) ? '#' : '.');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+int GridScale::ToCellsFloor(double v) const {
+  return static_cast<int>(std::floor(v * cells_per_unit));
+}
+
+int GridScale::ToCellsCeil(double v) const {
+  return static_cast<int>(std::ceil(v * cells_per_unit));
+}
+
+double GridScale::ToUnits(int cells) const {
+  return static_cast<double>(cells) / cells_per_unit;
+}
+
+util::BBox GridScale::BoxToCells(const util::BBox& b) const {
+  return util::BBox{b.x * cells_per_unit, b.y * cells_per_unit,
+                    b.width * cells_per_unit, b.height * cells_per_unit};
+}
+
+OccupancyGrid RasterizeBoxes(const std::vector<util::BBox>& boxes,
+                             const util::BBox& region,
+                             const GridScale& scale) {
+  int gw = std::max(1, scale.ToCellsCeil(region.width));
+  int gh = std::max(1, scale.ToCellsCeil(region.height));
+  OccupancyGrid grid(gw, gh);
+  for (const util::BBox& b : boxes) {
+    util::BBox clipped = util::Intersect(b, region);
+    if (clipped.Empty()) continue;
+    util::BBox local{clipped.x - region.x, clipped.y - region.y,
+                     clipped.width, clipped.height};
+    grid.FillBox(scale.BoxToCells(local));
+  }
+  return grid;
+}
+
+}  // namespace vs2::raster

@@ -1,0 +1,78 @@
+#ifndef VS2_RASTER_GRID_HPP_
+#define VS2_RASTER_GRID_HPP_
+
+/// \file grid.hpp
+/// Discretized page rasters. The cut machinery of Sec 5.1.1 reasons about
+/// *whitespace positions* — grid positions covered by no bounding box — so
+/// the page is discretized into an occupancy grid at a configurable
+/// resolution (cells per layout unit).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/color.hpp"
+#include "util/geometry.hpp"
+
+namespace vs2::raster {
+
+/// \brief Binary occupancy raster: cell (x, y) is true when some element's
+/// bounding box covers it. Out-of-range queries read as occupied, so cut
+/// paths can never escape the page.
+class OccupancyGrid {
+ public:
+  /// Constructs an all-whitespace grid of `width` × `height` cells.
+  OccupancyGrid(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  bool occupied(int x, int y) const {
+    if (x < 0 || y < 0 || x >= width_ || y >= height_) return true;
+    return cells_[static_cast<size_t>(y) * width_ + x] != 0;
+  }
+
+  /// A whitespace position per Sec 5.1.1: inside the page and uncovered.
+  bool IsWhitespace(int x, int y) const {
+    return x >= 0 && y >= 0 && x < width_ && y < height_ && !occupied(x, y);
+  }
+
+  void set_occupied(int x, int y, bool value = true) {
+    if (x < 0 || y < 0 || x >= width_ || y >= height_) return;
+    cells_[static_cast<size_t>(y) * width_ + x] = value ? 1 : 0;
+  }
+
+  /// Marks all cells covered by `box` (given in grid coordinates).
+  void FillBox(const util::BBox& box);
+
+  /// Fraction of occupied cells.
+  double OccupancyRatio() const;
+
+  /// '#' for occupied, '.' for whitespace; debugging aid.
+  std::string ToAsciiArt() const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<uint8_t> cells_;
+};
+
+/// \brief Maps between layout units and grid cells.
+struct GridScale {
+  double cells_per_unit = 0.25;  ///< default: one cell per 4 layout units
+
+  int ToCellsFloor(double v) const;
+  int ToCellsCeil(double v) const;
+  double ToUnits(int cells) const;
+  util::BBox BoxToCells(const util::BBox& b) const;
+};
+
+/// Rasterizes element bounding boxes of a region into an occupancy grid.
+/// `region` is in layout units; boxes are clipped to the region and offset
+/// so the grid origin is the region's top-left corner.
+OccupancyGrid RasterizeBoxes(const std::vector<util::BBox>& boxes,
+                             const util::BBox& region, const GridScale& scale);
+
+}  // namespace vs2::raster
+
+#endif  // VS2_RASTER_GRID_HPP_

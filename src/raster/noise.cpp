@@ -1,0 +1,64 @@
+#include "raster/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "raster/renderer.hpp"
+
+namespace vs2::raster {
+
+void ApplyCaptureArtifacts(doc::Document* doc, const ArtifactConfig& config,
+                           util::Rng* rng) {
+  double damage = 0.0;
+
+  // 1. Global skew.
+  double rot = rng->Normal(0.0, config.rotation_stddev_degrees);
+  rot = std::clamp(rot, -config.max_rotation_degrees,
+                   config.max_rotation_degrees);
+  if (std::abs(rot) > 0.05) {
+    RotateDocument(doc, rot);
+    damage += std::abs(rot) / 90.0;
+  }
+
+  // 2. Per-element jitter (paper warp / lens distortion proxy).
+  for (doc::AtomicElement& el : doc->elements) {
+    el.bbox.x += rng->Normal(0.0, config.jitter_stddev);
+    el.bbox.y += rng->Normal(0.0, config.jitter_stddev);
+  }
+  damage += config.jitter_stddev / 30.0;
+
+  // 3. Smudge blobs: spurious image elements that occupy whitespace and can
+  // break cut paths.
+  if (rng->Bernoulli(config.smudge_probability)) {
+    int count = rng->UniformInt(1, std::max(1, config.max_smudges));
+    for (int i = 0; i < count; ++i) {
+      double w = rng->UniformDouble(8.0, 40.0);
+      double h = rng->UniformDouble(6.0, 30.0);
+      double x = rng->UniformDouble(0.0, std::max(1.0, doc->width - w));
+      double y = rng->UniformDouble(0.0, std::max(1.0, doc->height - h));
+      doc->elements.push_back(doc::MakeImageElement(
+          /*image_id=*/0xBADF00D + static_cast<uint64_t>(i),
+          util::BBox{x, y, w, h}, util::SlateGray()));
+      damage += 0.01;
+    }
+  }
+
+  // 4. Speckle: tiny spurious marks.
+  double area_kilo = doc->width * doc->height / 1000.0;
+  int speckles = static_cast<int>(area_kilo * config.speckle_per_kilo_unit2);
+  for (int i = 0; i < speckles; ++i) {
+    double x = rng->UniformDouble(0.0, doc->width - 2.0);
+    double y = rng->UniformDouble(0.0, doc->height - 2.0);
+    doc->elements.push_back(doc::MakeImageElement(
+        /*image_id=*/0x5BECC1E + static_cast<uint64_t>(i),
+        util::BBox{x, y, rng->UniformDouble(0.5, 2.5),
+                   rng->UniformDouble(0.5, 2.5)},
+        util::SlateGray()));
+    damage += 0.002;
+  }
+
+  doc->capture_quality =
+      std::max(0.2, doc->capture_quality - std::min(damage, 0.6));
+}
+
+}  // namespace vs2::raster

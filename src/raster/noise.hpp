@@ -1,0 +1,34 @@
+#ifndef VS2_RASTER_NOISE_HPP_
+#define VS2_RASTER_NOISE_HPP_
+
+/// \file noise.hpp
+/// Page-artifact simulation for captured documents. Physical posters
+/// photographed with a phone (1 375 of D2's 2 190 documents) arrive with
+/// skew, smudges and speckle; the paper notes VS2-Segment is "robust to
+/// rotation (up to 45°) and page artifacts". These artifacts perturb element
+/// geometry and inject spurious non-text elements; OCR *transcription* noise
+/// lives in `src/ocr`.
+
+#include "doc/document.hpp"
+#include "util/rng.hpp"
+
+namespace vs2::raster {
+
+/// Knobs for capture-artifact injection.
+struct ArtifactConfig {
+  double rotation_stddev_degrees = 2.0;  ///< camera skew
+  double max_rotation_degrees = 10.0;
+  double jitter_stddev = 0.8;            ///< per-element position jitter
+  double smudge_probability = 0.35;      ///< chance of >=1 smudge blob
+  int max_smudges = 3;
+  double speckle_per_kilo_unit2 = 0.03;  ///< salt noise per 1000 u² of page
+};
+
+/// Applies capture artifacts in place and lowers `capture_quality`
+/// according to the amount of damage done.
+void ApplyCaptureArtifacts(doc::Document* doc, const ArtifactConfig& config,
+                           util::Rng* rng);
+
+}  // namespace vs2::raster
+
+#endif  // VS2_RASTER_NOISE_HPP_

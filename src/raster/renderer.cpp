@@ -1,0 +1,153 @@
+#include "raster/renderer.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace vs2::raster {
+namespace {
+
+// Per-character advance factors relative to font size; a crude but stable
+// metric model (wide letters ~0.62 em, narrow ~0.28 em, default 0.52 em).
+double CharFactor(char c) {
+  switch (c) {
+    case 'i':
+    case 'l':
+    case 'j':
+    case '.':
+    case ',':
+    case '\'':
+    case ':':
+    case ';':
+    case '|':
+    case '!':
+      return 0.28;
+    case 'm':
+    case 'w':
+    case 'M':
+    case 'W':
+    case '@':
+      return 0.82;
+    case ' ':
+      return 0.30;
+    default:
+      return 0.52;
+  }
+}
+
+}  // namespace
+
+double WordWidth(const std::string& word, double font_size, bool bold) {
+  double units = 0.0;
+  for (char c : word) units += CharFactor(c);
+  double w = units * font_size;
+  if (bold) w *= 1.06;
+  return std::max(w, font_size * 0.3);
+}
+
+double LineHeight(double font_size) { return font_size * 1.15; }
+
+util::BBox PlaceLine(doc::Document* doc, const std::string& text, double x,
+                     double y, const doc::TextStyle& style, int line_id) {
+  double cursor = x;
+  double space = style.font_size * 0.32;
+  util::BBox acc;
+  for (const std::string& word : util::SplitWhitespace(text)) {
+    double w = WordWidth(word, style.font_size, style.bold);
+    util::BBox box{cursor, y, w, LineHeight(style.font_size)};
+    doc::AtomicElement el = doc::MakeTextElement(word, box, style);
+    el.line_id = line_id;
+    doc->elements.push_back(std::move(el));
+    acc = util::Union(acc, box);
+    cursor += w + space;
+  }
+  return acc;
+}
+
+util::BBox PlaceCenteredLine(doc::Document* doc, const std::string& text,
+                             double x0, double x1, double y,
+                             const doc::TextStyle& style, int line_id) {
+  std::vector<std::string> words = util::SplitWhitespace(text);
+  double space = style.font_size * 0.32;
+  double total = 0.0;
+  for (size_t i = 0; i < words.size(); ++i) {
+    total += WordWidth(words[i], style.font_size, style.bold);
+    if (i + 1 < words.size()) total += space;
+  }
+  double x = x0 + ((x1 - x0) - total) / 2.0;
+  if (x < x0) x = x0;
+  return PlaceLine(doc, text, x, y, style, line_id);
+}
+
+util::BBox PlaceText(doc::Document* doc, const std::string& text, double x,
+                     double y, double max_width, const doc::TextStyle& style,
+                     int line_id_base, double line_spacing) {
+  std::vector<std::string> words = util::SplitWhitespace(text);
+  double space = style.font_size * 0.32;
+  double line_h = LineHeight(style.font_size) * line_spacing;
+  double cursor_x = x;
+  double cursor_y = y;
+  int line = 0;
+  util::BBox acc;
+  for (const std::string& word : words) {
+    double w = WordWidth(word, style.font_size, style.bold);
+    if (cursor_x > x && cursor_x + w > x + max_width) {
+      cursor_x = x;
+      cursor_y += line_h;
+      ++line;
+    }
+    util::BBox box{cursor_x, cursor_y, w, LineHeight(style.font_size)};
+    doc::AtomicElement el = doc::MakeTextElement(word, box, style);
+    el.line_id = line_id_base >= 0 ? line_id_base + line : -1;
+    doc->elements.push_back(std::move(el));
+    acc = util::Union(acc, box);
+    cursor_x += w + space;
+  }
+  return acc;
+}
+
+void RotateDocument(doc::Document* doc, double degrees) {
+  if (degrees == 0.0) return;
+  double rad = degrees * M_PI / 180.0;
+  double cx = doc->width / 2.0;
+  double cy = doc->height / 2.0;
+  double cos_a = std::cos(rad);
+  double sin_a = std::sin(rad);
+  for (doc::AtomicElement& el : doc->elements) {
+    const util::BBox& b = el.bbox;
+    double xs[4] = {b.x, b.right(), b.x, b.right()};
+    double ys[4] = {b.y, b.y, b.bottom(), b.bottom()};
+    double min_x = 1e18, min_y = 1e18, max_x = -1e18, max_y = -1e18;
+    for (int i = 0; i < 4; ++i) {
+      double dx = xs[i] - cx;
+      double dy = ys[i] - cy;
+      double rx = cx + dx * cos_a - dy * sin_a;
+      double ry = cy + dx * sin_a + dy * cos_a;
+      min_x = std::min(min_x, rx);
+      min_y = std::min(min_y, ry);
+      max_x = std::max(max_x, rx);
+      max_y = std::max(max_y, ry);
+    }
+    el.bbox = util::BBox{min_x, min_y, max_x - min_x, max_y - min_y};
+  }
+  for (doc::Annotation& ann : doc->annotations) {
+    const util::BBox& b = ann.bbox;
+    double xs[4] = {b.x, b.right(), b.x, b.right()};
+    double ys[4] = {b.y, b.y, b.bottom(), b.bottom()};
+    double min_x = 1e18, min_y = 1e18, max_x = -1e18, max_y = -1e18;
+    for (int i = 0; i < 4; ++i) {
+      double dx = xs[i] - cx;
+      double dy = ys[i] - cy;
+      double rx = cx + dx * cos_a - dy * sin_a;
+      double ry = cy + dx * sin_a + dy * cos_a;
+      min_x = std::min(min_x, rx);
+      min_y = std::min(min_y, ry);
+      max_x = std::max(max_x, rx);
+      max_y = std::max(max_y, ry);
+    }
+    ann.bbox = util::BBox{min_x, min_y, max_x - min_x, max_y - min_y};
+  }
+  doc->rotation_degrees += degrees;
+}
+
+}  // namespace vs2::raster

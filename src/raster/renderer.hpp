@@ -1,0 +1,48 @@
+#ifndef VS2_RASTER_RENDERER_HPP_
+#define VS2_RASTER_RENDERER_HPP_
+
+/// \file renderer.hpp
+/// Text-layout helpers used by the synthetic document generators: they map
+/// strings and font sizes to word-level bounding boxes, the geometry every
+/// downstream algorithm consumes. A fixed-pitch-ish font metric model is
+/// used (average advance width proportional to font size).
+
+#include <string>
+#include <vector>
+
+#include "doc/document.hpp"
+#include "util/geometry.hpp"
+
+namespace vs2::raster {
+
+/// Approximate advance width of a word at `font_size` (layout units).
+/// Bold adds ~6%.
+double WordWidth(const std::string& word, double font_size, bool bold = false);
+
+/// Line height (ascender+descender) for a font size.
+double LineHeight(double font_size);
+
+/// \brief Typesets `text` into word elements starting at (x, y), wrapping at
+/// `max_width`, appending to `doc->elements`. Returns the bounding box of
+/// everything placed. `line_id_base` tags elements with generation lines.
+util::BBox PlaceText(doc::Document* doc, const std::string& text, double x,
+                     double y, double max_width, const doc::TextStyle& style,
+                     int line_id_base = -1, double line_spacing = 1.25);
+
+/// \brief Places a single line (no wrapping); returns its bbox.
+util::BBox PlaceLine(doc::Document* doc, const std::string& text, double x,
+                     double y, const doc::TextStyle& style, int line_id = -1);
+
+/// \brief Places a line centered horizontally within [x0, x1].
+util::BBox PlaceCenteredLine(doc::Document* doc, const std::string& text,
+                             double x0, double x1, double y,
+                             const doc::TextStyle& style, int line_id = -1);
+
+/// Rotates every element bbox of `doc` by `degrees` about the page center,
+/// replacing each box with the axis-aligned box of its rotated corners —
+/// models the skew of a mobile capture. Updates `rotation_degrees`.
+void RotateDocument(doc::Document* doc, double degrees);
+
+}  // namespace vs2::raster
+
+#endif  // VS2_RASTER_RENDERER_HPP_

@@ -1,0 +1,97 @@
+#include "util/color.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace vs2::util {
+namespace {
+
+// D65 reference white.
+constexpr double kXn = 0.95047;
+constexpr double kYn = 1.00000;
+constexpr double kZn = 1.08883;
+
+double SrgbToLinear(double c) {
+  return c <= 0.04045 ? c / 12.92 : std::pow((c + 0.055) / 1.055, 2.4);
+}
+
+double LinearToSrgb(double c) {
+  return c <= 0.0031308 ? 12.92 * c
+                        : 1.055 * std::pow(c, 1.0 / 2.4) - 0.055;
+}
+
+double LabF(double t) {
+  constexpr double kDelta = 6.0 / 29.0;
+  return t > kDelta * kDelta * kDelta
+             ? std::cbrt(t)
+             : t / (3.0 * kDelta * kDelta) + 4.0 / 29.0;
+}
+
+double LabFInv(double t) {
+  constexpr double kDelta = 6.0 / 29.0;
+  return t > kDelta ? t * t * t : 3.0 * kDelta * kDelta * (t - 4.0 / 29.0);
+}
+
+uint8_t ClampByte(double v) {
+  return static_cast<uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
+}
+
+}  // namespace
+
+std::string Lab::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "Lab(%.1f, %.1f, %.1f)", l, a, b);
+  return buf;
+}
+
+Lab RgbToLab(const Rgb& rgb) {
+  double r = SrgbToLinear(rgb.r / 255.0);
+  double g = SrgbToLinear(rgb.g / 255.0);
+  double b = SrgbToLinear(rgb.b / 255.0);
+
+  double x = 0.4124564 * r + 0.3575761 * g + 0.1804375 * b;
+  double y = 0.2126729 * r + 0.7151522 * g + 0.0721750 * b;
+  double z = 0.0193339 * r + 0.1191920 * g + 0.9503041 * b;
+
+  double fx = LabF(x / kXn);
+  double fy = LabF(y / kYn);
+  double fz = LabF(z / kZn);
+
+  return Lab{116.0 * fy - 16.0, 500.0 * (fx - fy), 200.0 * (fy - fz)};
+}
+
+Rgb LabToRgb(const Lab& lab) {
+  double fy = (lab.l + 16.0) / 116.0;
+  double fx = fy + lab.a / 500.0;
+  double fz = fy - lab.b / 200.0;
+
+  double x = kXn * LabFInv(fx);
+  double y = kYn * LabFInv(fy);
+  double z = kZn * LabFInv(fz);
+
+  double r = 3.2404542 * x - 1.5371385 * y - 0.4985314 * z;
+  double g = -0.9692660 * x + 1.8760108 * y + 0.0415560 * z;
+  double b = 0.0556434 * x - 0.2040259 * y + 1.0572252 * z;
+
+  return Rgb{ClampByte(LinearToSrgb(std::clamp(r, 0.0, 1.0)) * 255.0),
+             ClampByte(LinearToSrgb(std::clamp(g, 0.0, 1.0)) * 255.0),
+             ClampByte(LinearToSrgb(std::clamp(b, 0.0, 1.0)) * 255.0)};
+}
+
+double DeltaE(const Lab& a, const Lab& b) {
+  double dl = a.l - b.l;
+  double da = a.a - b.a;
+  double db = a.b - b.b;
+  return std::sqrt(dl * dl + da * da + db * db);
+}
+
+Rgb Black() { return Rgb{0, 0, 0}; }
+Rgb White() { return Rgb{255, 255, 255}; }
+Rgb DarkBlue() { return Rgb{20, 30, 120}; }
+Rgb Crimson() { return Rgb{170, 20, 50}; }
+Rgb ForestGreen() { return Rgb{30, 110, 50}; }
+Rgb Goldenrod() { return Rgb{205, 160, 30}; }
+Rgb SlateGray() { return Rgb{110, 125, 140}; }
+
+}  // namespace vs2::util

@@ -1,0 +1,56 @@
+#ifndef VS2_UTIL_COLOR_HPP_
+#define VS2_UTIL_COLOR_HPP_
+
+/// \file color.hpp
+/// Color handling in the CIE LAB space. The paper's layout model attaches an
+/// "average color distribution (in LAB colorspace)" to every textual element
+/// (Sec 4.1.1), and LAB color is one of the Table 1 clustering features.
+
+#include <cstdint>
+#include <string>
+
+namespace vs2::util {
+
+/// 8-bit sRGB triple.
+struct Rgb {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+
+  bool operator==(const Rgb&) const = default;
+};
+
+/// CIE LAB triple (D65 illuminant). L in [0, 100]; a, b roughly in [-128, 127].
+struct Lab {
+  double l = 0.0;
+  double a = 0.0;
+  double b = 0.0;
+
+  bool operator==(const Lab&) const = default;
+
+  std::string ToString() const;
+};
+
+/// sRGB → CIE LAB (D65), via linearized sRGB and XYZ.
+Lab RgbToLab(const Rgb& rgb);
+
+/// CIE LAB (D65) → sRGB, clamped to gamut.
+Rgb LabToRgb(const Lab& lab);
+
+/// CIE76 color difference ΔE*ab (Euclidean distance in LAB).
+double DeltaE(const Lab& a, const Lab& b);
+
+/// \name Common document colors.
+/// @{
+Rgb Black();
+Rgb White();
+Rgb DarkBlue();
+Rgb Crimson();
+Rgb ForestGreen();
+Rgb Goldenrod();
+Rgb SlateGray();
+/// @}
+
+}  // namespace vs2::util
+
+#endif  // VS2_UTIL_COLOR_HPP_

@@ -1,0 +1,77 @@
+#include "util/geometry.hpp"
+
+#include <cstdio>
+
+namespace vs2::util {
+
+double Distance(const PointF& a, const PointF& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+double L1Distance(const PointF& a, const PointF& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+std::string BBox::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "[x=%.1f y=%.1f w=%.1f h=%.1f]", x, y, width,
+                height);
+  return buf;
+}
+
+BBox Intersect(const BBox& a, const BBox& b) {
+  double x0 = std::max(a.x, b.x);
+  double y0 = std::max(a.y, b.y);
+  double x1 = std::min(a.right(), b.right());
+  double y1 = std::min(a.bottom(), b.bottom());
+  if (x1 <= x0 || y1 <= y0) return BBox{};
+  return BBox{x0, y0, x1 - x0, y1 - y0};
+}
+
+BBox Union(const BBox& a, const BBox& b) {
+  if (a.Empty()) return b;
+  if (b.Empty()) return a;
+  double x0 = std::min(a.x, b.x);
+  double y0 = std::min(a.y, b.y);
+  double x1 = std::max(a.right(), b.right());
+  double y1 = std::max(a.bottom(), b.bottom());
+  return BBox{x0, y0, x1 - x0, y1 - y0};
+}
+
+BBox UnionAll(const std::vector<BBox>& boxes) {
+  BBox acc;
+  for (const BBox& b : boxes) acc = Union(acc, b);
+  return acc;
+}
+
+double IoU(const BBox& a, const BBox& b) {
+  double inter = Intersect(a, b).Area();
+  if (inter <= 0.0) return 0.0;
+  double uni = a.Area() + b.Area() - inter;
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+double AngularDistanceFromOrigin(const BBox& box) {
+  PointF c = box.Centroid();
+  if (c.x <= 0.0 && c.y <= 0.0) return 0.0;
+  return std::atan2(c.y, c.x);
+}
+
+double SumOfAngularDistances(const BBox& a, const BBox& b, double page_w,
+                             double page_h) {
+  PointF ca = a.Centroid();
+  PointF cb = b.Centroid();
+  double from_origin =
+      std::abs(std::atan2(ca.y, ca.x) - std::atan2(cb.y, cb.x));
+  double from_anti = std::abs(std::atan2(page_h - ca.y, page_w - ca.x) -
+                              std::atan2(page_h - cb.y, page_w - cb.x));
+  return from_origin + from_anti;
+}
+
+double BoxGap(const BBox& a, const BBox& b) {
+  double dx = std::max({a.x - b.right(), b.x - a.right(), 0.0});
+  double dy = std::max({a.y - b.bottom(), b.y - a.bottom(), 0.0});
+  return std::hypot(dx, dy);
+}
+
+}  // namespace vs2::util

@@ -1,0 +1,110 @@
+#ifndef VS2_UTIL_GEOMETRY_HPP_
+#define VS2_UTIL_GEOMETRY_HPP_
+
+/// \file geometry.hpp
+/// Planar primitives used throughout the layout model: points, axis-aligned
+/// bounding boxes (Sec 5.1 of the paper: b = (x_b, y_b, w_b, h_b)), and the
+/// angular-distance measures of Table 1.
+///
+/// Coordinate convention follows the paper: origin at the page's top-left
+/// corner, x growing rightward, y growing downward.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vs2::util {
+
+/// Integer grid position (used by the whitespace-cut machinery).
+struct Point {
+  int x = 0;
+  int y = 0;
+
+  bool operator==(const Point&) const = default;
+};
+
+/// Continuous position (centroids, distances).
+struct PointF {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const PointF&) const = default;
+};
+
+/// Euclidean distance between two continuous points.
+double Distance(const PointF& a, const PointF& b);
+
+/// L1 (Manhattan) distance between two continuous points; Eq. 2's ΔD term.
+double L1Distance(const PointF& a, const PointF& b);
+
+/// \brief Axis-aligned bounding box `b = (x, y, w, h)` with top-left anchor.
+///
+/// Degenerate boxes (zero width or height) are permitted and behave as empty
+/// for intersection tests.
+struct BBox {
+  double x = 0.0;
+  double y = 0.0;
+  double width = 0.0;
+  double height = 0.0;
+
+  bool operator==(const BBox&) const = default;
+
+  double right() const { return x + width; }
+  double bottom() const { return y + height; }
+  double Area() const { return width * height; }
+  bool Empty() const { return width <= 0.0 || height <= 0.0; }
+
+  PointF Centroid() const { return {x + width / 2.0, y + height / 2.0}; }
+
+  /// True if the point lies inside or on the boundary.
+  bool Contains(double px, double py) const {
+    return px >= x && px <= right() && py >= y && py <= bottom();
+  }
+
+  /// True if `other` lies fully inside this box (boundary-inclusive).
+  bool Contains(const BBox& other) const {
+    return other.x >= x && other.y >= y && other.right() <= right() &&
+           other.bottom() <= bottom();
+  }
+
+  bool Intersects(const BBox& other) const {
+    return !(other.x >= right() || other.right() <= x ||
+             other.y >= bottom() || other.bottom() <= y);
+  }
+
+  std::string ToString() const;
+};
+
+/// Intersection box; empty (0,0,0,0) when disjoint.
+BBox Intersect(const BBox& a, const BBox& b);
+
+/// Smallest box enclosing both operands. An empty operand is ignored.
+BBox Union(const BBox& a, const BBox& b);
+
+/// Smallest box enclosing all boxes in `boxes`; empty box for empty input.
+BBox UnionAll(const std::vector<BBox>& boxes);
+
+/// Intersection-over-union in [0, 1]; the segmentation-quality measure used
+/// with the PASCAL-VOC protocol (accept when IoU > 0.65).
+double IoU(const BBox& a, const BBox& b);
+
+/// \brief Angular distance (radians, in [0, π/2]) of a box centroid from the
+/// page origin, one of the Table 1 clustering features.
+///
+/// Measured as the angle between the positive x-axis and the centroid ray.
+double AngularDistanceFromOrigin(const BBox& box);
+
+/// Table 1's "sum of angular distances" between two centroids: the absolute
+/// angle subtended at the origin plus the angle subtended at the page
+/// anti-origin `(page_w, page_h)`, which disambiguates mirror positions.
+double SumOfAngularDistances(const BBox& a, const BBox& b, double page_w,
+                             double page_h);
+
+/// Shortest Euclidean distance between two boxes (0 when intersecting).
+double BoxGap(const BBox& a, const BBox& b);
+
+}  // namespace vs2::util
+
+#endif  // VS2_UTIL_GEOMETRY_HPP_

@@ -1,0 +1,125 @@
+#include "util/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace vs2::util {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  size_t n = xs.size();
+  if (n % 2 == 1) return xs[n / 2];
+  return (xs[n / 2 - 1] + xs[n / 2]) / 2.0;
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  double mx = Mean(xs);
+  double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double dx = xs[i] - mx;
+    double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double CosineSimilarity(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+size_t FirstInflectionPoint(const std::vector<double>& series,
+                            size_t fallback) {
+  if (series.size() < 3) return fallback;
+  // Central second difference: f''(i) ≈ f(i+1) - 2 f(i) + f(i-1).
+  double prev = series[2] - 2.0 * series[1] + series[0];
+  for (size_t i = 2; i + 1 < series.size(); ++i) {
+    double cur = series[i + 1] - 2.0 * series[i] + series[i - 1];
+    if ((prev > 0.0 && cur < 0.0) || (prev < 0.0 && cur > 0.0)) {
+      return i;  // sign change between i-1 and i: zero crossing of f''
+    }
+    if (prev == 0.0 && cur != 0.0 && i >= 2) {
+      return i - 1;
+    }
+    prev = cur;
+  }
+  return fallback;
+}
+
+std::vector<double> MinMaxNormalize(const std::vector<double>& xs) {
+  std::vector<double> out(xs.size(), 0.0);
+  if (xs.empty()) return out;
+  auto [lo_it, hi_it] = std::minmax_element(xs.begin(), xs.end());
+  double lo = *lo_it, hi = *hi_it;
+  if (hi - lo <= 0.0) return out;
+  for (size_t i = 0; i < xs.size(); ++i) out[i] = (xs[i] - lo) / (hi - lo);
+  return out;
+}
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+std::vector<double> Ranks(const std::vector<double>& xs) {
+  std::vector<size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(xs.size(), 0.0);
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() && xs[order[j + 1]] == xs[order[i]]) ++j;
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace vs2::util

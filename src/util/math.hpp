@@ -1,0 +1,63 @@
+#ifndef VS2_UTIL_MATH_HPP_
+#define VS2_UTIL_MATH_HPP_
+
+/// \file math.hpp
+/// Small statistics toolkit backing the paper's algorithmic machinery:
+/// Pearson correlation ρ and discrete inflection points (Algorithm 1),
+/// cosine similarity (Eq. 1 and Eq. 2), plus the usual moments.
+
+#include <cstddef>
+#include <vector>
+
+namespace vs2::util {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Population variance; 0 for fewer than 2 samples.
+double Variance(const std::vector<double>& xs);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& xs);
+
+/// Median (average of the middle pair for even sizes); 0 for empty input.
+double Median(std::vector<double> xs);
+
+/// \brief Pearson correlation coefficient ρ(X, Y) in [-1, 1].
+///
+/// Returns 0 when either series is constant or the lengths differ/are < 2 —
+/// Algorithm 1 treats an undefined correlation as "no signal".
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Cosine similarity of two equal-length vectors; 0 for zero-norm operands.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Cosine similarity for float vectors (embedding space).
+double CosineSimilarity(const std::vector<float>& a,
+                        const std::vector<float>& b);
+
+/// \brief First inflection point of a discrete series.
+///
+/// The paper derives inflection points of the separator-width-vs-height
+/// correlation distribution by solving d²f/di² = 0 (footnote 3). For a
+/// discrete series we approximate f'' with central second differences and
+/// return the first index where the second difference changes sign (the
+/// zero crossing). Returns `fallback` when the series is too short or the
+/// second difference never changes sign.
+size_t FirstInflectionPoint(const std::vector<double>& series,
+                            size_t fallback);
+
+/// Min-max normalization into [0, 1]; constant series map to all-zeros.
+std::vector<double> MinMaxNormalize(const std::vector<double>& xs);
+
+/// Clamp helper.
+double Clamp(double v, double lo, double hi);
+
+/// Natural-order ranks (1-based, ties averaged); used by statistics tests.
+std::vector<double> Ranks(const std::vector<double>& xs);
+
+}  // namespace vs2::util
+
+#endif  // VS2_UTIL_MATH_HPP_

@@ -1,0 +1,120 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace vs2::util {
+namespace {
+
+// SplitMix64 step; expands a single seed into well-mixed state words.
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::Reseed(uint64_t seed) {
+  uint64_t sm = seed;
+  state_ = SplitMix64(&sm);
+  inc_ = SplitMix64(&sm) | 1ULL;  // stream selector must be odd
+  has_spare_ = false;
+  // Warm up so that near-zero seeds decorrelate quickly.
+  NextU32();
+  NextU32();
+}
+
+uint32_t Rng::NextU32() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Rng::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  // Lemire's multiply-shift rejection-free mapping is biased for huge spans,
+  // but spans here are tiny relative to 2^32; simple modulo with one
+  // rejection zone keeps the stream specified and unbiased.
+  uint64_t limit = (0x100000000ULL / span) * span;
+  uint64_t draw;
+  do {
+    draw = NextU32();
+  } while (draw >= limit);
+  return static_cast<int>(static_cast<int64_t>(lo) +
+                          static_cast<int64_t>(draw % span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextU32()) * (1.0 / 4294967296.0);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-12);
+  double u2 = UniformDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_normal_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) {
+    return static_cast<size_t>(
+        UniformInt(0, static_cast<int>(weights.size()) - 1));
+  }
+  double draw = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += (weights[i] > 0.0 ? weights[i] : 0.0);
+    if (draw < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork(uint64_t salt) {
+  return Rng(NextU64() ^ (salt * 0x9E3779B97F4A7C15ULL));
+}
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+}  // namespace vs2::util

@@ -1,0 +1,84 @@
+#ifndef VS2_UTIL_RNG_HPP_
+#define VS2_UTIL_RNG_HPP_
+
+/// \file rng.hpp
+/// Deterministic randomness. Every stochastic choice in the library —
+/// dataset synthesis, OCR noise, SVM shuffling — flows through `Rng`, a
+/// small PCG32 generator, so experiments replay bit-identically for a seed.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace vs2::util {
+
+/// \brief PCG32 pseudo-random generator (O'Neill 2014), seeded via SplitMix64.
+///
+/// Not cryptographic. Deliberately not `std::mt19937`: PCG32's stream is
+/// specified, so results are stable across standard-library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0xC0FFEE) { Reseed(seed); }
+
+  /// Re-initializes the stream; equal seeds produce equal streams.
+  void Reseed(uint64_t seed);
+
+  /// Next raw 32-bit draw.
+  uint32_t NextU32();
+
+  /// Next raw 64-bit draw (two 32-bit draws).
+  uint64_t NextU64();
+
+  /// Uniform integer in `[lo, hi]` inclusive. Requires `lo <= hi`.
+  int UniformInt(int lo, int hi);
+
+  /// Uniform double in `[0, 1)`.
+  double UniformDouble();
+
+  /// Uniform double in `[lo, hi)`.
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal draw (Box–Muller, cached spare).
+  double Normal();
+
+  /// Normal draw with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    return items[static_cast<size_t>(UniformInt(0, static_cast<int>(items.size()) - 1))];
+  }
+
+  /// Index drawn from the (unnormalized, non-negative) weight vector.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int>(i) - 1));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each document its
+  /// own stream so generation order does not perturb content.
+  Rng Fork(uint64_t salt);
+
+ private:
+  uint64_t state_ = 0;
+  uint64_t inc_ = 0;
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+/// \brief 64-bit FNV-1a hash; used for deterministic salts and embeddings.
+uint64_t Fnv1a64(std::string_view data);
+
+}  // namespace vs2::util
+
+#endif  // VS2_UTIL_RNG_HPP_

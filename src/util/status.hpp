@@ -1,0 +1,167 @@
+#ifndef VS2_UTIL_STATUS_HPP_
+#define VS2_UTIL_STATUS_HPP_
+
+/// \file status.hpp
+/// Arrow/RocksDB-style error propagation. Public VS2 APIs never throw; every
+/// fallible operation returns a `Status` or a `Result<T>`.
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace vs2 {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kNotApplicable,  ///< a method cannot run on this input (e.g. VIPS on D1)
+  kInternal,
+  kAlreadyExists,
+  kUnimplemented,
+};
+
+/// \brief Returns a human-readable name for a `StatusCode`.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Success-or-error outcome of an operation.
+///
+/// Cheap to pass by value: the OK state carries no allocation; error states
+/// carry a small heap payload with the code and message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+
+  /// \name Factory helpers mirroring `StatusCode` values.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotApplicable(std::string msg) {
+    return Status(StatusCode::kNotApplicable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsNotApplicable() const {
+    return code() == StatusCode::kNotApplicable;
+  }
+
+  /// Renders e.g. `InvalidArgument: width must be positive`.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<Rep> rep_;
+};
+
+/// \brief Value-or-error, the `Status` analogue of `std::expected`.
+///
+/// `Result<T>` either holds a `T` or a non-OK `Status`. Accessing the value
+/// of an errored result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value — enables `return value;` in Result-returning code.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status. `status.ok()` must be false.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK `Status` to the caller.
+#define VS2_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::vs2::Status vs2_status_ = (expr);        \
+    if (!vs2_status_.ok()) return vs2_status_; \
+  } while (false)
+
+#define VS2_CONCAT_IMPL(a, b) a##b
+#define VS2_CONCAT(a, b) VS2_CONCAT_IMPL(a, b)
+
+/// Evaluates a `Result<T>` expression; on success binds the value to `lhs`,
+/// on failure returns the error status from the enclosing function.
+#define VS2_ASSIGN_OR_RETURN(lhs, expr)                            \
+  VS2_ASSIGN_OR_RETURN_IMPL(VS2_CONCAT(vs2_result_, __LINE__), lhs, expr)
+
+#define VS2_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+}  // namespace vs2
+
+#endif  // VS2_UTIL_STATUS_HPP_

@@ -1,0 +1,354 @@
+/// Tests for src/baselines (segmentation + end-to-end comparators) and
+/// src/eval (metrics, statistics, tables).
+
+#include <gtest/gtest.h>
+
+#include "baselines/endtoend.hpp"
+#include "baselines/segmentation.hpp"
+#include "datasets/pretrained.hpp"
+#include "eval/metrics.hpp"
+#include "eval/stats.hpp"
+#include "eval/table.hpp"
+#include "raster/renderer.hpp"
+#include "util/rng.hpp"
+
+namespace vs2 {
+namespace {
+
+doc::Document TwoColumnDoc() {
+  doc::Document d;
+  d.width = 600;
+  d.height = 200;
+  doc::TextStyle style;
+  style.font_size = 12;
+  raster::PlaceText(&d, "left column paragraph with several words", 10, 10,
+                    200, style, 0);
+  raster::PlaceText(&d, "right column paragraph with other words", 350, 10,
+                    200, style, 10);
+  return d;
+}
+
+// --------------------------------------------------- Segmentation methods --
+
+TEST(XYCutTest, SplitsTwoColumns) {
+  auto blocks = baselines::SegmentXYCut(TwoColumnDoc());
+  EXPECT_GE(blocks.size(), 2u);
+}
+
+TEST(XYCutTest, EveryElementInExactlyOneBlock) {
+  doc::Document d = TwoColumnDoc();
+  auto blocks = baselines::SegmentXYCut(d);
+  std::set<size_t> seen;
+  for (const auto& b : blocks) {
+    for (size_t i : b.element_indices) {
+      EXPECT_TRUE(seen.insert(i).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), d.elements.size());
+}
+
+TEST(XYCutTest, CannotSplitLShapedLayout) {
+  // Two groups overlapping in both axis projections: XY-cut keeps them
+  // together (its documented limitation).
+  doc::Document d;
+  d.width = 400;
+  d.height = 300;
+  doc::TextStyle style;
+  style.font_size = 12;
+  raster::PlaceText(&d, "upper left group of words sits here now", 10, 10,
+                    180, style, 0);
+  raster::PlaceText(&d, "lower right group of words sits here too", 150,
+                    30, 180, style, 10);
+  auto blocks = baselines::SegmentXYCut(d);
+  EXPECT_EQ(blocks.size(), 1u);
+}
+
+TEST(VoronoiTest, SplitsDistantGroups) {
+  auto blocks = baselines::SegmentVoronoi(TwoColumnDoc());
+  EXPECT_GE(blocks.size(), 2u);
+}
+
+TEST(VoronoiTest, EveryElementCovered) {
+  doc::Document d = TwoColumnDoc();
+  auto blocks = baselines::SegmentVoronoi(d);
+  size_t total = 0;
+  for (const auto& b : blocks) total += b.element_indices.size();
+  EXPECT_EQ(total, d.elements.size());
+}
+
+TEST(VipsTest, NotApplicableOnScannedForms) {
+  doc::Document d = TwoColumnDoc();
+  d.format = doc::DocumentFormat::kScannedForm;
+  auto result = baselines::SegmentVips(d);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotApplicable());
+}
+
+TEST(VipsTest, SplitsOnMarkupBoundaries) {
+  doc::Document d;
+  d.width = 400;
+  d.height = 300;
+  d.format = doc::DocumentFormat::kHtml;
+  doc::TextStyle h1;
+  h1.font_size = 24;
+  size_t first = d.elements.size();
+  raster::PlaceLine(&d, "Big Heading Here", 10, 10, h1, 0);
+  for (size_t i = first; i < d.elements.size(); ++i)
+    d.elements[i].markup_hint = 1;
+  doc::TextStyle body;
+  body.font_size = 11;
+  raster::PlaceText(&d, "body paragraph follows the heading with details",
+                    10, 50, 300, body, 1);
+  auto result = baselines::SegmentVips(d);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->size(), 2u);
+}
+
+TEST(TextOnlySegTest, ProducesBlocksFromEmbeddingBreaks) {
+  const embed::Embedding& emb = datasets::PretrainedEmbedding();
+  auto blocks = baselines::SegmentTextOnly(TwoColumnDoc(), emb);
+  EXPECT_FALSE(blocks.empty());
+  size_t total = 0;
+  for (const auto& b : blocks) total += b.element_indices.size();
+  EXPECT_EQ(total, TwoColumnDoc().elements.size());
+}
+
+// ------------------------------------------------------------ E2E methods --
+
+TEST(EndToEndBaselinesTest, FactoriesConstructAndExtract) {
+  const embed::Embedding& emb = datasets::PretrainedEmbedding();
+  baselines::BaselineContext ctx{doc::DatasetId::kD2EventPosters, &emb,
+                                 ocr::OcrConfig{}, 0x5EED};
+  datasets::GeneratorConfig gc;
+  gc.num_documents = 6;
+  doc::Corpus corpus = datasets::GenerateD2(gc);
+  for (doc::Document& d : corpus.documents) d = ocr::Transcribe(d, {});
+
+  auto text_only = baselines::MakeTextOnly(ctx);
+  auto fsm = baselines::MakeFsm(ctx);
+  auto clausie = baselines::MakeClausIe(ctx);
+  for (const doc::Document& d : corpus.documents) {
+    EXPECT_TRUE(text_only->Extract(d).ok());
+    EXPECT_TRUE(fsm->Extract(d).ok());
+    EXPECT_TRUE(clausie->Extract(d).ok());
+  }
+}
+
+TEST(EndToEndBaselinesTest, ClausIeNotApplicableOnD1) {
+  const embed::Embedding& emb = datasets::PretrainedEmbedding();
+  baselines::BaselineContext ctx{doc::DatasetId::kD1TaxForms, &emb,
+                                 ocr::OcrConfig{}, 0x5EED};
+  auto clausie = baselines::MakeClausIe(ctx);
+  doc::Document d = TwoColumnDoc();
+  d.dataset = doc::DatasetId::kD1TaxForms;
+  auto result = clausie->Extract(d);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotApplicable());
+}
+
+TEST(EndToEndBaselinesTest, ZhouMlNeedsMarkup) {
+  const embed::Embedding& emb = datasets::PretrainedEmbedding();
+  baselines::BaselineContext ctx{doc::DatasetId::kD2EventPosters, &emb,
+                                 ocr::OcrConfig{}, 0x5EED};
+  auto ml = baselines::MakeZhouMl(ctx);
+  datasets::GeneratorConfig gc;
+  gc.num_documents = 10;
+  doc::Corpus corpus = datasets::GenerateD2(gc);
+  for (doc::Document& d : corpus.documents) d = ocr::Transcribe(d, {});
+  ASSERT_TRUE(ml->Train(corpus).ok());
+  doc::Document scan = TwoColumnDoc();
+  scan.format = doc::DocumentFormat::kScannedForm;
+  auto result = ml->Extract(scan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotApplicable());
+}
+
+TEST(EndToEndBaselinesTest, ReportMinerRecallsTemplates) {
+  const embed::Embedding& emb = datasets::PretrainedEmbedding();
+  baselines::BaselineContext ctx{doc::DatasetId::kD1TaxForms, &emb,
+                                 ocr::OcrConfig{}, 0x5EED};
+  datasets::GeneratorConfig gc;
+  gc.num_documents = 40;
+  doc::Corpus corpus = datasets::GenerateD1(gc);
+  for (doc::Document& d : corpus.documents) d = ocr::Transcribe(d, {});
+
+  auto rm = baselines::MakeReportMiner(ctx);
+  ASSERT_TRUE(rm->Train(corpus).ok());
+  // On a document of a known template, masks land on the annotated rows.
+  const doc::Document& d = corpus.documents[0];
+  auto preds = rm->Extract(d);
+  ASSERT_TRUE(preds.ok());
+  eval::PrCounts counts = eval::ScoreEndToEnd(*preds, d);
+  EXPECT_GT(counts.Recall(), 0.7);
+}
+
+TEST(EndToEndBaselinesTest, ReportMinerRequiresTraining) {
+  const embed::Embedding& emb = datasets::PretrainedEmbedding();
+  baselines::BaselineContext ctx{doc::DatasetId::kD1TaxForms, &emb,
+                                 ocr::OcrConfig{}, 0x5EED};
+  auto rm = baselines::MakeReportMiner(ctx);
+  EXPECT_FALSE(rm->Extract(TwoColumnDoc()).ok());
+}
+
+// --------------------------------------------------------------- Metrics --
+
+TEST(MetricsTest, PrCountsArithmetic) {
+  eval::PrCounts c;
+  c.true_positives = 6;
+  c.predicted = 8;
+  c.actual = 12;
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.75);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.5);
+  EXPECT_NEAR(c.F1(), 0.6, 1e-12);
+  eval::PrCounts zero;
+  EXPECT_DOUBLE_EQ(zero.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.F1(), 0.0);
+}
+
+doc::Document GtDoc() {
+  doc::Document d;
+  d.width = 100;
+  d.height = 100;
+  d.annotations = {{"a", {10, 10, 20, 10}, "alpha"},
+                   {"b", {10, 50, 20, 10}, "beta"}};
+  return d;
+}
+
+TEST(MetricsTest, SegmentationExactProposalsScorePerfect) {
+  doc::Document d = GtDoc();
+  eval::PrCounts c =
+      eval::ScoreSegmentation({{10, 10, 20, 10}, {10, 50, 20, 10}}, d);
+  EXPECT_EQ(c.true_positives, 2u);
+  EXPECT_DOUBLE_EQ(c.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 1.0);
+}
+
+TEST(MetricsTest, SegmentationIgnoresNonEntityProposals) {
+  doc::Document d = GtDoc();
+  // A proposal nowhere near the entities does not enter precision.
+  eval::PrCounts c = eval::ScoreSegmentation(
+      {{10, 10, 20, 10}, {10, 50, 20, 10}, {70, 70, 20, 20}}, d);
+  EXPECT_EQ(c.predicted, 2u);
+  EXPECT_DOUBLE_EQ(c.Precision(), 1.0);
+}
+
+TEST(MetricsTest, SegmentationFragmentsHurtPrecision) {
+  doc::Document d = GtDoc();
+  // Entity "a" split into halves: both overlap, neither passes IoU.
+  eval::PrCounts c = eval::ScoreSegmentation(
+      {{10, 10, 9, 10}, {21, 10, 9, 10}, {10, 50, 20, 10}}, d);
+  EXPECT_EQ(c.true_positives, 1u);
+  EXPECT_EQ(c.predicted, 3u);
+}
+
+TEST(MetricsTest, EndToEndRequiresLabelMatch) {
+  doc::Document d = GtDoc();
+  std::vector<eval::LabeledPrediction> preds = {
+      {"a", {10, 50, 20, 10}, "beta", {}}};  // right box, wrong label
+  eval::PrCounts c = eval::ScoreEndToEnd(preds, d);
+  EXPECT_EQ(c.true_positives, 0u);
+  preds[0].entity = "b";
+  EXPECT_EQ(eval::ScoreEndToEnd(preds, d).true_positives, 1u);
+}
+
+TEST(MetricsTest, EndToEndAcceptsSpanBox) {
+  doc::Document d = GtDoc();
+  std::vector<eval::LabeledPrediction> preds = {
+      {"a", {0, 0, 100, 100}, "nomatch", {10, 10, 20, 10}}};
+  EXPECT_EQ(eval::ScoreEndToEnd(preds, d).true_positives, 1u);
+}
+
+TEST(MetricsTest, EndToEndAcceptsTextMatch) {
+  doc::Document d = GtDoc();
+  std::vector<eval::LabeledPrediction> preds = {
+      {"a", {90, 90, 5, 5}, "alpha", {}}};  // box wrong, text right
+  EXPECT_EQ(eval::ScoreEndToEnd(preds, d).true_positives, 1u);
+}
+
+TEST(MetricsTest, OneToOneMatching) {
+  doc::Document d = GtDoc();
+  // Two predictions for the same annotation: only one credits.
+  std::vector<eval::LabeledPrediction> preds = {
+      {"a", {10, 10, 20, 10}, "alpha", {}},
+      {"a", {10, 10, 20, 10}, "alpha", {}}};
+  eval::PrCounts c = eval::ScoreEndToEnd(preds, d);
+  EXPECT_EQ(c.true_positives, 1u);
+  EXPECT_EQ(c.predicted, 2u);
+}
+
+TEST(TextMatchesTest, OcrTolerance) {
+  EXPECT_TRUE(eval::TextMatches("Danicl Nguyen", "Daniel Nguyen"));
+  EXPECT_TRUE(eval::TextMatches("38291.98", "38291.98"));
+  EXPECT_FALSE(eval::TextMatches("completely different", "Daniel Nguyen"));
+  // Page dumps are rejected even when they contain the truth.
+  EXPECT_FALSE(eval::TextMatches(
+      "a b c d e f g h i j k l m n o p q r s Daniel Nguyen", "Daniel"));
+  EXPECT_FALSE(eval::TextMatches("", "x"));
+}
+
+// ------------------------------------------------------------ Statistics --
+
+TEST(StatsTest, WelchTTestDetectsSeparatedMeans) {
+  util::Rng rng(1);
+  std::vector<double> a, b;
+  for (int i = 0; i < 40; ++i) {
+    a.push_back(rng.Normal(0.0, 1.0));
+    b.push_back(rng.Normal(2.0, 1.0));
+  }
+  eval::TTestResult r = eval::WelchTTest(a, b);
+  EXPECT_LT(r.p_value, 0.001);
+  EXPECT_LT(r.t_statistic, 0.0);
+}
+
+TEST(StatsTest, WelchTTestSameDistributionIsInsignificant) {
+  util::Rng rng(2);
+  std::vector<double> a, b;
+  for (int i = 0; i < 40; ++i) {
+    a.push_back(rng.Normal(1.0, 1.0));
+    b.push_back(rng.Normal(1.0, 1.0));
+  }
+  EXPECT_GT(eval::WelchTTest(a, b).p_value, 0.05);
+  EXPECT_DOUBLE_EQ(eval::WelchTTest({1.0}, {2.0}).p_value, 1.0);
+}
+
+TEST(StatsTest, IncompleteBetaBoundaries) {
+  EXPECT_DOUBLE_EQ(eval::RegularizedIncompleteBeta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(eval::RegularizedIncompleteBeta(2, 3, 1.0), 1.0);
+  // I_x(1,1) = x (uniform distribution).
+  EXPECT_NEAR(eval::RegularizedIncompleteBeta(1, 1, 0.37), 0.37, 1e-9);
+}
+
+TEST(StatsTest, ShapiroWilkNormalVsUniformTail) {
+  util::Rng rng(3);
+  std::vector<double> normal, bimodal;
+  for (int i = 0; i < 100; ++i) {
+    normal.push_back(rng.Normal(0, 1));
+    bimodal.push_back(rng.Bernoulli(0.5) ? rng.Normal(-8, 0.2)
+                                         : rng.Normal(8, 0.2));
+  }
+  eval::ShapiroWilkResult n = eval::ShapiroWilk(normal);
+  eval::ShapiroWilkResult b = eval::ShapiroWilk(bimodal);
+  EXPECT_TRUE(n.approximately_normal);
+  EXPECT_GT(n.w_statistic, b.w_statistic);
+  EXPECT_FALSE(eval::ShapiroWilk({1.0, 2.0}).approximately_normal);
+}
+
+// ----------------------------------------------------------------- Table --
+
+TEST(TableTest, RendersAlignedColumns) {
+  eval::AsciiTable t({"A", "Column"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "2"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| A "), std::string::npos);
+  EXPECT_NE(out.find("| longer |"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, PctFormatting) {
+  EXPECT_EQ(eval::Pct(0.8826), "88.26");
+  EXPECT_EQ(eval::Pct(1.0), "100.00");
+}
+
+}  // namespace
+}  // namespace vs2

@@ -1,0 +1,290 @@
+/// Tests for src/doc (elements, document, layout tree) and src/raster
+/// (grid, renderer, noise).
+
+#include <gtest/gtest.h>
+
+#include "doc/document.hpp"
+#include "doc/layout_tree.hpp"
+#include "raster/grid.hpp"
+#include "raster/noise.hpp"
+#include "raster/renderer.hpp"
+
+namespace vs2 {
+namespace {
+
+doc::Document TwoLineDoc() {
+  doc::Document d;
+  d.width = 200;
+  d.height = 100;
+  doc::TextStyle style;
+  style.font_size = 12;
+  raster::PlaceLine(&d, "alpha beta gamma", 10, 10, style, 0);
+  raster::PlaceLine(&d, "delta epsilon", 10, 50, style, 1);
+  return d;
+}
+
+// --------------------------------------------------------------- Element --
+
+TEST(ElementTest, TextElementCarriesLabColor) {
+  doc::TextStyle style;
+  style.color = util::White();
+  doc::AtomicElement el = doc::MakeTextElement("w", {0, 0, 10, 10}, style);
+  EXPECT_TRUE(el.is_text());
+  EXPECT_NEAR(el.color.l, 100.0, 1.0);
+}
+
+TEST(ElementTest, ImageElementHasNoText) {
+  doc::AtomicElement el =
+      doc::MakeImageElement(7, {0, 0, 10, 10}, util::SlateGray());
+  EXPECT_TRUE(el.is_image());
+  EXPECT_FALSE(el.is_text());
+  EXPECT_EQ(el.image_id, 7u);
+  EXPECT_TRUE(el.text.empty());
+}
+
+// -------------------------------------------------------------- Document --
+
+TEST(DocumentTest, ReadingOrderTopToBottomLeftToRight) {
+  doc::Document d = TwoLineDoc();
+  EXPECT_EQ(d.FullText(), "alpha beta gamma delta epsilon");
+}
+
+TEST(DocumentTest, TextElementIndicesSkipImages) {
+  doc::Document d = TwoLineDoc();
+  size_t text_count = d.elements.size();
+  d.elements.push_back(doc::MakeImageElement(1, {50, 80, 10, 5},
+                                             util::Goldenrod()));
+  EXPECT_EQ(d.TextElementIndices().size(), text_count);
+}
+
+TEST(DocumentTest, ContentBoundsEnclosesAllElements) {
+  doc::Document d = TwoLineDoc();
+  util::BBox bounds = d.ContentBounds();
+  for (const auto& el : d.elements) {
+    EXPECT_TRUE(bounds.Contains(el.bbox));
+  }
+}
+
+// ------------------------------------------------------------ LayoutTree --
+
+TEST(LayoutTreeTest, RootCoversAllElements) {
+  doc::Document d = TwoLineDoc();
+  doc::LayoutTree tree = doc::LayoutTree::ForDocument(d);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.node(0).element_indices.size(), d.elements.size());
+  EXPECT_TRUE(tree.Validate(d).ok());
+  EXPECT_EQ(tree.Height(), 0);
+}
+
+TEST(LayoutTreeTest, AddChildComputesBBoxFromElements) {
+  doc::Document d = TwoLineDoc();
+  doc::LayoutTree tree = doc::LayoutTree::ForDocument(d);
+  std::vector<size_t> first_line = {0, 1, 2};
+  size_t child = tree.AddChild(d, tree.root(), first_line);
+  const doc::LayoutNode& n = tree.node(child);
+  EXPECT_FALSE(n.bbox.Empty());  // the evaluation-order regression guard
+  for (size_t i : first_line) {
+    EXPECT_TRUE(n.bbox.Contains(d.elements[i].bbox));
+  }
+  EXPECT_EQ(n.depth, 1);
+  EXPECT_EQ(tree.Height(), 1);
+}
+
+TEST(LayoutTreeTest, ValidateRejectsSharedElements) {
+  doc::Document d = TwoLineDoc();
+  doc::LayoutTree tree = doc::LayoutTree::ForDocument(d);
+  tree.AddChild(d, tree.root(), {0, 1});
+  tree.AddChild(d, tree.root(), {1, 2});  // element 1 in both siblings
+  EXPECT_FALSE(tree.Validate(d).ok());
+}
+
+TEST(LayoutTreeTest, MergeSiblingsCombinesElements) {
+  doc::Document d = TwoLineDoc();
+  doc::LayoutTree tree = doc::LayoutTree::ForDocument(d);
+  size_t a = tree.AddChild(d, tree.root(), {0, 1});
+  size_t b = tree.AddChild(d, tree.root(), {2});
+  auto merged = tree.MergeSiblings(d, a, b);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(tree.node(*merged).element_indices.size(), 3u);
+  EXPECT_EQ(tree.node(tree.root()).children.size(), 1u);
+  EXPECT_TRUE(tree.Validate(d).ok());
+}
+
+TEST(LayoutTreeTest, MergeSiblingsRejectsNonSiblings) {
+  doc::Document d = TwoLineDoc();
+  doc::LayoutTree tree = doc::LayoutTree::ForDocument(d);
+  size_t a = tree.AddChild(d, tree.root(), {0, 1});
+  size_t inner = tree.AddChild(d, a, {0});
+  EXPECT_FALSE(tree.MergeSiblings(d, a, inner).ok());
+  EXPECT_FALSE(tree.MergeSiblings(d, a, a).ok());
+  EXPECT_FALSE(tree.MergeSiblings(d, a, 999).ok());
+}
+
+TEST(LayoutTreeTest, LeavesPreOrder) {
+  doc::Document d = TwoLineDoc();
+  doc::LayoutTree tree = doc::LayoutTree::ForDocument(d);
+  size_t a = tree.AddChild(d, tree.root(), {0, 1, 2});
+  size_t b = tree.AddChild(d, tree.root(), {3, 4});
+  size_t a1 = tree.AddChild(d, a, {0});
+  size_t a2 = tree.AddChild(d, a, {1, 2});
+  std::vector<size_t> leaves = tree.Leaves();
+  ASSERT_EQ(leaves.size(), 3u);
+  EXPECT_EQ(leaves[0], a1);
+  EXPECT_EQ(leaves[1], a2);
+  EXPECT_EQ(leaves[2], b);
+}
+
+TEST(LayoutTreeTest, AsciiArtMentionsAllLeaves) {
+  doc::Document d = TwoLineDoc();
+  doc::LayoutTree tree = doc::LayoutTree::ForDocument(d);
+  tree.AddChild(d, tree.root(), {0, 1, 2});
+  std::string art = tree.ToAsciiArt(d);
+  EXPECT_NE(art.find("alpha"), std::string::npos);
+  EXPECT_NE(art.find("leaf"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ Grid --
+
+TEST(GridTest, OutOfRangeReadsAsOccupied) {
+  raster::OccupancyGrid g(4, 4);
+  EXPECT_TRUE(g.occupied(-1, 0));
+  EXPECT_TRUE(g.occupied(0, 4));
+  EXPECT_FALSE(g.occupied(0, 0));
+  EXPECT_FALSE(g.IsWhitespace(-1, 0));
+  EXPECT_TRUE(g.IsWhitespace(3, 3));
+}
+
+TEST(GridTest, FillBoxMarksCells) {
+  raster::OccupancyGrid g(10, 10);
+  g.FillBox({2, 3, 4, 2});
+  EXPECT_TRUE(g.occupied(2, 3));
+  EXPECT_TRUE(g.occupied(5, 4));
+  EXPECT_FALSE(g.occupied(1, 3));
+  EXPECT_FALSE(g.occupied(2, 5));
+  EXPECT_NEAR(g.OccupancyRatio(), 8.0 / 100.0, 1e-12);
+}
+
+TEST(GridTest, RasterizeClipsToRegion) {
+  std::vector<util::BBox> boxes = {{-10, -10, 15, 15}, {90, 90, 20, 20}};
+  raster::GridScale scale{1.0};
+  raster::OccupancyGrid g =
+      raster::RasterizeBoxes(boxes, {0, 0, 100, 100}, scale);
+  EXPECT_EQ(g.width(), 100);
+  EXPECT_TRUE(g.occupied(0, 0));     // clipped corner of box 1
+  EXPECT_TRUE(g.occupied(95, 95));   // interior of box 2
+  EXPECT_FALSE(g.occupied(50, 50));  // empty middle
+}
+
+TEST(GridScaleTest, UnitConversionRoundTrip) {
+  raster::GridScale scale{0.5};
+  EXPECT_EQ(scale.ToCellsFloor(9.9), 4);
+  EXPECT_EQ(scale.ToCellsCeil(9.9), 5);
+  EXPECT_DOUBLE_EQ(scale.ToUnits(5), 10.0);
+}
+
+// -------------------------------------------------------------- Renderer --
+
+TEST(RendererTest, WordWidthMonotonicInLength) {
+  EXPECT_LT(raster::WordWidth("ab", 12), raster::WordWidth("abcd", 12));
+  EXPECT_LT(raster::WordWidth("word", 10), raster::WordWidth("word", 20));
+  EXPECT_LT(raster::WordWidth("word", 12),
+            raster::WordWidth("word", 12, /*bold=*/true));
+}
+
+TEST(RendererTest, PlaceLineLeftToRightNoOverlap) {
+  doc::Document d;
+  d.width = 400;
+  d.height = 100;
+  doc::TextStyle style;
+  raster::PlaceLine(&d, "one two three", 5, 5, style, 3);
+  ASSERT_EQ(d.elements.size(), 3u);
+  for (size_t i = 1; i < d.elements.size(); ++i) {
+    EXPECT_GT(d.elements[i].bbox.x, d.elements[i - 1].bbox.right());
+    EXPECT_EQ(d.elements[i].line_id, 3);
+  }
+}
+
+TEST(RendererTest, PlaceTextWrapsAtMaxWidth) {
+  doc::Document d;
+  d.width = 400;
+  d.height = 400;
+  doc::TextStyle style;
+  style.font_size = 12;
+  util::BBox bbox = raster::PlaceText(
+      &d, "aaaa bbbb cccc dddd eeee ffff gggg hhhh", 0, 0, 80, style, 0);
+  EXPECT_LE(bbox.right(), 85.0);
+  EXPECT_GT(bbox.height, raster::LineHeight(12));  // wrapped to >1 line
+  // line ids increase down the wrap
+  int max_line = 0;
+  for (const auto& el : d.elements) max_line = std::max(max_line, el.line_id);
+  EXPECT_GE(max_line, 1);
+}
+
+TEST(RendererTest, PlaceCenteredLineIsCentered) {
+  doc::Document d;
+  d.width = 200;
+  d.height = 100;
+  doc::TextStyle style;
+  util::BBox b = raster::PlaceCenteredLine(&d, "mid", 0, 200, 10, style);
+  double center = b.x + b.width / 2;
+  EXPECT_NEAR(center, 100.0, 2.0);
+}
+
+TEST(RendererTest, RotateDocumentPreservesElementCount) {
+  doc::Document d = TwoLineDoc();
+  d.annotations.push_back({"x", {10, 10, 50, 10}, "alpha"});
+  size_t n = d.elements.size();
+  util::BBox before = d.elements[0].bbox;
+  raster::RotateDocument(&d, 10.0);
+  EXPECT_EQ(d.elements.size(), n);
+  EXPECT_NE(d.elements[0].bbox, before);
+  EXPECT_DOUBLE_EQ(d.rotation_degrees, 10.0);
+  // Rotation by 0 is a no-op.
+  doc::Document d2 = TwoLineDoc();
+  util::BBox b2 = d2.elements[0].bbox;
+  raster::RotateDocument(&d2, 0.0);
+  EXPECT_EQ(d2.elements[0].bbox, b2);
+}
+
+TEST(RendererTest, RotationRoundTripApproximatelyIdentity) {
+  doc::Document d = TwoLineDoc();
+  util::PointF c0 = d.elements[0].bbox.Centroid();
+  raster::RotateDocument(&d, 15.0);
+  raster::RotateDocument(&d, -15.0);
+  util::PointF c1 = d.elements[0].bbox.Centroid();
+  EXPECT_NEAR(c0.x, c1.x, 1e-6);
+  EXPECT_NEAR(c0.y, c1.y, 1e-6);
+}
+
+// ----------------------------------------------------------------- Noise --
+
+TEST(NoiseTest, ArtifactsLowerQualityDeterministically) {
+  doc::Document a = TwoLineDoc();
+  doc::Document b = TwoLineDoc();
+  a.capture_quality = b.capture_quality = 1.0;
+  raster::ArtifactConfig config;
+  util::Rng r1(99), r2(99);
+  raster::ApplyCaptureArtifacts(&a, config, &r1);
+  raster::ApplyCaptureArtifacts(&b, config, &r2);
+  EXPECT_LT(a.capture_quality, 1.0);
+  EXPECT_EQ(a.capture_quality, b.capture_quality);
+  EXPECT_EQ(a.elements.size(), b.elements.size());
+}
+
+TEST(NoiseTest, SmudgesAreImageElements) {
+  doc::Document d = TwoLineDoc();
+  raster::ArtifactConfig config;
+  config.smudge_probability = 1.0;
+  config.max_smudges = 3;
+  config.speckle_per_kilo_unit2 = 0.0;
+  util::Rng rng(5);
+  size_t before = d.elements.size();
+  raster::ApplyCaptureArtifacts(&d, config, &rng);
+  size_t images = 0;
+  for (const auto& el : d.elements) images += el.is_image() ? 1 : 0;
+  EXPECT_GE(images, 1u);
+  EXPECT_GT(d.elements.size(), before);
+}
+
+}  // namespace
+}  // namespace vs2

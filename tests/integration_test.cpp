@@ -1,0 +1,292 @@
+/// Cross-module integration tests: full-pipeline invariants swept across
+/// datasets, noise levels and ablation configurations; JSON round-trips
+/// feeding the pipeline; the Eq. 2 weight tuner; end-to-end determinism.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/pipeline.hpp"
+#include "core/weight_tuner.hpp"
+#include "datasets/generator.hpp"
+#include "datasets/pretrained.hpp"
+#include "doc/serialization.hpp"
+#include "eval/metrics.hpp"
+#include "ocr/ocr.hpp"
+
+namespace vs2 {
+namespace {
+
+// ---------------------------------------------------------- Serialization --
+
+TEST(SerializationTest, RoundTripPreservesDocument) {
+  datasets::GeneratorConfig gc;
+  gc.num_documents = 3;
+  for (doc::DatasetId id : {doc::DatasetId::kD1TaxForms,
+                            doc::DatasetId::kD2EventPosters,
+                            doc::DatasetId::kD3RealEstateFlyers}) {
+    doc::Corpus corpus = datasets::Generate(id, gc);
+    for (const doc::Document& original : corpus.documents) {
+      std::string json = doc::ToJson(original);
+      auto parsed = doc::FromJson(json);
+      ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+      EXPECT_EQ(parsed->id, original.id);
+      EXPECT_EQ(parsed->dataset, original.dataset);
+      EXPECT_EQ(parsed->format, original.format);
+      EXPECT_EQ(parsed->template_id, original.template_id);
+      ASSERT_EQ(parsed->elements.size(), original.elements.size());
+      for (size_t i = 0; i < original.elements.size(); ++i) {
+        EXPECT_EQ(parsed->elements[i].text, original.elements[i].text);
+        EXPECT_EQ(parsed->elements[i].kind, original.elements[i].kind);
+        EXPECT_NEAR(parsed->elements[i].bbox.x, original.elements[i].bbox.x,
+                    1e-3);
+        EXPECT_NEAR(parsed->elements[i].bbox.height,
+                    original.elements[i].bbox.height, 1e-3);
+        EXPECT_EQ(parsed->elements[i].markup_hint,
+                  original.elements[i].markup_hint);
+      }
+      ASSERT_EQ(parsed->annotations.size(), original.annotations.size());
+      for (size_t i = 0; i < original.annotations.size(); ++i) {
+        EXPECT_EQ(parsed->annotations[i].entity_type,
+                  original.annotations[i].entity_type);
+        EXPECT_EQ(parsed->annotations[i].text, original.annotations[i].text);
+      }
+      // Reading order — and hence all downstream text — survives.
+      EXPECT_EQ(parsed->FullText(), original.FullText());
+    }
+  }
+}
+
+TEST(SerializationTest, EscapedStringsSurvive) {
+  doc::Document d;
+  d.width = 100;
+  d.height = 100;
+  d.elements.push_back(doc::MakeTextElement("quote\"back\\slash\ttab",
+                                            {1, 2, 3, 4}, {}));
+  auto parsed = doc::FromJson(doc::ToJson(d));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->elements[0].text, "quote\"back\\slash\ttab");
+}
+
+TEST(SerializationTest, RejectsMalformedJson) {
+  EXPECT_FALSE(doc::FromJson("").ok());
+  EXPECT_FALSE(doc::FromJson("{").ok());
+  EXPECT_FALSE(doc::FromJson("[1,2]").ok());  // not an object
+  EXPECT_FALSE(doc::FromJson("{\"width\":10}").ok());  // no height
+  EXPECT_FALSE(doc::FromJson(
+                   "{\"width\":10,\"height\":10,\"dataset\":9}")
+                   .ok());  // bad dataset
+  EXPECT_FALSE(doc::FromJson(
+                   "{\"width\":10,\"height\":10,\"elements\":[{\"kind\":"
+                   "\"blob\"}]}")
+                   .ok());  // bad element kind
+  EXPECT_FALSE(doc::FromJson("{\"width\":10,\"height\":10} trailing").ok());
+}
+
+TEST(SerializationTest, ParsedDocumentRunsThroughPipeline) {
+  datasets::GeneratorConfig gc;
+  gc.num_documents = 1;
+  gc.mobile_capture_fraction = 0.0;
+  doc::Document original = datasets::GenerateD2(gc).documents[0];
+  auto parsed = doc::FromJson(doc::ToJson(original));
+  ASSERT_TRUE(parsed.ok());
+
+  const embed::Embedding& emb = datasets::PretrainedEmbedding();
+  core::Vs2 vs2(doc::DatasetId::kD2EventPosters, emb,
+                core::DefaultConfigFor(doc::DatasetId::kD2EventPosters));
+  auto from_original = vs2.Process(original);
+  auto from_parsed = vs2.Process(*parsed);
+  ASSERT_TRUE(from_original.ok());
+  ASSERT_TRUE(from_parsed.ok());
+  ASSERT_EQ(from_original->extractions.size(),
+            from_parsed->extractions.size());
+  for (size_t i = 0; i < from_original->extractions.size(); ++i) {
+    EXPECT_EQ(from_original->extractions[i].entity,
+              from_parsed->extractions[i].entity);
+    EXPECT_EQ(from_original->extractions[i].text,
+              from_parsed->extractions[i].text);
+  }
+}
+
+// ------------------------------------------------------- Pipeline sweeps --
+
+struct SweepCase {
+  doc::DatasetId dataset;
+  bool merging;
+  bool clustering;
+};
+
+class PipelineSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PipelineSweepTest, InvariantsHoldUnderConfig) {
+  const SweepCase& param = GetParam();
+  const embed::Embedding& emb = datasets::PretrainedEmbedding();
+  core::PipelineConfig config = core::DefaultConfigFor(param.dataset);
+  config.segmenter.enable_semantic_merging = param.merging;
+  config.segmenter.enable_visual_clustering = param.clustering;
+  core::Vs2 vs2(param.dataset, emb, config);
+
+  datasets::GeneratorConfig gc;
+  gc.num_documents = 4;
+  gc.seed = 31337;
+  doc::Corpus corpus = datasets::Generate(param.dataset, gc);
+  const auto& specs = vs2.entity_specs();
+  std::set<std::string> known;
+  for (const auto& s : specs) known.insert(s.name);
+
+  for (const doc::Document& d : corpus.documents) {
+    auto result = vs2.Process(d);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    // Layout tree structurally valid against the observed document.
+    EXPECT_TRUE(result->tree.Validate(result->observed).ok());
+    // Leaves partition the observed elements.
+    std::set<size_t> covered;
+    for (size_t leaf : result->tree.Leaves()) {
+      for (size_t e : result->tree.node(leaf).element_indices) {
+        EXPECT_TRUE(covered.insert(e).second);
+      }
+    }
+    EXPECT_EQ(covered.size(), result->observed.elements.size());
+    // Extractions: unique, known entities, boxes inside the page (with
+    // slack for deskew residual).
+    std::set<std::string> seen;
+    for (const core::Extraction& ex : result->extractions) {
+      EXPECT_TRUE(known.count(ex.entity)) << ex.entity;
+      EXPECT_TRUE(seen.insert(ex.entity).second);
+      EXPECT_FALSE(ex.block_bbox.Empty());
+      EXPECT_GT(ex.block_bbox.right(), -50.0);
+      EXPECT_LT(ex.block_bbox.x, d.width + 50.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigsByDataset, PipelineSweepTest,
+    ::testing::Values(
+        SweepCase{doc::DatasetId::kD1TaxForms, true, true},
+        SweepCase{doc::DatasetId::kD1TaxForms, false, true},
+        SweepCase{doc::DatasetId::kD2EventPosters, true, true},
+        SweepCase{doc::DatasetId::kD2EventPosters, false, false},
+        SweepCase{doc::DatasetId::kD2EventPosters, true, false},
+        SweepCase{doc::DatasetId::kD3RealEstateFlyers, true, true},
+        SweepCase{doc::DatasetId::kD3RealEstateFlyers, false, true}));
+
+class NoiseSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseSweepTest, PipelineSurvivesQualityLevel) {
+  double quality = GetParam();
+  const embed::Embedding& emb = datasets::PretrainedEmbedding();
+  core::PipelineConfig config =
+      core::DefaultConfigFor(doc::DatasetId::kD2EventPosters);
+  core::Vs2 vs2(doc::DatasetId::kD2EventPosters, emb, config);
+
+  datasets::GeneratorConfig gc;
+  gc.num_documents = 3;
+  gc.seed = 4242;
+  gc.mobile_capture_fraction = 0.0;
+  doc::Corpus corpus = datasets::GenerateD2(gc);
+  for (doc::Document d : corpus.documents) {
+    d.capture_quality = quality;
+    auto result = vs2.Process(d);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->tree.Validate(result->observed).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QualityLevels, NoiseSweepTest,
+                         ::testing::Values(1.0, 0.85, 0.7, 0.55, 0.4, 0.25));
+
+TEST(PipelineDeterminismTest, SameInputsSameExtractions) {
+  const embed::Embedding& emb = datasets::PretrainedEmbedding();
+  core::Vs2 vs2(doc::DatasetId::kD2EventPosters, emb,
+                core::DefaultConfigFor(doc::DatasetId::kD2EventPosters));
+  datasets::GeneratorConfig gc;
+  gc.num_documents = 3;
+  gc.seed = 555;
+  doc::Corpus corpus = datasets::GenerateD2(gc);
+  for (const doc::Document& d : corpus.documents) {
+    auto a = vs2.Process(d);
+    auto b = vs2.Process(d);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->extractions.size(), b->extractions.size());
+    for (size_t i = 0; i < a->extractions.size(); ++i) {
+      EXPECT_EQ(a->extractions[i].entity, b->extractions[i].entity);
+      EXPECT_EQ(a->extractions[i].text, b->extractions[i].text);
+      EXPECT_EQ(a->extractions[i].block_bbox, b->extractions[i].block_bbox);
+    }
+  }
+}
+
+TEST(PipelineQualityTest, CleanPostersExtractAccurately) {
+  const embed::Embedding& emb = datasets::PretrainedEmbedding();
+  core::PipelineConfig config =
+      core::DefaultConfigFor(doc::DatasetId::kD2EventPosters);
+  core::Vs2 vs2(doc::DatasetId::kD2EventPosters, emb, config);
+
+  datasets::GeneratorConfig gc;
+  gc.num_documents = 10;
+  gc.seed = 77;
+  gc.mobile_capture_fraction = 0.0;  // born-digital only
+  doc::Corpus corpus = datasets::GenerateD2(gc);
+  eval::PrCounts total;
+  for (const doc::Document& d : corpus.documents) {
+    auto result = vs2.Process(d);
+    ASSERT_TRUE(result.ok());
+    std::vector<eval::LabeledPrediction> preds;
+    for (const core::Extraction& ex : result->extractions) {
+      preds.push_back({ex.entity, ex.block_bbox, ex.text, ex.match_bbox});
+    }
+    total.Add(eval::ScoreEndToEnd(preds, result->observed));
+  }
+  // Clean documents must extract well; this is a regression floor, not a
+  // benchmark (the benches measure the realistic noisy setting).
+  EXPECT_GT(total.F1(), 0.8) << "P=" << total.Precision()
+                             << " R=" << total.Recall();
+}
+
+// ------------------------------------------------------------ WeightTuner --
+
+TEST(WeightTunerTest, NeverWorseThanBaseline) {
+  const embed::Embedding& emb = datasets::PretrainedEmbedding();
+  datasets::GeneratorConfig gc;
+  gc.num_documents = 6;
+  gc.seed = 2024;
+  doc::Corpus dev = datasets::GenerateD2(gc);
+  for (doc::Document& d : dev.documents) d = ocr::Transcribe(d, {});
+
+  core::PipelineConfig base =
+      core::DefaultConfigFor(doc::DatasetId::kD2EventPosters);
+  base.simulate_ocr = false;
+
+  // Baseline F1 with the paper's hand-set weights.
+  core::WeightTunerConfig tc;
+  tc.rounds = 1;
+  core::WeightTuneResult tuned = core::TuneWeights(
+      doc::DatasetId::kD2EventPosters, dev, emb, base, tc);
+
+  EXPECT_GE(tuned.evaluations, 1u);
+  EXPECT_NEAR(tuned.weights.alpha + tuned.weights.beta +
+                  tuned.weights.gamma + tuned.weights.nu,
+              1.0, 1e-9);
+  // Coordinate ascent keeps the best-seen configuration, so the returned
+  // F1 is at least the baseline's.
+  core::PipelineConfig check = base;
+  check.select.weights = core::MultimodalWeights::ForDataset(
+      doc::DatasetId::kD2EventPosters);
+  core::Vs2 vs2(doc::DatasetId::kD2EventPosters, emb, check);
+  eval::PrCounts baseline;
+  for (const doc::Document& d : dev.documents) {
+    auto result = vs2.Process(d);
+    if (!result.ok()) continue;
+    std::vector<eval::LabeledPrediction> preds;
+    for (const core::Extraction& ex : result->extractions) {
+      preds.push_back({ex.entity, ex.block_bbox, ex.text, ex.match_bbox});
+    }
+    baseline.Add(eval::ScoreEndToEnd(preds, d));
+  }
+  EXPECT_GE(tuned.dev_f1 + 1e-9, baseline.F1());
+}
+
+}  // namespace
+}  // namespace vs2

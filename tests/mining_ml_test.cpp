@@ -1,0 +1,291 @@
+/// Tests for src/mining (frequent subtree miner, incl. a brute-force
+/// cross-check property test) and src/ml (SVM, Pareto sorting, scaler).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mining/subtree_miner.hpp"
+#include "ml/pareto.hpp"
+#include "ml/svm.hpp"
+#include "util/rng.hpp"
+
+namespace vs2 {
+namespace {
+
+// ---------------------------------------------------------------- Mining --
+
+TEST(FlatTreeTest, ParseAndRenderSExpression) {
+  auto tree = mining::ParseSExpression("(S (NP DT NN) (VP VB))");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 6u);
+  EXPECT_EQ(tree->ToSExpression(), "(S (NP DT NN) (VP VB))");
+  EXPECT_TRUE(tree->Validate().ok());
+}
+
+TEST(FlatTreeTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(mining::ParseSExpression("(S (NP").ok());
+  EXPECT_FALSE(mining::ParseSExpression("(S) extra)").ok());
+  EXPECT_FALSE(mining::ParseSExpression("A B").ok());  // two roots
+}
+
+TEST(ContainsSubtreeTest, SingleNode) {
+  auto tree = *mining::ParseSExpression("(S (NP DT NN) (VP VB))");
+  EXPECT_TRUE(mining::ContainsSubtree(tree, *mining::ParseSExpression("NN")));
+  EXPECT_FALSE(mining::ContainsSubtree(tree, *mining::ParseSExpression("XX")));
+}
+
+TEST(ContainsSubtreeTest, InducedEdgeRequired) {
+  // Pattern (S NN) requires NN as a DIRECT child of S; in the tree NN is a
+  // grandchild.
+  auto tree = *mining::ParseSExpression("(S (NP NN))");
+  EXPECT_FALSE(mining::ContainsSubtree(tree, *mining::ParseSExpression("(S NN)")));
+  EXPECT_TRUE(mining::ContainsSubtree(tree, *mining::ParseSExpression("(NP NN)")));
+  EXPECT_TRUE(mining::ContainsSubtree(tree, *mining::ParseSExpression("(S (NP NN))")));
+}
+
+TEST(ContainsSubtreeTest, SiblingOrderRespected) {
+  auto tree = *mining::ParseSExpression("(S A B C)");
+  EXPECT_TRUE(mining::ContainsSubtree(tree, *mining::ParseSExpression("(S A C)")));
+  EXPECT_FALSE(mining::ContainsSubtree(tree, *mining::ParseSExpression("(S C A)")));
+}
+
+TEST(ContainsSubtreeTest, RepeatedLabels) {
+  auto tree = *mining::ParseSExpression("(S (NP NN NN) (NP NN))");
+  EXPECT_TRUE(mining::ContainsSubtree(tree, *mining::ParseSExpression("(S (NP NN) (NP NN))")));
+  EXPECT_TRUE(mining::ContainsSubtree(tree, *mining::ParseSExpression("(NP NN NN)")));
+  EXPECT_FALSE(mining::ContainsSubtree(tree, *mining::ParseSExpression("(NP NN NN NN)")));
+}
+
+TEST(MinerTest, FindsSharedPattern) {
+  std::vector<mining::FlatTree> db = {
+      *mining::ParseSExpression("(S (VP VB sense) (NP NN))"),
+      *mining::ParseSExpression("(S (VP VB sense) (NP DT NN))"),
+      *mining::ParseSExpression("(S (VP VB sense))"),
+  };
+  mining::MinerConfig config;
+  config.min_support = 3;
+  config.max_nodes = 3;
+  config.maximal_only = true;
+  auto patterns = mining::MineFrequentSubtrees(db, config);
+  bool found = false;
+  for (const auto& p : patterns) {
+    if (p.tree.ToSExpression() == "(VP VB sense)") {
+      found = true;
+      EXPECT_EQ(p.support, 3u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MinerTest, MaximalFilterRemovesSubPatterns) {
+  std::vector<mining::FlatTree> db = {
+      *mining::ParseSExpression("(A (B C))"),
+      *mining::ParseSExpression("(A (B C))"),
+  };
+  mining::MinerConfig config;
+  config.min_support = 2;
+  config.max_nodes = 3;
+  config.maximal_only = true;
+  auto patterns = mining::MineFrequentSubtrees(db, config);
+  // The maximal frequent pattern is the whole tree; "B" alone or "(B C)"
+  // must not be reported.
+  for (const auto& p : patterns) {
+    EXPECT_EQ(p.tree.ToSExpression(), "(A (B C))");
+  }
+  ASSERT_EQ(patterns.size(), 1u);
+}
+
+TEST(MinerTest, SupportThresholdRespected) {
+  std::vector<mining::FlatTree> db = {
+      *mining::ParseSExpression("(S X)"),
+      *mining::ParseSExpression("(S Y)"),
+      *mining::ParseSExpression("(S X)"),
+  };
+  mining::MinerConfig config;
+  config.min_support = 2;
+  config.max_nodes = 2;
+  config.maximal_only = false;
+  auto patterns = mining::MineFrequentSubtrees(db, config);
+  for (const auto& p : patterns) {
+    EXPECT_GE(p.support, 2u);
+    EXPECT_EQ(p.tree.ToSExpression().find("Y"), std::string::npos);
+  }
+}
+
+/// Property test: every pattern the miner reports must actually occur in
+/// at least min_support transactions (verified against ContainsSubtree,
+/// which itself is validated by the hand cases above), on randomly
+/// generated labelled trees.
+TEST(MinerPropertyTest, ReportedSupportIsCorrectOnRandomForests) {
+  util::Rng rng(0xF06E57);
+  const std::vector<std::string> labels = {"A", "B", "C", "D"};
+  for (int round = 0; round < 8; ++round) {
+    std::vector<mining::FlatTree> db;
+    for (int t = 0; t < 6; ++t) {
+      mining::FlatTree tree;
+      int n = rng.UniformInt(3, 8);
+      for (int i = 0; i < n; ++i) {
+        tree.labels.push_back(rng.Choice(labels));
+        tree.parents.push_back(i == 0 ? -1 : rng.UniformInt(0, i - 1));
+      }
+      ASSERT_TRUE(tree.Validate().ok());
+      db.push_back(std::move(tree));
+    }
+    mining::MinerConfig config;
+    config.min_support = 3;
+    config.max_nodes = 4;
+    config.maximal_only = false;
+    auto patterns = mining::MineFrequentSubtrees(db, config);
+    for (const auto& p : patterns) {
+      size_t support = 0;
+      for (const auto& t : db) {
+        support += mining::ContainsSubtree(t, p.tree) ? 1 : 0;
+      }
+      EXPECT_EQ(support, p.support)
+          << "pattern " << p.tree.ToSExpression() << " round " << round;
+      EXPECT_GE(support, config.min_support);
+    }
+  }
+}
+
+// ------------------------------------------------------------------- SVM --
+
+TEST(ScalerTest, StandardizesToZeroMeanUnitVar) {
+  ml::StandardScaler scaler;
+  scaler.Fit({{1, 10}, {3, 10}, {5, 10}});
+  auto t = scaler.Transform({3, 10});
+  EXPECT_NEAR(t[0], 0.0, 1e-9);
+  EXPECT_NEAR(t[1], 0.0, 1e-9);  // constant feature stays finite
+  auto hi = scaler.Transform({5, 10});
+  EXPECT_GT(hi[0], 1.0);
+}
+
+TEST(SvmTest, SeparatesLinearlySeparableData) {
+  util::Rng rng(77);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.UniformDouble(-1, 1);
+    double y = rng.UniformDouble(-1, 1);
+    rows.push_back({x, y});
+    labels.push_back(x + y > 0 ? 1 : -1);
+  }
+  ml::LinearSvm svm;
+  ASSERT_TRUE(svm.Fit(rows, labels, {}).ok());
+  int correct = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    correct += svm.Predict(rows[i]) == labels[i] ? 1 : 0;
+  }
+  EXPECT_GE(correct, 190);
+}
+
+TEST(SvmTest, RejectsBadInputs) {
+  ml::LinearSvm svm;
+  EXPECT_FALSE(svm.Fit({}, {}, {}).ok());
+  EXPECT_FALSE(svm.Fit({{1.0}}, {2}, {}).ok());        // label not ±1
+  EXPECT_FALSE(svm.Fit({{1.0}, {1.0, 2.0}}, {1, -1}, {}).ok());  // ragged
+  EXPECT_FALSE(svm.Fit({{1.0}}, {1, -1}, {}).ok());    // size mismatch
+}
+
+TEST(OneVsRestTest, ThreeClassSeparation) {
+  util::Rng rng(88);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  const double centers[3][2] = {{0, 0}, {6, 0}, {0, 6}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 60; ++i) {
+      rows.push_back({centers[c][0] + rng.Normal(0, 0.5),
+                      centers[c][1] + rng.Normal(0, 0.5)});
+      labels.push_back(c);
+    }
+  }
+  ml::OneVsRestSvm svm;
+  ASSERT_TRUE(svm.Fit(rows, labels, 3, {}).ok());
+  int correct = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    correct += svm.Predict(rows[i]) == labels[i] ? 1 : 0;
+  }
+  EXPECT_GE(correct, 170);
+}
+
+TEST(OneVsRestTest, UntrainedPredictsMinusOne) {
+  ml::OneVsRestSvm svm;
+  EXPECT_EQ(svm.Predict({1.0, 2.0}), -1);
+  EXPECT_FALSE(ml::OneVsRestSvm().Fit({{1.0}}, {0}, 1, {}).ok());
+}
+
+// ---------------------------------------------------------------- Pareto --
+
+TEST(ParetoTest, DominatesSemantics) {
+  EXPECT_TRUE(ml::Dominates({2, 2}, {1, 2}));
+  EXPECT_FALSE(ml::Dominates({2, 1}, {1, 2}));
+  EXPECT_FALSE(ml::Dominates({1, 2}, {1, 2}));  // equal: no strict gain
+  EXPECT_FALSE(ml::Dominates({1}, {1, 2}));     // dimension mismatch
+}
+
+TEST(ParetoTest, FrontOfStaircase) {
+  // Points on an anti-diagonal are mutually non-dominated.
+  std::vector<std::vector<double>> pts = {{0, 3}, {1, 2}, {2, 1}, {3, 0}};
+  auto front = ml::ParetoFront(pts);
+  EXPECT_EQ(front.size(), 4u);
+}
+
+TEST(ParetoTest, DominatedPointExcluded) {
+  std::vector<std::vector<double>> pts = {{0, 3}, {3, 0}, {1, 1}, {4, 4}};
+  auto front = ml::ParetoFront(pts);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0], 3u);  // (4,4) dominates everything
+}
+
+TEST(ParetoTest, NonDominatedSortLayers) {
+  std::vector<std::vector<double>> pts = {{2, 2}, {1, 1}, {0, 0}};
+  auto fronts = ml::NonDominatedSort(pts);
+  ASSERT_EQ(fronts.size(), 3u);
+  EXPECT_EQ(fronts[0], std::vector<size_t>{0});
+  EXPECT_EQ(fronts[1], std::vector<size_t>{1});
+  EXPECT_EQ(fronts[2], std::vector<size_t>{2});
+}
+
+/// Property: the first front returned is exactly the set of non-dominated
+/// points (brute-force check) on random point clouds.
+TEST(ParetoPropertyTest, FirstFrontMatchesBruteForce) {
+  util::Rng rng(0xBEEF);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::vector<double>> pts;
+    for (int i = 0; i < 40; ++i) {
+      pts.push_back({rng.UniformDouble(), rng.UniformDouble(),
+                     rng.UniformDouble()});
+    }
+    std::set<size_t> expected;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      bool dominated = false;
+      for (size_t j = 0; j < pts.size() && !dominated; ++j) {
+        dominated = ml::Dominates(pts[j], pts[i]);
+      }
+      if (!dominated) expected.insert(i);
+    }
+    auto front = ml::ParetoFront(pts);
+    std::set<size_t> got(front.begin(), front.end());
+    EXPECT_EQ(got, expected) << "round " << round;
+  }
+}
+
+TEST(ParetoTest, AllFrontsPartitionThePoints) {
+  util::Rng rng(0xCAFE);
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({rng.UniformDouble(), rng.UniformDouble()});
+  }
+  auto fronts = ml::NonDominatedSort(pts);
+  std::set<size_t> seen;
+  for (const auto& f : fronts) {
+    for (size_t i : f) {
+      EXPECT_TRUE(seen.insert(i).second);  // no duplicates across fronts
+    }
+  }
+  EXPECT_EQ(seen.size(), pts.size());
+}
+
+}  // namespace
+}  // namespace vs2
