@@ -2,6 +2,11 @@
 /// Regenerates **Table 5**: precision/recall of six segmentation methods
 /// (A1 Text-only, A2 XY-Cut, A3 Voronoi, A4 VIPS, A5 Tesseract, A6
 /// VS2-Segment) at localizing named entities on D1–D3, IoU > 0.65.
+///
+/// `--jobs N` runs the per-document scoring loops on an N-worker pool
+/// (identical totals — see `RunSegmentation`) and appends a serial-vs-
+/// parallel `BatchEngine` throughput comparison over the full VS2
+/// pipeline, emitted as a `batch-json` line.
 
 #include <cstdio>
 
@@ -10,7 +15,8 @@
 
 using namespace vs2;
 
-int main() {
+int main(int argc, char** argv) {
+  size_t jobs = bench::ParseJobsFlag(argc, argv);
   bench::PrintBenchHeader(
       "Table 5: Evaluation of VS2-Segment on experimental datasets");
 
@@ -36,7 +42,8 @@ int main() {
         util::Format("A%zu", m + 1), methods[m].name};
     for (const doc::Corpus& corpus : corpora) {
       eval::PrCounts counts;
-      bool applicable = bench::RunSegmentation(methods[m], corpus, &counts);
+      bool applicable =
+          bench::RunSegmentation(methods[m], corpus, &counts, jobs);
       if (!applicable) {
         row.push_back("-");
         row.push_back("-");
@@ -52,5 +59,18 @@ int main() {
       "Paper shape: VS2-Segment best on all three; margins small on the\n"
       "structured D1, large on the visually rich D2/D3; VIPS inapplicable\n"
       "to D1; XY-Cut/Text-only collapse on D2/D3.\n");
+
+  if (jobs > 1) {
+    // End-to-end throughput of the batch engine on the observed D2 corpus
+    // (the heaviest per-document workload of the three).
+    core::PipelineConfig config =
+        core::DefaultConfigFor(doc::DatasetId::kD2EventPosters);
+    config.simulate_ocr = false;  // the corpus is already observed
+    core::Vs2 vs2(doc::DatasetId::kD2EventPosters, embedding, config);
+    if (!bench::RunBatchComparison("table5_d2_pipeline", vs2,
+                                   corpora[1].documents, jobs)) {
+      return 1;
+    }
+  }
   return 0;
 }

@@ -2,6 +2,9 @@
 /// Regenerates **Table 6**: end-to-end precision/recall of VS2 per named
 /// entity on D2 (event posters), plus ΔF1 against the text-only baseline
 /// (Tesseract blocks + the same learned patterns + Lesk disambiguation).
+///
+/// `--jobs N` appends a serial-vs-parallel `BatchEngine` throughput
+/// comparison (byte-identical output check + `batch-json` line).
 
 #include <cstdio>
 
@@ -10,7 +13,8 @@
 
 using namespace vs2;
 
-int main() {
+int main(int argc, char** argv) {
+  size_t jobs = bench::ParseJobsFlag(argc, argv);
   bench::PrintBenchHeader("Table 6: End-to-end evaluation of VS2 on D2");
 
   const embed::Embedding& embedding = datasets::PretrainedEmbedding();
@@ -63,5 +67,10 @@ int main() {
       "regex-like pattern needs no layout, and on Event Description.\n",
       eval::Pct(txt_total.Precision()).c_str(),
       eval::Pct(txt_total.Recall()).c_str());
+
+  if (jobs > 1 &&
+      !bench::RunBatchComparison("table6_d2", vs2, corpus.documents, jobs)) {
+    return 1;
+  }
   return 0;
 }

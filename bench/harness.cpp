@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace vs2::bench {
 
@@ -125,14 +127,27 @@ std::vector<SegMethod> Table5Methods(const embed::Embedding& embedding,
 }
 
 bool RunSegmentation(const SegMethod& method, const doc::Corpus& corpus,
-                     eval::PrCounts* counts) {
-  for (const doc::Document& d : corpus.documents) {
-    Result<std::vector<util::BBox>> proposals = method.run(d);
-    if (!proposals.ok()) {
-      if (proposals.status().IsNotApplicable()) return false;
+                     eval::PrCounts* counts, size_t jobs) {
+  size_t n = corpus.documents.size();
+  // Per-document proposals land in input-order slots; aggregation below is
+  // serial, so the totals cannot depend on worker interleaving.
+  std::vector<Result<std::vector<util::BBox>>> proposals(
+      n, Status::Internal("not run"));
+  auto run_one = [&](size_t i) {
+    proposals[i] = method.run(corpus.documents[i]);
+  };
+  if (jobs <= 1) {
+    for (size_t i = 0; i < n; ++i) run_one(i);
+  } else {
+    util::ThreadPool pool(jobs);
+    util::ParallelFor(&pool, n, run_one);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!proposals[i].ok()) {
+      if (proposals[i].status().IsNotApplicable()) return false;
       continue;  // skip failed documents, count nothing
     }
-    counts->Add(eval::ScoreSegmentation(*proposals, d));
+    counts->Add(eval::ScoreSegmentation(*proposals[i], corpus.documents[i]));
   }
   return true;
 }
@@ -168,6 +183,70 @@ bool RunEndToEnd(
     }
   }
   return applicable_any;
+}
+
+size_t ParseJobsFlag(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      int v = std::atoi(argv[i + 1]);
+      return v > 1 ? static_cast<size_t>(v) : 1;
+    }
+  }
+  return 1;
+}
+
+namespace {
+
+/// Byte-exact fingerprint of one batch's extraction stream. Geometry and
+/// scores are rendered as hex floats (`%a`), so any bit-level divergence
+/// between the serial and parallel paths shows up.
+std::string BatchFingerprint(const core::BatchEngine::Output& out) {
+  std::string fp;
+  for (const Result<core::Vs2::DocResult>& r : out.results) {
+    if (!r.ok()) {
+      fp += "ERR " + r.status().ToString() + "\n";
+      continue;
+    }
+    for (const core::Extraction& ex : r->extractions) {
+      fp += util::Format("%s|%s|%a,%a,%a,%a|%a\n", ex.entity.c_str(),
+                         ex.text.c_str(), ex.match_bbox.x, ex.match_bbox.y,
+                         ex.match_bbox.width, ex.match_bbox.height, ex.score);
+    }
+    fp += "--\n";
+  }
+  return fp;
+}
+
+}  // namespace
+
+bool RunBatchComparison(const std::string& bench_name, const core::Vs2& vs2,
+                        const std::vector<doc::Document>& docs, size_t jobs) {
+  core::BatchEngine serial_engine(vs2, core::BatchOptions{1});
+  core::BatchEngine parallel_engine(vs2, core::BatchOptions{jobs});
+  core::BatchEngine::Output serial = serial_engine.ProcessAll(docs);
+  core::BatchEngine::Output parallel = parallel_engine.ProcessAll(docs);
+
+  bool identical = BatchFingerprint(serial) == BatchFingerprint(parallel);
+  double speedup = serial.stats.docs_per_second > 0.0
+                       ? parallel.stats.docs_per_second /
+                             serial.stats.docs_per_second
+                       : 0.0;
+  std::printf(
+      "batch engine [%s]: %zu docs, serial %.2f docs/s, %zu jobs %.2f "
+      "docs/s (%.2fx), p50 %.1f ms, p95 %.1f ms, errors %zu, outputs %s\n",
+      bench_name.c_str(), docs.size(), serial.stats.docs_per_second,
+      parallel.stats.jobs, parallel.stats.docs_per_second, speedup,
+      parallel.stats.p50_latency_ms, parallel.stats.p95_latency_ms,
+      parallel.stats.errors, identical ? "identical" : "DIVERGED");
+  std::printf(
+      "batch-json {\"bench\":\"%s\",\"jobs\":%zu,"
+      "\"serial_docs_per_sec\":%.2f,\"parallel_docs_per_sec\":%.2f,"
+      "\"speedup\":%.3f,\"identical\":%s,\"serial\":%s,\"parallel\":%s}\n",
+      bench_name.c_str(), parallel.stats.jobs,
+      serial.stats.docs_per_second, parallel.stats.docs_per_second, speedup,
+      identical ? "true" : "false", serial.stats.ToJson().c_str(),
+      parallel.stats.ToJson().c_str());
+  return identical;
 }
 
 void PrintBenchHeader(const std::string& title) {

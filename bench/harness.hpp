@@ -13,11 +13,13 @@
 
 #include "baselines/endtoend.hpp"
 #include "baselines/segmentation.hpp"
+#include "core/batch_engine.hpp"
 #include "core/pipeline.hpp"
 #include "datasets/generator.hpp"
 #include "datasets/pretrained.hpp"
 #include "eval/metrics.hpp"
 #include "eval/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vs2::bench {
 
@@ -53,8 +55,11 @@ std::vector<SegMethod> Table5Methods(const embed::Embedding& embedding,
 
 /// Runs a segmentation method over a corpus; aggregates Sec 6.2 phase-1
 /// precision/recall. Returns false when NotApplicable for this corpus.
+/// With `jobs > 1` the per-document proposals are computed on a worker
+/// pool; scoring stays serial and in input order, so the aggregated counts
+/// are identical at every job count.
 bool RunSegmentation(const SegMethod& method, const doc::Corpus& corpus,
-                     eval::PrCounts* counts);
+                     eval::PrCounts* counts, size_t jobs = 1);
 
 /// VS2 end-to-end predictions for one document.
 Result<std::vector<eval::LabeledPrediction>> Vs2Predictions(
@@ -70,6 +75,21 @@ bool RunEndToEnd(
 
 /// Prints the standard bench header (seed, corpus sizes).
 void PrintBenchHeader(const std::string& title);
+
+/// Parses a `--jobs N` argument (N >= 1). Returns 1 — the serial reference
+/// path — when the flag is absent or malformed; 0 is normalized to 1.
+size_t ParseJobsFlag(int argc, char** argv);
+
+/// \brief Serial-vs-parallel `BatchEngine` throughput comparison.
+///
+/// Runs `vs2.Process` over `docs` once with one worker and once with
+/// `jobs` workers, verifies the two extraction streams are byte-identical,
+/// prints a human-readable summary and emits one machine-readable line:
+/// `batch-json {"bench":...,"jobs":...,"serial_docs_per_sec":...,
+/// "parallel_docs_per_sec":...,"speedup":...,"identical":...}` for
+/// tooling to scrape. Returns false when the streams diverge.
+bool RunBatchComparison(const std::string& bench_name, const core::Vs2& vs2,
+                        const std::vector<doc::Document>& docs, size_t jobs);
 
 }  // namespace vs2::bench
 

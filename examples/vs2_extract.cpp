@@ -1,12 +1,17 @@
 /// \file vs2_extract.cpp
-/// Command-line extractor — the deployment entry point. Reads a document
-/// in the JSON interchange format (see `doc/serialization.hpp`) from a
-/// file or stdin, runs the VS2 pipeline, and prints the extracted
-/// key-value pairs as JSON on stdout.
+/// Command-line extractor — the deployment entry point. Reads one or more
+/// documents in the JSON interchange format (see `doc/serialization.hpp`)
+/// from files or stdin, runs the VS2 pipeline, and prints the extracted
+/// key-value pairs as JSON on stdout, one line per input document.
 ///
 /// Usage:
-///   vs2_extract [--dataset 1|2|3] [--no-ocr-noise] [file.json]
+///   vs2_extract [--dataset 1|2|3] [--no-ocr-noise] [--jobs N] [file.json...]
 ///   ... | vs2_extract --dataset 2
+///
+/// With several files (or `--jobs N > 1`) the documents are dispatched
+/// through `core::BatchEngine`: output lines stay in input order, a failed
+/// document produces an `{"error": ...}` line in its slot instead of
+/// aborting the batch, and batch statistics go to stderr.
 ///
 /// With `--demo`, generates a sample poster, prints its JSON to stderr
 /// (as a template for your own producer) and extracts from it.
@@ -16,7 +21,10 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "core/batch_engine.hpp"
 #include "core/pipeline.hpp"
 #include "datasets/generator.hpp"
 #include "datasets/pretrained.hpp"
@@ -61,16 +69,29 @@ std::string ExtractionsToJson(const core::Vs2::DocResult& result) {
   return out;
 }
 
+std::string ErrorToJson(const std::string& source, const Status& status) {
+  std::string out = "{\"error\":";
+  AppendEscaped(&out, status.ToString());
+  out += ",\"source\":";
+  AppendEscaped(&out, source);
+  out += "}";
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int dataset = 2;
   bool ocr_noise = true;
   bool demo = false;
-  const char* path = nullptr;
+  size_t jobs = 0;  // BatchEngine default: hardware concurrency
+  std::vector<const char*> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dataset") == 0 && i + 1 < argc) {
       dataset = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      int v = std::atoi(argv[++i]);
+      jobs = v > 0 ? static_cast<size_t>(v) : 0;
     } else if (std::strcmp(argv[i], "--no-ocr-noise") == 0) {
       ocr_noise = false;
     } else if (std::strcmp(argv[i], "--demo") == 0) {
@@ -78,10 +99,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::fprintf(stderr,
                    "usage: vs2_extract [--dataset 1|2|3] [--no-ocr-noise] "
-                   "[--demo] [file.json]\n");
+                   "[--jobs N] [--demo] [file.json...]\n");
       return 0;
     } else {
-      path = argv[i];
+      paths.push_back(argv[i]);
     }
   }
   if (dataset < 1 || dataset > 3) {
@@ -90,47 +111,83 @@ int main(int argc, char** argv) {
   }
   doc::DatasetId id = static_cast<doc::DatasetId>(dataset);
 
-  std::string json;
+  // Gather input documents. `sources` labels each slot for error lines.
+  std::vector<std::string> inputs;
+  std::vector<std::string> sources;
   if (demo) {
     datasets::GeneratorConfig gc;
     gc.num_documents = 1;
     gc.seed = 4;
     gc.mobile_capture_fraction = 0.0;
     doc::Corpus corpus = datasets::Generate(id, gc);
-    json = doc::ToJson(corpus.documents[0]);
-    std::fprintf(stderr, "%s\n", json.c_str());
-  } else if (path != nullptr) {
-    std::ifstream in(path);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", path);
-      return 2;
+    inputs.push_back(doc::ToJson(corpus.documents[0]));
+    sources.push_back("<demo>");
+    std::fprintf(stderr, "%s\n", inputs.back().c_str());
+  } else if (!paths.empty()) {
+    for (const char* path : paths) {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 2;
+      }
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      inputs.push_back(buffer.str());
+      sources.push_back(path);
     }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    json = buffer.str();
   } else {
     std::stringstream buffer;
     buffer << std::cin.rdbuf();
-    json = buffer.str();
+    inputs.push_back(buffer.str());
+    sources.push_back("<stdin>");
   }
 
-  auto document = doc::FromJson(json);
-  if (!document.ok()) {
-    std::fprintf(stderr, "bad document JSON: %s\n",
-                 document.status().ToString().c_str());
-    return 2;
+  // Parse errors are reported up front; a malformed file never reaches the
+  // pipeline, but also never aborts the other documents.
+  std::vector<doc::Document> documents;
+  std::vector<std::pair<size_t, Status>> parse_errors;  // input index -> why
+  std::vector<size_t> doc_input;  // documents[k] came from inputs[doc_input[k]]
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    auto document = doc::FromJson(inputs[i]);
+    if (!document.ok()) {
+      parse_errors.push_back({i, document.status()});
+      continue;
+    }
+    documents.push_back(std::move(*document));
+    doc_input.push_back(i);
   }
 
   const embed::Embedding& embedding = datasets::PretrainedEmbedding();
   core::PipelineConfig config = core::DefaultConfigFor(id);
   config.simulate_ocr = ocr_noise;
   core::Vs2 vs2(id, embedding, config);
-  auto result = vs2.Process(*document);
-  if (!result.ok()) {
-    std::fprintf(stderr, "extraction failed: %s\n",
-                 result.status().ToString().c_str());
-    return 1;
+
+  core::BatchOptions options;
+  options.jobs = inputs.size() > 1 ? jobs : 1;
+  core::BatchEngine engine(vs2, options);
+  core::BatchEngine::Output out = engine.ProcessAll(documents);
+
+  // Emit one line per input, in input order: extraction JSON for
+  // successes, an error object for parse or pipeline failures.
+  std::vector<std::string> lines(inputs.size());
+  for (const auto& [i, status] : parse_errors) {
+    lines[i] = ErrorToJson(sources[i], Status::InvalidArgument(
+                                           "bad document JSON: " +
+                                           status.ToString()));
   }
-  std::printf("%s\n", ExtractionsToJson(*result).c_str());
-  return 0;
+  for (size_t k = 0; k < out.results.size(); ++k) {
+    const Result<core::Vs2::DocResult>& r = out.results[k];
+    lines[doc_input[k]] = r.ok() ? ExtractionsToJson(*r)
+                                 : ErrorToJson(sources[doc_input[k]],
+                                               r.status());
+  }
+  for (const std::string& line : lines) std::printf("%s\n", line.c_str());
+
+  if (inputs.size() > 1) {
+    std::fprintf(stderr, "batch: %s\n", out.stats.ToJson().c_str());
+  }
+  // Exit codes: 0 all good, 2 when every input was unparseable (caller
+  // error), 1 when at least one document failed somewhere in the pipeline.
+  if (parse_errors.size() == inputs.size()) return 2;
+  return parse_errors.empty() && out.stats.errors == 0 ? 0 : 1;
 }

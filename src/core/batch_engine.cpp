@@ -1,0 +1,81 @@
+#include "core/batch_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace vs2::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Percentile of an already-sorted latency vector (nearest-rank).
+double SortedPercentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  double rank = p * static_cast<double>(sorted.size() - 1);
+  size_t idx = static_cast<size_t>(std::llround(rank));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+std::string BatchStats::ToJson() const {
+  return util::Format(
+      "{\"docs\":%zu,\"errors\":%zu,\"jobs\":%zu,\"wall_seconds\":%.4f,"
+      "\"docs_per_second\":%.2f,\"p50_latency_ms\":%.3f,"
+      "\"p95_latency_ms\":%.3f}",
+      documents, errors, jobs, wall_seconds, docs_per_second, p50_latency_ms,
+      p95_latency_ms);
+}
+
+BatchEngine::BatchEngine(const Vs2& pipeline, BatchOptions options)
+    : pipeline_(pipeline),
+      jobs_(options.jobs == 0 ? util::ThreadPool::DefaultThreadCount()
+                              : options.jobs) {}
+
+BatchEngine::Output BatchEngine::ProcessAll(
+    const std::vector<doc::Document>& docs) const {
+  Output out;
+  out.stats.documents = docs.size();
+  out.stats.jobs = std::min(jobs_, std::max<size_t>(docs.size(), 1));
+  if (docs.empty()) return out;
+
+  // Pre-size the result vector so each task writes only its own slot —
+  // input order is positional, not completion order.
+  out.results.assign(docs.size(), Status::Internal("document not processed"));
+  std::vector<double> latencies_ms(docs.size(), 0.0);
+
+  Clock::time_point batch_start = Clock::now();
+  auto process_one = [&](size_t i) {
+    Clock::time_point doc_start = Clock::now();
+    out.results[i] = pipeline_.Process(docs[i]);
+    latencies_ms[i] = SecondsSince(doc_start) * 1e3;
+  };
+  if (out.stats.jobs <= 1) {
+    for (size_t i = 0; i < docs.size(); ++i) process_one(i);
+  } else {
+    util::ThreadPool pool(out.stats.jobs);
+    util::ParallelFor(&pool, docs.size(), process_one);
+  }
+  out.stats.wall_seconds = SecondsSince(batch_start);
+
+  for (const Result<Vs2::DocResult>& r : out.results) {
+    if (!r.ok()) ++out.stats.errors;
+  }
+  out.stats.docs_per_second =
+      out.stats.wall_seconds > 0.0
+          ? static_cast<double>(docs.size()) / out.stats.wall_seconds
+          : 0.0;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  out.stats.p50_latency_ms = SortedPercentile(latencies_ms, 0.50);
+  out.stats.p95_latency_ms = SortedPercentile(latencies_ms, 0.95);
+  return out;
+}
+
+}  // namespace vs2::core

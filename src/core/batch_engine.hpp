@@ -1,0 +1,82 @@
+#ifndef VS2_CORE_BATCH_ENGINE_HPP_
+#define VS2_CORE_BATCH_ENGINE_HPP_
+
+/// \file batch_engine.hpp
+/// Corpus-scale batch processing for the VS2 pipeline. The paper reports
+/// per-document end-to-end runtime (Tables 6 and 8); at serving scale the
+/// relevant number is corpus throughput, and VS2's phases are
+/// embarrassingly parallel across documents: a constructed `Vs2` is
+/// immutable — the pattern book, entity specs and embedding never change
+/// after the distant-supervision step — so any number of threads may call
+/// `Vs2::Process` concurrently (see DESIGN.md, "Concurrency model").
+///
+/// `BatchEngine` exploits exactly that contract: it fans a document vector
+/// out over a fixed-size worker pool, preserves input order in the output,
+/// isolates per-document failures (a bad document yields a `Status` in its
+/// result slot instead of aborting the batch), and reports per-batch
+/// throughput and latency statistics.
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vs2::core {
+
+/// Batch-execution knobs.
+struct BatchOptions {
+  /// Worker threads. 0 = one per hardware thread; 1 = serial in the
+  /// calling thread (the reference path — bit-identical results are
+  /// guaranteed at every job count, so 1 vs N is a correctness oracle).
+  size_t jobs = 0;
+};
+
+/// Per-batch throughput and latency statistics.
+struct BatchStats {
+  size_t documents = 0;      ///< batch size
+  size_t errors = 0;         ///< documents whose slot holds a non-OK Status
+  size_t jobs = 1;           ///< worker threads actually used
+  double wall_seconds = 0.0;
+  double docs_per_second = 0.0;
+  double p50_latency_ms = 0.0;  ///< median per-document latency
+  double p95_latency_ms = 0.0;  ///< tail per-document latency
+
+  /// One-line JSON rendering for bench logs, e.g.
+  /// `{"docs":120,"errors":0,"jobs":4,...}`.
+  std::string ToJson() const;
+};
+
+/// \brief Runs `Vs2::Process` over document batches on a worker pool.
+///
+/// The referenced pipeline must outlive the engine and must not be
+/// reconfigured while a batch is in flight. Results come back in input
+/// order regardless of completion order.
+class BatchEngine {
+ public:
+  /// Per-batch output: one result slot per input document, input order.
+  struct Output {
+    std::vector<Result<Vs2::DocResult>> results;
+    BatchStats stats;
+  };
+
+  explicit BatchEngine(const Vs2& pipeline, BatchOptions options = {});
+
+  /// Worker count a batch will use.
+  size_t jobs() const { return jobs_; }
+
+  /// \brief Processes every document, `jobs()` at a time.
+  ///
+  /// A document that fails leaves its `Status` in the matching result slot;
+  /// the rest of the batch is unaffected. Extraction results are
+  /// bit-identical to calling `Vs2::Process` serially in input order.
+  Output ProcessAll(const std::vector<doc::Document>& docs) const;
+
+ private:
+  const Vs2& pipeline_;
+  size_t jobs_;
+};
+
+}  // namespace vs2::core
+
+#endif  // VS2_CORE_BATCH_ENGINE_HPP_

@@ -172,10 +172,13 @@ std::vector<SeparatorRun> FindSeparatorRuns(
       size_t j = i;
       while (j < n && cuts[j]) ++j;
       // Trim border runs: separators flush against the region edge are
-      // margins, not content separators.
+      // margins, not content separators. A run spanning the *whole* region
+      // (every coordinate a cut — content degenerate or invisible at this
+      // grid resolution) separates nothing and is dropped for the same
+      // reason, by the same test: it touches both edges.
       bool touches_start = (i == 0);
       bool touches_end = (j == n);
-      if (!(touches_start && touches_end) && !touches_start && !touches_end) {
+      if (!touches_start && !touches_end) {
         SeparatorRun run;
         run.horizontal = horizontal;
         double offset = horizontal ? region.y : region.x;

@@ -32,7 +32,9 @@ struct LearnedEntityPatterns {
   std::vector<mining::MinedPattern> mined;  ///< supporting subtrees
 };
 
-/// The full pattern book for a dataset.
+/// The full pattern book for a dataset. Plain data, written once by
+/// `LearnPatterns` and read-only thereafter (`Find` is a linear scan with
+/// no index cache), so a constructed book is safe to share across threads.
 struct PatternBook {
   doc::DatasetId dataset;
   std::vector<LearnedEntityPatterns> entities;

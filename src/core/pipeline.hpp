@@ -32,6 +32,17 @@ struct PipelineConfig {
 /// learns the pattern book from the (isolated, text-only) holdout corpus —
 /// the distant-supervision step. Thereafter `Process` handles any number
 /// of documents.
+///
+/// **Thread safety.** A `Vs2` is immutable after construction: the pattern
+/// book, entity specs and config never change, and the referenced
+/// `Embedding` must itself stay unmodified (it is immutable after training).
+/// All const member functions are safe to call concurrently from any number
+/// of threads with no external locking — `BatchEngine` relies on exactly
+/// this contract. Audited 2026-08: `Process`, `SegmentOnly`, `Segment`,
+/// `SelectInterestPoints` and `SelectEntities` touch only per-call locals,
+/// const members, and const function-local statics (gazetteer tables, the
+/// `nlp::Lexicon` singleton), and every stochastic step draws from a local
+/// `util::Rng` seeded per document — no global generator, no lazy caches.
 class Vs2 {
  public:
   Vs2(doc::DatasetId dataset, const embed::Embedding& embedding,
@@ -45,7 +56,9 @@ class Vs2 {
     std::vector<Extraction> extractions;  ///< key-value pairs
   };
 
-  /// Runs the full pipeline on one document.
+  /// Runs the full pipeline on one document. Reentrant: depends only on
+  /// `doc` and state frozen at construction, so concurrent calls (and
+  /// repeated calls on the same document) give bit-identical results.
   Result<DocResult> Process(const doc::Document& doc) const;
 
   /// Segmentation only (phase 1), on the observed document.

@@ -109,7 +109,12 @@ VisualFeatures ComputeVisualFeatures(const AtomicElement& element,
   f.lab_b = element.color.b / 128.0;
   double dx = c.x - region.x;
   double dy = c.y - region.y;
-  f.angular_distance = std::atan2(dy, std::max(dx, 1e-9)) / (M_PI / 2.0);
+  // Four-quadrant angle from the region origin, normalized so the in-region
+  // range maps to [0, 1]. OCR bbox jitter can push a centroid left of or
+  // above the origin; clamping dx there would fold every such element onto
+  // the +y axis and give them one shared, wrong angle.
+  f.angular_distance =
+      (dx == 0.0 && dy == 0.0) ? 0.0 : std::atan2(dy, dx) / (M_PI / 2.0);
   return f;
 }
 

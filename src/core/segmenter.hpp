@@ -90,6 +90,10 @@ double VisualDistance(const VisualFeatures& a, const VisualFeatures& b,
 
 /// \brief Runs VS2-Segment and returns the layout tree. `embedding`
 /// provides the Word2Vec-style vectors for Eq. 1.
+///
+/// Thread-safe: a pure function of its arguments (all taken by const
+/// reference and never captured), so concurrent calls — even on the same
+/// document — are safe as long as the embedding is not retrained.
 Result<doc::LayoutTree> Segment(const doc::Document& doc,
                                 const embed::Embedding& embedding,
                                 const SegmenterConfig& config = {});

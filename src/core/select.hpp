@@ -73,6 +73,9 @@ struct Extraction {
 /// `doc` must be the *observed* (transcribed) document whose element
 /// geometry the layout tree refers to. Returns at most one extraction per
 /// entity (entities without any pattern match are absent).
+///
+/// Thread-safe: a pure function of its arguments; the pattern book and
+/// embedding are read-only here, so one book may serve concurrent calls.
 std::vector<Extraction> SelectEntities(
     const doc::Document& doc, const doc::LayoutTree& tree,
     const PatternBook& book, const std::vector<datasets::EntitySpec>& specs,

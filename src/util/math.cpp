@@ -76,17 +76,25 @@ double CosineSimilarity(const std::vector<float>& a,
 size_t FirstInflectionPoint(const std::vector<double>& series,
                             size_t fallback) {
   if (series.size() < 3) return fallback;
-  // Central second difference: f''(i) ≈ f(i+1) - 2 f(i) + f(i-1).
-  double prev = series[2] - 2.0 * series[1] + series[0];
-  for (size_t i = 2; i + 1 < series.size(); ++i) {
-    double cur = series[i + 1] - 2.0 * series[i] + series[i - 1];
-    if ((prev > 0.0 && cur < 0.0) || (prev < 0.0 && cur > 0.0)) {
-      return i;  // sign change between i-1 and i: zero crossing of f''
+  // Central second difference: f''(i) ≈ f(i+1) - 2 f(i) + f(i-1). An
+  // inflection is a *sign change* of f''; zero-curvature plateaus are
+  // skipped until the sign on the far side is known, so a flat spot inside
+  // a convex (or concave) stretch is not an inflection, and a plateau
+  // separating opposite signs reports its first flat index.
+  int last_sign = 0;          // sign of the most recent nonzero f''
+  size_t last_sign_index = 0;  // where that sign was observed
+  for (size_t i = 1; i + 1 < series.size(); ++i) {
+    double d = series[i + 1] - 2.0 * series[i] + series[i - 1];
+    int sign = (d > 0.0) - (d < 0.0);
+    if (sign == 0) continue;  // plateau: curvature undecided, keep scanning
+    if (last_sign != 0 && sign != last_sign) {
+      // Zero crossing. Adjacent opposite signs: the crossing sits at i.
+      // Signs separated by a plateau: the inflection is the plateau's
+      // first flat point, right after the last curved one.
+      return i == last_sign_index + 1 ? i : last_sign_index + 1;
     }
-    if (prev == 0.0 && cur != 0.0 && i >= 2) {
-      return i - 1;
-    }
-    prev = cur;
+    last_sign = sign;
+    last_sign_index = i;
   }
   return fallback;
 }

@@ -44,7 +44,10 @@ double CosineSimilarity(const std::vector<float>& a,
 /// correlation distribution by solving d²f/di² = 0 (footnote 3). For a
 /// discrete series we approximate f'' with central second differences and
 /// return the first index where the second difference changes sign (the
-/// zero crossing). Returns `fallback` when the series is too short or the
+/// zero crossing). Zero-curvature plateaus are not themselves inflections:
+/// a flat spot is skipped until the sign on its far side is known, and
+/// when opposite signs straddle the plateau its first flat index is
+/// returned. Returns `fallback` when the series is too short or the
 /// second difference never changes sign.
 size_t FirstInflectionPoint(const std::vector<double>& series,
                             size_t fallback);

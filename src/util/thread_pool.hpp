@@ -1,0 +1,70 @@
+#ifndef VS2_UTIL_THREAD_POOL_HPP_
+#define VS2_UTIL_THREAD_POOL_HPP_
+
+/// \file thread_pool.hpp
+/// A fixed-size worker pool for document-level parallelism. The VS2
+/// pipeline is immutable after construction (see DESIGN.md, "Concurrency
+/// model"), so batch work parallelizes across documents with no locking in
+/// the hot path: tasks are closures over const state plus a per-document
+/// output slot owned by exactly one task.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vs2::util {
+
+/// \brief Fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// Tasks must not throw (the library is no-exceptions across public APIs;
+/// fallible work communicates through `Status` captured in the closure).
+/// The destructor waits for all submitted tasks to finish before joining.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Safe to call from any thread, including workers.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void Wait();
+
+  /// `std::thread::hardware_concurrency()`, with a floor of 1 (the standard
+  /// permits it to return 0 when undetectable).
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;  ///< signaled on Submit/shutdown
+  std::condition_variable all_done_;        ///< signaled when pending_ hits 0
+  std::deque<std::function<void()>> queue_;
+  size_t pending_ = 0;  ///< queued + currently-running tasks
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// \brief Runs `fn(0..n-1)` across the pool with dynamic scheduling and
+/// blocks until all iterations finish. Iterations must be independent —
+/// there is no ordering guarantee. Runs inline when the pool has one
+/// worker or `n <= 1` (keeping single-job runs deterministic in execution
+/// order as well as in results).
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace vs2::util
+
+#endif  // VS2_UTIL_THREAD_POOL_HPP_

@@ -1,0 +1,224 @@
+/// Tests for the parallel batch-processing layer: `util::ThreadPool` and
+/// `util::ParallelFor` primitives, and `core::BatchEngine` — input-order
+/// preservation, serial-vs-parallel output equivalence, per-document error
+/// isolation, batch statistics, and a multi-threaded stress round (the
+/// TSan target; see DESIGN.md "Concurrency model").
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "core/batch_engine.hpp"
+#include "core/pipeline.hpp"
+#include "datasets/generator.hpp"
+#include "datasets/pretrained.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vs2 {
+namespace {
+
+// ------------------------------------------------------------- ThreadPool --
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+  // The pool is reusable after Wait().
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 101);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingWork) {
+  std::atomic<int> count{0};
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }  // ~ThreadPool finishes the queue before joining
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEachIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  util::ParallelFor(&pool, kN, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesSmallAndDegenerateRanges) {
+  util::ThreadPool pool(8);
+  std::atomic<int> count{0};
+  util::ParallelFor(&pool, 0, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  util::ParallelFor(&pool, 1, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1);
+  // More workers than items.
+  util::ParallelFor(&pool, 3, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+  // No pool at all: runs inline on the calling thread.
+  util::ParallelFor(nullptr, 5, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 9);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(util::ThreadPool::DefaultThreadCount(), 1u);
+}
+
+// ------------------------------------------------------------ BatchEngine --
+
+/// One shared pipeline for the batch tests (learning the pattern book per
+/// test would dominate the runtime). Read-only after construction — see the
+/// thread-safety contract in core/pipeline.hpp.
+const core::Vs2& SharedPipeline() {
+  static const core::Vs2 vs2(
+      doc::DatasetId::kD2EventPosters, datasets::PretrainedEmbedding(),
+      core::DefaultConfigFor(doc::DatasetId::kD2EventPosters));
+  return vs2;
+}
+
+doc::Corpus SmallD2Corpus(size_t n, uint64_t seed) {
+  datasets::GeneratorConfig gc;
+  gc.num_documents = n;
+  gc.seed = seed;
+  return datasets::GenerateD2(gc);
+}
+
+/// Renders the per-document extraction stream so the serial and parallel
+/// outputs can be compared for exact equality.
+std::string ResultsFingerprint(const core::BatchEngine::Output& out) {
+  std::string fp;
+  for (const Result<core::Vs2::DocResult>& r : out.results) {
+    if (!r.ok()) {
+      fp += "ERR " + r.status().ToString() + "\n";
+      continue;
+    }
+    for (const core::Extraction& ex : r->extractions) {
+      fp += ex.entity + "|" + ex.text + "\n";
+    }
+    fp += "--\n";
+  }
+  return fp;
+}
+
+TEST(BatchEngineTest, ParallelMatchesSerialAndPreservesOrder) {
+  const core::Vs2& vs2 = SharedPipeline();
+  doc::Corpus corpus = SmallD2Corpus(12, 901);
+
+  core::BatchEngine serial(vs2, core::BatchOptions{1});
+  core::BatchEngine parallel(vs2, core::BatchOptions{4});
+  EXPECT_EQ(serial.jobs(), 1u);
+  EXPECT_EQ(parallel.jobs(), 4u);
+
+  core::BatchEngine::Output a = serial.ProcessAll(corpus.documents);
+  core::BatchEngine::Output b = parallel.ProcessAll(corpus.documents);
+
+  ASSERT_EQ(a.results.size(), corpus.documents.size());
+  ASSERT_EQ(b.results.size(), corpus.documents.size());
+  // Result slot i belongs to input document i regardless of which worker
+  // processed it.
+  for (size_t i = 0; i < corpus.documents.size(); ++i) {
+    ASSERT_TRUE(b.results[i].ok()) << b.results[i].status().ToString();
+    EXPECT_EQ(b.results[i]->observed.id, corpus.documents[i].id);
+  }
+  // OCR noise is seeded per document, so worker interleaving cannot change
+  // any extraction: the streams must match exactly.
+  EXPECT_EQ(ResultsFingerprint(a), ResultsFingerprint(b));
+  // Full geometry too, not just entity/text.
+  for (size_t i = 0; i < corpus.documents.size(); ++i) {
+    ASSERT_EQ(a.results[i]->extractions.size(),
+              b.results[i]->extractions.size());
+    for (size_t k = 0; k < a.results[i]->extractions.size(); ++k) {
+      EXPECT_EQ(a.results[i]->extractions[k].match_bbox,
+                b.results[i]->extractions[k].match_bbox);
+      EXPECT_DOUBLE_EQ(a.results[i]->extractions[k].score,
+                       b.results[i]->extractions[k].score);
+    }
+  }
+}
+
+TEST(BatchEngineTest, BadDocumentFailsAloneNotTheBatch) {
+  const embed::Embedding& emb = datasets::PretrainedEmbedding();
+  core::PipelineConfig config =
+      core::DefaultConfigFor(doc::DatasetId::kD2EventPosters);
+  config.simulate_ocr = false;  // feed the bad geometry straight to Segment
+  core::Vs2 vs2(doc::DatasetId::kD2EventPosters, emb, config);
+
+  doc::Corpus corpus = SmallD2Corpus(6, 902);
+  corpus.documents[3].width = 0;  // no page geometry
+  corpus.documents[3].height = 0;
+
+  core::BatchEngine engine(vs2, core::BatchOptions{4});
+  core::BatchEngine::Output out = engine.ProcessAll(corpus.documents);
+
+  ASSERT_EQ(out.results.size(), 6u);
+  for (size_t i = 0; i < out.results.size(); ++i) {
+    if (i == 3) {
+      EXPECT_FALSE(out.results[i].ok());
+    } else {
+      EXPECT_TRUE(out.results[i].ok())
+          << i << ": " << out.results[i].status().ToString();
+    }
+  }
+  EXPECT_EQ(out.stats.errors, 1u);
+  EXPECT_EQ(out.stats.documents, 6u);
+}
+
+TEST(BatchEngineTest, StatsAreConsistent) {
+  const core::Vs2& vs2 = SharedPipeline();
+  doc::Corpus corpus = SmallD2Corpus(8, 903);
+  core::BatchEngine engine(vs2, core::BatchOptions{2});
+  core::BatchEngine::Output out = engine.ProcessAll(corpus.documents);
+
+  EXPECT_EQ(out.stats.documents, 8u);
+  EXPECT_EQ(out.stats.errors, 0u);
+  EXPECT_EQ(out.stats.jobs, 2u);
+  EXPECT_GT(out.stats.wall_seconds, 0.0);
+  EXPECT_GT(out.stats.docs_per_second, 0.0);
+  EXPECT_GT(out.stats.p50_latency_ms, 0.0);
+  EXPECT_GE(out.stats.p95_latency_ms, out.stats.p50_latency_ms);
+  std::string json = out.stats.ToJson();
+  EXPECT_NE(json.find("\"docs\":8"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"jobs\":2"), std::string::npos) << json;
+}
+
+TEST(BatchEngineTest, EmptyBatch) {
+  const core::Vs2& vs2 = SharedPipeline();
+  core::BatchEngine engine(vs2, core::BatchOptions{4});
+  core::BatchEngine::Output out = engine.ProcessAll({});
+  EXPECT_TRUE(out.results.empty());
+  EXPECT_EQ(out.stats.documents, 0u);
+  EXPECT_EQ(out.stats.errors, 0u);
+  EXPECT_EQ(out.stats.p50_latency_ms, 0.0);
+}
+
+// Stress round: many workers hammering one shared immutable pipeline.
+// This is the test to run under `-DVS2_SANITIZE=thread`.
+TEST(BatchEngineStressTest, ManyWorkersSharedPipeline) {
+  const core::Vs2& vs2 = SharedPipeline();
+  doc::Corpus corpus = SmallD2Corpus(16, 904);
+  std::string reference;
+  for (int round = 0; round < 3; ++round) {
+    core::BatchEngine engine(vs2, core::BatchOptions{8});
+    core::BatchEngine::Output out = engine.ProcessAll(corpus.documents);
+    EXPECT_EQ(out.stats.errors, 0u);
+    std::string fp = ResultsFingerprint(out);
+    if (round == 0) {
+      reference = fp;
+    } else {
+      EXPECT_EQ(fp, reference) << "round " << round << " diverged";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vs2

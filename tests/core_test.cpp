@@ -106,6 +106,68 @@ TEST(SeparatorRunsTest, EmptyInputsYieldNoRuns) {
                   .empty());
 }
 
+TEST(SeparatorRunsTest, SingleElementYieldsNoRuns) {
+  // One box: every whitespace band is a margin flush against the
+  // content-trimmed region edge; nothing separates content.
+  auto runs = FindSeparatorRuns({{50, 50, 100, 12}}, {0, 0, 200, 112},
+                                raster::GridScale{0.5});
+  EXPECT_TRUE(runs.empty());
+}
+
+TEST(SeparatorRunsTest, DegenerateContentFullSpanRunIsDropped) {
+  // A zero-area box rasterizes to nothing, so every coordinate of the
+  // trimmed grid is a cut and the single run spans the whole region. A
+  // full-span run separates nothing; it must be dropped (it touches both
+  // edges), not reported or mis-trimmed.
+  auto runs = FindSeparatorRuns({{50, 50, 0, 0}}, {0, 0, 200, 200},
+                                raster::GridScale{0.5});
+  EXPECT_TRUE(runs.empty());
+}
+
+TEST(SeparatorRunsTest, RunFlushAgainstTrimmedEdgeIsDropped) {
+  // Two boxes side by side: the interior gap is a separator; the
+  // whitespace trailing the content — flush against the content-trimmed
+  // region edge — is a margin and must not be reported.
+  std::vector<util::BBox> boxes = {{10, 10, 50, 20}, {100, 10, 50, 20}};
+  auto runs = FindSeparatorRuns(boxes, {0, 0, 300, 200},
+                                raster::GridScale{0.5});
+  bool interior_vertical = false;
+  for (const SeparatorRun& r : runs) {
+    if (r.horizontal) {
+      ADD_FAILURE() << "horizontal margin reported as separator";
+      continue;
+    }
+    // Every vertical run lies strictly between the boxes; none hugs the
+    // region edge left of x=10 or right of x=150.
+    EXPECT_GT(r.start_units, 55.0);
+    EXPECT_LT(r.start_units + r.width_units, 105.0);
+    if (r.mid_units > 60.0 && r.mid_units < 100.0) interior_vertical = true;
+  }
+  EXPECT_TRUE(interior_vertical);
+}
+
+TEST(SeparatorRunsTest, RotatedGapUsesDiscountedWidth) {
+  // A 20-unit gap band drifting 25 units across the page: banded cuts
+  // follow it, but no single straight row is clear, so the run's width
+  // must come from the discounted banded extent (cuts.cpp's ×0.35
+  // branch) rather than a straight measurement (~20 units).
+  std::vector<util::BBox> boxes;
+  for (int i = 0; i < 6; ++i) {
+    double x = i * 50.0;
+    boxes.push_back({x, 0, 50, 80.0 + 5.0 * i});      // top band
+    boxes.push_back({x, 100.0 + 5.0 * i, 50, 80.0});  // bottom band
+  }
+  raster::GridScale scale{0.2};
+  auto runs = FindSeparatorRuns(boxes, {0, 0, 300, 210}, scale);
+  const SeparatorRun* gap = nullptr;
+  for (const SeparatorRun& r : runs) {
+    if (r.horizontal && r.mid_units > 60.0 && r.mid_units < 150.0) gap = &r;
+  }
+  ASSERT_NE(gap, nullptr);
+  EXPECT_GE(gap->width_units, scale.ToUnits(1));
+  EXPECT_LT(gap->width_units, 15.0);
+}
+
 // ------------------------------------------------------------ Algorithm 1 --
 
 SeparatorRun MakeRun(double start, double width, double neighbor_h,
@@ -185,6 +247,25 @@ doc::Document StackedPoster() {
   raster::PlaceCenteredLine(&d, "Hosted by the Columbus Jazz Society", 40,
                             360, 420, org, 30);
   return d;
+}
+
+TEST(SegmentTest, AngularDistanceKeepsQuadrantForNegativeDx) {
+  util::BBox region{100, 100, 200, 200};
+  // Jittered OCR bbox: centroid 10 units left of the region origin and 30
+  // below it. atan2(+dy, -dx) lands in the second quadrant, so the
+  // normalized angle exceeds 1 — it must not collapse onto the +y-axis
+  // value that clamping dx to a positive floor used to produce.
+  doc::AtomicElement left = doc::MakeTextElement("w", {85, 125, 10, 10});
+  VisualFeatures f = ComputeVisualFeatures(left, region, 20.0);
+  EXPECT_GT(f.angular_distance, 1.0);
+
+  // An element straight below the origin (dx == 0) sits exactly on the
+  // +y axis: normalized angle 1. The jittered element must stay clearly
+  // distinct from it.
+  doc::AtomicElement below = doc::MakeTextElement("w", {95, 125, 10, 10});
+  VisualFeatures g = ComputeVisualFeatures(below, region, 20.0);
+  EXPECT_NEAR(g.angular_distance, 1.0, 1e-9);
+  EXPECT_GT(f.angular_distance, g.angular_distance + 0.05);
 }
 
 TEST(SegmentTest, InvariantsHoldOnPoster) {

@@ -366,6 +366,32 @@ TEST(MathTest, FirstInflectionPointFallback) {
   EXPECT_EQ(util::FirstInflectionPoint({1.0, 2.0}, 7u), 7u);
 }
 
+TEST(MathTest, FirstInflectionPointAdjacentSignChange) {
+  // f'' signs: -, -, + with no plateau: the crossing index itself.
+  std::vector<double> series = {0, 2, 3, 3, 4, 6};
+  EXPECT_EQ(util::FirstInflectionPoint(series, 99u), 3u);
+}
+
+TEST(MathTest, FirstInflectionPointPlateauThenBend) {
+  // f'' signs: +, 0, 0, -: the plateau separates opposite curvatures, so
+  // the inflection is the plateau's first flat index.
+  std::vector<double> series = {0, 0, 1, 2, 3, 3};
+  EXPECT_EQ(util::FirstInflectionPoint(series, 99u), 2u);
+}
+
+TEST(MathTest, FirstInflectionPointFlatAndMonotoneFallBack) {
+  // Zero curvature everywhere: no sign change, no inflection.
+  EXPECT_EQ(util::FirstInflectionPoint({5, 5, 5, 5, 5}, 7u), 7u);
+  EXPECT_EQ(util::FirstInflectionPoint({0, 1, 2, 3, 4}, 7u), 7u);
+}
+
+TEST(MathTest, FirstInflectionPointFlatSpotInsideConvexStretch) {
+  // f'' signs: +, 0, +: a zero-curvature plateau with the same curvature
+  // on both sides is not an inflection (the old guard reported one here).
+  std::vector<double> series = {0, 0, 1, 2, 4};
+  EXPECT_EQ(util::FirstInflectionPoint(series, 31u), 31u);
+}
+
 TEST(MathTest, MinMaxNormalize) {
   std::vector<double> out = util::MinMaxNormalize({2, 4, 6});
   EXPECT_DOUBLE_EQ(out[0], 0.0);
