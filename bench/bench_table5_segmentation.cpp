@@ -6,7 +6,8 @@
 /// `--jobs N` runs the per-document scoring loops on an N-worker pool
 /// (identical totals — see `RunSegmentation`) and appends a serial-vs-
 /// parallel `BatchEngine` throughput comparison over the full VS2
-/// pipeline, emitted as a `batch-json` line.
+/// pipeline, emitted as a `batch-json` line. `--trace=FILE` writes a
+/// Chrome trace of the run; `--metrics=FILE` dumps the metrics registry.
 
 #include <cstdio>
 
@@ -17,6 +18,7 @@ using namespace vs2;
 
 int main(int argc, char** argv) {
   size_t jobs = bench::ParseJobsFlag(argc, argv);
+  bench::ObsFlags obs_flags = bench::ParseObsFlags(argc, argv);
   bench::PrintBenchHeader(
       "Table 5: Evaluation of VS2-Segment on experimental datasets");
 
@@ -69,8 +71,10 @@ int main(int argc, char** argv) {
     core::Vs2 vs2(doc::DatasetId::kD2EventPosters, embedding, config);
     if (!bench::RunBatchComparison("table5_d2_pipeline", vs2,
                                    corpora[1].documents, jobs)) {
+      bench::ExportObsFlags(obs_flags);
       return 1;
     }
   }
+  bench::ExportObsFlags(obs_flags);
   return 0;
 }

@@ -5,6 +5,7 @@
 ///
 /// `--jobs N` appends a serial-vs-parallel `BatchEngine` throughput
 /// comparison (byte-identical output check + `batch-json` line).
+/// `--trace=FILE` / `--metrics=FILE` export observability data.
 
 #include <cstdio>
 
@@ -15,6 +16,7 @@ using namespace vs2;
 
 int main(int argc, char** argv) {
   size_t jobs = bench::ParseJobsFlag(argc, argv);
+  bench::ObsFlags obs_flags = bench::ParseObsFlags(argc, argv);
   bench::PrintBenchHeader("Table 6: End-to-end evaluation of VS2 on D2");
 
   const embed::Embedding& embedding = datasets::PretrainedEmbedding();
@@ -68,9 +70,9 @@ int main(int argc, char** argv) {
       eval::Pct(txt_total.Precision()).c_str(),
       eval::Pct(txt_total.Recall()).c_str());
 
-  if (jobs > 1 &&
-      !bench::RunBatchComparison("table6_d2", vs2, corpus.documents, jobs)) {
-    return 1;
-  }
-  return 0;
+  bool identical =
+      jobs <= 1 ||
+      bench::RunBatchComparison("table6_d2", vs2, corpus.documents, jobs);
+  bench::ExportObsFlags(obs_flags);
+  return identical ? 0 : 1;
 }

@@ -14,7 +14,8 @@
 
 using namespace vs2;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsFlags obs_flags = bench::ParseObsFlags(argc, argv);
   bench::PrintBenchHeader(
       "Table 7: Comparison of end-to-end performance against existing "
       "methods");
@@ -101,5 +102,6 @@ int main() {
       "inapplicable to D1; ReportMiner near-perfect on the fixed-template\n"
       "D1 but collapsing on free-form D2; text-only ClausIE/FSM trail on\n"
       "the visually rich corpora.\n");
+  bench::ExportObsFlags(obs_flags);
   return 0;
 }

@@ -32,7 +32,8 @@ double F1For(doc::DatasetId dataset, const doc::Corpus& corpus,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsFlags obs_flags = bench::ParseObsFlags(argc, argv);
   bench::PrintBenchHeader(
       "Table 9: Evaluating individual components in VS2 by ablation study");
 
@@ -104,5 +105,6 @@ int main() {
       "Paper shape: every component contributes on every dataset; merging\n"
       "and visual features matter most on D2/D3 (over-segmentation),\n"
       "disambiguation (A3/A4) carries the largest single effect.\n");
+  bench::ExportObsFlags(obs_flags);
   return 0;
 }

@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -129,6 +132,7 @@ std::vector<SegMethod> Table5Methods(const embed::Embedding& embedding,
 bool RunSegmentation(const SegMethod& method, const doc::Corpus& corpus,
                      eval::PrCounts* counts, size_t jobs) {
   size_t n = corpus.documents.size();
+  VS2_TRACE_SPAN_ARG("bench.run_segmentation", n);
   // Per-document proposals land in input-order slots; aggregation below is
   // serial, so the totals cannot depend on worker interleaving.
   std::vector<Result<std::vector<util::BBox>>> proposals(
@@ -167,6 +171,7 @@ bool RunEndToEnd(
         const doc::Document&)>& extract,
     const doc::Corpus& test, eval::PrCounts* total,
     std::vector<std::pair<std::string, eval::PrCounts>>* per_entity) {
+  VS2_TRACE_SPAN_ARG("bench.run_end_to_end", test.documents.size());
   bool applicable_any = false;
   for (const doc::Document& d : test.documents) {
     Result<std::vector<eval::LabeledPrediction>> preds = extract(d);
@@ -195,6 +200,49 @@ size_t ParseJobsFlag(int argc, char** argv) {
   return 1;
 }
 
+ObsFlags ParseObsFlags(int argc, char** argv) {
+  ObsFlags flags;
+  auto match = [&](int i, const char* name, std::string* out) {
+    size_t len = std::strlen(name);
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      *out = argv[i] + len + 1;
+      return true;
+    }
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+      *out = argv[i + 1];
+      return true;
+    }
+    return false;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (match(i, "--trace", &flags.trace_path)) continue;
+    match(i, "--metrics", &flags.metrics_path);
+  }
+  if (!flags.trace_path.empty()) obs::Trace::Enable();
+  return flags;
+}
+
+void ExportObsFlags(const ObsFlags& flags) {
+  if (!flags.trace_path.empty()) {
+    Status s = obs::Trace::ExportJson(flags.trace_path);
+    if (s.ok()) {
+      std::fprintf(stderr, "trace written to %s (%zu events)\n",
+                   flags.trace_path.c_str(), obs::Trace::EventCount());
+    } else {
+      VS2_LOG(ERROR) << "trace export failed: " << s;
+    }
+  }
+  if (!flags.metrics_path.empty()) {
+    Status s = obs::Metrics::ExportJson(flags.metrics_path);
+    if (s.ok()) {
+      std::fprintf(stderr, "metrics written to %s\n",
+                   flags.metrics_path.c_str());
+    } else {
+      VS2_LOG(ERROR) << "metrics export failed: " << s;
+    }
+  }
+}
+
 namespace {
 
 /// Byte-exact fingerprint of one batch's extraction stream. Geometry and
@@ -221,6 +269,7 @@ std::string BatchFingerprint(const core::BatchEngine::Output& out) {
 
 bool RunBatchComparison(const std::string& bench_name, const core::Vs2& vs2,
                         const std::vector<doc::Document>& docs, size_t jobs) {
+  VS2_TRACE_SPAN_ARG("bench.batch_comparison", docs.size());
   core::BatchEngine serial_engine(vs2, core::BatchOptions{1});
   core::BatchEngine parallel_engine(vs2, core::BatchOptions{jobs});
   core::BatchEngine::Output serial = serial_engine.ProcessAll(docs);

@@ -80,6 +80,22 @@ void PrintBenchHeader(const std::string& title);
 /// path — when the flag is absent or malformed; 0 is normalized to 1.
 size_t ParseJobsFlag(int argc, char** argv);
 
+/// Observability export destinations parsed from the command line.
+struct ObsFlags {
+  std::string trace_path;    ///< `--trace=FILE` (empty: tracing stays off)
+  std::string metrics_path;  ///< `--metrics=FILE` (empty: no dump)
+};
+
+/// Parses `--trace=FILE` / `--metrics=FILE` (also the space-separated
+/// `--trace FILE` form) and enables the tracer when a trace path is given.
+/// Call before any pipeline work so spans are captured from the start.
+ObsFlags ParseObsFlags(int argc, char** argv);
+
+/// Writes the trace / metrics files requested by `flags` (no-ops when the
+/// corresponding path is empty) and reports the destinations on stderr.
+/// Call once, at the end of main.
+void ExportObsFlags(const ObsFlags& flags);
+
 /// \brief Serial-vs-parallel `BatchEngine` throughput comparison.
 ///
 /// Runs `vs2.Process` over `docs` once with one worker and once with

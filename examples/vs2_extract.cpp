@@ -5,8 +5,14 @@
 /// key-value pairs as JSON on stdout, one line per input document.
 ///
 /// Usage:
-///   vs2_extract [--dataset 1|2|3] [--no-ocr-noise] [--jobs N] [file.json...]
+///   vs2_extract [--dataset 1|2|3] [--no-ocr-noise] [--jobs N]
+///               [--trace=FILE] [--metrics=FILE] [file.json...]
 ///   ... | vs2_extract --dataset 2
+///
+/// `--trace=FILE` records a Chrome trace-event JSON of the run (open in
+/// chrome://tracing or https://ui.perfetto.dev); `--metrics=FILE` dumps
+/// the pipeline metrics registry (stage latency percentiles and domain
+/// counters) as JSON. Both are off — and cost nothing — by default.
 ///
 /// With several files (or `--jobs N > 1`) the documents are dispatched
 /// through `core::BatchEngine`: output lines stay in input order, a failed
@@ -29,6 +35,9 @@
 #include "datasets/generator.hpp"
 #include "datasets/pretrained.hpp"
 #include "doc/serialization.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/strings.hpp"
 
 using namespace vs2;
@@ -78,6 +87,28 @@ std::string ErrorToJson(const std::string& source, const Status& status) {
   return out;
 }
 
+/// Writes the requested trace / metrics files. No-ops on empty paths, so
+/// it is safe to call on every exit path past argument parsing.
+void ExportObs(const std::string& trace_path, const std::string& metrics_path) {
+  if (!trace_path.empty()) {
+    Status s = obs::Trace::ExportJson(trace_path);
+    if (s.ok()) {
+      std::fprintf(stderr, "trace written to %s (%zu events)\n",
+                   trace_path.c_str(), obs::Trace::EventCount());
+    } else {
+      VS2_LOG(ERROR) << "trace export failed: " << s;
+    }
+  }
+  if (!metrics_path.empty()) {
+    Status s = obs::Metrics::ExportJson(metrics_path);
+    if (s.ok()) {
+      std::fprintf(stderr, "metrics written to %s\n", metrics_path.c_str());
+    } else {
+      VS2_LOG(ERROR) << "metrics export failed: " << s;
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -85,6 +116,8 @@ int main(int argc, char** argv) {
   bool ocr_noise = true;
   bool demo = false;
   size_t jobs = 0;  // BatchEngine default: hardware concurrency
+  std::string trace_path;
+  std::string metrics_path;
   std::vector<const char*> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dataset") == 0 && i + 1 < argc) {
@@ -92,6 +125,14 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       int v = std::atoi(argv[++i]);
       jobs = v > 0 ? static_cast<size_t>(v) : 0;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      metrics_path = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--no-ocr-noise") == 0) {
       ocr_noise = false;
     } else if (std::strcmp(argv[i], "--demo") == 0) {
@@ -99,7 +140,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::fprintf(stderr,
                    "usage: vs2_extract [--dataset 1|2|3] [--no-ocr-noise] "
-                   "[--jobs N] [--demo] [file.json...]\n");
+                   "[--jobs N] [--trace=FILE] [--metrics=FILE] [--demo] "
+                   "[file.json...]\n");
       return 0;
     } else {
       paths.push_back(argv[i]);
@@ -109,6 +151,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "dataset must be 1, 2 or 3\n");
     return 2;
   }
+  // Enable before the pipeline is even constructed so holdout building and
+  // pattern learning land in the trace too.
+  if (!trace_path.empty()) obs::Trace::Enable();
   doc::DatasetId id = static_cast<doc::DatasetId>(dataset);
 
   // Gather input documents. `sources` labels each slot for error lines.
@@ -177,6 +222,10 @@ int main(int argc, char** argv) {
   }
   for (size_t k = 0; k < out.results.size(); ++k) {
     const Result<core::Vs2::DocResult>& r = out.results[k];
+    if (!r.ok()) {
+      VS2_LOG(WARN) << "document " << sources[doc_input[k]]
+                    << " failed: " << r.status();
+    }
     lines[doc_input[k]] = r.ok() ? ExtractionsToJson(*r)
                                  : ErrorToJson(sources[doc_input[k]],
                                                r.status());
@@ -186,6 +235,7 @@ int main(int argc, char** argv) {
   if (inputs.size() > 1) {
     std::fprintf(stderr, "batch: %s\n", out.stats.ToJson().c_str());
   }
+  ExportObs(trace_path, metrics_path);
   // Exit codes: 0 all good, 2 when every input was unparseable (caller
   // error), 1 when at least one document failed somewhere in the pipeline.
   if (parse_errors.size() == inputs.size()) return 2;

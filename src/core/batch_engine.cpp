@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/strings.hpp"
 
 namespace vs2::core {
@@ -13,14 +14,6 @@ using Clock = std::chrono::steady_clock;
 
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-/// Percentile of an already-sorted latency vector (nearest-rank).
-double SortedPercentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  double rank = p * static_cast<double>(sorted.size() - 1);
-  size_t idx = static_cast<size_t>(std::llround(rank));
-  return sorted[std::min(idx, sorted.size() - 1)];
 }
 
 }  // namespace
@@ -46,6 +39,12 @@ BatchEngine::Output BatchEngine::ProcessAll(
   out.stats.jobs = std::min(jobs_, std::max<size_t>(docs.size(), 1));
   if (docs.empty()) return out;
 
+  VS2_TRACE_SPAN_ARG("batch.process_all", docs.size());
+  static obs::Histogram& doc_latency =
+      obs::Metrics::GetHistogram("batch.doc_latency_ms");
+  static obs::Counter& batch_docs = obs::Metrics::GetCounter("batch.documents");
+  static obs::Counter& batch_errors = obs::Metrics::GetCounter("batch.errors");
+
   // Pre-size the result vector so each task writes only its own slot —
   // input order is positional, not completion order.
   out.results.assign(docs.size(), Status::Internal("document not processed"));
@@ -53,9 +52,11 @@ BatchEngine::Output BatchEngine::ProcessAll(
 
   Clock::time_point batch_start = Clock::now();
   auto process_one = [&](size_t i) {
+    VS2_TRACE_SPAN_ARG("batch.doc", i);
     Clock::time_point doc_start = Clock::now();
     out.results[i] = pipeline_.Process(docs[i]);
     latencies_ms[i] = SecondsSince(doc_start) * 1e3;
+    doc_latency.Record(latencies_ms[i]);
   };
   if (out.stats.jobs <= 1) {
     for (size_t i = 0; i < docs.size(); ++i) process_one(i);
@@ -68,13 +69,15 @@ BatchEngine::Output BatchEngine::ProcessAll(
   for (const Result<Vs2::DocResult>& r : out.results) {
     if (!r.ok()) ++out.stats.errors;
   }
+  batch_docs.Add(docs.size());
+  batch_errors.Add(out.stats.errors);
   out.stats.docs_per_second =
       out.stats.wall_seconds > 0.0
           ? static_cast<double>(docs.size()) / out.stats.wall_seconds
           : 0.0;
   std::sort(latencies_ms.begin(), latencies_ms.end());
-  out.stats.p50_latency_ms = SortedPercentile(latencies_ms, 0.50);
-  out.stats.p95_latency_ms = SortedPercentile(latencies_ms, 0.95);
+  out.stats.p50_latency_ms = obs::SortedPercentile(latencies_ms, 0.50);
+  out.stats.p95_latency_ms = obs::SortedPercentile(latencies_ms, 0.95);
   return out;
 }
 

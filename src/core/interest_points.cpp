@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ml/pareto.hpp"
+#include "obs/metrics.hpp"
 #include "util/math.hpp"
 #include "util/strings.hpp"
 
@@ -75,6 +76,9 @@ std::vector<size_t> SelectInterestPoints(const doc::Document& doc,
   std::vector<size_t> out;
   out.reserve(front.size());
   for (size_t idx : front) out.push_back(candidates[idx]);
+  static obs::Counter& selected =
+      obs::Metrics::GetCounter("select.interest_points");
+  selected.Add(out.size());
   return out;
 }
 

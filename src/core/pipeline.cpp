@@ -1,5 +1,8 @@
 #include "core/pipeline.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace vs2::core {
 
 PipelineConfig DefaultConfigFor(doc::DatasetId dataset) {
@@ -14,9 +17,15 @@ Vs2::Vs2(doc::DatasetId dataset, const embed::Embedding& embedding,
       embedding_(embedding),
       config_(std::move(config)),
       specs_(datasets::EntitySpecsFor(dataset)) {
-  datasets::HoldoutCorpus holdout =
-      datasets::BuildHoldoutCorpus(dataset, config_.holdout_seed);
-  book_ = LearnPatterns(holdout, config_.learner);
+  datasets::HoldoutCorpus holdout;
+  {
+    obs::Span span("vs2.build_holdout");
+    holdout = datasets::BuildHoldoutCorpus(dataset, config_.holdout_seed);
+  }
+  {
+    obs::Span span("vs2.learn_patterns");
+    book_ = LearnPatterns(holdout, config_.learner);
+  }
 }
 
 Result<doc::LayoutTree> Vs2::SegmentOnly(const doc::Document& observed) const {
@@ -24,16 +33,42 @@ Result<doc::LayoutTree> Vs2::SegmentOnly(const doc::Document& observed) const {
 }
 
 Result<Vs2::DocResult> Vs2::Process(const doc::Document& doc) const {
-  DocResult result;
-  result.observed =
-      config_.simulate_ocr ? ocr::Transcribe(doc, config_.ocr) : doc;
+  // Stage latencies always feed the registry (a clock read per stage); the
+  // same spans land in the trace only when tracing is on.
+  static obs::Histogram& process_ms =
+      obs::Metrics::GetHistogram("vs2.process_ms");
+  static obs::Counter& documents = obs::Metrics::GetCounter("vs2.documents");
+  obs::Span process_span("vs2.process", &process_ms);
+  documents.Add(1);
 
-  VS2_ASSIGN_OR_RETURN(result.tree,
-                       Segment(result.observed, embedding_, config_.segmenter));
-  result.interest_points =
-      SelectInterestPoints(result.observed, result.tree, embedding_);
-  result.extractions = SelectEntities(result.observed, result.tree, book_,
-                                      specs_, embedding_, config_.select);
+  DocResult result;
+  {
+    static obs::Histogram& h =
+        obs::Metrics::GetHistogram("vs2.ocr_observe_ms");
+    obs::Span span("vs2.ocr_observe", &h);
+    result.observed =
+        config_.simulate_ocr ? ocr::Transcribe(doc, config_.ocr) : doc;
+  }
+  {
+    static obs::Histogram& h = obs::Metrics::GetHistogram("vs2.segment_ms");
+    obs::Span span("vs2.segment", &h);
+    VS2_ASSIGN_OR_RETURN(
+        result.tree, Segment(result.observed, embedding_, config_.segmenter));
+  }
+  {
+    static obs::Histogram& h =
+        obs::Metrics::GetHistogram("vs2.select_interest_points_ms");
+    obs::Span span("vs2.select_interest_points", &h);
+    result.interest_points =
+        SelectInterestPoints(result.observed, result.tree, embedding_);
+  }
+  {
+    static obs::Histogram& h =
+        obs::Metrics::GetHistogram("vs2.select_entities_ms");
+    obs::Span span("vs2.select_entities", &h);
+    result.extractions = SelectEntities(result.observed, result.tree, book_,
+                                        specs_, embedding_, config_.select);
+  }
   return result;
 }
 

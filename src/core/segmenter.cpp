@@ -4,7 +4,10 @@
 #include <cmath>
 #include <map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/math.hpp"
+#include "util/strings.hpp"
 
 namespace vs2::core {
 namespace {
@@ -144,11 +147,16 @@ double VisualDistance(const VisualFeatures& a, const VisualFeatures& b,
 std::vector<std::vector<size_t>> ClusterElements(
     const Document& doc, const std::vector<size_t>& element_indices,
     const util::BBox& region, const SegmenterConfig& config) {
+  static obs::Counter& cluster_calls =
+      obs::Metrics::GetCounter("segment.cluster_calls");
+  static obs::Counter& cluster_iterations =
+      obs::Metrics::GetCounter("segment.cluster_iterations");
   std::vector<std::vector<size_t>> clusters;
   if (element_indices.size() <= 1) {
     if (!element_indices.empty()) clusters.push_back(element_indices);
     return clusters;
   }
+  cluster_calls.Add(1);
 
   double max_h = MaxHeight(doc, element_indices);
   std::vector<VisualFeatures> features;
@@ -196,6 +204,7 @@ std::vector<std::vector<size_t>> ClusterElements(
   // --- medoid iteration ---
   std::vector<size_t> assign(features.size(), 0);
   for (int iter = 0; iter < 12; ++iter) {
+    cluster_iterations.Add(1);
     bool changed = false;
     for (size_t fi = 0; fi < features.size(); ++fi) {
       size_t best = 0;
@@ -409,6 +418,7 @@ bool SemanticMergePass(const Document& doc, LayoutTree* tree, size_t parent,
   double best_key = -1e18;
   double best_sim = -1e18;
   size_t best_i = doc::kNoNode, best_j = doc::kNoNode;
+  uint64_t rejected_pairs = 0;  // cleared θ_h but failed a visual gate
   for (size_t i = 0; i < ids.size(); ++i) {
     for (size_t j = i + 1; j < ids.size(); ++j) {
       double sim = util::CosineSimilarity(vecs[i], vecs[j]);
@@ -439,7 +449,10 @@ bool SemanticMergePass(const Document& doc, LayoutTree* tree, size_t parent,
                                 tree->node(ids[j]).bbox);
       double allowed = config.merge_gap_factor *
                        std::max(max_heights[i], max_heights[j]);
-      if (gap > allowed) continue;
+      if (gap > allowed) {
+        ++rejected_pairs;
+        continue;
+      }
       BBox merged = util::Union(tree->node(ids[i]).bbox,
                                 tree->node(ids[j]).bbox);
       bool swallows = false;
@@ -450,7 +463,10 @@ bool SemanticMergePass(const Document& doc, LayoutTree* tree, size_t parent,
           swallows = true;
         }
       }
-      if (swallows) continue;
+      if (swallows) {
+        ++rejected_pairs;
+        continue;
+      }
       double key = sim + 0.05 * (semantic_contribution(i) +
                                  semantic_contribution(j));
       if (key > best_key) {
@@ -462,8 +478,24 @@ bool SemanticMergePass(const Document& doc, LayoutTree* tree, size_t parent,
     }
   }
   (void)best_sim;
+  // Merge quality counters, total and per θ_h depth — the knobs the merge
+  // thresholds are tuned against.
+  static obs::Counter& rejected_total =
+      obs::Metrics::GetCounter("segment.merges_rejected");
+  static obs::Counter& accepted_total =
+      obs::Metrics::GetCounter("segment.merges_accepted");
+  if (rejected_pairs > 0) {
+    rejected_total.Add(rejected_pairs);
+    obs::Metrics::GetCounter(util::Format("segment.merges_rejected.h%d", h))
+        .Add(rejected_pairs);
+  }
   if (best_i == doc::kNoNode) return false;
   auto merged = tree->MergeSiblings(doc, best_i, best_j);
+  if (merged.ok()) {
+    accepted_total.Add(1);
+    obs::Metrics::GetCounter(util::Format("segment.merges_accepted.h%d", h))
+        .Add(1);
+  }
   return merged.ok();
 }
 
@@ -517,17 +549,28 @@ void SegmentRecursive(const Document& doc, LayoutTree* tree, size_t node_id,
   }
 
   std::vector<size_t> indices = node.element_indices;
-  BBox region = node.depth == 0
-                    ? BBox{0.0, 0.0, doc.width, doc.height}
-                    : node.bbox;
+  // Copied out: `node` dangles once AddChild below grows the node vector.
+  const int depth = node.depth;
+  BBox region = depth == 0 ? BBox{0.0, 0.0, doc.width, doc.height}
+                           : node.bbox;
 
   // Phase 1: explicit visual delimiters.
-  std::vector<util::BBox> boxes;
-  boxes.reserve(indices.size());
-  for (size_t i : indices) boxes.push_back(doc.elements[i].bbox);
-  std::vector<SeparatorRun> runs =
-      FindSeparatorRuns(boxes, region, config.grid_scale);
-  std::vector<size_t> delimiters = SelectDelimiters(runs, config.delimiter);
+  std::vector<SeparatorRun> runs;
+  std::vector<size_t> delimiters;
+  {
+    VS2_TRACE_SPAN_ARG("segment.delimiters", depth);
+    std::vector<util::BBox> boxes;
+    boxes.reserve(indices.size());
+    for (size_t i : indices) boxes.push_back(doc.elements[i].bbox);
+    runs = FindSeparatorRuns(boxes, region, config.grid_scale);
+    delimiters = SelectDelimiters(runs, config.delimiter);
+    static obs::Counter& cuts_enumerated =
+        obs::Metrics::GetCounter("segment.cuts_enumerated");
+    static obs::Counter& cuts_kept =
+        obs::Metrics::GetCounter("segment.cuts_kept");
+    cuts_enumerated.Add(runs.size());
+    cuts_kept.Add(delimiters.size());
+  }
 
   std::vector<std::vector<size_t>> parts;
   if (!delimiters.empty()) {
@@ -536,6 +579,7 @@ void SegmentRecursive(const Document& doc, LayoutTree* tree, size_t node_id,
 
   // Phase 2: implicit modifiers via visual clustering.
   if (parts.size() <= 1 && config.enable_visual_clustering) {
+    VS2_TRACE_SPAN_ARG("segment.cluster", depth);
     parts = ClusterElements(doc, indices, region, config);
   }
   if (parts.size() <= 1) return;  // leaf: logical block
@@ -546,6 +590,7 @@ void SegmentRecursive(const Document& doc, LayoutTree* tree, size_t node_id,
 
   // Phase 3: semantic merging among the new siblings, to convergence.
   if (config.enable_semantic_merging) {
+    VS2_TRACE_SPAN_ARG("segment.merge", depth);
     int guard = 0;
     while (SemanticMergePass(doc, tree, node_id, embedding, config) &&
            guard++ < 16) {

@@ -6,6 +6,8 @@
 #include "nlp/analyzer.hpp"
 #include "nlp/lesk.hpp"
 #include "nlp/stemmer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/math.hpp"
 #include "util/strings.hpp"
 
@@ -170,16 +172,19 @@ std::vector<Extraction> SelectEntities(
 
   // Block contexts for every leaf holding text.
   std::vector<BlockContext> blocks;
-  for (size_t leaf : tree.Leaves()) {
-    bool has_text = false;
-    for (size_t e : tree.node(leaf).element_indices) {
-      if (doc.elements[e].is_text()) {
-        has_text = true;
-        break;
+  {
+    VS2_TRACE_SPAN("select.block_contexts");
+    for (size_t leaf : tree.Leaves()) {
+      bool has_text = false;
+      for (size_t e : tree.node(leaf).element_indices) {
+        if (doc.elements[e].is_text()) {
+          has_text = true;
+          break;
+        }
       }
-    }
-    if (has_text) {
-      blocks.push_back(MakeBlockContext(doc, tree, leaf, embedding));
+      if (has_text) {
+        blocks.push_back(MakeBlockContext(doc, tree, leaf, embedding));
+      }
     }
   }
   if (blocks.empty()) return out;
@@ -220,9 +225,12 @@ std::vector<Extraction> SelectEntities(
   };
   std::vector<EntityCandidates> per_entity;
 
+  static obs::Counter& patterns_matched =
+      obs::Metrics::GetCounter("select.patterns_matched");
   for (const datasets::EntitySpec& spec : specs) {
     const LearnedEntityPatterns* learned = book.Find(spec.name);
     if (learned == nullptr || learned->patterns.empty()) continue;
+    VS2_TRACE_SPAN_ARG("select.search_entity", learned->patterns.size());
 
     std::vector<Candidate> candidates;
     for (size_t bi = 0; bi < blocks.size(); ++bi) {
@@ -233,6 +241,7 @@ std::vector<Extraction> SelectEntities(
         }
       }
     }
+    patterns_matched.Add(candidates.size());
     if (candidates.empty()) continue;
 
     EntityCandidates ec;
@@ -314,6 +323,7 @@ std::vector<Extraction> SelectEntities(
   // first; a candidate overlapping an already-claimed span in the same
   // block is skipped, sending the weaker entity to its next candidate —
   // this is what keeps "Event Description" from re-claiming the title NP.
+  VS2_TRACE_SPAN_ARG("select.assign", per_entity.size());
   struct Claim {
     size_t block_index;
     size_t begin;
@@ -409,6 +419,9 @@ std::vector<Extraction> SelectEntities(
     out.push_back(std::move(ex));
   }
 
+  static obs::Counter& extractions =
+      obs::Metrics::GetCounter("select.extractions");
+  extractions.Add(out.size());
   return out;
 }
 

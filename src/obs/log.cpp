@@ -1,0 +1,125 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+#include "util/strings.hpp"
+
+namespace vs2::obs {
+namespace {
+
+constexpr int kUninitialized = -1;
+std::atomic<int> g_min_level{kUninitialized};
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("VS2_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::kWarn;
+  std::string v = util::ToLower(env);
+  if (v == "debug" || v == "0") return LogLevel::kDebug;
+  if (v == "info" || v == "1") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning" || v == "2") return LogLevel::kWarn;
+  if (v == "error" || v == "3") return LogLevel::kError;
+  if (v == "off" || v == "none" || v == "4") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::mutex& EmitMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::function<void(LogLevel, const std::string&)>& SinkSlot() {
+  static auto* sink = new std::function<void(LogLevel, const std::string&)>;
+  return *sink;
+}
+
+/// Small sequential id per logging thread (stable within a run; assigned in
+/// first-log order).
+unsigned ThreadLogId() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash == nullptr ? path : slash + 1;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "UNKNOWN";
+}
+
+LogLevel MinLogLevel() {
+  int v = g_min_level.load(std::memory_order_relaxed);
+  if (v == kUninitialized) {
+    // Benign race: concurrent first calls parse the same environment and
+    // store the same value.
+    v = static_cast<int>(LevelFromEnv());
+    g_min_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool LogEnabled(LogLevel level) {
+  return level != LogLevel::kOff && level >= MinLogLevel();
+}
+
+void SetLogSink(std::function<void(LogLevel, const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  SinkSlot() = std::move(sink);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  auto now = std::chrono::system_clock::now();
+  std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm_utc{};
+  gmtime_r(&seconds, &tm_utc);
+  stream_ << util::Format(
+      "%c %02d%02d %02d:%02d:%02d.%03d t%02u %s:%d] ",
+      LogLevelName(level)[0], tm_utc.tm_mon + 1, tm_utc.tm_mday,
+      tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis, ThreadLogId(),
+      Basename(file), line);
+}
+
+LogMessage::~LogMessage() {
+  std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  auto& sink = SinkSlot();
+  if (sink) {
+    sink(level_, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace vs2::obs

@@ -1,0 +1,90 @@
+#ifndef VS2_OBS_LOG_HPP_
+#define VS2_OBS_LOG_HPP_
+
+/// \file log.hpp
+/// Leveled, thread-safe structured logging.
+///
+/// ```cpp
+/// VS2_LOG(WARN) << "document " << i << " failed: " << status;
+/// ```
+///
+/// A disabled level costs one relaxed atomic load and never evaluates the
+/// stream operands. Enabled messages are formatted into a per-message
+/// buffer and emitted as one atomic line (no interleaving between
+/// threads) of the form
+/// `W 0806 14:55:01.123 t01 pipeline.cpp:42] message`.
+///
+/// The minimum level defaults to `kWarn` (benches stay quiet), is
+/// overridable by the `VS2_LOG_LEVEL` environment variable
+/// (`debug|info|warn|error|off`, read once at first use) and at runtime by
+/// `SetMinLogLevel`. Tests capture output with `SetLogSink`.
+///
+/// Core types stream directly: `vs2::Status`, `util::BBox` and `util::Lab`
+/// provide `operator<<` (in their own headers).
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace vs2::obs {
+
+/// Severity levels, ascending. `kOff` disables everything.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Short name, e.g. "WARN".
+const char* LogLevelName(LogLevel level);
+
+/// Current minimum emitted level (env override applied on first call).
+LogLevel MinLogLevel();
+
+/// Overrides the minimum level at runtime (wins over `VS2_LOG_LEVEL`).
+void SetMinLogLevel(LogLevel level);
+
+/// True when a message at `level` would be emitted.
+bool LogEnabled(LogLevel level);
+
+/// Redirects formatted lines (without trailing newline) away from stderr;
+/// pass nullptr to restore stderr. For tests.
+void SetLogSink(std::function<void(LogLevel, const std::string&)> sink);
+
+/// One in-flight log message; flushes on destruction. Use via `VS2_LOG`.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the stream expression when the level is disabled (the glog
+/// trick: `&` binds looser than `<<`, so the whole chain is dead when the
+/// condition short-circuits).
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+#define VS2_OBS_LEVEL_DEBUG ::vs2::obs::LogLevel::kDebug
+#define VS2_OBS_LEVEL_INFO ::vs2::obs::LogLevel::kInfo
+#define VS2_OBS_LEVEL_WARN ::vs2::obs::LogLevel::kWarn
+#define VS2_OBS_LEVEL_ERROR ::vs2::obs::LogLevel::kError
+
+/// `VS2_LOG(INFO) << ...` — severity is DEBUG, INFO, WARN or ERROR.
+#define VS2_LOG(severity)                                      \
+  !::vs2::obs::LogEnabled(VS2_OBS_LEVEL_##severity)            \
+      ? (void)0                                                \
+      : ::vs2::obs::LogMessageVoidify() &                      \
+            ::vs2::obs::LogMessage(VS2_OBS_LEVEL_##severity,   \
+                                   __FILE__, __LINE__)         \
+                .stream()
+
+}  // namespace vs2::obs
+
+#endif  // VS2_OBS_LOG_HPP_

@@ -1,0 +1,234 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/strings.hpp"
+
+namespace vs2::obs {
+namespace {
+
+/// Shared bucket grid: sub-millisecond resolution where pipeline stages
+/// live, decade steps above. 17 finite bounds + overflow = kNumBuckets.
+constexpr double kBucketBoundsMs[] = {0.05, 0.1,  0.25, 0.5,  1.0,   2.5,
+                                      5.0,  10.0, 25.0, 50.0, 100.0, 250.0,
+                                      500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+constexpr size_t kNumFiniteBuckets =
+    sizeof(kBucketBoundsMs) / sizeof(kBucketBoundsMs[0]);
+
+/// Name-keyed instrument store. std::map keeps snapshot order
+/// deterministic; instruments are never erased, so references handed out by
+/// `GetOrCreate` stay valid for the process lifetime.
+template <typename T>
+class NamedRegistry {
+ public:
+  T& GetOrCreate(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<T>& slot = items_[name];
+    if (slot == nullptr) slot = std::make_unique<T>(name);
+    return *slot;
+  }
+
+  template <typename Fn>
+  void ForEach(Fn fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, item] : items_) fn(*item);
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<T>> items_;
+};
+
+// Leaked singletons: instrument references must outlive any static
+// destructor that might still record.
+NamedRegistry<Counter>& Counters() {
+  static NamedRegistry<Counter>* r = new NamedRegistry<Counter>;
+  return *r;
+}
+NamedRegistry<Gauge>& Gauges() {
+  static NamedRegistry<Gauge>* r = new NamedRegistry<Gauge>;
+  return *r;
+}
+NamedRegistry<Histogram>& Histograms() {
+  static NamedRegistry<Histogram>* r = new NamedRegistry<Histogram>;
+  return *r;
+}
+
+/// Lock-free running min/max via compare-exchange.
+void AtomicMin(std::atomic<double>* slot, double v) {
+  double cur = slot->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+void AtomicMax(std::atomic<double>* slot, double v) {
+  double cur = slot->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// %g rendering without trailing noise for JSON values.
+std::string Num(double v) { return util::Format("%g", v); }
+
+}  // namespace
+
+double SortedPercentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  double rank = p * static_cast<double>(sorted.size() - 1);
+  size_t idx = static_cast<size_t>(std::llround(rank));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+double Percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return SortedPercentile(values, p);
+}
+
+const std::vector<double>& Histogram::BucketBounds() {
+  static const std::vector<double> bounds(kBucketBoundsMs,
+                                          kBucketBoundsMs + kNumFiniteBuckets);
+  return bounds;
+}
+
+void Histogram::Record(double value_ms) {
+  size_t bucket = kNumFiniteBuckets;  // overflow unless a bound catches it
+  for (size_t i = 0; i < kNumFiniteBuckets; ++i) {
+    if (value_ms <= kBucketBoundsMs[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value_ms, std::memory_order_relaxed);
+  // First-record initialization of the extrema: claim count 0 -> 1 decides
+  // who seeds them; racing later records only tighten via AtomicMin/Max.
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_.store(value_ms, std::memory_order_relaxed);
+    max_.store(value_ms, std::memory_order_relaxed);
+  }
+  AtomicMin(&min_, value_ms);
+  AtomicMax(&max_, value_ms);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+uint64_t Histogram::BucketCount(size_t i) const {
+  return i < kNumBuckets ? buckets_[i].load(std::memory_order_relaxed) : 0;
+}
+
+double Histogram::PercentileEstimate(double p) const {
+  uint64_t n = count();
+  if (n == 0) return 0.0;
+  // Nearest-rank index into the virtual sorted sample, consistent with
+  // SortedPercentile.
+  uint64_t rank = static_cast<uint64_t>(
+      std::llround(p * static_cast<double>(n - 1)));
+  rank = std::min(rank, n - 1);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumFiniteBuckets; ++i) {
+    cumulative += BucketCount(i);
+    if (cumulative > rank) return kBucketBoundsMs[i];
+  }
+  return max();  // rank falls in the overflow bucket
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& Metrics::GetCounter(const std::string& name) {
+  return Counters().GetOrCreate(name);
+}
+
+Gauge& Metrics::GetGauge(const std::string& name) {
+  return Gauges().GetOrCreate(name);
+}
+
+Histogram& Metrics::GetHistogram(const std::string& name) {
+  return Histograms().GetOrCreate(name);
+}
+
+std::string Metrics::SnapshotJson() {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  Counters().ForEach([&](Counter& c) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += util::Format("\"%s\":%llu", c.name().c_str(),
+                        static_cast<unsigned long long>(c.value()));
+  });
+  out += "},\"gauges\":{";
+  first = true;
+  Gauges().ForEach([&](Gauge& g) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += util::Format("\"%s\":%s", g.name().c_str(), Num(g.value()).c_str());
+  });
+  out += "},\"histograms\":{";
+  first = true;
+  Histograms().ForEach([&](Histogram& h) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += util::Format(
+        "\"%s\":{\"count\":%llu,\"sum\":%s,\"min\":%s,\"max\":%s,"
+        "\"p50\":%s,\"p95\":%s,\"p99\":%s,\"buckets\":{",
+        h.name().c_str(), static_cast<unsigned long long>(h.count()),
+        Num(h.sum()).c_str(), Num(h.min()).c_str(), Num(h.max()).c_str(),
+        Num(h.PercentileEstimate(0.50)).c_str(),
+        Num(h.PercentileEstimate(0.95)).c_str(),
+        Num(h.PercentileEstimate(0.99)).c_str());
+    const std::vector<double>& bounds = Histogram::BucketBounds();
+    bool first_bucket = true;
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      uint64_t n = h.BucketCount(i);
+      if (n == 0) continue;
+      if (!first_bucket) out.push_back(',');
+      first_bucket = false;
+      out += util::Format("\"%s\":%llu", Num(bounds[i]).c_str(),
+                          static_cast<unsigned long long>(n));
+    }
+    out += util::Format("},\"overflow\":%llu}",
+                        static_cast<unsigned long long>(
+                            h.BucketCount(bounds.size())));
+  });
+  out += "}}";
+  return out;
+}
+
+Status Metrics::ExportJson(const std::string& path) {
+  std::string json = SnapshotJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open metrics file: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
+    return Status::Internal("short write to metrics file: " + path);
+  }
+  return Status::OK();
+}
+
+void Metrics::ResetValues() {
+  Counters().ForEach([](Counter& c) { c.Reset(); });
+  Gauges().ForEach([](Gauge& g) { g.Reset(); });
+  Histograms().ForEach([](Histogram& h) { h.Reset(); });
+}
+
+}  // namespace vs2::obs

@@ -1,0 +1,139 @@
+#ifndef VS2_OBS_METRICS_HPP_
+#define VS2_OBS_METRICS_HPP_
+
+/// \file metrics.hpp
+/// Process-wide metrics registry: named counters, gauges and fixed-bucket
+/// latency histograms, plus the shared nearest-rank percentile helper used
+/// by `core::BatchStats` and the bench harness.
+///
+/// **Cost model.** Instruments are cheap enough to leave on permanently:
+/// an increment or histogram record is a handful of relaxed atomic ops with
+/// no locking. The registry lookup (`Metrics::GetCounter` etc.) takes a
+/// mutex, so hot call sites cache the returned reference in a function-local
+/// static — one lookup per process, atomics thereafter. Registered
+/// instruments live for the process lifetime; `ResetValues()` zeroes values
+/// but never invalidates references.
+///
+/// **Snapshot.** `Metrics::SnapshotJson()` renders every instrument as one
+/// JSON object (deterministic name order); `--metrics=FILE` on
+/// `vs2_extract` and the table benches dumps it after a run.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace vs2::obs {
+
+/// \brief Nearest-rank percentile of an already-sorted vector:
+/// `sorted[llround(p * (n - 1))]`, `p` in [0, 1]. Returns 0 when empty.
+/// The single definition of percentile semantics in the repo —
+/// `BatchStats`, the bench harness and `Histogram` all agree with it.
+double SortedPercentile(const std::vector<double>& sorted, double p);
+
+/// As `SortedPercentile`, sorting a copy of `values` first.
+double Percentile(std::vector<double> values, double p);
+
+/// Monotonically increasing event counter. Increments are relaxed atomic
+/// adds — safe from any thread, no ordering implied.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value-wins instantaneous measurement.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed-bucket histogram for latencies in milliseconds.
+///
+/// Buckets are shared by every histogram (`BucketBounds()`): exponential
+/// upper bounds from 50 µs to 10 s plus an overflow bucket. A recorded
+/// value `v` lands in the first bucket whose bound satisfies `v <= bound`.
+/// Percentiles are nearest-rank over the bucket counts and return the
+/// containing bucket's upper bound (the observed maximum for the overflow
+/// bucket) — a conservative estimate whose error is bounded by bucket
+/// width. Exact sample-based percentiles, where the samples are available,
+/// use `Percentile()` instead.
+class Histogram {
+ public:
+  /// Bucket upper bounds in ms, ascending; values above the last bound go
+  /// to the overflow bucket.
+  static const std::vector<double>& BucketBounds();
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  void Record(double value_ms);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Observed extrema; 0 when no value has been recorded.
+  double min() const;
+  double max() const;
+  /// Count in bucket `i` (`i == BucketBounds().size()` is the overflow
+  /// bucket).
+  uint64_t BucketCount(size_t i) const;
+  /// Nearest-rank percentile estimate from the bucket counts, `p` in
+  /// [0, 1]. Returns 0 when empty.
+  double PercentileEstimate(double p) const;
+  const std::string& name() const { return name_; }
+  void Reset();
+
+ private:
+  // 17 finite buckets + 1 overflow; must match kBucketBoundsMs in the .cpp.
+  static constexpr size_t kNumBuckets = 18;
+
+  std::string name_;
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  ///< valid only when count_ > 0
+  std::atomic<double> max_{0.0};
+};
+
+/// Static registry facade. Instruments are created on first lookup and
+/// never destroyed; callers cache the references.
+class Metrics {
+ public:
+  static Counter& GetCounter(const std::string& name);
+  static Gauge& GetGauge(const std::string& name);
+  static Histogram& GetHistogram(const std::string& name);
+
+  /// One JSON object with every registered instrument:
+  /// `{"counters":{...},"gauges":{...},"histograms":{...}}`, names in
+  /// lexicographic order.
+  static std::string SnapshotJson();
+
+  /// Writes `SnapshotJson()` to `path`.
+  static Status ExportJson(const std::string& path);
+
+  /// Zeroes every instrument's value. References stay valid.
+  static void ResetValues();
+};
+
+}  // namespace vs2::obs
+
+#endif  // VS2_OBS_METRICS_HPP_

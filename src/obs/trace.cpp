@@ -1,0 +1,201 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/strings.hpp"
+
+namespace vs2::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Trace time origin. Pinned on first use (the first `Enable()` touches it
+/// before any span can record), so exported timestamps start near zero.
+Clock::time_point TraceEpoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               TraceEpoch())
+      .count();
+}
+
+/// One completed span.
+struct Event {
+  const char* name;
+  int64_t ts_us;
+  int64_t dur_us;
+  int depth;     ///< nesting depth at the time the span was open
+  int64_t arg;
+  bool has_arg;
+};
+
+/// Per-thread event buffer. `events` is appended to only by the owning
+/// thread; `mu` serializes those appends against a concurrent export from
+/// another thread (uncontended in steady state, so the append cost is one
+/// cache-local lock).
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<Event> events;
+  uint32_t tid = 0;
+  int depth = 0;  ///< touched only by the owning thread
+};
+
+/// Registry of every thread's buffer. Holds shared ownership so events
+/// survive worker-thread exit (a `BatchEngine` pool is torn down before the
+/// trace is exported). Intentionally leaked: thread_local destructors may
+/// run after static destructors on some platforms.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint32_t next_tid = 1;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto created = std::make_shared<ThreadBuffer>();
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    created->tid = registry.next_tid++;
+    registry.buffers.push_back(created);
+    return created;
+  }();
+  return *buffer;
+}
+
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out->push_back('\\');
+    out->push_back(*s);
+  }
+}
+
+}  // namespace
+
+std::atomic<bool> Trace::enabled_{false};
+
+void Trace::Enable() {
+  TraceEpoch();  // pin the time origin before the first span
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Trace::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Trace::Reset() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+size_t Trace::EventCount() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  size_t count = 0;
+  for (auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    count += buffer->events.size();
+  }
+  return count;
+}
+
+size_t Trace::CurrentDepth() {
+  return static_cast<size_t>(LocalBuffer().depth);
+}
+
+std::string Trace::ToJson() {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // Metadata event naming the process lane.
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"vs2\"}}";
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    for (const Event& e : buffer->events) {
+      out += ",\n{\"name\":\"";
+      AppendEscaped(&out, e.name);
+      out += util::Format(
+          "\",\"cat\":\"vs2\",\"ph\":\"X\",\"ts\":%lld,\"dur\":%lld,"
+          "\"pid\":1,\"tid\":%u,\"args\":{\"depth\":%d",
+          static_cast<long long>(e.ts_us), static_cast<long long>(e.dur_us),
+          buffer->tid, e.depth);
+      if (e.has_arg) {
+        out += util::Format(",\"arg\":%lld", static_cast<long long>(e.arg));
+      }
+      out += "}}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+Status Trace::ExportJson(const std::string& path) {
+  std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open trace file: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
+    return Status::Internal("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+Span::Span(const char* name) {
+  if (!Trace::enabled()) return;
+  name_ = name;
+  start_us_ = NowMicros();
+  ++LocalBuffer().depth;
+}
+
+Span::Span(const char* name, int64_t arg) : arg_(arg), has_arg_(true) {
+  if (!Trace::enabled()) return;
+  name_ = name;
+  start_us_ = NowMicros();
+  ++LocalBuffer().depth;
+}
+
+Span::Span(const char* name, Histogram* latency_ms_hist)
+    : hist_(latency_ms_hist) {
+  bool tracing = Trace::enabled();
+  if (!tracing && hist_ == nullptr) return;
+  start_us_ = NowMicros();
+  if (tracing) {
+    name_ = name;
+    ++LocalBuffer().depth;
+  }
+}
+
+Span::~Span() {
+  if (name_ == nullptr && hist_ == nullptr) return;
+  int64_t end_us = NowMicros();
+  if (hist_ != nullptr) {
+    hist_->Record(static_cast<double>(end_us - start_us_) / 1e3);
+  }
+  if (name_ == nullptr) return;
+  ThreadBuffer& buffer = LocalBuffer();
+  int depth = buffer.depth--;
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(
+      {name_, start_us_, end_us - start_us_, depth, arg_, has_arg_});
+}
+
+}  // namespace vs2::obs

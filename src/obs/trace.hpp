@@ -1,0 +1,131 @@
+#ifndef VS2_OBS_TRACE_HPP_
+#define VS2_OBS_TRACE_HPP_
+
+/// \file trace.hpp
+/// Span-based pipeline tracer with Chrome `trace_event` JSON export.
+///
+/// A `Span` is an RAII scope marker: construction records the start time,
+/// destruction records the duration, and the completed event lands in a
+/// per-thread buffer (no cross-thread contention on the hot path — each
+/// buffer is appended to only by its owning thread). `Trace::ToJson()`
+/// collects every thread's events into the Chrome `trace_event` format, so
+/// a whole `BatchEngine` run over a worker pool renders as a per-thread
+/// timeline in `chrome://tracing` or https://ui.perfetto.dev.
+///
+/// **Cost model.** Tracing is off by default. A disabled `Span` is a single
+/// relaxed atomic load — the bench tables are unaffected by the
+/// instrumentation (<2% budget, see DESIGN.md "Observability"). Defining
+/// `VS2_OBS_NO_TRACING` compiles the `VS2_TRACE_SPAN` macros away entirely
+/// for builds that must not even carry the branch. Spans constructed with a
+/// latency histogram additionally pay two clock reads whether or not
+/// tracing is enabled — reserve those for per-document-scale stages.
+///
+/// **Nesting.** Spans nest lexically; each thread tracks its current depth
+/// and a span restores the parent depth on destruction
+/// (`Trace::CurrentDepth()` exposes it for tests). Chrome's viewer nests
+/// the exported complete (`"ph":"X"`) events by timestamp containment on
+/// the same thread lane, which RAII scoping guarantees.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace vs2::obs {
+
+class Histogram;  // metrics.hpp; spans can feed a latency histogram
+
+/// Global tracer state: enable/disable, event collection, JSON export.
+/// All static members are safe to call from any thread.
+class Trace {
+ public:
+  /// Starts recording spans (idempotent). Previously recorded events are
+  /// kept; call `Reset()` first for a fresh trace.
+  static void Enable();
+
+  /// Stops recording. In-flight spans still record their completion.
+  static void Disable();
+
+  /// True when spans are being recorded. A relaxed load — the only cost a
+  /// disabled span pays.
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops every recorded event (buffers stay registered).
+  static void Reset();
+
+  /// Number of completed spans recorded so far, across all threads.
+  static size_t EventCount();
+
+  /// Current span nesting depth of the calling thread (0 = no open span).
+  static size_t CurrentDepth();
+
+  /// Renders all recorded events as Chrome `trace_event` JSON:
+  /// `{"displayTimeUnit":"ms","traceEvents":[...]}` with one complete
+  /// (`"ph":"X"`) event per span, microsecond timestamps relative to the
+  /// first `Enable()`, and one lane (`tid`) per recording thread.
+  static std::string ToJson();
+
+  /// Writes `ToJson()` to `path`.
+  static Status ExportJson(const std::string& path);
+
+ private:
+  friend class Span;
+  static std::atomic<bool> enabled_;
+};
+
+/// \brief RAII span. Records a trace event over its lexical scope when
+/// tracing is enabled, and (optionally) the scope's duration into a latency
+/// `Histogram` regardless of the tracing switch.
+class Span {
+ public:
+  /// Trace-only span: a no-op beyond one atomic load when tracing is off.
+  explicit Span(const char* name);
+
+  /// Span carrying one integer argument (rendered as `"args":{"arg":N}`),
+  /// e.g. a batch slot index or recursion depth.
+  Span(const char* name, int64_t arg);
+
+  /// Span that also records its duration (milliseconds) into
+  /// `latency_ms_hist` on destruction — the stage-latency entry point.
+  /// `latency_ms_hist` may be null (equivalent to the trace-only form).
+  Span(const char* name, Histogram* latency_ms_hist);
+
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;    ///< non-null: emit a trace event
+  Histogram* hist_ = nullptr;     ///< non-null: record duration
+  int64_t start_us_ = 0;
+  int64_t arg_ = 0;
+  bool has_arg_ = false;
+};
+
+#define VS2_OBS_CONCAT_IMPL(a, b) a##b
+#define VS2_OBS_CONCAT(a, b) VS2_OBS_CONCAT_IMPL(a, b)
+
+#if defined(VS2_OBS_NO_TRACING)
+#define VS2_TRACE_SPAN(name) \
+  do {                       \
+  } while (false)
+#define VS2_TRACE_SPAN_ARG(name, arg) \
+  do {                                \
+  } while (false)
+#else
+/// Opens a span covering the rest of the enclosing scope.
+#define VS2_TRACE_SPAN(name) \
+  ::vs2::obs::Span VS2_OBS_CONCAT(vs2_obs_span_, __LINE__)(name)
+/// As `VS2_TRACE_SPAN`, with an integer argument attached to the event.
+#define VS2_TRACE_SPAN_ARG(name, arg)                 \
+  ::vs2::obs::Span VS2_OBS_CONCAT(vs2_obs_span_,      \
+                                  __LINE__)((name),   \
+                                            static_cast<int64_t>(arg))
+#endif
+
+}  // namespace vs2::obs
+
+#endif  // VS2_OBS_TRACE_HPP_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <ostream>
 
 namespace vs2::util {
 namespace {
@@ -43,6 +44,10 @@ std::string Lab::ToString() const {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "Lab(%.1f, %.1f, %.1f)", l, a, b);
   return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, const Lab& lab) {
+  return os << lab.ToString();
 }
 
 Lab RgbToLab(const Rgb& rgb) {

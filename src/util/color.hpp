@@ -7,6 +7,7 @@
 /// (Sec 4.1.1), and LAB color is one of the Table 1 clustering features.
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 
 namespace vs2::util {
@@ -30,6 +31,9 @@ struct Lab {
 
   std::string ToString() const;
 };
+
+/// Streams `lab.ToString()` — log/ostream support.
+std::ostream& operator<<(std::ostream& os, const Lab& lab);
 
 /// sRGB → CIE LAB (D65), via linearized sRGB and XYZ.
 Lab RgbToLab(const Rgb& rgb);

@@ -1,6 +1,7 @@
 #include "util/geometry.hpp"
 
 #include <cstdio>
+#include <ostream>
 
 namespace vs2::util {
 
@@ -17,6 +18,10 @@ std::string BBox::ToString() const {
   std::snprintf(buf, sizeof(buf), "[x=%.1f y=%.1f w=%.1f h=%.1f]", x, y, width,
                 height);
   return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, const BBox& bbox) {
+  return os << bbox.ToString();
 }
 
 BBox Intersect(const BBox& a, const BBox& b) {

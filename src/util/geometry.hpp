@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,9 @@ struct BBox {
 
   std::string ToString() const;
 };
+
+/// Streams `bbox.ToString()` — log/ostream support.
+std::ostream& operator<<(std::ostream& os, const BBox& bbox);
 
 /// Intersection box; empty (0,0,0,0) when disjoint.
 BBox Intersect(const BBox& a, const BBox& b);

@@ -1,5 +1,7 @@
 #include "util/status.hpp"
 
+#include <ostream>
+
 namespace vs2 {
 
 const char* StatusCodeName(StatusCode code) {
@@ -32,6 +34,14 @@ std::string Status::ToString() const {
     out += message();
   }
   return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, StatusCode code) {
+  return os << StatusCodeName(code);
 }
 
 }  // namespace vs2

@@ -6,6 +6,7 @@
 /// fallible operation returns a `Status` or a `Result<T>`.
 
 #include <cassert>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <utility>
@@ -93,6 +94,13 @@ class Status {
   };
   std::shared_ptr<Rep> rep_;
 };
+
+/// Streams `status.ToString()` — lets a `Status` flow straight into
+/// `VS2_LOG(...)` and other ostreams.
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Streams the code's name (`StatusCodeName`).
+std::ostream& operator<<(std::ostream& os, StatusCode code);
 
 /// \brief Value-or-error, the `Status` analogue of `std::expected`.
 ///

@@ -1,0 +1,474 @@
+/// Tests for src/obs: tracer (span nesting, thread safety, Chrome JSON
+/// export), metrics registry (counters, gauges, histogram buckets,
+/// percentile semantics, snapshot/reset) and the structured logger.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/color.hpp"
+#include "util/geometry.hpp"
+#include "util/status.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vs2 {
+namespace {
+
+// ------------------------------------------------------- JSON validation --
+
+/// Minimal recursive-descent JSON syntax checker. The doc parser in
+/// doc/serialization.hpp is schema-bound, so trace/metrics output gets its
+/// own structural validator: `Validate` returns true iff the input is one
+/// complete, well-formed JSON value.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Validate() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;  // skip the escaped char
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+TEST(JsonCheckerTest, AcceptsAndRejects) {
+  EXPECT_TRUE(JsonChecker(R"({"a":[1,2.5,-3e-2],"b":{"c":"x\"y"},"d":null})")
+                  .Validate());
+  EXPECT_FALSE(JsonChecker(R"({"a":1,})").Validate());
+  EXPECT_FALSE(JsonChecker(R"({"a":1} extra)").Validate());
+  EXPECT_FALSE(JsonChecker(R"({"a")").Validate());
+}
+
+// ----------------------------------------------------------------- Trace --
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  obs::Trace::Disable();
+  obs::Trace::Reset();
+  {
+    VS2_TRACE_SPAN("off");
+    VS2_TRACE_SPAN_ARG("off_arg", 7);
+  }
+  EXPECT_EQ(obs::Trace::EventCount(), 0u);
+  EXPECT_EQ(obs::Trace::CurrentDepth(), 0u);
+}
+
+TEST(TraceTest, NestedSpansRestoreParentDepth) {
+  obs::Trace::Reset();
+  obs::Trace::Enable();
+  EXPECT_EQ(obs::Trace::CurrentDepth(), 0u);
+  {
+    obs::Span outer("outer");
+    EXPECT_EQ(obs::Trace::CurrentDepth(), 1u);
+    {
+      obs::Span inner("inner");
+      EXPECT_EQ(obs::Trace::CurrentDepth(), 2u);
+      {
+        obs::Span innermost("innermost", int64_t{42});
+        EXPECT_EQ(obs::Trace::CurrentDepth(), 3u);
+      }
+      EXPECT_EQ(obs::Trace::CurrentDepth(), 2u);
+    }
+    EXPECT_EQ(obs::Trace::CurrentDepth(), 1u);
+  }
+  EXPECT_EQ(obs::Trace::CurrentDepth(), 0u);
+  EXPECT_EQ(obs::Trace::EventCount(), 3u);
+  obs::Trace::Disable();
+}
+
+TEST(TraceTest, ExportIsValidChromeTraceJson) {
+  obs::Trace::Reset();
+  obs::Trace::Enable();
+  {
+    obs::Span outer("segment");
+    obs::Span inner("segment.cluster", int64_t{2});
+  }
+  obs::Trace::Disable();
+  std::string json = obs::Trace::ToJson();
+
+  EXPECT_TRUE(JsonChecker(json).Validate()) << json;
+  // Chrome trace_event envelope and the span payloads.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"segment\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"segment.cluster\""), std::string::npos);
+  EXPECT_NE(json.find("\"arg\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+}
+
+TEST(TraceTest, ResetDropsEvents) {
+  obs::Trace::Reset();
+  obs::Trace::Enable();
+  { VS2_TRACE_SPAN("x"); }
+  EXPECT_EQ(obs::Trace::EventCount(), 1u);
+  obs::Trace::Reset();
+  EXPECT_EQ(obs::Trace::EventCount(), 0u);
+  obs::Trace::Disable();
+}
+
+// Worker threads each record nested spans concurrently; every event must
+// survive and per-thread depths must not interfere. Run under
+// -DVS2_SANITIZE=thread to verify the locking discipline.
+TEST(TraceTest, ConcurrentSpansFromThreadPoolDoNotCorrupt) {
+  obs::Trace::Reset();
+  obs::Trace::Enable();
+  constexpr size_t kTasks = 64;
+  constexpr size_t kSpansPerTask = 3;  // one outer + two nested
+  std::atomic<size_t> depth_violations{0};
+  {
+    util::ThreadPool pool(4);
+    util::ParallelFor(&pool, kTasks, [&](size_t i) {
+      obs::Span outer("task", static_cast<int64_t>(i));
+      {
+        obs::Span inner("task.step");
+        obs::Span leaf("task.leaf");
+        if (obs::Trace::CurrentDepth() != 3) {
+          depth_violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (obs::Trace::CurrentDepth() != 1) {
+        depth_violations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  obs::Trace::Disable();
+  EXPECT_EQ(depth_violations.load(), 0u);
+  EXPECT_EQ(obs::Trace::EventCount(), kTasks * kSpansPerTask);
+  // The export must remain well-formed with events from many lanes —
+  // including threads that have already exited.
+  std::string json = obs::Trace::ToJson();
+  EXPECT_TRUE(JsonChecker(json).Validate());
+  obs::Trace::Reset();
+}
+
+TEST(TraceTest, SpanFeedsHistogramEvenWhenTracingDisabled) {
+  obs::Trace::Disable();
+  obs::Trace::Reset();
+  obs::Histogram& hist = obs::Metrics::GetHistogram("obs_test.span_ms");
+  hist.Reset();
+  { obs::Span span("timed", &hist); }
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(obs::Trace::EventCount(), 0u);  // no trace event while disabled
+}
+
+// ----------------------------------------------------------- Percentiles --
+
+// Pins the nearest-rank semantics BatchStats has always used:
+// sorted[llround(p * (n - 1))], 0.0 when empty. llround rounds half away
+// from zero, so p50 of two samples picks the upper one.
+TEST(PercentileTest, NearestRankSemanticsPinned) {
+  EXPECT_EQ(obs::SortedPercentile({}, 0.5), 0.0);
+  EXPECT_EQ(obs::SortedPercentile({7.0}, 0.0), 7.0);
+  EXPECT_EQ(obs::SortedPercentile({7.0}, 1.0), 7.0);
+  std::vector<double> five = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(obs::SortedPercentile(five, 0.50), 3.0);
+  EXPECT_EQ(obs::SortedPercentile(five, 0.95), 5.0);
+  EXPECT_EQ(obs::SortedPercentile(five, 0.0), 1.0);
+  EXPECT_EQ(obs::SortedPercentile(five, 1.0), 5.0);
+  EXPECT_EQ(obs::SortedPercentile({10.0, 20.0}, 0.5), 20.0);
+  // 100 samples 1..100: p50 -> index llround(49.5) = 50 -> 51.
+  std::vector<double> hundred;
+  for (int i = 1; i <= 100; ++i) hundred.push_back(i);
+  EXPECT_EQ(obs::SortedPercentile(hundred, 0.50), 51.0);
+  EXPECT_EQ(obs::SortedPercentile(hundred, 0.95), 95.0);
+  EXPECT_EQ(obs::SortedPercentile(hundred, 0.99), 99.0);
+}
+
+TEST(PercentileTest, UnsortedConvenienceSortsFirst) {
+  EXPECT_EQ(obs::Percentile({5.0, 1.0, 3.0, 2.0, 4.0}, 0.50), 3.0);
+}
+
+// ---------------------------------------------------------------- Metrics --
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  obs::Counter& c = obs::Metrics::GetCounter("obs_test.counter");
+  c.Reset();
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&obs::Metrics::GetCounter("obs_test.counter"), &c);
+
+  obs::Gauge& g = obs::Metrics::GetGauge("obs_test.gauge");
+  g.Set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+}
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  const std::vector<double>& bounds = obs::Histogram::BucketBounds();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_EQ(bounds.front(), 0.05);
+  EXPECT_EQ(bounds.back(), 10000.0);
+
+  obs::Histogram& h = obs::Metrics::GetHistogram("obs_test.bounds");
+  h.Reset();
+  h.Record(0.05);  // == first bound -> bucket 0 (v <= bound is inclusive)
+  h.Record(0.06);  // just above -> bucket 1
+  h.Record(0.10);  // == second bound -> bucket 1
+  h.Record(20000.0);  // beyond the last bound -> overflow
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 2u);
+  EXPECT_EQ(h.BucketCount(bounds.size()), 1u);  // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.min(), 0.05);
+  EXPECT_EQ(h.max(), 20000.0);
+}
+
+TEST(MetricsTest, HistogramPercentileEstimate) {
+  obs::Histogram& h = obs::Metrics::GetHistogram("obs_test.pct");
+  h.Reset();
+  EXPECT_EQ(h.PercentileEstimate(0.5), 0.0);  // empty
+  // 9 values in (0.25, 0.5], 1 value in (5, 10]: p50 reports the bucket
+  // upper bound 0.5; p99 lands in the slow bucket.
+  for (int i = 0; i < 9; ++i) h.Record(0.3);
+  h.Record(7.0);
+  EXPECT_EQ(h.PercentileEstimate(0.50), 0.5);
+  EXPECT_EQ(h.PercentileEstimate(0.99), 10.0);
+  // Overflow percentile reports the observed max, not infinity.
+  h.Reset();
+  h.Record(50000.0);
+  EXPECT_EQ(h.PercentileEstimate(0.99), 50000.0);
+}
+
+TEST(MetricsTest, SnapshotJsonIsValidAndComplete) {
+  obs::Metrics::GetCounter("obs_test.snap_counter").Add(3);
+  obs::Metrics::GetGauge("obs_test.snap_gauge").Set(1.5);
+  obs::Metrics::GetHistogram("obs_test.snap_hist").Record(1.0);
+  std::string json = obs::Metrics::SnapshotJson();
+  EXPECT_TRUE(JsonChecker(json).Validate()) << json;
+  EXPECT_NE(json.find("\"obs_test.snap_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.snap_gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.snap_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsTest, ResetValuesZeroesButKeepsReferences) {
+  obs::Counter& c = obs::Metrics::GetCounter("obs_test.reset_counter");
+  obs::Histogram& h = obs::Metrics::GetHistogram("obs_test.reset_hist");
+  c.Add(5);
+  h.Record(1.0);
+  obs::Metrics::ResetValues();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  // The references stay usable after a reset.
+  c.Add(2);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(MetricsTest, ConcurrentIncrementsAreLossless) {
+  obs::Counter& c = obs::Metrics::GetCounter("obs_test.mt_counter");
+  obs::Histogram& h = obs::Metrics::GetHistogram("obs_test.mt_hist");
+  c.Reset();
+  h.Reset();
+  constexpr size_t kTasks = 100;
+  {
+    util::ThreadPool pool(4);
+    util::ParallelFor(&pool, kTasks, [&](size_t) {
+      c.Add(1);
+      h.Record(1.0);
+    });
+  }
+  EXPECT_EQ(c.value(), kTasks);
+  EXPECT_EQ(h.count(), kTasks);
+  EXPECT_EQ(h.sum(), static_cast<double>(kTasks));
+}
+
+// ------------------------------------------------------------------- Log --
+
+/// Captures emitted lines for the duration of one test.
+class LogCapture {
+ public:
+  LogCapture() {
+    obs::SetLogSink([this](obs::LogLevel level, const std::string& line) {
+      levels.push_back(level);
+      lines.push_back(line);
+    });
+  }
+  ~LogCapture() { obs::SetLogSink(nullptr); }
+
+  std::vector<obs::LogLevel> levels;
+  std::vector<std::string> lines;
+};
+
+TEST(LogTest, EmitsAtOrAboveMinLevel) {
+  obs::LogLevel saved = obs::MinLogLevel();
+  obs::SetMinLogLevel(obs::LogLevel::kWarn);
+  LogCapture capture;
+  VS2_LOG(DEBUG) << "quiet";
+  VS2_LOG(INFO) << "quiet";
+  VS2_LOG(WARN) << "warned";
+  VS2_LOG(ERROR) << "errored";
+  obs::SetMinLogLevel(saved);
+  ASSERT_EQ(capture.lines.size(), 2u);
+  EXPECT_EQ(capture.levels[0], obs::LogLevel::kWarn);
+  EXPECT_NE(capture.lines[0].find("warned"), std::string::npos);
+  EXPECT_NE(capture.lines[1].find("errored"), std::string::npos);
+  // Line format: level char + timestamp + thread + file:line] message.
+  EXPECT_EQ(capture.lines[0][0], 'W');
+  EXPECT_NE(capture.lines[0].find("obs_test.cpp:"), std::string::npos);
+}
+
+TEST(LogTest, DisabledLevelNeverEvaluatesOperands) {
+  obs::LogLevel saved = obs::MinLogLevel();
+  obs::SetMinLogLevel(obs::LogLevel::kError);
+  int evaluations = 0;
+  auto touch = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  VS2_LOG(WARN) << touch();
+  EXPECT_EQ(evaluations, 0);
+  VS2_LOG(ERROR) << touch();
+  EXPECT_EQ(evaluations, 1);
+  obs::SetMinLogLevel(saved);
+}
+
+TEST(LogTest, CoreTypesStreamIntoLogs) {
+  obs::LogLevel saved = obs::MinLogLevel();
+  obs::SetMinLogLevel(obs::LogLevel::kInfo);
+  LogCapture capture;
+  VS2_LOG(INFO) << Status::InvalidArgument("bad width") << " at "
+                << util::BBox{1.0, 2.0, 3.0, 4.0} << " color "
+                << util::Lab{50.0, 10.0, -5.0};
+  obs::SetMinLogLevel(saved);
+  ASSERT_EQ(capture.lines.size(), 1u);
+  const std::string& line = capture.lines[0];
+  EXPECT_NE(line.find("InvalidArgument: bad width"), std::string::npos);
+  EXPECT_NE(line.find("[x=1.0 y=2.0 w=3.0 h=4.0]"), std::string::npos);
+  EXPECT_NE(line.find("Lab(50.0, 10.0, -5.0)"), std::string::npos);
+}
+
+TEST(LogTest, LevelNamesRoundTrip) {
+  EXPECT_STREQ(obs::LogLevelName(obs::LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(obs::LogLevelName(obs::LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(obs::LogLevelName(obs::LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(obs::LogLevelName(obs::LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace vs2

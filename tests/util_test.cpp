@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <set>
+#include <sstream>
 
 #include "util/color.hpp"
 #include "util/geometry.hpp"
@@ -36,6 +37,34 @@ TEST(StatusTest, NotApplicableIsDistinguishable) {
   EXPECT_TRUE(Status::NotApplicable("x").IsNotApplicable());
   EXPECT_FALSE(Status::Internal("x").IsNotApplicable());
   EXPECT_FALSE(Status::OK().IsNotApplicable());
+}
+
+TEST(StatusTest, StreamsLikeToString) {
+  std::ostringstream os;
+  os << Status::InvalidArgument("width must be positive");
+  EXPECT_EQ(os.str(), "InvalidArgument: width must be positive");
+  std::ostringstream ok;
+  ok << Status::OK();
+  EXPECT_EQ(ok.str(), "OK");
+  std::ostringstream code;
+  code << StatusCode::kNotFound;
+  EXPECT_EQ(code.str(), "NotFound");
+}
+
+TEST(GeometryTest, BBoxStreamsLikeToString) {
+  util::BBox box{1.0, 2.0, 3.5, 4.25};
+  std::ostringstream os;
+  os << box;
+  EXPECT_EQ(os.str(), box.ToString());
+  EXPECT_EQ(os.str(), "[x=1.0 y=2.0 w=3.5 h=4.2]");
+}
+
+TEST(ColorTest, LabStreamsLikeToString) {
+  util::Lab lab{51.2, -3.4, 7.8};
+  std::ostringstream os;
+  os << lab;
+  EXPECT_EQ(os.str(), lab.ToString());
+  EXPECT_EQ(os.str(), "Lab(51.2, -3.4, 7.8)");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
