@@ -1,0 +1,210 @@
+/// \file bench_serve_load.cpp
+/// Closed-loop load benchmark for `serve::ExtractionService`.
+///
+/// A fixed set of client threads (the offered-load level) each submit
+/// requests back-to-back against one service instance and record
+/// per-request latency. Two regimes per level:
+///
+///  * **cold**  — caching disabled; every request runs the pipeline.
+///  * **warm**  — cache pre-filled with the whole corpus; requests are
+///    served from the content-addressed cache.
+///
+/// Per level and regime the bench prints a human-readable row plus one
+/// machine-readable line:
+///   serve-json {"bench":"serve_load","regime":"cold","clients":4,...}
+/// with throughput (docs/sec), p50/p95/p99 latency (ms), the rejection
+/// count and the cache hit rate.
+///
+/// Defaults are CI-scale (small corpus, short levels); use
+/// VS2_BENCH_DOCS / --requests to scale up.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.hpp"
+#include "serve/service.hpp"
+
+using namespace vs2;
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double Percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  double rank = p * static_cast<double>(sorted_ms.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted_ms[lo] * (1.0 - frac) + sorted_ms[hi] * frac;
+}
+
+struct LevelResult {
+  size_t clients = 0;
+  size_t completed = 0;
+  size_t rejected = 0;
+  size_t errors = 0;
+  double seconds = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  double hit_rate = 0.0;
+};
+
+/// Runs one closed-loop level: `clients` threads, `requests_per_client`
+/// requests each, round-robin over the corpus.
+LevelResult RunLevel(serve::ExtractionService& service,
+                     const std::vector<doc::Document>& docs, size_t clients,
+                     size_t requests_per_client) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<size_t> rejected{0};
+  std::atomic<size_t> errors{0};
+
+  serve::ExtractionService::Stats before = service.stats();
+  double start = NowSeconds();
+  {
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        latencies[c].reserve(requests_per_client);
+        for (size_t k = 0; k < requests_per_client; ++k) {
+          const doc::Document& doc =
+              docs[(c * requests_per_client + k) % docs.size()];
+          double t0 = NowSeconds();
+          serve::ExtractionService::Response r = service.Extract(doc);
+          double ms = (NowSeconds() - t0) * 1e3;
+          if (r.ok()) {
+            latencies[c].push_back(ms);
+          } else if (r.status().code() == StatusCode::kUnavailable) {
+            rejected.fetch_add(1);
+          } else {
+            errors.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  LevelResult result;
+  result.clients = clients;
+  result.seconds = NowSeconds() - start;
+  result.rejected = rejected.load();
+  result.errors = errors.load();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+  result.completed = all.size();
+  result.p50 = Percentile(all, 0.50);
+  result.p95 = Percentile(all, 0.95);
+  result.p99 = Percentile(all, 0.99);
+
+  serve::ExtractionService::Stats after = service.stats();
+  uint64_t hits = after.cache_hits - before.cache_hits;
+  uint64_t misses = after.cache_misses - before.cache_misses;
+  result.hit_rate =
+      hits + misses == 0
+          ? 0.0
+          : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  return result;
+}
+
+void Report(const std::string& regime, const LevelResult& r) {
+  double throughput = r.seconds > 0.0
+                          ? static_cast<double>(r.completed) / r.seconds
+                          : 0.0;
+  std::printf(
+      "  %-5s clients=%-3zu  %8.1f docs/s  p50=%7.2fms  p95=%7.2fms  "
+      "p99=%7.2fms  hit_rate=%.2f  rejected=%zu\n",
+      regime.c_str(), r.clients, throughput, r.p50, r.p95, r.p99, r.hit_rate,
+      r.rejected);
+  std::printf(
+      "serve-json {\"bench\":\"serve_load\",\"regime\":\"%s\","
+      "\"clients\":%zu,\"completed\":%zu,\"rejected\":%zu,\"errors\":%zu,"
+      "\"docs_per_sec\":%.2f,\"p50_ms\":%.3f,\"p95_ms\":%.3f,"
+      "\"p99_ms\":%.3f,\"cache_hit_rate\":%.4f}\n",
+      regime.c_str(), r.clients, r.completed, r.rejected, r.errors,
+      throughput, r.p50, r.p95, r.p99, r.hit_rate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t jobs = bench::ParseJobsFlag(argc, argv);
+  if (jobs == 1) jobs = 4;  // a serving bench wants some parallelism
+  size_t requests_per_client = 8;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--requests") == 0) {
+      long v = std::atol(argv[i + 1]);
+      if (v > 0) requests_per_client = static_cast<size_t>(v);
+    }
+  }
+
+  bench::PrintBenchHeader("serve_load: closed-loop service throughput");
+
+  doc::Corpus corpus = bench::BenchCorpus(doc::DatasetId::kD2EventPosters);
+  // Serving-scale working set: enough distinct documents to exercise the
+  // cache without dominating setup time.
+  size_t working_set = std::min<size_t>(corpus.documents.size(), 16);
+  std::vector<doc::Document> docs(corpus.documents.begin(),
+                                  corpus.documents.begin() + working_set);
+
+  core::Vs2 vs2(doc::DatasetId::kD2EventPosters,
+                datasets::PretrainedEmbedding(),
+                core::DefaultConfigFor(doc::DatasetId::kD2EventPosters));
+
+  std::printf("workers=%zu  working_set=%zu docs  requests/client=%zu\n\n",
+              jobs, docs.size(), requests_per_client);
+
+  const size_t levels[] = {1, 2, 4, 8};
+
+  // Cold regime: cache off — every request pays full pipeline cost.
+  {
+    serve::ServiceOptions options;
+    options.jobs = jobs;
+    options.queue_capacity = 1024;
+    options.cache_entries = 0;
+    serve::ExtractionService service(vs2, options);
+    std::printf("cold (cache disabled):\n");
+    for (size_t clients : levels) {
+      Report("cold", RunLevel(service, docs, clients, requests_per_client));
+    }
+    service.Drain();
+  }
+  std::printf("\n");
+
+  // Warm regime: cache pre-filled with the working set; steady-state
+  // requests are cache hits.
+  {
+    serve::ServiceOptions options;
+    options.jobs = jobs;
+    options.queue_capacity = 1024;
+    options.cache_entries = docs.size() * 2;
+    serve::ExtractionService service(vs2, options);
+    for (const doc::Document& d : docs) {
+      serve::ExtractionService::Response r = service.Extract(d);
+      if (!r.ok()) {
+        std::fprintf(stderr, "warmup failed: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("warm (cache pre-filled):\n");
+    for (size_t clients : levels) {
+      Report("warm", RunLevel(service, docs, clients, requests_per_client));
+    }
+    service.Drain();
+  }
+  return 0;
+}

@@ -44,49 +44,6 @@ using namespace vs2;
 
 namespace {
 
-void AppendEscaped(std::string* out, const std::string& s) {
-  out->push_back('"');
-  for (char c : s) {
-    if (c == '"' || c == '\\') out->push_back('\\');
-    out->push_back(c);
-  }
-  out->push_back('"');
-}
-
-std::string ExtractionsToJson(const core::Vs2::DocResult& result) {
-  std::string out = "{\"extractions\":[";
-  bool first = true;
-  for (const core::Extraction& ex : result.extractions) {
-    if (!first) out.push_back(',');
-    first = false;
-    out += "{\"entity\":";
-    AppendEscaped(&out, ex.entity);
-    out += ",\"text\":";
-    AppendEscaped(&out, ex.text);
-    out += util::Format(
-        ",\"block\":{\"x\":%.1f,\"y\":%.1f,\"w\":%.1f,\"h\":%.1f}",
-        ex.block_bbox.x, ex.block_bbox.y, ex.block_bbox.width,
-        ex.block_bbox.height);
-    out += util::Format(
-        ",\"span\":{\"x\":%.1f,\"y\":%.1f,\"w\":%.1f,\"h\":%.1f}}",
-        ex.match_bbox.x, ex.match_bbox.y, ex.match_bbox.width,
-        ex.match_bbox.height);
-  }
-  out += util::Format("],\"blocks\":%zu,\"interest_points\":%zu}",
-                      result.tree.Leaves().size(),
-                      result.interest_points.size());
-  return out;
-}
-
-std::string ErrorToJson(const std::string& source, const Status& status) {
-  std::string out = "{\"error\":";
-  AppendEscaped(&out, status.ToString());
-  out += ",\"source\":";
-  AppendEscaped(&out, source);
-  out += "}";
-  return out;
-}
-
 /// Writes the requested trace / metrics files. No-ops on empty paths, so
 /// it is safe to call on every exit path past argument parsing.
 void ExportObs(const std::string& trace_path, const std::string& metrics_path) {
@@ -216,9 +173,9 @@ int main(int argc, char** argv) {
   // successes, an error object for parse or pipeline failures.
   std::vector<std::string> lines(inputs.size());
   for (const auto& [i, status] : parse_errors) {
-    lines[i] = ErrorToJson(sources[i], Status::InvalidArgument(
-                                           "bad document JSON: " +
-                                           status.ToString()));
+    lines[i] = doc::ErrorToJson(sources[i], Status::InvalidArgument(
+                                                "bad document JSON: " +
+                                                status.ToString()));
   }
   for (size_t k = 0; k < out.results.size(); ++k) {
     const Result<core::Vs2::DocResult>& r = out.results[k];
@@ -226,9 +183,9 @@ int main(int argc, char** argv) {
       VS2_LOG(WARN) << "document " << sources[doc_input[k]]
                     << " failed: " << r.status();
     }
-    lines[doc_input[k]] = r.ok() ? ExtractionsToJson(*r)
-                                 : ErrorToJson(sources[doc_input[k]],
-                                               r.status());
+    lines[doc_input[k]] = r.ok() ? doc::ExtractionsToJson(*r)
+                                 : doc::ErrorToJson(sources[doc_input[k]],
+                                                    r.status());
   }
   for (const std::string& line : lines) std::printf("%s\n", line.c_str());
 

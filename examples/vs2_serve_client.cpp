@@ -1,0 +1,186 @@
+/// \file vs2_serve_client.cpp
+/// Minimal client for the `vs2_serve` daemon — demonstrates the wire
+/// protocol end to end: connect (Unix-domain or TCP), write one document
+/// JSON per line, read one extractions/error JSON line back per request.
+///
+/// Usage:
+///   vs2_serve_client (--unix PATH | --port N [--host H]) [file.json...]
+///   vs2_serve_client --unix /tmp/vs2.sock --demo     # self-generated doc
+///   ... | vs2_serve_client --port 7070               # document on stdin
+///
+/// Responses print on stdout, one line per input document, in input order.
+/// Exits non-zero when the server answered any request with an error line.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "datasets/generator.hpp"
+#include "doc/serialization.hpp"
+#include "util/strings.hpp"
+
+using namespace vs2;
+
+namespace {
+
+int Connect(const std::string& unix_path, const std::string& host,
+            int port) {
+  if (!unix_path.empty()) {
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads up to the next '\n' (consuming it), buffering across reads.
+bool ReadLine(int fd, std::string* buffer, std::string* line) {
+  while (true) {
+    size_t nl = buffer->find('\n');
+    if (nl != std::string::npos) {
+      *line = buffer->substr(0, nl);
+      buffer->erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+  bool demo = false;
+  std::vector<const char*> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--unix") == 0 && i + 1 < argc) {
+      unix_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      host = argv[++i];
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::fprintf(stderr,
+                   "usage: vs2_serve_client (--unix PATH | --port N "
+                   "[--host H]) [--demo] [file.json...]\n");
+      return 0;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (unix_path.empty() && port < 0) {
+    std::fprintf(stderr, "need --unix PATH or --port N (see --help)\n");
+    return 2;
+  }
+
+  // One request line per input document (file, generated demo, or stdin).
+  std::vector<std::string> requests;
+  if (demo) {
+    datasets::GeneratorConfig gc;
+    gc.num_documents = 1;
+    gc.seed = 4;
+    gc.mobile_capture_fraction = 0.0;
+    doc::Corpus corpus =
+        datasets::Generate(doc::DatasetId::kD2EventPosters, gc);
+    requests.push_back(doc::ToJson(corpus.documents[0]));
+  } else if (!paths.empty()) {
+    for (const char* path : paths) {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 2;
+      }
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      // The wire format is one line per document; collapse any pretty-
+      // printed newlines inside the file.
+      requests.push_back(util::ReplaceAll(buffer.str(), "\n", " "));
+    }
+  } else {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    requests.push_back(util::ReplaceAll(buffer.str(), "\n", " "));
+  }
+
+  int fd = Connect(unix_path, host, port);
+  if (fd < 0) {
+    std::fprintf(stderr, "cannot connect to %s\n",
+                 unix_path.empty()
+                     ? (host + ":" + std::to_string(port)).c_str()
+                     : unix_path.c_str());
+    return 2;
+  }
+
+  int errors = 0;
+  std::string read_buffer;
+  for (const std::string& request : requests) {
+    if (!WriteAll(fd, request + "\n")) {
+      std::fprintf(stderr, "connection lost while sending\n");
+      ::close(fd);
+      return 1;
+    }
+    std::string response;
+    if (!ReadLine(fd, &read_buffer, &response)) {
+      std::fprintf(stderr, "connection lost while waiting for response\n");
+      ::close(fd);
+      return 1;
+    }
+    std::printf("%s\n", response.c_str());
+    if (response.rfind("{\"error\":", 0) == 0) ++errors;
+  }
+  ::close(fd);
+  return errors == 0 ? 0 : 1;
+}

@@ -33,6 +33,11 @@ Result<doc::LayoutTree> Vs2::SegmentOnly(const doc::Document& observed) const {
 }
 
 Result<Vs2::DocResult> Vs2::Process(const doc::Document& doc) const {
+  return Process(doc, StageCheckpoint());
+}
+
+Result<Vs2::DocResult> Vs2::Process(const doc::Document& doc,
+                                    const StageCheckpoint& checkpoint) const {
   // Stage latencies always feed the registry (a clock read per stage); the
   // same spans land in the trace only when tracing is on.
   static obs::Histogram& process_ms =
@@ -42,6 +47,7 @@ Result<Vs2::DocResult> Vs2::Process(const doc::Document& doc) const {
   documents.Add(1);
 
   DocResult result;
+  if (checkpoint) VS2_RETURN_IF_ERROR(checkpoint());
   {
     static obs::Histogram& h =
         obs::Metrics::GetHistogram("vs2.ocr_observe_ms");
@@ -49,12 +55,14 @@ Result<Vs2::DocResult> Vs2::Process(const doc::Document& doc) const {
     result.observed =
         config_.simulate_ocr ? ocr::Transcribe(doc, config_.ocr) : doc;
   }
+  if (checkpoint) VS2_RETURN_IF_ERROR(checkpoint());
   {
     static obs::Histogram& h = obs::Metrics::GetHistogram("vs2.segment_ms");
     obs::Span span("vs2.segment", &h);
     VS2_ASSIGN_OR_RETURN(
         result.tree, Segment(result.observed, embedding_, config_.segmenter));
   }
+  if (checkpoint) VS2_RETURN_IF_ERROR(checkpoint());
   {
     static obs::Histogram& h =
         obs::Metrics::GetHistogram("vs2.select_interest_points_ms");
@@ -62,6 +70,7 @@ Result<Vs2::DocResult> Vs2::Process(const doc::Document& doc) const {
     result.interest_points =
         SelectInterestPoints(result.observed, result.tree, embedding_);
   }
+  if (checkpoint) VS2_RETURN_IF_ERROR(checkpoint());
   {
     static obs::Histogram& h =
         obs::Metrics::GetHistogram("vs2.select_entities_ms");

@@ -5,6 +5,7 @@
 /// The end-to-end VS2 system (paper Fig. 2): OCR observation → VS2-Segment
 /// → VS2-Select, with every ablation toggle of Table 9 exposed.
 
+#include <functional>
 #include <vector>
 
 #include "core/pattern_learner.hpp"
@@ -60,6 +61,19 @@ class Vs2 {
   /// `doc` and state frozen at construction, so concurrent calls (and
   /// repeated calls on the same document) give bit-identical results.
   Result<DocResult> Process(const doc::Document& doc) const;
+
+  /// Consulted between pipeline stages when processing under a deadline or
+  /// cancellation scope; a non-OK return aborts the remaining stages and
+  /// becomes the result of `Process`. Must be cheap — it runs four times
+  /// per document.
+  using StageCheckpoint = std::function<Status()>;
+
+  /// As `Process(doc)`, additionally calling `checkpoint` before each
+  /// stage. With a null or always-OK checkpoint the result is bit-identical
+  /// to `Process(doc)` — the serving layer's deadline enforcement relies on
+  /// that equivalence.
+  Result<DocResult> Process(const doc::Document& doc,
+                            const StageCheckpoint& checkpoint) const;
 
   /// Segmentation only (phase 1), on the observed document.
   Result<doc::LayoutTree> SegmentOnly(const doc::Document& observed) const;

@@ -83,6 +83,10 @@ class JsonParser {
       VS2_ASSIGN_OR_RETURN(std::shared_ptr<JsonValue> key, ParseString());
       if (!Consume(':')) return Status::InvalidArgument("expected ':'");
       VS2_ASSIGN_OR_RETURN(std::shared_ptr<JsonValue> val, ParseValue());
+      if (v->object.count(key->string) != 0) {
+        return Status::InvalidArgument("duplicate key \"" + key->string +
+                                       "\" in object");
+      }
       v->object[key->string] = val;
       if (Consume(',')) continue;
       if (Consume('}')) break;
@@ -242,28 +246,38 @@ std::string Num(double v) {
   return util::Format("%.6g", v);
 }
 
-// Typed field accessors with defaults.
-double GetNum(const JsonObject& obj, const char* key, double fallback) {
+// Typed field accessors. Missing keys default; present-but-wrong-type keys
+// are schema violations and reject the document (a lenient fallback here
+// silently zeroes geometry, which surfaces as a confusing downstream
+// pipeline failure instead of a parse error at the service boundary).
+Result<double> GetNum(const JsonObject& obj, const char* key,
+                      double fallback) {
   auto it = obj.find(key);
-  if (it == obj.end() || it->second->kind != JsonValue::Kind::kNumber) {
-    return fallback;
+  if (it == obj.end()) return fallback;
+  if (it->second->kind != JsonValue::Kind::kNumber) {
+    return Status::InvalidArgument(std::string("field \"") + key +
+                                   "\" must be a number");
   }
   return it->second->number;
 }
 
-std::string GetStr(const JsonObject& obj, const char* key,
-                   const std::string& fallback = "") {
+Result<std::string> GetStr(const JsonObject& obj, const char* key,
+                           const std::string& fallback = "") {
   auto it = obj.find(key);
-  if (it == obj.end() || it->second->kind != JsonValue::Kind::kString) {
-    return fallback;
+  if (it == obj.end()) return fallback;
+  if (it->second->kind != JsonValue::Kind::kString) {
+    return Status::InvalidArgument(std::string("field \"") + key +
+                                   "\" must be a string");
   }
   return it->second->string;
 }
 
-bool GetBool(const JsonObject& obj, const char* key, bool fallback) {
+Result<bool> GetBool(const JsonObject& obj, const char* key, bool fallback) {
   auto it = obj.find(key);
-  if (it == obj.end() || it->second->kind != JsonValue::Kind::kBool) {
-    return fallback;
+  if (it == obj.end()) return fallback;
+  if (it->second->kind != JsonValue::Kind::kBool) {
+    return Status::InvalidArgument(std::string("field \"") + key +
+                                   "\" must be a boolean");
   }
   return it->second->boolean;
 }
@@ -334,55 +348,77 @@ Result<Document> FromJson(const std::string& json) {
   const JsonObject& obj = root->object;
 
   Document d;
-  d.id = static_cast<uint64_t>(GetNum(obj, "id", 0));
-  int dataset = static_cast<int>(GetNum(obj, "dataset", 2));
+  VS2_ASSIGN_OR_RETURN(double id, GetNum(obj, "id", 0));
+  d.id = static_cast<uint64_t>(id);
+  VS2_ASSIGN_OR_RETURN(double dataset_num, GetNum(obj, "dataset", 2));
+  int dataset = static_cast<int>(dataset_num);
   if (dataset < 1 || dataset > 3) {
     return Status::InvalidArgument("dataset must be 1, 2 or 3");
   }
   d.dataset = static_cast<DatasetId>(dataset);
-  int format = static_cast<int>(GetNum(obj, "format", 2));
+  VS2_ASSIGN_OR_RETURN(double format_num, GetNum(obj, "format", 2));
+  int format = static_cast<int>(format_num);
   if (format < 0 || format > 3) {
     return Status::InvalidArgument("format must be in [0, 3]");
   }
   d.format = static_cast<DocumentFormat>(format);
-  d.width = GetNum(obj, "width", 0.0);
-  d.height = GetNum(obj, "height", 0.0);
+  VS2_ASSIGN_OR_RETURN(d.width, GetNum(obj, "width", 0.0));
+  VS2_ASSIGN_OR_RETURN(d.height, GetNum(obj, "height", 0.0));
   if (d.width <= 0.0 || d.height <= 0.0) {
     return Status::InvalidArgument("document must have positive page size");
   }
-  d.capture_quality = GetNum(obj, "capture_quality", 1.0);
-  d.template_id = static_cast<int>(GetNum(obj, "template_id", -1));
-  d.rotation_degrees = GetNum(obj, "rotation_degrees", 0.0);
+  VS2_ASSIGN_OR_RETURN(d.capture_quality,
+                       GetNum(obj, "capture_quality", 1.0));
+  VS2_ASSIGN_OR_RETURN(double template_id, GetNum(obj, "template_id", -1));
+  d.template_id = static_cast<int>(template_id);
+  VS2_ASSIGN_OR_RETURN(d.rotation_degrees,
+                       GetNum(obj, "rotation_degrees", 0.0));
 
   auto elements_it = obj.find("elements");
-  if (elements_it != obj.end() &&
-      elements_it->second->kind == JsonValue::Kind::kArray) {
+  if (elements_it != obj.end()) {
+    if (elements_it->second->kind != JsonValue::Kind::kArray) {
+      return Status::InvalidArgument("field \"elements\" must be an array");
+    }
+    if (elements_it->second->array.size() > kMaxElementsPerDocument) {
+      return Status::InvalidArgument(util::Format(
+          "too many elements: %zu (limit %zu)",
+          elements_it->second->array.size(), kMaxElementsPerDocument));
+    }
     for (const auto& item : elements_it->second->array) {
       if (item->kind != JsonValue::Kind::kObject) {
         return Status::InvalidArgument("element must be an object");
       }
       const JsonObject& e = item->object;
-      util::BBox bbox{GetNum(e, "x", 0), GetNum(e, "y", 0),
-                      GetNum(e, "w", 0), GetNum(e, "h", 0)};
-      std::string kind = GetStr(e, "kind", "text");
+      util::BBox bbox;
+      VS2_ASSIGN_OR_RETURN(bbox.x, GetNum(e, "x", 0));
+      VS2_ASSIGN_OR_RETURN(bbox.y, GetNum(e, "y", 0));
+      VS2_ASSIGN_OR_RETURN(bbox.width, GetNum(e, "w", 0));
+      VS2_ASSIGN_OR_RETURN(bbox.height, GetNum(e, "h", 0));
+      VS2_ASSIGN_OR_RETURN(std::string kind, GetStr(e, "kind", "text"));
       if (kind == "text") {
         TextStyle style;
-        style.font_size = GetNum(e, "font_size", 12.0);
-        style.bold = GetBool(e, "bold", false);
-        style.italic = GetBool(e, "italic", false);
-        style.color = util::Rgb{
-            static_cast<uint8_t>(GetNum(e, "r", 0)),
-            static_cast<uint8_t>(GetNum(e, "g", 0)),
-            static_cast<uint8_t>(GetNum(e, "b", 0))};
-        AtomicElement el = MakeTextElement(GetStr(e, "text"), bbox, style);
-        el.markup_hint = static_cast<int>(GetNum(e, "markup_hint", 0));
-        el.line_id = static_cast<int>(GetNum(e, "line_id", -1));
+        VS2_ASSIGN_OR_RETURN(style.font_size, GetNum(e, "font_size", 12.0));
+        VS2_ASSIGN_OR_RETURN(style.bold, GetBool(e, "bold", false));
+        VS2_ASSIGN_OR_RETURN(style.italic, GetBool(e, "italic", false));
+        VS2_ASSIGN_OR_RETURN(double r, GetNum(e, "r", 0));
+        VS2_ASSIGN_OR_RETURN(double g, GetNum(e, "g", 0));
+        VS2_ASSIGN_OR_RETURN(double b, GetNum(e, "b", 0));
+        style.color = util::Rgb{static_cast<uint8_t>(r),
+                                static_cast<uint8_t>(g),
+                                static_cast<uint8_t>(b)};
+        VS2_ASSIGN_OR_RETURN(std::string text, GetStr(e, "text"));
+        AtomicElement el = MakeTextElement(std::move(text), bbox, style);
+        VS2_ASSIGN_OR_RETURN(double markup, GetNum(e, "markup_hint", 0));
+        el.markup_hint = static_cast<int>(markup);
+        VS2_ASSIGN_OR_RETURN(double line_id, GetNum(e, "line_id", -1));
+        el.line_id = static_cast<int>(line_id);
         d.elements.push_back(std::move(el));
       } else if (kind == "image") {
-        AtomicElement el = MakeImageElement(
-            static_cast<uint64_t>(GetNum(e, "image_id", 0)), bbox,
-            util::SlateGray());
-        el.markup_hint = static_cast<int>(GetNum(e, "markup_hint", 0));
+        VS2_ASSIGN_OR_RETURN(double image_id, GetNum(e, "image_id", 0));
+        AtomicElement el = MakeImageElement(static_cast<uint64_t>(image_id),
+                                            bbox, util::SlateGray());
+        VS2_ASSIGN_OR_RETURN(double markup, GetNum(e, "markup_hint", 0));
+        el.markup_hint = static_cast<int>(markup);
         d.elements.push_back(std::move(el));
       } else {
         return Status::InvalidArgument("element kind must be text or image");
@@ -391,22 +427,64 @@ Result<Document> FromJson(const std::string& json) {
   }
 
   auto ann_it = obj.find("annotations");
-  if (ann_it != obj.end() &&
-      ann_it->second->kind == JsonValue::Kind::kArray) {
+  if (ann_it != obj.end()) {
+    if (ann_it->second->kind != JsonValue::Kind::kArray) {
+      return Status::InvalidArgument(
+          "field \"annotations\" must be an array");
+    }
+    if (ann_it->second->array.size() > kMaxAnnotationsPerDocument) {
+      return Status::InvalidArgument(util::Format(
+          "too many annotations: %zu (limit %zu)",
+          ann_it->second->array.size(), kMaxAnnotationsPerDocument));
+    }
     for (const auto& item : ann_it->second->array) {
       if (item->kind != JsonValue::Kind::kObject) {
         return Status::InvalidArgument("annotation must be an object");
       }
       const JsonObject& a = item->object;
       Annotation ann;
-      ann.entity_type = GetStr(a, "entity");
-      ann.bbox = util::BBox{GetNum(a, "x", 0), GetNum(a, "y", 0),
-                            GetNum(a, "w", 0), GetNum(a, "h", 0)};
-      ann.text = GetStr(a, "text");
+      VS2_ASSIGN_OR_RETURN(ann.entity_type, GetStr(a, "entity"));
+      VS2_ASSIGN_OR_RETURN(ann.bbox.x, GetNum(a, "x", 0));
+      VS2_ASSIGN_OR_RETURN(ann.bbox.y, GetNum(a, "y", 0));
+      VS2_ASSIGN_OR_RETURN(ann.bbox.width, GetNum(a, "w", 0));
+      VS2_ASSIGN_OR_RETURN(ann.bbox.height, GetNum(a, "h", 0));
+      VS2_ASSIGN_OR_RETURN(ann.text, GetStr(a, "text"));
       d.annotations.push_back(std::move(ann));
     }
   }
   return d;
+}
+
+std::string ExtractionsToJson(const std::vector<ExtractionRecord>& extractions,
+                              size_t blocks, size_t interest_points) {
+  std::string out = "{\"extractions\":[";
+  bool first = true;
+  for (const ExtractionRecord& ex : extractions) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"entity\":";
+    AppendEscaped(&out, ex.entity);
+    out += ",\"text\":";
+    AppendEscaped(&out, ex.text);
+    out += util::Format(
+        ",\"block\":{\"x\":%.1f,\"y\":%.1f,\"w\":%.1f,\"h\":%.1f}",
+        ex.block.x, ex.block.y, ex.block.width, ex.block.height);
+    out += util::Format(
+        ",\"span\":{\"x\":%.1f,\"y\":%.1f,\"w\":%.1f,\"h\":%.1f}}",
+        ex.span.x, ex.span.y, ex.span.width, ex.span.height);
+  }
+  out += util::Format("],\"blocks\":%zu,\"interest_points\":%zu}", blocks,
+                      interest_points);
+  return out;
+}
+
+std::string ErrorToJson(const std::string& source, const Status& status) {
+  std::string out = "{\"error\":";
+  AppendEscaped(&out, status.ToString());
+  out += ",\"source\":";
+  AppendEscaped(&out, source);
+  out += "}";
+  return out;
 }
 
 }  // namespace vs2::doc

@@ -30,19 +30,71 @@
 /// parser accepts any standards-compliant JSON for this schema and rejects
 /// malformed input with a descriptive `Status`.
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "doc/document.hpp"
+#include "util/geometry.hpp"
 #include "util/status.hpp"
 
 namespace vs2::doc {
+
+/// Hard caps on per-document array sizes accepted by `FromJson`. Inputs
+/// beyond these are rejected with `kInvalidArgument` instead of being
+/// parsed — a service boundary must bound the memory one request can pin.
+inline constexpr size_t kMaxElementsPerDocument = 100000;
+inline constexpr size_t kMaxAnnotationsPerDocument = 10000;
 
 /// Serializes a document (elements + annotations + metadata) to JSON.
 std::string ToJson(const Document& document);
 
 /// Parses a document from JSON produced by `ToJson` (or any conforming
 /// producer). Unknown keys are ignored; missing optional keys default.
+/// Malformed input — truncated JSON, duplicate keys, schema fields of the
+/// wrong type, oversized element/annotation arrays — is rejected with a
+/// descriptive `kInvalidArgument`.
 Result<Document> FromJson(const std::string& json);
+
+// ---------------------------------------------------------------------------
+// Extraction wire format — the response side of the interchange surface.
+// Shared by `vs2_extract`, `vs2_serve` and the example client so every
+// deployment entry point emits byte-identical JSON (pinned by regression
+// test in tests/serve_test.cpp).
+// ---------------------------------------------------------------------------
+
+/// One extracted key-value pair in wire form (the subset of
+/// `core::Extraction` that crosses the process boundary).
+struct ExtractionRecord {
+  std::string entity;
+  std::string text;
+  util::BBox block;  ///< bbox of the logical block it came from
+  util::BBox span;   ///< bbox of the matched tokens
+};
+
+/// Renders one response line:
+/// `{"extractions":[{"entity":...,"text":...,"block":{...},"span":{...}},
+/// ...],"blocks":N,"interest_points":M}`.
+std::string ExtractionsToJson(const std::vector<ExtractionRecord>& extractions,
+                              size_t blocks, size_t interest_points);
+
+/// Renders one error line: `{"error":"<status>","source":"<source>"}`.
+std::string ErrorToJson(const std::string& source, const Status& status);
+
+/// Adapter for `core::Vs2::DocResult`-shaped values (anything with
+/// `extractions` carrying `entity`/`text`/`block_bbox`/`match_bbox`, a
+/// `tree` with `Leaves()` and an `interest_points` vector). A template so
+/// `doc` stays independent of `core` at link time.
+template <typename DocResultT>
+std::string ExtractionsToJson(const DocResultT& result) {
+  std::vector<ExtractionRecord> records;
+  records.reserve(result.extractions.size());
+  for (const auto& ex : result.extractions) {
+    records.push_back({ex.entity, ex.text, ex.block_bbox, ex.match_bbox});
+  }
+  return ExtractionsToJson(records, result.tree.Leaves().size(),
+                           result.interest_points.size());
+}
 
 }  // namespace vs2::doc
 

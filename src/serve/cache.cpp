@@ -1,0 +1,81 @@
+#include "serve/cache.hpp"
+
+#include <utility>
+
+namespace vs2::serve {
+
+ResultCache::Value ResultCache::Get(uint64_t hash,
+                                    const std::string& canonical,
+                                    double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(hash);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (Expired(*it->second, now)) {
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++evictions_;
+    ++misses_;
+    return nullptr;
+  }
+  if (it->second->canonical != canonical) {  // 64-bit hash collision
+    ++misses_;
+    return nullptr;
+  }
+  // Refresh recency: splice the entry to the front without reallocating.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return lru_.front().value;
+}
+
+void ResultCache::Put(uint64_t hash, const std::string& canonical,
+                      Value value, double now) {
+  if (options_.capacity == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(hash);
+  if (it != index_.end()) {
+    // Replace in place (collision overwrite or refresh after expiry race).
+    it->second->canonical = canonical;
+    it->second->value = std::move(value);
+    it->second->stored_at = now;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= options_.capacity) {
+    index_.erase(lru_.back().hash);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{hash, canonical, std::move(value), now});
+  index_[hash] = lru_.begin();
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+uint64_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace vs2::serve

@@ -1,0 +1,85 @@
+#ifndef VS2_SERVE_CACHE_HPP_
+#define VS2_SERVE_CACHE_HPP_
+
+/// \file cache.hpp
+/// Content-addressed LRU result cache for the extraction service. Keys are
+/// the FNV-1a hash of the canonical document JSON (`doc::ToJson` of the
+/// request document), so byte-identical documents — the common case behind
+/// a retrying front-end or a hot template — hit regardless of which client
+/// sent them. `Vs2::Process` is deterministic per document (OCR noise is
+/// seeded by document id), so a cached `DocResult` is bit-identical to a
+/// recomputed one; the cache trades memory for skipping the whole pipeline.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/pipeline.hpp"
+
+namespace vs2::serve {
+
+/// \brief Thread-safe LRU + TTL cache of pipeline results.
+///
+/// Entries hold `shared_ptr<const DocResult>` so a hit can be handed to a
+/// caller without copying under the lock and stays valid after eviction.
+/// A 64-bit hash can collide; each entry keeps its canonical JSON and a
+/// `Get` whose canonical string mismatches is treated as a miss (and a
+/// subsequent `Put` replaces the colliding entry) — the cache never serves
+/// a result for a different document.
+class ResultCache {
+ public:
+  struct Options {
+    size_t capacity = 256;     ///< max entries; 0 disables the cache
+    double ttl_seconds = 0.0;  ///< entry lifetime; <= 0 means no expiry
+  };
+
+  using Value = std::shared_ptr<const core::Vs2::DocResult>;
+
+  explicit ResultCache(Options options) : options_(options) {}
+
+  /// Looks up `(hash, canonical)` at time `now` (seconds, same clock as
+  /// `Put`). Returns the cached value and refreshes recency, or nullptr on
+  /// miss / hash collision / expired entry (expiry counts as an eviction).
+  Value Get(uint64_t hash, const std::string& canonical, double now);
+
+  /// Inserts or replaces the entry for `hash`, evicting the least recently
+  /// used entry when at capacity. No-op when `capacity == 0`.
+  void Put(uint64_t hash, const std::string& canonical, Value value,
+           double now);
+
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+
+  /// Drops every entry (counters are preserved).
+  void Clear();
+
+ private:
+  struct Entry {
+    uint64_t hash;
+    std::string canonical;
+    Value value;
+    double stored_at;
+  };
+
+  bool Expired(const Entry& entry, double now) const {
+    return options_.ttl_seconds > 0.0 &&
+           now - entry.stored_at > options_.ttl_seconds;
+  }
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace vs2::serve
+
+#endif  // VS2_SERVE_CACHE_HPP_

@@ -1,0 +1,109 @@
+#ifndef VS2_SERVE_DAEMON_HPP_
+#define VS2_SERVE_DAEMON_HPP_
+
+/// \file daemon.hpp
+/// Dependency-free POSIX-socket front-end for `ExtractionService`: the
+/// process boundary of the serving stack. Listens on a Unix-domain socket
+/// or a loopback TCP port and speaks newline-delimited JSON — one document
+/// per request line (the `doc/serialization.hpp` schema), one response line
+/// per request:
+///
+///   request:  {"id":7,"dataset":2,"width":560,...,"elements":[...]}
+///   response: {"extractions":[...],"blocks":N,"interest_points":M}
+///   error:    {"error":"InvalidArgument: ...","source":"<request>"}
+///
+/// Responses on one connection come back in request order. Each connection
+/// is served by its own thread; concurrency, backpressure, deadlines and
+/// caching all live in the wrapped `ExtractionService` — an overloaded
+/// service turns into `{"error":"Unavailable: ..."}` lines, not into
+/// unbounded daemon-side buffering. `vs2_serve` (examples/) is the CLI
+/// host; `tests/serve_test.cpp` drives a loopback round-trip.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "util/status.hpp"
+
+namespace vs2::serve {
+
+/// Listener configuration: exactly one of Unix-domain or TCP.
+struct DaemonOptions {
+  /// When non-empty: listen on this Unix-domain socket path (an existing
+  /// stale socket file is replaced).
+  std::string unix_socket_path;
+  /// When `unix_socket_path` is empty: listen on 127.0.0.1:`tcp_port`.
+  /// 0 asks the kernel for an ephemeral port (read it back via `port()`).
+  int tcp_port = 0;
+  /// listen(2) backlog.
+  int backlog = 64;
+};
+
+/// \brief Accept-loop + per-connection line protocol around a service.
+///
+/// `Start` binds and spawns the accept thread; `Stop` (or the destructor)
+/// shuts the listener and every open connection down and joins all
+/// threads. The wrapped service is *not* drained by `Stop` — the host
+/// decides when to `Drain()` (see `vs2_serve`'s shutdown sequence).
+class Daemon {
+ public:
+  Daemon(ExtractionService& service, DaemonOptions options);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds, listens and starts accepting. Fails with `kUnavailable` when
+  /// the address cannot be bound, `kInvalidArgument` on a bad config.
+  Status Start();
+
+  /// Stops accepting, disconnects clients mid-line, joins every thread.
+  /// Idempotent.
+  void Stop();
+
+  /// Resolved TCP port after `Start` (0 for Unix-domain listeners).
+  int port() const { return port_; }
+
+  /// Connections accepted over the daemon's lifetime.
+  uint64_t connections_served() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+  /// One request line in, one response line out (no trailing newline).
+  /// Exposed for tests; `ServeConnection` calls this per received line.
+  std::string HandleLine(const std::string& line);
+
+ private:
+  /// One live client connection. The fd stays open until the record is
+  /// reaped (accept loop) or torn down (`Stop`), so a `shutdown()` from
+  /// `Stop` can never hit a recycled descriptor.
+  struct Connection {
+    int fd = -1;
+    std::atomic<bool> done{false};
+    std::thread thread;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* connection);
+  /// Joins and closes finished connections (accept-loop housekeeping).
+  void ReapFinished();
+
+  ExtractionService& service_;
+  DaemonOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> connections_{0};
+  std::thread accept_thread_;
+  std::mutex clients_mu_;
+  std::vector<std::unique_ptr<Connection>> clients_;
+};
+
+}  // namespace vs2::serve
+
+#endif  // VS2_SERVE_DAEMON_HPP_

@@ -1,0 +1,241 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "doc/serialization.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace vs2::serve {
+namespace {
+
+// Process-wide serve instruments. Shared across service instances — they
+// aggregate like any other obs counter; per-instance numbers come from
+// `ExtractionService::stats()`.
+struct ServeInstruments {
+  obs::Counter& accepted = obs::Metrics::GetCounter("serve.accepted");
+  obs::Counter& rejected = obs::Metrics::GetCounter("serve.rejected");
+  obs::Counter& completed = obs::Metrics::GetCounter("serve.completed");
+  obs::Counter& deadline_exceeded =
+      obs::Metrics::GetCounter("serve.deadline_exceeded");
+  obs::Counter& cache_hits = obs::Metrics::GetCounter("serve.cache_hits");
+  obs::Counter& cache_misses = obs::Metrics::GetCounter("serve.cache_misses");
+  obs::Counter& cache_evictions =
+      obs::Metrics::GetCounter("serve.cache_evictions");
+  obs::Gauge& queue_depth = obs::Metrics::GetGauge("serve.queue_depth");
+  obs::Gauge& in_flight = obs::Metrics::GetGauge("serve.in_flight");
+  obs::Gauge& cache_size = obs::Metrics::GetGauge("serve.cache_size");
+  obs::Histogram& request_latency =
+      obs::Metrics::GetHistogram("serve.request_latency_ms");
+};
+
+ServeInstruments& Instruments() {
+  static ServeInstruments instruments;
+  return instruments;
+}
+
+double SteadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ExtractionService::ExtractionService(const core::Vs2& pipeline,
+                                     ServiceOptions options)
+    : pipeline_(pipeline), options_(std::move(options)) {
+  cache_ = std::make_unique<ResultCache>(ResultCache::Options{
+      options_.cache_entries, options_.cache_ttl_seconds});
+  size_t jobs = options_.jobs == 0 ? util::ThreadPool::DefaultThreadCount()
+                                   : options_.jobs;
+  pool_ = std::make_unique<util::ThreadPool>(jobs);
+  Instruments();  // force registration before the first snapshot
+}
+
+ExtractionService::~ExtractionService() { Drain(); }
+
+double ExtractionService::Now() const {
+  return options_.clock ? options_.clock() : SteadySeconds();
+}
+
+double ExtractionService::ResolveDeadline(const RequestOptions& options,
+                                          double admitted_at) const {
+  double deadline_ms = options.deadline_ms;
+  if (deadline_ms == 0.0) deadline_ms = options_.default_deadline_ms;
+  if (deadline_ms <= 0.0) return std::numeric_limits<double>::infinity();
+  return admitted_at + deadline_ms * 1e-3;
+}
+
+std::future<ExtractionService::Response> ExtractionService::Submit(
+    doc::Document document, RequestOptions options) {
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> future = promise->get_future();
+
+  double admitted_at = Now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!accepting_) {
+      ++rejected_;
+      Instruments().rejected.Add();
+      promise->set_value(Status::Unavailable("service is draining"));
+      return future;
+    }
+    if (queued_ >= options_.queue_capacity) {
+      ++rejected_;
+      Instruments().rejected.Add();
+      promise->set_value(Status::Unavailable(util::Format(
+          "admission queue full (%zu queued, capacity %zu)", queued_,
+          options_.queue_capacity)));
+      return future;
+    }
+    ++queued_;
+    ++accepted_;
+    Instruments().accepted.Add();
+    Instruments().queue_depth.Set(static_cast<double>(queued_));
+  }
+
+  double deadline = ResolveDeadline(options, admitted_at);
+  // The request closure owns the document; the promise is shared because
+  // `std::function` requires a copyable callable.
+  pool_->Submit([this, promise, options, deadline, admitted_at,
+                 document = std::move(document)]() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --queued_;
+      ++in_flight_;
+      Instruments().queue_depth.Set(static_cast<double>(queued_));
+      Instruments().in_flight.Set(static_cast<double>(in_flight_));
+    }
+    if (options_.dequeue_hook) options_.dequeue_hook();
+
+    Response response = RunAdmitted(document, options, deadline);
+    Instruments().request_latency.Record((Now() - admitted_at) * 1e3);
+
+    // Account before fulfilling the promise: a client that unblocks on its
+    // future must already see this request reflected in stats().
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      ++completed_;
+      Instruments().in_flight.Set(static_cast<double>(in_flight_));
+      Instruments().completed.Add();
+    }
+    promise->set_value(std::move(response));
+  });
+  return future;
+}
+
+ExtractionService::Response ExtractionService::RunAdmitted(
+    const doc::Document& document, const RequestOptions& options,
+    double deadline) {
+  VS2_TRACE_SPAN("serve.request");
+  ServeInstruments& instruments = Instruments();
+
+  // Deadline check at dequeue: a request that died waiting in the queue
+  // must not consume pipeline time.
+  if (Now() > deadline) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++deadline_exceeded_;
+    instruments.deadline_exceeded.Add();
+    return Status::DeadlineExceeded("deadline expired while queued");
+  }
+
+  const bool use_cache = options_.cache_entries > 0 && !options.bypass_cache;
+  std::string canonical;
+  uint64_t hash = 0;
+  if (use_cache) {
+    VS2_TRACE_SPAN("serve.cache_lookup");
+    canonical = doc::ToJson(document);
+    hash = util::Fnv1a64(canonical);
+    uint64_t evictions_before = cache_->evictions();
+    if (ResultCache::Value hit = cache_->Get(hash, canonical, Now())) {
+      instruments.cache_hits.Add();
+      instruments.cache_size.Set(static_cast<double>(cache_->size()));
+      return *hit;  // copy out: callers own their response
+    }
+    instruments.cache_misses.Add();
+    instruments.cache_evictions.Add(cache_->evictions() - evictions_before);
+  }
+
+  core::Vs2::StageCheckpoint checkpoint;
+  if (std::isfinite(deadline)) {
+    checkpoint = [this, deadline]() -> Status {
+      if (Now() > deadline) {
+        return Status::DeadlineExceeded(
+            "deadline expired between pipeline stages");
+      }
+      return Status::OK();
+    };
+  }
+  Response response = pipeline_.Process(document, checkpoint);
+
+  if (response.status().code() == StatusCode::kDeadlineExceeded) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++deadline_exceeded_;
+    instruments.deadline_exceeded.Add();
+  }
+  if (response.ok() && use_cache) {
+    uint64_t evictions_before = cache_->evictions();
+    cache_->Put(hash, canonical,
+                std::make_shared<const core::Vs2::DocResult>(*response),
+                Now());
+    instruments.cache_evictions.Add(cache_->evictions() - evictions_before);
+    instruments.cache_size.Set(static_cast<double>(cache_->size()));
+  }
+  return response;
+}
+
+ExtractionService::Response ExtractionService::Extract(
+    const doc::Document& document, RequestOptions options) {
+  return Submit(document, options).get();
+}
+
+void ExtractionService::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+  }
+  // Every admitted request is one pool task; Wait() returns once queued
+  // and in-flight work has finished.
+  pool_->Wait();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (flushed_) return;
+    flushed_ = true;
+  }
+  if (!options_.trace_path.empty()) {
+    Status s = obs::Trace::ExportJson(options_.trace_path);
+    if (!s.ok()) VS2_LOG(ERROR) << "serve trace export failed: " << s;
+  }
+  if (!options_.metrics_path.empty()) {
+    Status s = obs::Metrics::ExportJson(options_.metrics_path);
+    if (!s.ok()) VS2_LOG(ERROR) << "serve metrics export failed: " << s;
+  }
+}
+
+ExtractionService::Stats ExtractionService::stats() const {
+  Stats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.accepted = accepted_;
+    stats.rejected = rejected_;
+    stats.completed = completed_;
+    stats.deadline_exceeded = deadline_exceeded_;
+    stats.queue_depth = queued_;
+    stats.in_flight = in_flight_;
+  }
+  stats.cache_hits = cache_->hits();
+  stats.cache_misses = cache_->misses();
+  stats.cache_evictions = cache_->evictions();
+  stats.cache_size = cache_->size();
+  return stats;
+}
+
+}  // namespace vs2::serve

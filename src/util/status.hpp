@@ -24,6 +24,8 @@ enum class StatusCode {
   kInternal,
   kAlreadyExists,
   kUnimplemented,
+  kDeadlineExceeded,  ///< a request's deadline passed before completion
+  kUnavailable,       ///< transient overload/shutdown; safe to retry later
 };
 
 /// \brief Returns a human-readable name for a `StatusCode`.
@@ -66,6 +68,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   /// @}
 

@@ -83,6 +83,69 @@ TEST(SerializationTest, RejectsMalformedJson) {
   EXPECT_FALSE(doc::FromJson("{\"width\":10,\"height\":10} trailing").ok());
 }
 
+// Hostile inputs a network-facing parser must reject with a descriptive
+// kInvalidArgument rather than crash or mis-parse — the daemon feeds every
+// client line through FromJson.
+TEST(SerializationTest, RejectsHostileInputsDescriptively) {
+  // Truncated mid-structure at several depths.
+  for (const char* truncated :
+       {"{\"width\":10,\"height\":10,\"elements\":[",
+        "{\"width\":10,\"height\":10,\"elements\":[{\"kind\":\"text\",",
+        "{\"width\":10,\"height\":10,\"elements\":[{\"bbox\":[1,2,",
+        "{\"width\":10,\"height\":10,\"annotations\":[{\"entity\":\"x"}) {
+    auto parsed = doc::FromJson(truncated);
+    EXPECT_FALSE(parsed.ok()) << truncated;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+
+  // Wrong-type fields name the offending field in the message.
+  auto bad_width = doc::FromJson("{\"width\":\"ten\",\"height\":10}");
+  ASSERT_FALSE(bad_width.ok());
+  EXPECT_NE(bad_width.status().message().find("width"), std::string::npos)
+      << bad_width.status();
+  auto bad_elements =
+      doc::FromJson("{\"width\":10,\"height\":10,\"elements\":{}}");
+  ASSERT_FALSE(bad_elements.ok());
+  EXPECT_NE(bad_elements.status().message().find("elements"),
+            std::string::npos)
+      << bad_elements.status();
+  auto bad_text = doc::FromJson(
+      "{\"width\":10,\"height\":10,\"elements\":[{\"kind\":\"text\","
+      "\"text\":7,\"bbox\":[1,2,3,4]}]}");
+  ASSERT_FALSE(bad_text.ok());
+  EXPECT_NE(bad_text.status().message().find("text"), std::string::npos)
+      << bad_text.status();
+
+  // Duplicate keys are ambiguous; refuse rather than keep either value.
+  auto duplicate =
+      doc::FromJson("{\"width\":10,\"width\":20,\"height\":10}");
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_NE(duplicate.status().message().find("duplicate"),
+            std::string::npos)
+      << duplicate.status();
+}
+
+// A document claiming more entries than the documented caps is rejected
+// before any Element/Annotation is materialized (memory-exhaustion guard).
+// Annotations have the smaller cap, so the oversized end-to-end case uses
+// them; the elements cap is pinned as a constant the daemon documents.
+TEST(SerializationTest, RejectsOversizedArrayCounts) {
+  static_assert(doc::kMaxElementsPerDocument == 100000,
+                "wire-format limit is documented; change deliberately");
+  std::string json = "{\"width\":10,\"height\":10,\"annotations\":[";
+  for (size_t i = 0; i <= doc::kMaxAnnotationsPerDocument; ++i) {
+    if (i > 0) json += ',';
+    json += "{\"entity\":\"x\",\"text\":\"y\",\"bbox\":[0,0,1,1]}";
+  }
+  json += "]}";
+  auto parsed = doc::FromJson(json);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("too many annotations"),
+            std::string::npos)
+      << parsed.status();
+}
+
 TEST(SerializationTest, ParsedDocumentRunsThroughPipeline) {
   datasets::GeneratorConfig gc;
   gc.num_documents = 1;

@@ -9,9 +9,12 @@
 #include <string>
 #include <vector>
 
+#include "datasets/generator.hpp"
+#include "datasets/pretrained.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/service.hpp"
 #include "util/color.hpp"
 #include "util/geometry.hpp"
 #include "util/status.hpp"
@@ -365,6 +368,42 @@ TEST(MetricsTest, SnapshotJsonIsValidAndComplete) {
   EXPECT_NE(json.find("\"p50\""), std::string::npos);
   EXPECT_NE(json.find("\"p95\""), std::string::npos);
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+// The serving layer exports its operational state through this registry;
+// pin the gauge names and verify a live service drives them, and that they
+// land in the snapshot JSON a `--metrics=FILE` run would write.
+TEST(MetricsTest, ServeGaugesReflectServiceStateInSnapshot) {
+  obs::Gauge& queue_depth = obs::Metrics::GetGauge("serve.queue_depth");
+  obs::Gauge& in_flight = obs::Metrics::GetGauge("serve.in_flight");
+  obs::Gauge& cache_size = obs::Metrics::GetGauge("serve.cache_size");
+
+  datasets::GeneratorConfig gc;
+  gc.num_documents = 1;
+  doc::Corpus corpus = datasets::GenerateD2(gc);
+  core::Vs2 vs2(doc::DatasetId::kD2EventPosters,
+                datasets::PretrainedEmbedding(),
+                core::DefaultConfigFor(doc::DatasetId::kD2EventPosters));
+
+  serve::ServiceOptions options;
+  options.jobs = 1;
+  options.cache_entries = 4;
+  serve::ExtractionService service(vs2, options);
+  ASSERT_TRUE(service.Extract(corpus.documents[0]).ok());
+  service.Drain();
+
+  // Idle after drain: nothing queued or running, one cached result.
+  EXPECT_EQ(queue_depth.value(), 0.0);
+  EXPECT_EQ(in_flight.value(), 0.0);
+  EXPECT_EQ(cache_size.value(), 1.0);
+
+  std::string json = obs::Metrics::SnapshotJson();
+  EXPECT_TRUE(JsonChecker(json).Validate()) << json;
+  EXPECT_NE(json.find("\"serve.queue_depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"serve.in_flight\""), std::string::npos);
+  EXPECT_NE(json.find("\"serve.cache_size\""), std::string::npos);
+  EXPECT_NE(json.find("\"serve.accepted\""), std::string::npos);
+  EXPECT_NE(json.find("\"serve.request_latency_ms\""), std::string::npos);
 }
 
 TEST(MetricsTest, ResetValuesZeroesButKeepsReferences) {

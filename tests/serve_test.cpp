@@ -1,0 +1,595 @@
+/// Tests for the serving layer (src/serve/): the content-addressed LRU
+/// result cache, `ExtractionService` admission control / deadlines /
+/// caching / drain semantics, concurrent clients against one service (the
+/// TSan target alongside the batch-engine stress test), the wire-format
+/// pinning of `doc::ExtractionsToJson` / `doc::ErrorToJson`, and an
+/// end-to-end socket round-trip through `serve::Daemon`.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "datasets/generator.hpp"
+#include "datasets/pretrained.hpp"
+#include "doc/serialization.hpp"
+#include "serve/cache.hpp"
+#include "serve/daemon.hpp"
+#include "serve/service.hpp"
+#include "util/rng.hpp"
+
+namespace vs2 {
+namespace {
+
+/// One shared pipeline for the serving tests (pattern learning per test
+/// would dominate the runtime). Immutable after construction — the same
+/// contract `BatchEngine` and `ExtractionService` rely on.
+const core::Vs2& SharedPipeline() {
+  static const core::Vs2 vs2(
+      doc::DatasetId::kD2EventPosters, datasets::PretrainedEmbedding(),
+      core::DefaultConfigFor(doc::DatasetId::kD2EventPosters));
+  return vs2;
+}
+
+doc::Corpus SmallD2Corpus(size_t n, uint64_t seed) {
+  datasets::GeneratorConfig gc;
+  gc.num_documents = n;
+  gc.seed = seed;
+  return datasets::GenerateD2(gc);
+}
+
+/// Byte-level fingerprint of a result via the shared wire format — two
+/// results with equal fingerprints produced identical extractions,
+/// geometry included.
+std::string Fingerprint(const core::Vs2::DocResult& result) {
+  return doc::ExtractionsToJson(result);
+}
+
+/// A deterministic manual clock: every `Now()` caller sees `now()`;
+/// tests advance it explicitly.
+struct ManualClock {
+  std::atomic<double> seconds{0.0};
+  std::function<double()> fn() {
+    return [this] { return seconds.load(); };
+  }
+  void Advance(double by) {
+    double cur = seconds.load();
+    seconds.store(cur + by);
+  }
+};
+
+/// A gate the service's dequeue hook blocks on until released; lets tests
+/// pin a worker and build queue depth deterministically.
+struct WorkerGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool released = false;
+  std::atomic<size_t> arrivals{0};
+
+  std::function<void()> hook() {
+    return [this] {
+      arrivals.fetch_add(1);
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [this] { return released; });
+    };
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      released = true;
+    }
+    cv.notify_all();
+  }
+  void AwaitArrival() {
+    while (arrivals.load() == 0) std::this_thread::yield();
+  }
+};
+
+// ------------------------------------------------------------ ResultCache --
+
+serve::ResultCache::Value MakeValue(uint64_t id) {
+  auto result = std::make_shared<core::Vs2::DocResult>();
+  result->observed.id = id;
+  return result;
+}
+
+TEST(ResultCacheTest, HitMissAndLruEviction) {
+  serve::ResultCache cache({/*capacity=*/2, /*ttl_seconds=*/0.0});
+  EXPECT_EQ(cache.Get(1, "a", 0.0), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.Put(1, "a", MakeValue(1), 0.0);
+  cache.Put(2, "b", MakeValue(2), 0.0);
+  ASSERT_NE(cache.Get(1, "a", 1.0), nullptr);  // refreshes recency of 1
+  EXPECT_EQ(cache.hits(), 1u);
+
+  cache.Put(3, "c", MakeValue(3), 2.0);  // evicts 2, the LRU entry
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Get(2, "b", 3.0), nullptr);
+  ASSERT_NE(cache.Get(1, "a", 3.0), nullptr);
+  ASSERT_NE(cache.Get(3, "c", 3.0), nullptr);
+}
+
+TEST(ResultCacheTest, TtlExpiryCountsAsEviction) {
+  serve::ResultCache cache({/*capacity=*/4, /*ttl_seconds=*/10.0});
+  cache.Put(1, "a", MakeValue(1), 100.0);
+  ASSERT_NE(cache.Get(1, "a", 105.0), nullptr);  // inside TTL
+  EXPECT_EQ(cache.Get(1, "a", 111.0), nullptr);  // expired
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCacheTest, HashCollisionNeverServesWrongDocument) {
+  serve::ResultCache cache({/*capacity=*/4, /*ttl_seconds=*/0.0});
+  cache.Put(7, "doc-a", MakeValue(1), 0.0);
+  // Same hash, different canonical JSON: a 64-bit collision must read as
+  // a miss, and the colliding Put replaces the slot.
+  EXPECT_EQ(cache.Get(7, "doc-b", 0.0), nullptr);
+  cache.Put(7, "doc-b", MakeValue(2), 0.0);
+  EXPECT_EQ(cache.Get(7, "doc-a", 0.0), nullptr);
+  serve::ResultCache::Value v = cache.Get(7, "doc-b", 0.0);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->observed.id, 2u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  serve::ResultCache cache({/*capacity=*/0, /*ttl_seconds=*/0.0});
+  cache.Put(1, "a", MakeValue(1), 0.0);
+  EXPECT_EQ(cache.Get(1, "a", 0.0), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ------------------------------------------------- Service: cache parity --
+
+TEST(ExtractionServiceTest, CachedAndUncachedMatchDirectProcess) {
+  const core::Vs2& vs2 = SharedPipeline();
+  doc::Corpus corpus = SmallD2Corpus(4, 911);
+
+  serve::ServiceOptions options;
+  options.jobs = 2;
+  options.cache_entries = 16;
+  serve::ExtractionService service(vs2, options);
+
+  std::vector<std::string> direct;
+  for (const doc::Document& d : corpus.documents) {
+    auto r = vs2.Process(d);
+    ASSERT_TRUE(r.ok()) << r.status();
+    direct.push_back(Fingerprint(*r));
+  }
+
+  // First pass: cold cache — every request computes.
+  for (size_t i = 0; i < corpus.documents.size(); ++i) {
+    auto r = service.Extract(corpus.documents[i]);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(Fingerprint(*r), direct[i]) << "uncached response diverged";
+  }
+  serve::ExtractionService::Stats cold = service.stats();
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, corpus.documents.size());
+
+  // Second pass: every request hits, responses stay bit-identical.
+  for (size_t i = 0; i < corpus.documents.size(); ++i) {
+    auto r = service.Extract(corpus.documents[i]);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(Fingerprint(*r), direct[i]) << "cached response diverged";
+  }
+  serve::ExtractionService::Stats warm = service.stats();
+  EXPECT_EQ(warm.cache_hits, corpus.documents.size());
+  EXPECT_EQ(warm.cache_misses, corpus.documents.size());
+  EXPECT_EQ(warm.cache_size, corpus.documents.size());
+  EXPECT_EQ(warm.completed, 2 * corpus.documents.size());
+
+  // bypass_cache recomputes — and still matches.
+  serve::RequestOptions bypass;
+  bypass.bypass_cache = true;
+  auto r = service.Extract(corpus.documents[0], bypass);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Fingerprint(*r), direct[0]);
+  EXPECT_EQ(service.stats().cache_hits, warm.cache_hits);  // untouched
+}
+
+TEST(ExtractionServiceTest, CacheTtlExpiresUnderManualClock) {
+  const core::Vs2& vs2 = SharedPipeline();
+  doc::Corpus corpus = SmallD2Corpus(1, 912);
+
+  ManualClock clock;
+  serve::ServiceOptions options;
+  options.jobs = 1;
+  options.cache_entries = 4;
+  options.cache_ttl_seconds = 10.0;
+  options.clock = clock.fn();
+  serve::ExtractionService service(vs2, options);
+
+  ASSERT_TRUE(service.Extract(corpus.documents[0]).ok());
+  clock.Advance(5.0);
+  ASSERT_TRUE(service.Extract(corpus.documents[0]).ok());
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+
+  clock.Advance(60.0);  // stored entry is now stale
+  ASSERT_TRUE(service.Extract(corpus.documents[0]).ok());
+  serve::ExtractionService::Stats stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+  EXPECT_EQ(stats.cache_evictions, 1u);
+}
+
+// -------------------------------------------- Service: admission control --
+
+TEST(ExtractionServiceTest, FullQueueRejectsWithUnavailableNotBlocking) {
+  const core::Vs2& vs2 = SharedPipeline();
+  doc::Corpus corpus = SmallD2Corpus(1, 913);
+  const doc::Document& doc = corpus.documents[0];
+
+  WorkerGate gate;
+  serve::ServiceOptions options;
+  options.jobs = 1;
+  options.queue_capacity = 2;
+  options.cache_entries = 0;  // every request must run the pipeline
+  options.dequeue_hook = gate.hook();
+  serve::ExtractionService service(vs2, options);
+
+  // Request 1 is dequeued and pinned at the gate; 2 and 3 fill the queue.
+  std::future<serve::ExtractionService::Response> pinned =
+      service.Submit(doc);
+  gate.AwaitArrival();
+  std::future<serve::ExtractionService::Response> queued_a =
+      service.Submit(doc);
+  std::future<serve::ExtractionService::Response> queued_b =
+      service.Submit(doc);
+  EXPECT_EQ(service.stats().queue_depth, 2u);
+
+  // The queue is full: overload surfaces immediately, without blocking.
+  std::future<serve::ExtractionService::Response> rejected =
+      service.Submit(doc);
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  serve::ExtractionService::Response response = rejected.get();
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.stats().rejected, 1u);
+
+  gate.Release();
+  EXPECT_TRUE(pinned.get().ok());
+  EXPECT_TRUE(queued_a.get().ok());
+  EXPECT_TRUE(queued_b.get().ok());
+}
+
+TEST(ExtractionServiceTest, DrainStopsAdmissionAndFinishesInFlight) {
+  const core::Vs2& vs2 = SharedPipeline();
+  doc::Corpus corpus = SmallD2Corpus(2, 914);
+
+  serve::ServiceOptions options;
+  options.jobs = 2;
+  serve::ExtractionService service(vs2, options);
+  std::future<serve::ExtractionService::Response> in_flight =
+      service.Submit(corpus.documents[0]);
+  service.Drain();
+
+  // Admitted work completed; new work is refused.
+  ASSERT_EQ(in_flight.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_TRUE(in_flight.get().ok());
+  auto refused = service.Extract(corpus.documents[1]);
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.stats().queue_depth, 0u);
+  EXPECT_EQ(service.stats().in_flight, 0u);
+}
+
+// ---------------------------------------------------- Service: deadlines --
+
+TEST(ExtractionServiceTest, ExpiredDeadlineAtDequeueDoesNotPoisonLater) {
+  const core::Vs2& vs2 = SharedPipeline();
+  doc::Corpus corpus = SmallD2Corpus(2, 915);
+
+  ManualClock clock;
+  WorkerGate gate;
+  serve::ServiceOptions options;
+  options.jobs = 1;
+  options.queue_capacity = 8;
+  options.cache_entries = 0;
+  options.clock = clock.fn();
+  options.dequeue_hook = gate.hook();
+  serve::ExtractionService service(vs2, options);
+
+  // Pin the worker, then queue a request with a 50 ms deadline and let the
+  // clock blow past it while it waits.
+  std::future<serve::ExtractionService::Response> pinned =
+      service.Submit(corpus.documents[0]);
+  gate.AwaitArrival();
+  serve::RequestOptions with_deadline;
+  with_deadline.deadline_ms = 50.0;
+  std::future<serve::ExtractionService::Response> doomed =
+      service.Submit(corpus.documents[1], with_deadline);
+  clock.Advance(1.0);
+  gate.Release();
+
+  EXPECT_TRUE(pinned.get().ok());
+  serve::ExtractionService::Response late = doomed.get();
+  EXPECT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.stats().deadline_exceeded, 1u);
+
+  // The expired request must not poison the service: the same document
+  // sails through afterwards and matches a direct Process call.
+  auto direct = vs2.Process(corpus.documents[1]);
+  ASSERT_TRUE(direct.ok());
+  auto after = service.Extract(corpus.documents[1]);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(Fingerprint(*after), Fingerprint(*direct));
+  EXPECT_EQ(service.stats().deadline_exceeded, 1u);  // no new expiries
+}
+
+// The between-stage enforcement point: Vs2::Process consults the
+// checkpoint before every stage and aborts with its status.
+TEST(StageCheckpointTest, ProcessAbortsBetweenStages) {
+  const core::Vs2& vs2 = SharedPipeline();
+  doc::Corpus corpus = SmallD2Corpus(1, 916);
+  const doc::Document& doc = corpus.documents[0];
+
+  // An always-OK checkpoint is bit-identical to the plain overload.
+  int calls = 0;
+  auto counting = [&calls]() {
+    ++calls;
+    return Status::OK();
+  };
+  auto plain = vs2.Process(doc);
+  auto checked = vs2.Process(doc, counting);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(checked.ok());
+  EXPECT_EQ(Fingerprint(*checked), Fingerprint(*plain));
+  EXPECT_EQ(calls, 4);  // one checkpoint per pipeline stage
+
+  // Tripping the checkpoint mid-pipeline aborts with its status.
+  int remaining = 2;  // survive OCR + segment, die before interest points
+  auto tripping = [&remaining]() {
+    if (remaining-- <= 0) {
+      return Status::DeadlineExceeded("deadline expired between stages");
+    }
+    return Status::OK();
+  };
+  auto aborted = vs2.Process(doc, tripping);
+  EXPECT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// ------------------------------------------- Service: concurrent clients --
+
+// Many client threads against one service; mixed cached/uncached/bypass
+// traffic. Run under -DVS2_SANITIZE=thread: this is the serving analogue
+// of BatchEngineStressTest.
+TEST(ExtractionServiceStressTest, ConcurrentClientsGetIdenticalResults) {
+  const core::Vs2& vs2 = SharedPipeline();
+  doc::Corpus corpus = SmallD2Corpus(6, 917);
+
+  std::vector<std::string> direct;
+  for (const doc::Document& d : corpus.documents) {
+    auto r = vs2.Process(d);
+    ASSERT_TRUE(r.ok());
+    direct.push_back(Fingerprint(*r));
+  }
+
+  serve::ServiceOptions options;
+  options.jobs = 4;
+  options.queue_capacity = 256;
+  options.cache_entries = 4;  // smaller than the corpus: forces evictions
+  serve::ExtractionService service(vs2, options);
+
+  constexpr size_t kClients = 8;
+  constexpr size_t kRequestsPerClient = 6;
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> failures{0};
+  {
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (size_t k = 0; k < kRequestsPerClient; ++k) {
+          size_t i = (c + k) % corpus.documents.size();
+          serve::RequestOptions req;
+          req.bypass_cache = (c + k) % 3 == 0;
+          auto r = service.Extract(corpus.documents[i], req);
+          if (!r.ok()) {
+            failures.fetch_add(1);
+          } else if (Fingerprint(*r) != direct[i]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+  serve::ExtractionService::Stats stats = service.stats();
+  EXPECT_EQ(stats.completed, kClients * kRequestsPerClient);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_LE(stats.cache_size, 4u);
+}
+
+// ------------------------------------------------------------ Wire format --
+
+// Pins the exact wire bytes of the shared serializers. vs2_extract,
+// vs2_serve and the client all emit through these; a byte change here is a
+// protocol change and must be deliberate.
+TEST(WireFormatTest, ExtractionsToJsonPinned) {
+  std::vector<doc::ExtractionRecord> records;
+  records.push_back({"event_title", "Jazz \"Night\"",
+                     util::BBox{10.0, 20.5, 200.0, 30.0},
+                     util::BBox{12.0, 22.0, 80.25, 14.0}});
+  records.push_back({"venue", "Main Hall", util::BBox{5.0, 400.0, 150.0, 20.0},
+                     util::BBox{5.0, 400.0, 90.0, 16.0}});
+  EXPECT_EQ(
+      doc::ExtractionsToJson(records, 9, 4),
+      "{\"extractions\":["
+      "{\"entity\":\"event_title\",\"text\":\"Jazz \\\"Night\\\"\","
+      "\"block\":{\"x\":10.0,\"y\":20.5,\"w\":200.0,\"h\":30.0},"
+      "\"span\":{\"x\":12.0,\"y\":22.0,\"w\":80.2,\"h\":14.0}},"
+      "{\"entity\":\"venue\",\"text\":\"Main Hall\","
+      "\"block\":{\"x\":5.0,\"y\":400.0,\"w\":150.0,\"h\":20.0},"
+      "\"span\":{\"x\":5.0,\"y\":400.0,\"w\":90.0,\"h\":16.0}}"
+      "],\"blocks\":9,\"interest_points\":4}");
+  EXPECT_EQ(doc::ExtractionsToJson({}, 0, 0),
+            "{\"extractions\":[],\"blocks\":0,\"interest_points\":0}");
+}
+
+TEST(WireFormatTest, ErrorToJsonPinned) {
+  EXPECT_EQ(doc::ErrorToJson("<stdin>",
+                             Status::InvalidArgument("bad document JSON")),
+            "{\"error\":\"InvalidArgument: bad document JSON\","
+            "\"source\":\"<stdin>\"}");
+  EXPECT_EQ(doc::ErrorToJson("a\"b", Status::Unavailable("queue full")),
+            "{\"error\":\"Unavailable: queue full\",\"source\":\"a\\\"b\"}");
+}
+
+// The DocResult adapter and the record overload agree byte for byte.
+TEST(WireFormatTest, DocResultAdapterMatchesRecords) {
+  const core::Vs2& vs2 = SharedPipeline();
+  doc::Corpus corpus = SmallD2Corpus(1, 918);
+  auto r = vs2.Process(corpus.documents[0]);
+  ASSERT_TRUE(r.ok());
+  std::vector<doc::ExtractionRecord> records;
+  for (const core::Extraction& ex : r->extractions) {
+    records.push_back({ex.entity, ex.text, ex.block_bbox, ex.match_bbox});
+  }
+  EXPECT_EQ(doc::ExtractionsToJson(*r),
+            doc::ExtractionsToJson(records, r->tree.Leaves().size(),
+                                   r->interest_points.size()));
+}
+
+// --------------------------------------------------------- Daemon (e2e) --
+
+/// Blocking line-oriented test client on a Unix-domain socket.
+class TestClient {
+ public:
+  explicit TestClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return fd_ >= 0; }
+
+  bool Send(const std::string& line) {
+    std::string data = line + "\n";
+    size_t sent = 0;
+    while (sent < data.size()) {
+      ssize_t n = ::write(fd_, data.data() + sent, data.size() - sent);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool ReadLine(std::string* line) {
+    while (true) {
+      size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        *line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+std::string TestSocketPath() {
+  return testing::TempDir() + "vs2_serve_test_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(DaemonTest, SocketRoundTripMatchesDirectProcess) {
+  const core::Vs2& vs2 = SharedPipeline();
+  doc::Corpus corpus = SmallD2Corpus(2, 919);
+
+  serve::ServiceOptions service_options;
+  service_options.jobs = 2;
+  serve::ExtractionService service(vs2, service_options);
+  serve::DaemonOptions daemon_options;
+  daemon_options.unix_socket_path = TestSocketPath();
+  serve::Daemon daemon(service, daemon_options);
+  Status started = daemon.Start();
+  ASSERT_TRUE(started.ok()) << started;
+
+  TestClient client(daemon_options.unix_socket_path);
+  ASSERT_TRUE(client.connected());
+
+  // A document round-trips: the response line is byte-identical to
+  // serializing a direct Process call.
+  for (const doc::Document& d : corpus.documents) {
+    auto direct = vs2.Process(d);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(client.Send(doc::ToJson(d)));
+    std::string response;
+    ASSERT_TRUE(client.ReadLine(&response));
+    EXPECT_EQ(response, doc::ExtractionsToJson(*direct));
+  }
+
+  // Garbage in: one descriptive error line out, connection stays usable.
+  ASSERT_TRUE(client.Send("{not json"));
+  std::string error_line;
+  ASSERT_TRUE(client.ReadLine(&error_line));
+  EXPECT_NE(error_line.find("\"error\":\"InvalidArgument: bad document "
+                            "JSON"),
+            std::string::npos)
+      << error_line;
+  ASSERT_TRUE(client.Send(doc::ToJson(corpus.documents[0])));
+  std::string again;
+  ASSERT_TRUE(client.ReadLine(&again));
+  EXPECT_NE(again.find("\"extractions\""), std::string::npos);
+
+  EXPECT_GE(daemon.connections_served(), 1u);
+  daemon.Stop();
+  // The socket file is gone after Stop; a second Stop is a no-op.
+  daemon.Stop();
+}
+
+TEST(DaemonTest, HandleLineMapsServiceErrorsToErrorJson) {
+  const core::Vs2& vs2 = SharedPipeline();
+  serve::ServiceOptions options;
+  options.jobs = 1;
+  serve::ExtractionService service(vs2, options);
+  serve::Daemon daemon(service, serve::DaemonOptions{});
+
+  // Parse failure: InvalidArgument with the parser's message embedded.
+  std::string bad = daemon.HandleLine("42");
+  EXPECT_NE(bad.find("\"error\":\"InvalidArgument: bad document JSON"),
+            std::string::npos)
+      << bad;
+
+  // Service refusal (draining): the status flows through ErrorToJson.
+  service.Drain();
+  doc::Corpus corpus = SmallD2Corpus(1, 920);
+  std::string refused = daemon.HandleLine(doc::ToJson(corpus.documents[0]));
+  EXPECT_NE(refused.find("\"error\":\"Unavailable"), std::string::npos)
+      << refused;
+}
+
+}  // namespace
+}  // namespace vs2

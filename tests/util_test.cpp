@@ -67,6 +67,31 @@ TEST(ColorTest, LabStreamsLikeToString) {
   EXPECT_EQ(os.str(), "Lab(51.2, -3.4, 7.8)");
 }
 
+TEST(StatusTest, ServingCodesCarryCodeAndMessage) {
+  Status deadline = Status::DeadlineExceeded("deadline expired while queued");
+  EXPECT_FALSE(deadline.ok());
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(),
+            "DeadlineExceeded: deadline expired while queued");
+
+  Status unavailable = Status::Unavailable("admission queue full");
+  EXPECT_FALSE(unavailable.ok());
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.ToString(), "Unavailable: admission queue full");
+}
+
+TEST(StatusTest, ServingCodesStreamLikeToString) {
+  std::ostringstream deadline;
+  deadline << StatusCode::kDeadlineExceeded;
+  EXPECT_EQ(deadline.str(), "DeadlineExceeded");
+  std::ostringstream unavailable;
+  unavailable << StatusCode::kUnavailable;
+  EXPECT_EQ(unavailable.str(), "Unavailable");
+  std::ostringstream status;
+  status << Status::Unavailable("service is draining");
+  EXPECT_EQ(status.str(), "Unavailable: service is draining");
+}
+
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
   EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
   EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
