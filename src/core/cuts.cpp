@@ -17,9 +17,12 @@ namespace {
 // narrow enough that a path cannot climb around a text line.
 constexpr int kMaxDriftBand = 8;
 
+// ----------------------------------------------------------------- scalar --
+
 // cut[y] is true when a path of valid 1-hop horizontal movements runs from
-// column 0 to column w-1 staying within `drift` rows of y.
-std::vector<bool> BandedHorizontalCuts(const raster::OccupancyGrid& grid,
+// column 0 to column w-1 staying within `drift` rows of y. One banded DP
+// restart per origin: the reference the wavefront kernel is pinned against.
+std::vector<bool> ScalarHorizontalCuts(const raster::OccupancyGrid& grid,
                                        int drift) {
   int w = grid.width();
   int h = grid.height();
@@ -52,7 +55,7 @@ std::vector<bool> BandedHorizontalCuts(const raster::OccupancyGrid& grid,
   return cuts;
 }
 
-std::vector<bool> BandedVerticalCuts(const raster::OccupancyGrid& grid,
+std::vector<bool> ScalarVerticalCuts(const raster::OccupancyGrid& grid,
                                      int drift) {
   int w = grid.width();
   int h = grid.height();
@@ -85,19 +88,106 @@ std::vector<bool> BandedVerticalCuts(const raster::OccupancyGrid& grid,
   return cuts;
 }
 
-}  // namespace
+// ------------------------------------------------------------- wavefront --
 
-std::vector<bool> ValidHorizontalCuts(const raster::OccupancyGrid& grid) {
-  return BandedHorizontalCuts(grid, kMaxDriftBand);
+/// 64 whitespace bits of a packed step starting at signed bit offset
+/// `start`: bit b of the result is the cell at position start + b, zero
+/// (occupied) outside [0, 64·n_words). Tail bits inside the last word are
+/// already zero by the grid's packing invariant.
+inline uint64_t WsWindow(const uint64_t* step, size_t n_words, long start) {
+  long wi = start >> 6;  // floor division, start may be negative
+  int shift = static_cast<int>(start - (wi << 6));
+  uint64_t lo =
+      (wi >= 0 && wi < static_cast<long>(n_words)) ? step[wi] : 0;
+  if (shift == 0) return lo;
+  uint64_t hi = (wi + 1 >= 0 && wi + 1 < static_cast<long>(n_words))
+                    ? step[wi + 1]
+                    : 0;
+  return (lo >> shift) | (hi << (64 - shift));
 }
 
-std::vector<bool> ValidVerticalCuts(const raster::OccupancyGrid& grid) {
-  return BandedVerticalCuts(grid, kMaxDriftBand);
+/// The bit-parallel wavefront (DESIGN.md §11). Origins are packed 64 per
+/// word; `bits` is a packed whitespace bitset of `n_steps` consecutive
+/// steps of `words_per_step` words each, where bit (o & 63) of word
+/// `bits[s·words_per_step + (o >> 6)]` is the whitespace state of origin
+/// lane `o` at sweep step `s`. For every group of 64 origins the banded
+/// state cur[d] (d = drift offset, as in the scalar DP) holds one word —
+/// bit b is "origin base+b has a live path at position base+b+d−drift" —
+/// and one sweep over the steps advances all 64 origins at once:
+///
+///   cur'[d] = (cur[d-1] | cur[d] | cur[d+1]) & ws_window(step, base+d−drift)
+///
+/// Lanes never mix (no shifts between state words), so each origin's DP is
+/// exactly the scalar recurrence, evaluated 64 lanes per operation.
+std::vector<bool> WavefrontCuts(const uint64_t* bits, size_t words_per_step,
+                                int n_origins, int n_steps, int drift) {
+  int band = 2 * drift + 1;
+  std::vector<bool> cuts(static_cast<size_t>(n_origins), false);
+  int n_groups = (n_origins + 63) / 64;
+  std::vector<uint64_t> cur(static_cast<size_t>(band));
+  std::vector<uint64_t> next(static_cast<size_t>(band));
+  for (int g = 0; g < n_groups; ++g) {
+    long base = 64L * g;
+    std::fill(cur.begin(), cur.end(), 0);
+    cur[static_cast<size_t>(drift)] = WsWindow(bits, words_per_step, base);
+    uint64_t alive = cur[static_cast<size_t>(drift)];
+    for (int s = 1; s < n_steps && alive; ++s) {
+      const uint64_t* step = bits + static_cast<size_t>(s) * words_per_step;
+      alive = 0;
+      for (int d = 0; d < band; ++d) {
+        uint64_t reach = cur[static_cast<size_t>(d)];
+        if (d > 0) reach |= cur[static_cast<size_t>(d - 1)];
+        if (d + 1 < band) reach |= cur[static_cast<size_t>(d + 1)];
+        uint64_t v =
+            reach ? reach & WsWindow(step, words_per_step, base + d - drift)
+                  : 0;
+        next[static_cast<size_t>(d)] = v;
+        alive |= v;
+      }
+      cur.swap(next);
+    }
+    uint64_t any = 0;
+    for (int d = 0; d < band; ++d) any |= cur[static_cast<size_t>(d)];
+    for (int b = 0; b < 64 && base + b < n_origins; ++b) {
+      if ((any >> b) & 1) cuts[static_cast<size_t>(base + b)] = true;
+    }
+  }
+  return cuts;
+}
+
+}  // namespace
+
+std::vector<bool> BandedHorizontalCuts(const raster::OccupancyGrid& grid,
+                                       int drift, CutKernel kernel) {
+  if (kernel == CutKernel::kScalar) return ScalarHorizontalCuts(grid, drift);
+  // Origins are rows, the sweep runs over columns: the column-major packing
+  // (bits along y, one packed column per step) is exactly the layout the
+  // wavefront consumes.
+  return WavefrontCuts(grid.ws_cols(), grid.words_per_col(), grid.height(),
+                       grid.width(), drift);
+}
+
+std::vector<bool> BandedVerticalCuts(const raster::OccupancyGrid& grid,
+                                     int drift, CutKernel kernel) {
+  if (kernel == CutKernel::kScalar) return ScalarVerticalCuts(grid, drift);
+  // Origins are columns, the sweep runs over rows: row-major packing.
+  return WavefrontCuts(grid.ws_rows(), grid.words_per_row(), grid.width(),
+                       grid.height(), drift);
+}
+
+std::vector<bool> ValidHorizontalCuts(const raster::OccupancyGrid& grid,
+                                      CutKernel kernel) {
+  return BandedHorizontalCuts(grid, kMaxDriftBand, kernel);
+}
+
+std::vector<bool> ValidVerticalCuts(const raster::OccupancyGrid& grid,
+                                    CutKernel kernel) {
+  return BandedVerticalCuts(grid, kMaxDriftBand, kernel);
 }
 
 std::vector<SeparatorRun> FindSeparatorRuns(
     const std::vector<util::BBox>& element_boxes, const util::BBox& full_region,
-    const raster::GridScale& scale) {
+    const raster::GridScale& scale, const CutOptions& options) {
   std::vector<SeparatorRun> runs;
   if (full_region.Empty() || element_boxes.empty()) return runs;
 
@@ -113,8 +203,30 @@ std::vector<SeparatorRun> FindSeparatorRuns(
                               content.height + 2 * pad});
   if (region.Empty()) return runs;
 
-  raster::OccupancyGrid grid =
-      raster::RasterizeBoxes(element_boxes, region, scale);
+  // Snap the window to the absolute page lattice. Every box is placed by
+  // the same integer cell arithmetic whether rasterized fresh here or
+  // cropped from a PageRaster, so the two paths are bit-identical.
+  raster::CellRect window;
+  window.x0 = scale.ToCellsFloor(region.x);
+  window.y0 = scale.ToCellsFloor(region.y);
+  window.x1 = std::max(scale.ToCellsCeil(region.right()) - 1, window.x0);
+  window.y1 = std::max(scale.ToCellsCeil(region.bottom()) - 1, window.y0);
+
+  raster::OccupancyGrid grid = [&] {
+    if (options.page && options.element_ids) {
+      return options.page->Crop(window, options.element_ids);
+    }
+    raster::OccupancyGrid fresh(window.width(), window.height());
+    for (const util::BBox& b : element_boxes) {
+      raster::CellRect r = raster::BoxToCellRect(b, scale);
+      raster::CellRect clipped = raster::IntersectCells(r, window);
+      if (clipped.Empty()) continue;
+      fresh.FillCellRect(raster::CellRect{
+          clipped.x0 - window.x0, clipped.y0 - window.y0,
+          clipped.x1 - window.x0, clipped.y1 - window.y0});
+    }
+    return fresh;
+  }();
 
   double max_elem_height = 1.0;
   std::vector<double> heights;
@@ -139,22 +251,14 @@ std::vector<SeparatorRun> FindSeparatorRuns(
   auto straight_rows = [&grid]() {
     std::vector<bool> out(static_cast<size_t>(grid.height()), false);
     for (int y = 0; y < grid.height(); ++y) {
-      bool clear = true;
-      for (int x = 0; x < grid.width() && clear; ++x) {
-        clear = grid.IsWhitespace(x, y);
-      }
-      out[static_cast<size_t>(y)] = clear;
+      out[static_cast<size_t>(y)] = grid.RowClear(y);
     }
     return out;
   }();
   auto straight_cols = [&grid]() {
     std::vector<bool> out(static_cast<size_t>(grid.width()), false);
     for (int x = 0; x < grid.width(); ++x) {
-      bool clear = true;
-      for (int y = 0; y < grid.height() && clear; ++y) {
-        clear = grid.IsWhitespace(x, y);
-      }
-      out[static_cast<size_t>(x)] = clear;
+      out[static_cast<size_t>(x)] = grid.ColClear(x);
     }
     return out;
   }();
@@ -181,7 +285,8 @@ std::vector<SeparatorRun> FindSeparatorRuns(
       if (!touches_start && !touches_end) {
         SeparatorRun run;
         run.horizontal = horizontal;
-        double offset = horizontal ? region.y : region.x;
+        double offset =
+            scale.ToUnits(horizontal ? window.y0 : window.x0);
         run.start_units = offset + scale.ToUnits(static_cast<int>(i));
         size_t straight_cells = 0;
         for (size_t k = i; k < j; ++k) {
@@ -228,8 +333,10 @@ std::vector<SeparatorRun> FindSeparatorRuns(
     }
   };
 
-  emit_runs(BandedHorizontalCuts(grid, drift), /*horizontal=*/true);
-  emit_runs(BandedVerticalCuts(grid, drift), /*horizontal=*/false);
+  emit_runs(BandedHorizontalCuts(grid, drift, options.kernel),
+            /*horizontal=*/true);
+  emit_runs(BandedVerticalCuts(grid, drift, options.kernel),
+            /*horizontal=*/false);
 
   // Topological order (top-to-bottom, left-to-right) as Algorithm 1 expects.
   std::sort(runs.begin(), runs.end(),

@@ -8,6 +8,15 @@
 /// (0, y) when a valid W-hop movement exists from it. Vertical cuts are the
 /// transpose. Runs of consecutive valid cuts form candidate visual
 /// separators which Algorithm 1 then filters.
+///
+/// Two kernels compute the same reachability (DESIGN.md §11):
+///  * `kScalar` — the reference: one banded DP restart per origin,
+///    O(h·w·band) byte operations;
+///  * `kBitParallel` — the production kernel: 64 origins packed per
+///    `uint64_t`, one wavefront sweep over the grid propagating all origins
+///    simultaneously with word-wide OR/AND/shift operations against the
+///    grid's packed whitespace words.
+/// Their outputs are bit-for-bit identical (pinned by differential tests).
 
 #include <vector>
 
@@ -17,12 +26,35 @@
 
 namespace vs2::core {
 
+/// Cut-kernel selection; the scalar banded DP stays as the reference
+/// implementation the bit-parallel wavefront is differential-tested against.
+enum class CutKernel {
+  kBitParallel,
+  kScalar,
+};
+
 /// \brief Per-row flags: `cut[y]` is true when a horizontal cut originates
 /// from (0, y) — computed by backward reachability with ±1 drift per hop.
-std::vector<bool> ValidHorizontalCuts(const raster::OccupancyGrid& grid);
+std::vector<bool> ValidHorizontalCuts(
+    const raster::OccupancyGrid& grid,
+    CutKernel kernel = CutKernel::kBitParallel);
 
 /// Per-column flags for vertical cuts.
-std::vector<bool> ValidVerticalCuts(const raster::OccupancyGrid& grid);
+std::vector<bool> ValidVerticalCuts(
+    const raster::OccupancyGrid& grid,
+    CutKernel kernel = CutKernel::kBitParallel);
+
+/// \brief cut[y] is true when a path of valid 1-hop horizontal movements
+/// runs from column 0 to column w-1 staying within `drift` rows of y.
+/// Exposed (with explicit drift) for the differential tests and benches.
+std::vector<bool> BandedHorizontalCuts(
+    const raster::OccupancyGrid& grid, int drift,
+    CutKernel kernel = CutKernel::kBitParallel);
+
+/// The transpose of `BandedHorizontalCuts`.
+std::vector<bool> BandedVerticalCuts(
+    const raster::OccupancyGrid& grid, int drift,
+    CutKernel kernel = CutKernel::kBitParallel);
 
 /// \brief A maximal run of consecutive valid cuts: the candidate separator
 /// V_s of Fig. 5b, with the measurements Algorithm 1 consumes.
@@ -38,15 +70,33 @@ struct SeparatorRun {
   double scaled_width = 0.0;
 };
 
+/// \brief Options for `FindSeparatorRuns`.
+///
+/// When `page` is set (with `element_ids` naming the elements of the area,
+/// as indices into the raster), the analysis grid is *cropped* from the
+/// once-per-document page rasterization instead of re-rasterizing the boxes
+/// — bit-identical by construction, since both paths place cells with the
+/// same integer lattice arithmetic.
+struct CutOptions {
+  CutKernel kernel = CutKernel::kBitParallel;
+  const raster::PageRaster* page = nullptr;    ///< must match `scale`
+  const std::vector<size_t>* element_ids = nullptr;
+};
+
 /// \brief Finds separator runs (both directions) inside `region` given the
 /// element boxes of the area being segmented.
+///
+/// The analysis window (content bounds plus one cell of padding, clipped to
+/// `region`) is snapped to the absolute page lattice, so the same cell
+/// geometry is produced whether the grid is rasterized fresh or cropped
+/// from a `PageRaster`.
 ///
 /// Runs touching the region border are trimmed to interior separators only
 /// (margins do not separate content). Runs narrower than one grid cell in
 /// units are dropped.
 std::vector<SeparatorRun> FindSeparatorRuns(
     const std::vector<util::BBox>& element_boxes, const util::BBox& region,
-    const raster::GridScale& scale);
+    const raster::GridScale& scale, const CutOptions& options = {});
 
 }  // namespace vs2::core
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <unordered_map>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -16,12 +17,6 @@ using doc::AtomicElement;
 using doc::Document;
 using doc::LayoutTree;
 using util::BBox;
-
-BBox BoundsOf(const Document& doc, const std::vector<size_t>& indices) {
-  BBox acc;
-  for (size_t i : indices) acc = util::Union(acc, doc.elements[i].bbox);
-  return acc;
-}
 
 double MaxHeight(const Document& doc, const std::vector<size_t>& indices) {
   double h = 1.0;
@@ -362,16 +357,45 @@ std::vector<std::vector<size_t>> ClusterElements(
 
 namespace {
 
+/// Per-`Segment` memo of normalized `EmbedText` vectors, keyed by layout
+/// node id. Embedding a node's text is the dominant cost of the Eq. 1 merge
+/// loop, and a node's text never changes once the node exists — merging
+/// *replaces* two siblings with a freshly-appended node (the old ids are
+/// tombstoned), so a cached vector can never go stale. `Forget` drops the
+/// tombstoned ids to keep the map bounded by live nodes.
+class NodeEmbedCache {
+ public:
+  const std::vector<float>& VecFor(const Document& doc, const LayoutTree& tree,
+                                   size_t id,
+                                   const embed::Embedding& embedding) {
+    auto it = cache_.find(id);
+    if (it != cache_.end()) return it->second;
+    return cache_
+        .emplace(id,
+                 embedding.EmbedText(doc.TextOf(tree.node(id).element_indices)))
+        .first->second;  // unordered_map references stay valid across inserts
+  }
+
+  void Forget(size_t id) { cache_.erase(id); }
+
+ private:
+  std::unordered_map<size_t, std::vector<float>> cache_;
+};
+
 /// Semantic merging pass over the children of `parent` (Eq. 1). Each pass
 /// merges the best sibling pair whose semantic similarity clears the
 /// depth-scaled threshold θ_h and which is not visually separated (close
 /// in space, union swallowing no third sibling). The Eq. 1 semantic
 /// contribution — similarity to siblings minus similarity to same-level
-/// outsiders — breaks ties between equally similar pairs. Returns true
-/// when a merge happened.
+/// outsiders (`outside_ids`, computed once per merge loop: merging only
+/// replaces children of `parent`, so the outsider set cannot change between
+/// passes) — breaks ties between equally similar pairs. Returns true when a
+/// merge happened.
 bool SemanticMergePass(const Document& doc, LayoutTree* tree, size_t parent,
                        const embed::Embedding& embedding,
-                       const SegmenterConfig& config) {
+                       const SegmenterConfig& config,
+                       const std::vector<size_t>& outside_ids,
+                       NodeEmbedCache* embed_cache) {
   const auto& children = tree->node(parent).children;
   if (children.size() < 2) return false;
 
@@ -381,12 +405,11 @@ bool SemanticMergePass(const Document& doc, LayoutTree* tree, size_t parent,
   }
   if (ids.size() < 2) return false;
 
-  std::vector<std::vector<float>> vecs;
+  std::vector<const std::vector<float>*> vecs;
   std::vector<double> max_heights;
   vecs.reserve(ids.size());
   for (size_t id : ids) {
-    vecs.push_back(
-        embedding.EmbedText(doc.TextOf(tree->node(id).element_indices)));
+    vecs.push_back(&embed_cache->VecFor(doc, *tree, id, embedding));
     max_heights.push_back(MaxHeight(doc, tree->node(id).element_indices));
   }
 
@@ -395,22 +418,21 @@ bool SemanticMergePass(const Document& doc, LayoutTree* tree, size_t parent,
       config.theta_min + (config.theta_max - config.theta_min) / 10.0 *
                              static_cast<double>(h);
 
-  // Same-level outsiders for the Eq. 1 negative term.
-  std::vector<std::vector<float>> outside_vecs;
-  for (size_t id = 0; id < tree->size(); ++id) {
-    const doc::LayoutNode& n = tree->node(id);
-    if (n.depth == h && n.parent != parent && n.parent != doc::kNoNode) {
-      outside_vecs.push_back(
-          embedding.EmbedText(doc.TextOf(n.element_indices)));
-    }
+  // Same-level outsiders for the Eq. 1 negative term; vectors come from the
+  // memo, so unchanged outsiders are embedded once per document, not once
+  // per pass.
+  std::vector<const std::vector<float>*> outside_vecs;
+  outside_vecs.reserve(outside_ids.size());
+  for (size_t id : outside_ids) {
+    outside_vecs.push_back(&embed_cache->VecFor(doc, *tree, id, embedding));
   }
   auto semantic_contribution = [&](size_t i) {
     double sc = 0.0;
     for (size_t j = 0; j < ids.size(); ++j) {
-      if (j != i) sc += util::CosineSimilarity(vecs[i], vecs[j]);
+      if (j != i) sc += util::CosineSimilarity(*vecs[i], *vecs[j]);
     }
-    for (const auto& ov : outside_vecs) {
-      sc -= util::CosineSimilarity(vecs[i], ov);
+    for (const auto* ov : outside_vecs) {
+      sc -= util::CosineSimilarity(*vecs[i], *ov);
     }
     return sc;
   };
@@ -421,7 +443,7 @@ bool SemanticMergePass(const Document& doc, LayoutTree* tree, size_t parent,
   uint64_t rejected_pairs = 0;  // cleared θ_h but failed a visual gate
   for (size_t i = 0; i < ids.size(); ++i) {
     for (size_t j = i + 1; j < ids.size(); ++j) {
-      double sim = util::CosineSimilarity(vecs[i], vecs[j]);
+      double sim = util::CosineSimilarity(*vecs[i], *vecs[j]);
       // Fragments of one text line merge at a discounted threshold:
       // transcription noise hashes corrupted words away from their clean
       // forms, and demanding full topical similarity would leave exactly
@@ -492,6 +514,10 @@ bool SemanticMergePass(const Document& doc, LayoutTree* tree, size_t parent,
   if (best_i == doc::kNoNode) return false;
   auto merged = tree->MergeSiblings(doc, best_i, best_j);
   if (merged.ok()) {
+    // The merged pair's ids are tombstoned; drop their memoized vectors.
+    // The replacement node has a fresh id and is embedded on first use.
+    embed_cache->Forget(best_i);
+    embed_cache->Forget(best_j);
     accepted_total.Add(1);
     obs::Metrics::GetCounter(util::Format("segment.merges_accepted.h%d", h))
         .Add(1);
@@ -501,7 +527,9 @@ bool SemanticMergePass(const Document& doc, LayoutTree* tree, size_t parent,
 
 void SegmentRecursive(const Document& doc, LayoutTree* tree, size_t node_id,
                       const embed::Embedding& embedding,
-                      const SegmenterConfig& config) {
+                      const SegmenterConfig& config,
+                      const raster::PageRaster* page,
+                      NodeEmbedCache* embed_cache) {
   const doc::LayoutNode& node = tree->node(node_id);
   if (node.depth >= config.max_depth) return;
   if (node.element_indices.size() < config.min_elements_to_split) return;
@@ -562,7 +590,13 @@ void SegmentRecursive(const Document& doc, LayoutTree* tree, size_t node_id,
     std::vector<util::BBox> boxes;
     boxes.reserve(indices.size());
     for (size_t i : indices) boxes.push_back(doc.elements[i].bbox);
-    runs = FindSeparatorRuns(boxes, region, config.grid_scale);
+    CutOptions cut_options;
+    cut_options.kernel = config.cut_kernel;
+    if (page) {
+      cut_options.page = page;
+      cut_options.element_ids = &indices;
+    }
+    runs = FindSeparatorRuns(boxes, region, config.grid_scale, cut_options);
     delimiters = SelectDelimiters(runs, config.delimiter);
     static obs::Counter& cuts_enumerated =
         obs::Metrics::GetCounter("segment.cuts_enumerated");
@@ -591,8 +625,21 @@ void SegmentRecursive(const Document& doc, LayoutTree* tree, size_t node_id,
   // Phase 3: semantic merging among the new siblings, to convergence.
   if (config.enable_semantic_merging) {
     VS2_TRACE_SPAN_ARG("segment.merge", depth);
+    // Same-level outsiders, hoisted out of the pass loop: passes only merge
+    // children of `node_id` (insiders), so the outsider set is invariant
+    // across the whole convergence loop.
+    const int child_depth = tree->node(node_id).depth + 1;
+    std::vector<size_t> outside_ids;
+    for (size_t id = 0; id < tree->size(); ++id) {
+      const doc::LayoutNode& n = tree->node(id);
+      if (n.depth == child_depth && n.parent != node_id &&
+          n.parent != doc::kNoNode) {
+        outside_ids.push_back(id);
+      }
+    }
     int guard = 0;
-    while (SemanticMergePass(doc, tree, node_id, embedding, config) &&
+    while (SemanticMergePass(doc, tree, node_id, embedding, config,
+                             outside_ids, embed_cache) &&
            guard++ < 16) {
     }
   }
@@ -600,7 +647,7 @@ void SegmentRecursive(const Document& doc, LayoutTree* tree, size_t node_id,
   // Recurse into the (possibly merged) children.
   std::vector<size_t> children = tree->node(node_id).children;
   for (size_t child : children) {
-    SegmentRecursive(doc, tree, child, embedding, config);
+    SegmentRecursive(doc, tree, child, embedding, config, page, embed_cache);
   }
 }
 
@@ -614,7 +661,21 @@ Result<doc::LayoutTree> Segment(const Document& doc,
   }
   LayoutTree tree = LayoutTree::ForDocument(doc);
   if (!doc.elements.empty()) {
-    SegmentRecursive(doc, &tree, tree.root(), embedding, config);
+    // Snap every element box to the page lattice exactly once; the
+    // recursion crops per-node sub-grids from this rasterization.
+    raster::PageRaster page;
+    if (config.reuse_page_raster) {
+      std::vector<util::BBox> boxes;
+      boxes.reserve(doc.elements.size());
+      for (const doc::AtomicElement& el : doc.elements) {
+        boxes.push_back(el.bbox);
+      }
+      page = raster::PageRaster(boxes, config.grid_scale);
+    }
+    NodeEmbedCache embed_cache;
+    SegmentRecursive(doc, &tree, tree.root(), embedding, config,
+                     config.reuse_page_raster ? &page : nullptr,
+                     &embed_cache);
   }
   VS2_RETURN_IF_ERROR(tree.Validate(doc));
   return tree;

@@ -23,6 +23,7 @@
 #include "doc/layout_tree.hpp"
 #include "embed/embedding.hpp"
 #include "core/algorithm1.hpp"
+#include "core/cuts.hpp"
 #include "raster/grid.hpp"
 #include "util/status.hpp"
 
@@ -61,6 +62,18 @@ struct SegmenterConfig {
 
   /// Maximum clusters per clustering step (2×2 seed grid).
   int cluster_grid = 2;
+
+  /// Cut-kernel selection (DESIGN.md §11): the bit-parallel wavefront is
+  /// the production kernel; the scalar banded DP stays as the reference
+  /// implementation and produces bit-identical cuts.
+  CutKernel cut_kernel = CutKernel::kBitParallel;
+
+  /// Snap every element box to the page lattice once per `Segment` call and
+  /// crop per-node sub-grids from that rasterization, instead of re-clipping
+  /// and re-scaling the boxes at every recursion depth. Bit-identical to the
+  /// per-node path (both place cells by the same integer arithmetic); off is
+  /// only useful for differential tests and benches.
+  bool reuse_page_raster = true;
 };
 
 /// \brief The paper's Table 1 feature vector for one atomic element,

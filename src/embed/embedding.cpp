@@ -114,20 +114,36 @@ void Embedding::TrainPpmi(
   for (auto& vec : vectors_) Normalize(&vec);
 }
 
-std::vector<float> Embedding::Embed(const std::string& word) const {
+void Embedding::EmbedInto(const std::string& word,
+                          std::vector<float>* out) const {
   std::string lower = util::ToLower(word);
-  std::vector<float> hash_vec = HashVector(lower);
+  // Hash component, built in place (same arithmetic as HashVector).
+  out->assign(static_cast<size_t>(dim_), 0.0f);
+  std::string padded = "^" + lower + "$";
+  if (padded.size() < 3) padded += "$$";
+  for (size_t i = 0; i + 3 <= padded.size(); ++i) {
+    uint64_t h = util::Fnv1a64(std::string_view(padded).substr(i, 3));
+    size_t slot = h % static_cast<size_t>(dim_);
+    float sign = ((h >> 32) & 1) ? 1.0f : -1.0f;
+    (*out)[slot] += sign;
+  }
+  Normalize(out);
   int id = vocab_.Lookup(lower);
-  if (id < 0 || vectors_[static_cast<size_t>(id)].empty()) return hash_vec;
+  if (id < 0 || vectors_[static_cast<size_t>(id)].empty()) return;
   // Blend: 80% topical signal, 20% subword signal, renormalized. The blend
   // keeps misspelled in-vocabulary variants near their clean forms.
-  std::vector<float> out = vectors_[static_cast<size_t>(id)];
+  const std::vector<float>& trained = vectors_[static_cast<size_t>(id)];
   for (int d = 0; d < dim_; ++d) {
-    out[static_cast<size_t>(d)] =
-        0.8f * out[static_cast<size_t>(d)] +
-        0.2f * hash_vec[static_cast<size_t>(d)];
+    (*out)[static_cast<size_t>(d)] =
+        0.8f * trained[static_cast<size_t>(d)] +
+        0.2f * (*out)[static_cast<size_t>(d)];
   }
-  Normalize(&out);
+  Normalize(out);
+}
+
+std::vector<float> Embedding::Embed(const std::string& word) const {
+  std::vector<float> out;
+  EmbedInto(word, &out);
   return out;
 }
 
@@ -135,10 +151,11 @@ std::vector<float> Embedding::EmbedText(const std::string& text) const {
   std::vector<float> acc(static_cast<size_t>(dim_), 0.0f);
   std::vector<std::string> words = util::SplitWhitespace(text);
   if (words.empty()) return acc;
+  std::vector<float> scratch;  // one allocation for the whole text
   for (const std::string& w : words) {
-    std::vector<float> v = Embed(w);
+    EmbedInto(w, &scratch);
     for (int d = 0; d < dim_; ++d)
-      acc[static_cast<size_t>(d)] += v[static_cast<size_t>(d)];
+      acc[static_cast<size_t>(d)] += scratch[static_cast<size_t>(d)];
   }
   Normalize(&acc);
   return acc;

@@ -73,6 +73,10 @@ class Embedding {
 
  private:
   std::vector<float> HashVector(const std::string& word) const;
+  /// `Embed` into a caller-provided buffer (resized to `dim`): the hot
+  /// `EmbedText` loop reuses one scratch vector instead of allocating two
+  /// fresh vectors per word.
+  void EmbedInto(const std::string& word, std::vector<float>* out) const;
   static void Normalize(std::vector<float>* v);
 
   int dim_;

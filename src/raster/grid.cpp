@@ -1,33 +1,115 @@
 #include "raster/grid.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 namespace vs2::raster {
+namespace {
+
+constexpr uint64_t kAllOnes = ~uint64_t{0};
+
+/// Mask with bits [lo, hi] set (0 <= lo <= hi <= 63).
+inline uint64_t BitRangeMask(int lo, int hi) {
+  uint64_t high = hi == 63 ? kAllOnes : ((uint64_t{1} << (hi + 1)) - 1);
+  return high & ~((uint64_t{1} << lo) - 1);
+}
+
+/// Clears bits [b0, b1] of the word run starting at `words` (a packed
+/// bitset of consecutive cells).
+inline void ClearBitRange(uint64_t* words, int b0, int b1) {
+  int w0 = b0 >> 6;
+  int w1 = b1 >> 6;
+  if (w0 == w1) {
+    words[w0] &= ~BitRangeMask(b0 & 63, b1 & 63);
+    return;
+  }
+  words[w0] &= ~BitRangeMask(b0 & 63, 63);
+  for (int w = w0 + 1; w < w1; ++w) words[w] = 0;
+  words[w1] &= ~BitRangeMask(0, b1 & 63);
+}
+
+}  // namespace
+
+CellRect IntersectCells(const CellRect& a, const CellRect& b) {
+  CellRect out;
+  out.x0 = std::max(a.x0, b.x0);
+  out.y0 = std::max(a.y0, b.y0);
+  out.x1 = std::min(a.x1, b.x1);
+  out.y1 = std::min(a.y1, b.y1);
+  if (out.Empty()) return CellRect{};
+  return out;
+}
 
 OccupancyGrid::OccupancyGrid(int width, int height)
     : width_(std::max(width, 1)),
       height_(std::max(height, 1)),
-      cells_(static_cast<size_t>(width_) * height_, 0) {}
-
-void OccupancyGrid::FillBox(const util::BBox& box) {
-  if (box.Empty()) return;
-  int x0 = std::max(0, static_cast<int>(std::floor(box.x)));
-  int y0 = std::max(0, static_cast<int>(std::floor(box.y)));
-  int x1 = std::min(width_ - 1, static_cast<int>(std::ceil(box.right())) - 1);
-  int y1 = std::min(height_ - 1, static_cast<int>(std::ceil(box.bottom())) - 1);
-  for (int y = y0; y <= y1; ++y) {
-    for (int x = x0; x <= x1; ++x) {
-      cells_[static_cast<size_t>(y) * width_ + x] = 1;
+      wpr_((static_cast<size_t>(width_) + 63) / 64),
+      wpc_((static_cast<size_t>(height_) + 63) / 64),
+      ws_rows_(static_cast<size_t>(height_) * wpr_, kAllOnes),
+      ws_cols_(static_cast<size_t>(width_) * wpc_, kAllOnes) {
+  // Zero the tail bits past the grid edge so packed words can be consumed
+  // without per-word edge masks (out of range reads as occupied).
+  if (width_ & 63) {
+    uint64_t tail = BitRangeMask(0, (width_ - 1) & 63);
+    for (int y = 0; y < height_; ++y) {
+      ws_rows_[static_cast<size_t>(y) * wpr_ + (wpr_ - 1)] &= tail;
+    }
+  }
+  if (height_ & 63) {
+    uint64_t tail = BitRangeMask(0, (height_ - 1) & 63);
+    for (int x = 0; x < width_; ++x) {
+      ws_cols_[static_cast<size_t>(x) * wpc_ + (wpc_ - 1)] &= tail;
     }
   }
 }
 
+void OccupancyGrid::set_occupied(int x, int y, bool value) {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_) return;
+  uint64_t row_bit = uint64_t{1} << (static_cast<unsigned>(x) & 63);
+  uint64_t col_bit = uint64_t{1} << (static_cast<unsigned>(y) & 63);
+  uint64_t& rw =
+      ws_rows_[static_cast<size_t>(y) * wpr_ + (static_cast<size_t>(x) >> 6)];
+  uint64_t& cw =
+      ws_cols_[static_cast<size_t>(x) * wpc_ + (static_cast<size_t>(y) >> 6)];
+  if (value) {
+    rw &= ~row_bit;
+    cw &= ~col_bit;
+  } else {
+    rw |= row_bit;
+    cw |= col_bit;
+  }
+}
+
+void OccupancyGrid::FillBox(const util::BBox& box) {
+  if (box.Empty()) return;
+  CellRect rect;
+  rect.x0 = std::max(0, static_cast<int>(std::floor(box.x)));
+  rect.y0 = std::max(0, static_cast<int>(std::floor(box.y)));
+  rect.x1 = std::min(width_ - 1, static_cast<int>(std::ceil(box.right())) - 1);
+  rect.y1 =
+      std::min(height_ - 1, static_cast<int>(std::ceil(box.bottom())) - 1);
+  FillCellRect(rect);
+}
+
+void OccupancyGrid::FillCellRect(const CellRect& rect) {
+  CellRect r = IntersectCells(rect, CellRect{0, 0, width_ - 1, height_ - 1});
+  if (r.Empty()) return;
+  for (int y = r.y0; y <= r.y1; ++y) {
+    ClearBitRange(ws_rows_.data() + static_cast<size_t>(y) * wpr_, r.x0,
+                  r.x1);
+  }
+  for (int x = r.x0; x <= r.x1; ++x) {
+    ClearBitRange(ws_cols_.data() + static_cast<size_t>(x) * wpc_, r.y0,
+                  r.y1);
+  }
+}
+
 double OccupancyGrid::OccupancyRatio() const {
-  if (cells_.empty()) return 0.0;
-  size_t count = 0;
-  for (uint8_t c : cells_) count += c;
-  return static_cast<double>(count) / static_cast<double>(cells_.size());
+  size_t whitespace = 0;
+  for (uint64_t w : ws_rows_) whitespace += static_cast<size_t>(std::popcount(w));
+  size_t total = static_cast<size_t>(width_) * height_;
+  return static_cast<double>(total - whitespace) / static_cast<double>(total);
 }
 
 std::string OccupancyGrid::ToAsciiArt() const {
@@ -40,6 +122,28 @@ std::string OccupancyGrid::ToAsciiArt() const {
     out.push_back('\n');
   }
   return out;
+}
+
+bool OccupancyGrid::RowClear(int y) const {
+  const uint64_t* row = ws_row(y);
+  // Tail bits past width are zero by invariant, so the final word must
+  // equal the tail mask rather than all-ones.
+  uint64_t tail =
+      (width_ & 63) ? BitRangeMask(0, (width_ - 1) & 63) : kAllOnes;
+  for (size_t w = 0; w + 1 < wpr_; ++w) {
+    if (row[w] != kAllOnes) return false;
+  }
+  return row[wpr_ - 1] == tail;
+}
+
+bool OccupancyGrid::ColClear(int x) const {
+  const uint64_t* col = ws_col(x);
+  uint64_t tail =
+      (height_ & 63) ? BitRangeMask(0, (height_ - 1) & 63) : kAllOnes;
+  for (size_t w = 0; w + 1 < wpc_; ++w) {
+    if (col[w] != kAllOnes) return false;
+  }
+  return col[wpc_ - 1] == tail;
 }
 
 int GridScale::ToCellsFloor(double v) const {
@@ -59,6 +163,20 @@ util::BBox GridScale::BoxToCells(const util::BBox& b) const {
                     b.width * cells_per_unit, b.height * cells_per_unit};
 }
 
+CellRect BoxToCellRect(const util::BBox& b, const GridScale& scale) {
+  if (b.Empty()) return CellRect{};
+  CellRect r;
+  r.x0 = scale.ToCellsFloor(b.x);
+  r.y0 = scale.ToCellsFloor(b.y);
+  r.x1 = scale.ToCellsCeil(b.right()) - 1;
+  r.y1 = scale.ToCellsCeil(b.bottom()) - 1;
+  // A box thinner than the floor/ceil epsilon still covers the cell it
+  // starts in.
+  r.x1 = std::max(r.x1, r.x0);
+  r.y1 = std::max(r.y1, r.y0);
+  return r;
+}
+
 OccupancyGrid RasterizeBoxes(const std::vector<util::BBox>& boxes,
                              const util::BBox& region,
                              const GridScale& scale) {
@@ -71,6 +189,33 @@ OccupancyGrid RasterizeBoxes(const std::vector<util::BBox>& boxes,
     util::BBox local{clipped.x - region.x, clipped.y - region.y,
                      clipped.width, clipped.height};
     grid.FillBox(scale.BoxToCells(local));
+  }
+  return grid;
+}
+
+PageRaster::PageRaster(const std::vector<util::BBox>& boxes,
+                       const GridScale& scale)
+    : scale_(scale) {
+  rects_.reserve(boxes.size());
+  for (const util::BBox& b : boxes) {
+    rects_.push_back(BoxToCellRect(b, scale));
+  }
+}
+
+OccupancyGrid PageRaster::Crop(const CellRect& window,
+                               const std::vector<size_t>* ids) const {
+  OccupancyGrid grid(window.width(), window.height());
+  auto fill = [&](const CellRect& r) {
+    CellRect clipped = IntersectCells(r, window);
+    if (clipped.Empty()) return;
+    grid.FillCellRect(CellRect{clipped.x0 - window.x0, clipped.y0 - window.y0,
+                               clipped.x1 - window.x0,
+                               clipped.y1 - window.y0});
+  };
+  if (ids) {
+    for (size_t id : *ids) fill(rects_[id]);
+  } else {
+    for (const CellRect& r : rects_) fill(r);
   }
   return grid;
 }

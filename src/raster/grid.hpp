@@ -6,6 +6,12 @@
 /// *whitespace positions* — grid positions covered by no bounding box — so
 /// the page is discretized into an occupancy grid at a configurable
 /// resolution (cells per layout unit).
+///
+/// The grid is stored as packed 64-cell whitespace words, in both row-major
+/// (bits along x) and column-major (bits along y) order. The bit-parallel
+/// cut kernel (DESIGN.md §11) consumes these words directly: one word holds
+/// the whitespace state of 64 consecutive cells, so a single AND/OR
+/// propagates 64 cut origins at once.
 
 #include <cstdint>
 #include <string>
@@ -15,6 +21,24 @@
 #include "util/geometry.hpp"
 
 namespace vs2::raster {
+
+/// \brief Half-open-free inclusive cell rectangle [x0,x1]×[y0,y1] on a cell
+/// lattice. Default-constructed rectangles are empty.
+struct CellRect {
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = -1;
+  int y1 = -1;
+
+  bool operator==(const CellRect&) const = default;
+
+  bool Empty() const { return x1 < x0 || y1 < y0; }
+  int width() const { return x1 - x0 + 1; }
+  int height() const { return y1 - y0 + 1; }
+};
+
+/// Intersection of two cell rectangles (empty when disjoint).
+CellRect IntersectCells(const CellRect& a, const CellRect& b);
 
 /// \brief Binary occupancy raster: cell (x, y) is true when some element's
 /// bounding box covers it. Out-of-range queries read as occupied, so cut
@@ -29,21 +53,24 @@ class OccupancyGrid {
 
   bool occupied(int x, int y) const {
     if (x < 0 || y < 0 || x >= width_ || y >= height_) return true;
-    return cells_[static_cast<size_t>(y) * width_ + x] != 0;
+    return !RowBit(x, y);
   }
 
   /// A whitespace position per Sec 5.1.1: inside the page and uncovered.
+  /// One bounds check, one bit test (the former `occupied` detour re-checked
+  /// the range a second time on this hot path).
   bool IsWhitespace(int x, int y) const {
-    return x >= 0 && y >= 0 && x < width_ && y < height_ && !occupied(x, y);
+    return x >= 0 && y >= 0 && x < width_ && y < height_ && RowBit(x, y);
   }
 
-  void set_occupied(int x, int y, bool value = true) {
-    if (x < 0 || y < 0 || x >= width_ || y >= height_) return;
-    cells_[static_cast<size_t>(y) * width_ + x] = value ? 1 : 0;
-  }
+  void set_occupied(int x, int y, bool value = true);
 
   /// Marks all cells covered by `box` (given in grid coordinates).
   void FillBox(const util::BBox& box);
+
+  /// Marks all cells of `rect` (grid coordinates, clamped to the grid) as
+  /// occupied, via word-masked fills on both packings.
+  void FillCellRect(const CellRect& rect);
 
   /// Fraction of occupied cells.
   double OccupancyRatio() const;
@@ -51,10 +78,45 @@ class OccupancyGrid {
   /// '#' for occupied, '.' for whitespace; debugging aid.
   std::string ToAsciiArt() const;
 
+  // --- packed whitespace accessors (the cut kernel's view) ---------------
+
+  /// Words per row-major row; row y occupies ws_rows()[y*words_per_row()..].
+  size_t words_per_row() const { return wpr_; }
+  /// Words per column-major column.
+  size_t words_per_col() const { return wpc_; }
+
+  /// Row-major packing: bit (x & 63) of word ws_row(y)[x >> 6] is set when
+  /// cell (x, y) is whitespace. Bits at x >= width() are always zero.
+  const uint64_t* ws_row(int y) const {
+    return ws_rows_.data() + static_cast<size_t>(y) * wpr_;
+  }
+  const uint64_t* ws_rows() const { return ws_rows_.data(); }
+
+  /// Column-major packing: bit (y & 63) of word ws_col(x)[y >> 6] is set
+  /// when cell (x, y) is whitespace. Bits at y >= height() are always zero.
+  const uint64_t* ws_col(int x) const {
+    return ws_cols_.data() + static_cast<size_t>(x) * wpc_;
+  }
+  const uint64_t* ws_cols() const { return ws_cols_.data(); }
+
+  /// True when every cell of row y (resp. column x) is whitespace.
+  bool RowClear(int y) const;
+  bool ColClear(int x) const;
+
  private:
+  bool RowBit(int x, int y) const {
+    return (ws_rows_[static_cast<size_t>(y) * wpr_ +
+                     (static_cast<size_t>(x) >> 6)] >>
+            (static_cast<unsigned>(x) & 63)) &
+           1u;
+  }
+
   int width_;
   int height_;
-  std::vector<uint8_t> cells_;
+  size_t wpr_;  ///< words per row-major row
+  size_t wpc_;  ///< words per column-major column
+  std::vector<uint64_t> ws_rows_;  ///< whitespace bits, packed along x
+  std::vector<uint64_t> ws_cols_;  ///< whitespace bits, packed along y
 };
 
 /// \brief Maps between layout units and grid cells.
@@ -67,11 +129,44 @@ struct GridScale {
   util::BBox BoxToCells(const util::BBox& b) const;
 };
 
+/// \brief Footprint of a box on the absolute page lattice (cell k covering
+/// layout units [k/cpu, (k+1)/cpu)). Empty boxes map to an empty rect.
+CellRect BoxToCellRect(const util::BBox& b, const GridScale& scale);
+
 /// Rasterizes element bounding boxes of a region into an occupancy grid.
 /// `region` is in layout units; boxes are clipped to the region and offset
 /// so the grid origin is the region's top-left corner.
 OccupancyGrid RasterizeBoxes(const std::vector<util::BBox>& boxes,
                              const util::BBox& region, const GridScale& scale);
+
+/// \brief Once-per-document page rasterization (DESIGN.md §11).
+///
+/// Snaps every element box to the absolute page lattice exactly once; the
+/// segmenter then derives the grid of any visual area by *cropping* — an
+/// integer window intersect plus word-masked fills — instead of re-clipping
+/// and re-scaling every box at every recursion depth. Because both this path
+/// and the fresh-rasterization path place cells via the same integer lattice
+/// arithmetic, the grids (and therefore the cuts and the layout tree) are
+/// bit-identical.
+class PageRaster {
+ public:
+  PageRaster() = default;
+  PageRaster(const std::vector<util::BBox>& boxes, const GridScale& scale);
+
+  const GridScale& scale() const { return scale_; }
+  size_t size() const { return rects_.size(); }
+  const CellRect& cell_rect(size_t i) const { return rects_[i]; }
+
+  /// Occupancy grid of `window` (absolute lattice cells) containing exactly
+  /// the elements listed in `ids` (all elements when null), clipped to the
+  /// window.
+  OccupancyGrid Crop(const CellRect& window,
+                     const std::vector<size_t>* ids = nullptr) const;
+
+ private:
+  GridScale scale_{};
+  std::vector<CellRect> rects_;
+};
 
 }  // namespace vs2::raster
 

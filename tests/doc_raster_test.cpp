@@ -175,6 +175,97 @@ TEST(GridTest, RasterizeClipsToRegion) {
   EXPECT_FALSE(g.occupied(50, 50));  // empty middle
 }
 
+TEST(GridTest, PackedWordsMirrorCellQueries) {
+  // 70 wide straddles the 64-bit word boundary; verify the packed words the
+  // cut kernel consumes agree with per-cell queries, including tail bits.
+  raster::OccupancyGrid g(70, 70);
+  g.FillBox({60, 1, 8, 5});
+  g.set_occupied(0, 69);
+  for (int y : {0, 1, 4, 69}) {
+    const uint64_t* row = g.ws_row(y);
+    for (int x = 0; x < 70; ++x) {
+      bool bit = (row[x >> 6] >> (x & 63)) & 1;
+      EXPECT_EQ(bit, g.IsWhitespace(x, y)) << x << "," << y;
+    }
+    // Bits past the grid edge must read as occupied (zero).
+    for (int x = 70; x < 128; ++x) {
+      EXPECT_FALSE((row[x >> 6] >> (x & 63)) & 1) << x;
+    }
+  }
+  for (int x : {0, 59, 63, 64, 67, 69}) {
+    const uint64_t* col = g.ws_col(x);
+    for (int y = 0; y < 70; ++y) {
+      bool bit = (col[y >> 6] >> (y & 63)) & 1;
+      EXPECT_EQ(bit, g.IsWhitespace(x, y)) << x << "," << y;
+    }
+  }
+}
+
+TEST(GridTest, RowAndColClear) {
+  raster::OccupancyGrid g(100, 80);
+  EXPECT_TRUE(g.RowClear(10));
+  EXPECT_TRUE(g.ColClear(99));
+  g.set_occupied(99, 10);
+  EXPECT_FALSE(g.RowClear(10));
+  EXPECT_FALSE(g.ColClear(99));
+  EXPECT_TRUE(g.RowClear(11));
+  g.set_occupied(99, 10, false);
+  EXPECT_TRUE(g.RowClear(10));
+}
+
+TEST(GridTest, FillCellRectMatchesSetOccupied) {
+  raster::OccupancyGrid a(130, 67);
+  raster::OccupancyGrid b(130, 67);
+  a.FillCellRect({50, 3, 129, 66});
+  for (int y = 3; y <= 66; ++y) {
+    for (int x = 50; x <= 129; ++x) b.set_occupied(x, y);
+  }
+  for (int y = 0; y < 67; ++y) {
+    for (int x = 0; x < 130; ++x) {
+      EXPECT_EQ(a.occupied(x, y), b.occupied(x, y)) << x << "," << y;
+    }
+  }
+  // Out-of-range rects clamp instead of writing out of bounds.
+  a.FillCellRect({-5, -5, 500, 2});
+  EXPECT_TRUE(a.occupied(0, 0));
+  EXPECT_TRUE(a.occupied(129, 2));
+}
+
+TEST(GridTest, BoxToCellRectSnapsToLattice) {
+  raster::GridScale scale{0.5};  // one cell = 2 units
+  raster::CellRect r = raster::BoxToCellRect({10, 20, 6, 2}, scale);
+  EXPECT_EQ(r, (raster::CellRect{5, 10, 7, 10}));
+  // Sub-cell boxes still cover the cell they start in.
+  EXPECT_FALSE(raster::BoxToCellRect({10.2, 20.2, 0.1, 0.1}, scale).Empty());
+  // Empty boxes map to empty rects.
+  EXPECT_TRUE(raster::BoxToCellRect({10, 20, 0, 5}, scale).Empty());
+}
+
+TEST(PageRasterTest, CropMatchesPerElementFill) {
+  raster::GridScale scale{0.5};
+  std::vector<util::BBox> boxes = {{10, 10, 40, 12}, {10, 40, 40, 12},
+                                   {120, 10, 30, 60}, {-4, -4, 10, 10}};
+  raster::PageRaster page(boxes, scale);
+  raster::CellRect window{2, 2, 80, 40};
+  raster::OccupancyGrid cropped = page.Crop(window);
+
+  raster::OccupancyGrid manual(window.width(), window.height());
+  for (const util::BBox& b : boxes) {
+    raster::CellRect r = raster::IntersectCells(
+        raster::BoxToCellRect(b, scale), window);
+    if (r.Empty()) continue;
+    manual.FillCellRect({r.x0 - window.x0, r.y0 - window.y0, r.x1 - window.x0,
+                         r.y1 - window.y0});
+  }
+  EXPECT_EQ(cropped.ToAsciiArt(), manual.ToAsciiArt());
+
+  // Restricting to a subset of elements excludes the others' cells.
+  std::vector<size_t> subset = {0, 1};
+  raster::OccupancyGrid partial = page.Crop(window, &subset);
+  EXPECT_TRUE(partial.occupied(10 - window.x0, 8 - window.y0));  // box 0
+  EXPECT_FALSE(partial.occupied(62 - window.x0, 8 - window.y0));  // box 2 only
+}
+
 TEST(GridScaleTest, UnitConversionRoundTrip) {
   raster::GridScale scale{0.5};
   EXPECT_EQ(scale.ToCellsFloor(9.9), 4);
