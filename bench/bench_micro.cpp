@@ -18,6 +18,7 @@
 #include <string>
 
 #include "baselines/segmentation.hpp"
+#include "check/check.hpp"
 #include "core/pattern_learner.hpp"
 #include "core/pipeline.hpp"
 #include "datasets/pretrained.hpp"
@@ -237,6 +238,40 @@ void BM_Pipeline_EndToEnd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Pipeline_EndToEnd);
+
+// Audit-mode overhead on the end-to-end pipeline (DESIGN.md §12): the deep
+// validators are always compiled, so the runtime toggle alone decides the
+// cost. CI's audit-mode job runs this pair and the documented budget is
+// <2x wall time for the On/Off ratio.
+void BM_Pipeline_AuditMode_Off(benchmark::State& state) {
+  const auto& emb = datasets::PretrainedEmbedding();
+  static const core::Vs2* vs2 = new core::Vs2(
+      doc::DatasetId::kD2EventPosters, emb,
+      core::DefaultConfigFor(doc::DatasetId::kD2EventPosters));
+  const doc::Document& d = SamplePoster();
+  const bool prior = check::AuditsEnabled();
+  check::SetAuditsEnabled(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vs2->Process(d));
+  }
+  check::SetAuditsEnabled(prior);
+}
+BENCHMARK(BM_Pipeline_AuditMode_Off);
+
+void BM_Pipeline_AuditMode_On(benchmark::State& state) {
+  const auto& emb = datasets::PretrainedEmbedding();
+  static const core::Vs2* vs2 = new core::Vs2(
+      doc::DatasetId::kD2EventPosters, emb,
+      core::DefaultConfigFor(doc::DatasetId::kD2EventPosters));
+  const doc::Document& d = SamplePoster();
+  const bool prior = check::AuditsEnabled();
+  check::SetAuditsEnabled(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vs2->Process(d));
+  }
+  check::SetAuditsEnabled(prior);
+}
+BENCHMARK(BM_Pipeline_AuditMode_On);
 
 void BM_EmbeddingTextSimilarity(benchmark::State& state) {
   const auto& emb = datasets::PretrainedEmbedding();

@@ -1,0 +1,33 @@
+// Fuzz harness for the document JSON boundary (`doc::FromJson`).
+//
+// Feeds arbitrary bytes to the parser and checks the round-trip invariant:
+// any document the parser accepts must serialize (`doc::ToJson`) back into
+// JSON the parser accepts again. Historic findings now pinned in
+// fuzz/corpus/fuzz_doc_json/: stack overflow on deep `[[[[...` nesting,
+// ill-formed UTF-8 and raw control characters flowing into element text,
+// CESU-8 surrogate encodings, and float→int casts of out-of-range field
+// values (undefined behavior caught under UBSan).
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstdio>
+#include <string>
+
+#include "doc/serialization.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string input(reinterpret_cast<const char*>(data), size);
+  vs2::Result<vs2::doc::Document> parsed = vs2::doc::FromJson(input);
+  if (!parsed.ok()) return 0;  // rejection is the expected common case
+
+  std::string json = vs2::doc::ToJson(*parsed);
+  vs2::Result<vs2::doc::Document> reparsed = vs2::doc::FromJson(json);
+  if (!reparsed.ok()) {
+    std::fprintf(stderr,
+                 "round-trip failure: accepted document re-serialized into "
+                 "rejected JSON: %s\n",
+                 reparsed.status().ToString().c_str());
+    std::abort();
+  }
+  return 0;
+}

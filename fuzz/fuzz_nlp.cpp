@@ -1,0 +1,42 @@
+// Fuzz harness for the NLP stack on arbitrary text: tokenizer, the token
+// shape classifiers, the Porter stemmer, the full analyzer (POS/NER/time/
+// geo/sense tagging), and chunk-tree construction. The resulting parse tree
+// must satisfy the `check::AuditChunkTree` invariants (finite depth and
+// node count, non-empty labels) — hostile text may produce a useless tree,
+// never a malformed one.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "check/audit.hpp"
+#include "nlp/analyzer.hpp"
+#include "nlp/chunk_tree.hpp"
+#include "nlp/stemmer.hpp"
+#include "nlp/tokenizer.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+
+  std::vector<std::string> tokens = vs2::nlp::Tokenize(text);
+  for (const std::string& token : tokens) {
+    vs2::nlp::PorterStem(token);
+    vs2::nlp::LooksNumeric(token);
+    vs2::nlp::LooksLikeClockTime(token);
+    vs2::nlp::LooksLikeZipCode(token);
+    vs2::nlp::LooksLikeMoney(token);
+  }
+
+  vs2::nlp::AnalyzedText analyzed = vs2::nlp::Analyze(text);
+  vs2::nlp::ParseNode root = vs2::nlp::BuildChunkTree(analyzed);
+  vs2::check::AuditReport report = vs2::check::AuditChunkTree(root);
+  if (!report.ok()) {
+    std::fprintf(stderr, "chunk-tree audit failed:\n%s\n",
+                 report.ToString().c_str());
+    std::abort();
+  }
+  vs2::nlp::ToSExpression(root);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Structured fuzz harness for VS2-Segment.
+//
+// Decodes the raw input into a synthetic document — every 8-byte record
+// becomes one element whose geometry, text and style derive from the
+// bytes — then runs the full segmenter and deep-audits the resulting
+// layout tree (`check::AuditLayoutTree`): parent/child id consistency,
+// leaf disjointness, containment, depth bounds. Degenerate geometry
+// (zero-area boxes, elements stacked on one point, off-page boxes pinned
+// by the noise frame) must yield a *valid* tree, never a malformed one.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "check/audit.hpp"
+#include "core/segmenter.hpp"
+#include "datasets/pretrained.hpp"
+#include "doc/document.hpp"
+#include "doc/element.hpp"
+
+namespace {
+
+constexpr size_t kRecordBytes = 8;
+constexpr size_t kMaxElements = 96;
+
+const char* const kWords[] = {"invoice", "total",  "march", "ballroom",
+                              "7pm",     "$42.00", "suite", "contact"};
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  vs2::doc::Document doc;
+  doc.dataset = vs2::doc::DatasetId::kD2EventPosters;
+  doc.width = 612.0;
+  doc.height = 792.0;
+
+  size_t records = size / kRecordBytes;
+  if (records > kMaxElements) records = kMaxElements;
+  for (size_t i = 0; i < records; ++i) {
+    const uint8_t* r = data + i * kRecordBytes;
+    vs2::util::BBox bbox;
+    // Two bytes per axis position, one per extent: positions cover the
+    // page densely; extents stay element-scale so pathological inputs
+    // exercise stacking and zero-area cases, not just page-sized blobs.
+    bbox.x = (r[0] | (r[1] << 8)) % 600;
+    bbox.y = (r[2] | (r[3] << 8)) % 780;
+    bbox.width = r[4] % 120;
+    bbox.height = r[5] % 40;
+    if (r[6] % 8 == 0) {
+      doc.elements.push_back(vs2::doc::MakeImageElement(
+          static_cast<uint64_t>(r[7]) + 1, bbox, vs2::util::SlateGray()));
+    } else {
+      vs2::doc::TextStyle style;
+      style.font_size = 6.0 + r[6] % 24;
+      style.bold = (r[6] & 0x40) != 0;
+      doc.elements.push_back(vs2::doc::MakeTextElement(
+          kWords[r[7] % (sizeof(kWords) / sizeof(kWords[0]))], bbox, style));
+    }
+  }
+
+  vs2::core::SegmenterConfig config;
+  vs2::Result<vs2::doc::LayoutTree> tree =
+      vs2::core::Segment(doc, vs2::datasets::PretrainedEmbedding(), config);
+  if (!tree.ok()) return 0;  // rejecting a degenerate layout is valid
+
+  vs2::check::LayoutTreeAuditOptions audit_options;
+  audit_options.max_depth = config.max_depth + 1;
+  vs2::check::AuditReport report =
+      vs2::check::AuditLayoutTree(*tree, doc, audit_options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "layout-tree audit failed:\n%s\n",
+                 report.ToString().c_str());
+    std::abort();
+  }
+  return 0;
+}

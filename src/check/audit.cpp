@@ -1,0 +1,381 @@
+#include "check/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+namespace vs2::check {
+namespace {
+
+bool Finite(double v) { return std::isfinite(v); }
+
+bool FiniteBox(const util::BBox& b) {
+  return Finite(b.x) && Finite(b.y) && Finite(b.width) && Finite(b.height);
+}
+
+/// Chunk/feature trees are shallow by construction (clause → chunk →
+/// token-feature); anything deeper signals a corrupted builder.
+constexpr size_t kMaxChunkTreeDepth = 16;
+constexpr size_t kMaxChunkTreeNodes = 100000;
+
+void AuditChunkNode(const nlp::ParseNode& node, size_t depth, size_t* nodes,
+                    AuditReport& report) {
+  ++*nodes;
+  if (*nodes > kMaxChunkTreeNodes) return;  // reported once by the caller
+  VS2_AUDIT(report, !node.label.empty())
+      << "chunk-tree node at depth " << depth << " has an empty label";
+  VS2_AUDIT(report, depth <= kMaxChunkTreeDepth)
+      << "chunk-tree depth " << depth << " exceeds structural bound "
+      << kMaxChunkTreeDepth;
+  if (depth > kMaxChunkTreeDepth) return;
+  for (const nlp::ParseNode& child : node.children) {
+    AuditChunkNode(child, depth + 1, nodes, report);
+  }
+}
+
+}  // namespace
+
+AuditReport AuditLayoutTree(const doc::LayoutTree& tree,
+                            const doc::Document& doc,
+                            const LayoutTreeAuditOptions& options) {
+  AuditReport report;
+  const size_t n = tree.size();
+  VS2_AUDIT(report, n > 0) << "layout tree has no nodes";
+  if (n == 0) return report;
+
+  const doc::LayoutNode& root = tree.node(tree.root());
+  VS2_AUDIT(report, root.parent == doc::kNoNode)
+      << "root node has parent " << root.parent;
+  VS2_AUDIT(report, root.depth == 0) << "root depth is " << root.depth;
+  VS2_AUDIT(report, root.element_indices.size() == doc.elements.size())
+      << "root holds " << root.element_indices.size() << " of "
+      << doc.elements.size() << " document elements";
+
+  for (size_t id = 0; id < n; ++id) {
+    const doc::LayoutNode& node = tree.node(id);
+    const bool tombstoned = node.parent == doc::kNoNode && id != tree.root();
+
+    VS2_AUDIT(report, FiniteBox(node.bbox))
+        << "node " << id << " bbox is non-finite: " << node.bbox;
+    VS2_AUDIT(report, node.bbox.width >= 0.0 && node.bbox.height >= 0.0)
+        << "node " << id << " bbox has negative extent: " << node.bbox;
+
+    std::set<size_t> own(node.element_indices.begin(),
+                         node.element_indices.end());
+    VS2_AUDIT(report, own.size() == node.element_indices.size())
+        << "node " << id << " lists "
+        << node.element_indices.size() - own.size()
+        << " duplicate element indices";
+    for (size_t e : node.element_indices) {
+      VS2_AUDIT(report, e < doc.elements.size())
+          << "node " << id << " references element " << e
+          << " outside document of " << doc.elements.size() << " elements";
+    }
+
+    if (!tombstoned && id != tree.root()) {
+      VS2_AUDIT(report, node.parent < n)
+          << "node " << id << " parent id " << node.parent
+          << " is out of range";
+      if (node.parent < n) {
+        const doc::LayoutNode& parent = tree.node(node.parent);
+        const size_t links = static_cast<size_t>(
+            std::count(parent.children.begin(), parent.children.end(), id));
+        VS2_AUDIT(report, links == 1)
+            << "node " << id << " appears " << links
+            << " times among the children of its parent " << node.parent;
+        VS2_AUDIT(report, node.depth == parent.depth + 1)
+            << "node " << id << " depth " << node.depth
+            << " does not follow parent depth " << parent.depth;
+      }
+    }
+    if (options.max_depth >= 0 && !tombstoned) {
+      VS2_AUDIT(report, node.depth <= options.max_depth)
+          << "node " << id << " depth " << node.depth
+          << " exceeds bound " << options.max_depth;
+    }
+
+    // Child links: in range, no duplicates, back-linked, contained.
+    std::set<size_t> child_ids(node.children.begin(), node.children.end());
+    VS2_AUDIT(report, child_ids.size() == node.children.size())
+        << "node " << id << " lists duplicate children";
+    std::set<size_t> claimed;  // elements claimed by the children so far
+    util::BBox grown = node.bbox;
+    grown.x -= options.epsilon;
+    grown.y -= options.epsilon;
+    grown.width += 2 * options.epsilon;
+    grown.height += 2 * options.epsilon;
+    for (size_t c : node.children) {
+      VS2_AUDIT(report, c < n && c != id)
+          << "node " << id << " lists invalid child " << c;
+      if (c >= n || c == id) continue;
+      const doc::LayoutNode& child = tree.node(c);
+      VS2_AUDIT(report, child.parent == id)
+          << "child " << c << " of node " << id << " back-links to "
+          << child.parent;
+      VS2_AUDIT(report, child.bbox.Empty() || grown.Contains(child.bbox))
+          << "child " << c << " bbox " << child.bbox
+          << " escapes parent " << id << " bbox " << node.bbox;
+      for (size_t e : child.element_indices) {
+        VS2_AUDIT(report, own.count(e) != 0)
+            << "child " << c << " holds element " << e
+            << " absent from parent " << id;
+        VS2_AUDIT(report, claimed.insert(e).second)
+            << "element " << e << " is shared by siblings under node " << id;
+      }
+    }
+  }
+
+  // Global leaf partition: no element may appear in two reachable leaves
+  // (the logical blocks of Sec 4.2 partition the page content).
+  std::set<size_t> leaf_elements;
+  for (size_t leaf : tree.Leaves()) {
+    for (size_t e : tree.node(leaf).element_indices) {
+      VS2_AUDIT(report, leaf_elements.insert(e).second)
+          << "element " << e << " appears in more than one leaf (leaf "
+          << leaf << ")";
+    }
+  }
+  return report;
+}
+
+AuditReport AuditOccupancyGrid(const raster::OccupancyGrid& grid) {
+  AuditReport report;
+  const int w = grid.width();
+  const int h = grid.height();
+  VS2_AUDIT(report, w >= 1 && h >= 1)
+      << "grid has degenerate shape " << w << "x" << h;
+  if (w < 1 || h < 1) return report;
+
+  const size_t wpr = grid.words_per_row();
+  const size_t wpc = grid.words_per_col();
+  VS2_AUDIT(report, wpr == (static_cast<size_t>(w) + 63) / 64)
+      << "words_per_row " << wpr << " inconsistent with width " << w;
+  VS2_AUDIT(report, wpc == (static_cast<size_t>(h) + 63) / 64)
+      << "words_per_col " << wpc << " inconsistent with height " << h;
+
+  // Zero-tail invariant: every bit at x >= width (row packing) and
+  // y >= height (column packing) must be zero — the bit-parallel kernel
+  // consumes whole words without edge masks.
+  if (w & 63) {
+    const uint64_t tail_mask = ~uint64_t{0} << (w & 63);
+    for (int y = 0; y < h; ++y) {
+      const uint64_t word = grid.ws_row(y)[wpr - 1];
+      VS2_AUDIT(report, (word & tail_mask) == 0)
+          << "row " << y << " tail word has bits set past width " << w;
+    }
+  }
+  if (h & 63) {
+    const uint64_t tail_mask = ~uint64_t{0} << (h & 63);
+    for (int x = 0; x < w; ++x) {
+      const uint64_t word = grid.ws_col(x)[wpc - 1];
+      VS2_AUDIT(report, (word & tail_mask) == 0)
+          << "column " << x << " tail word has bits set past height " << h;
+    }
+  }
+
+  // Cross-agreement + scalar equivalence, one pass over the cells: the
+  // row-packed bit, the column-packed bit and the scalar accessors must
+  // tell the same story for every cell.
+  for (int y = 0; y < h; ++y) {
+    const uint64_t* row = grid.ws_row(y);
+    for (int x = 0; x < w; ++x) {
+      const bool row_ws = (row[static_cast<size_t>(x) >> 6] >>
+                           (static_cast<unsigned>(x) & 63)) & 1u;
+      const bool col_ws =
+          (grid.ws_col(x)[static_cast<size_t>(y) >> 6] >>
+           (static_cast<unsigned>(y) & 63)) & 1u;
+      VS2_AUDIT(report, row_ws == col_ws)
+          << "packings disagree at (" << x << ", " << y << "): row says "
+          << row_ws << ", column says " << col_ws;
+      VS2_AUDIT(report, grid.IsWhitespace(x, y) == row_ws)
+          << "IsWhitespace(" << x << ", " << y
+          << ") disagrees with the packed row bit " << row_ws;
+      VS2_AUDIT(report, grid.occupied(x, y) == !row_ws)
+          << "occupied(" << x << ", " << y
+          << ") disagrees with the packed row bit " << row_ws;
+      if (report.total_failures() > AuditReport::kMaxRecordedFailures) {
+        return report;  // grid is corrupt; the full scan adds nothing
+      }
+    }
+  }
+
+  // Out-of-range contract: reads as occupied, never as whitespace.
+  VS2_AUDIT(report, !grid.IsWhitespace(-1, 0) && grid.occupied(-1, 0))
+      << "out-of-range (-1, 0) must read occupied";
+  VS2_AUDIT(report, !grid.IsWhitespace(0, -1) && grid.occupied(0, -1))
+      << "out-of-range (0, -1) must read occupied";
+  VS2_AUDIT(report, !grid.IsWhitespace(w, 0) && grid.occupied(w, 0))
+      << "out-of-range (width, 0) must read occupied";
+  VS2_AUDIT(report, !grid.IsWhitespace(0, h) && grid.occupied(0, h))
+      << "out-of-range (0, height) must read occupied";
+
+  // RowClear/ColClear agree with the per-cell view on sampled lines (full
+  // agreement follows from the packed checks above; the sample guards the
+  // fast-path word comparisons themselves).
+  for (int y : {0, h / 2, h - 1}) {
+    bool all_ws = true;
+    for (int x = 0; x < w; ++x) all_ws = all_ws && grid.IsWhitespace(x, y);
+    VS2_AUDIT(report, grid.RowClear(y) == all_ws)
+        << "RowClear(" << y << ") = " << grid.RowClear(y)
+        << " but per-cell scan says " << all_ws;
+  }
+  for (int x : {0, w / 2, w - 1}) {
+    bool all_ws = true;
+    for (int y = 0; y < h; ++y) all_ws = all_ws && grid.IsWhitespace(x, y);
+    VS2_AUDIT(report, grid.ColClear(x) == all_ws)
+        << "ColClear(" << x << ") = " << grid.ColClear(x)
+        << " but per-cell scan says " << all_ws;
+  }
+  return report;
+}
+
+AuditReport AuditDocument(const doc::Document& doc,
+                          const std::vector<std::string>* entity_vocabulary) {
+  AuditReport report;
+  VS2_AUDIT(report, Finite(doc.width) && Finite(doc.height) &&
+                        doc.width > 0.0 && doc.height > 0.0)
+      << "document " << doc.id << " has degenerate page " << doc.width << "x"
+      << doc.height;
+  VS2_AUDIT(report,
+            Finite(doc.capture_quality) && doc.capture_quality >= 0.0 &&
+                doc.capture_quality <= 1.0)
+      << "document " << doc.id << " capture_quality "
+      << doc.capture_quality << " outside [0, 1]";
+  VS2_AUDIT(report, Finite(doc.rotation_degrees))
+      << "document " << doc.id << " rotation is non-finite";
+
+  // Capture noise (skew, OCR jitter) legitimately pushes element boxes a
+  // little past the nominal page frame; wildly escaping geometry is a
+  // corruption signal. Allow half a page of slack on every side.
+  util::BBox frame{-0.5 * doc.width, -0.5 * doc.height, 2.0 * doc.width,
+                   2.0 * doc.height};
+  for (size_t i = 0; i < doc.elements.size(); ++i) {
+    const doc::AtomicElement& el = doc.elements[i];
+    VS2_AUDIT(report, FiniteBox(el.bbox))
+        << "element " << i << " bbox is non-finite";
+    VS2_AUDIT(report, el.bbox.width >= 0.0 && el.bbox.height >= 0.0)
+        << "element " << i << " bbox has negative extent: " << el.bbox;
+    if (FiniteBox(el.bbox) && !el.bbox.Empty()) {
+      VS2_AUDIT(report, frame.Contains(el.bbox))
+          << "element " << i << " bbox " << el.bbox
+          << " escapes the noise-expanded page frame of document " << doc.id;
+    }
+    if (el.is_text()) {
+      VS2_AUDIT(report, el.image_id == 0)
+          << "text element " << i << " carries image payload "
+          << el.image_id;
+      VS2_AUDIT(report, Finite(el.style.font_size) && el.style.font_size > 0)
+          << "text element " << i << " font size " << el.style.font_size;
+    } else {
+      VS2_AUDIT(report, el.text.empty())
+          << "image element " << i << " carries text \"" << el.text << '"';
+    }
+    if (report.total_failures() > AuditReport::kMaxRecordedFailures) {
+      return report;
+    }
+  }
+
+  for (size_t i = 0; i < doc.annotations.size(); ++i) {
+    const doc::Annotation& ann = doc.annotations[i];
+    VS2_AUDIT(report, !ann.entity_type.empty())
+        << "annotation " << i << " of document " << doc.id
+        << " has an empty entity type";
+    VS2_AUDIT(report, FiniteBox(ann.bbox))
+        << "annotation " << i << " bbox is non-finite";
+    if (entity_vocabulary != nullptr) {
+      const bool resolves =
+          std::find(entity_vocabulary->begin(), entity_vocabulary->end(),
+                    ann.entity_type) != entity_vocabulary->end();
+      VS2_AUDIT(report, resolves)
+          << "annotation entity \"" << ann.entity_type
+          << "\" of document " << doc.id
+          << " does not resolve against the corpus vocabulary";
+    }
+  }
+  return report;
+}
+
+AuditReport AuditCorpus(const doc::Corpus& corpus) {
+  AuditReport report;
+  std::unordered_set<uint64_t> ids;
+  for (const doc::Document& d : corpus.documents) {
+    VS2_AUDIT(report, ids.insert(d.id).second)
+        << "duplicate document id " << d.id << " in corpus";
+    VS2_AUDIT(report, d.dataset == corpus.dataset)
+        << "document " << d.id << " belongs to dataset "
+        << static_cast<int>(d.dataset) << ", corpus is "
+        << static_cast<int>(corpus.dataset);
+    report.Merge(AuditDocument(d, &corpus.entity_types));
+    if (report.total_failures() > AuditReport::kMaxRecordedFailures) break;
+  }
+  return report;
+}
+
+AuditReport AuditChunkTree(const nlp::ParseNode& root) {
+  AuditReport report;
+  size_t nodes = 0;
+  AuditChunkNode(root, 0, &nodes, report);
+  VS2_AUDIT(report, nodes <= kMaxChunkTreeNodes)
+      << "chunk tree holds " << nodes << " nodes, structural bound is "
+      << kMaxChunkTreeNodes;
+  return report;
+}
+
+AuditReport AuditFlatTree(const mining::FlatTree& tree) {
+  AuditReport report;
+  VS2_AUDIT(report, tree.labels.size() == tree.parents.size())
+      << "labels/parents size mismatch: " << tree.labels.size() << " vs "
+      << tree.parents.size();
+  if (tree.size() == 0) return report;
+  VS2_AUDIT(report, tree.parents[0] == -1)
+      << "preorder root must have parent -1, got " << tree.parents[0];
+  for (size_t i = 1; i < tree.parents.size(); ++i) {
+    VS2_AUDIT(report,
+              tree.parents[i] >= 0 &&
+                  tree.parents[i] < static_cast<int>(i))
+        << "node " << i << " has parent " << tree.parents[i]
+        << ", preorder requires 0 <= parent < " << i;
+  }
+  for (size_t i = 0; i < tree.labels.size(); ++i) {
+    VS2_AUDIT(report, !tree.labels[i].empty())
+        << "node " << i << " has an empty label";
+  }
+  return report;
+}
+
+AuditReport AuditPattern(const mining::MinedPattern& pattern,
+                         const std::vector<mining::FlatTree>& transactions) {
+  AuditReport report;
+  report.Merge(AuditFlatTree(pattern.tree));
+  VS2_AUDIT(report, pattern.support >= 1)
+      << "mined pattern " << pattern.tree.ToSExpression()
+      << " has zero support";
+  VS2_AUDIT(report, pattern.support <= transactions.size())
+      << "mined pattern support " << pattern.support << " exceeds the "
+      << transactions.size() << " transactions";
+  if (!report.ok()) return report;
+
+  size_t embeddable = 0;
+  for (const mining::FlatTree& t : transactions) {
+    if (mining::ContainsSubtree(t, pattern.tree)) ++embeddable;
+  }
+  VS2_AUDIT(report, embeddable == pattern.support)
+      << "pattern " << pattern.tree.ToSExpression() << " claims support "
+      << pattern.support << " but embeds in " << embeddable << " of "
+      << transactions.size() << " transaction trees";
+  return report;
+}
+
+AuditReport AuditMinedPatterns(
+    const std::vector<mining::MinedPattern>& patterns,
+    const std::vector<mining::FlatTree>& transactions) {
+  AuditReport report;
+  for (const mining::MinedPattern& p : patterns) {
+    report.Merge(AuditPattern(p, transactions));
+    if (report.total_failures() > AuditReport::kMaxRecordedFailures) break;
+  }
+  return report;
+}
+
+}  // namespace vs2::check

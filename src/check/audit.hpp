@@ -1,0 +1,99 @@
+#ifndef VS2_CHECK_AUDIT_HPP_
+#define VS2_CHECK_AUDIT_HPP_
+
+/// \file audit.hpp
+/// Deep invariant validators (DESIGN.md §12) — one audit function per core
+/// data structure, each verifying the structural guarantees the paper
+/// states and the rest of the codebase silently assumes:
+///
+///  * `AuditLayoutTree` — the layout model T_D = (V, E) of Sec 4.2 must be
+///    a tree that partitions its parent's elements: consistent parent/child
+///    id links, per-level element-set disjointness, parent containment of
+///    child bounding boxes, and sane depth bookkeeping.
+///  * `AuditOccupancyGrid` — the dual packed whitespace bitsets must agree
+///    with each other and with the scalar accessors, and every word's bits
+///    past the grid edge must be zero (the bit-parallel cut kernel of
+///    DESIGN.md §11 consumes words unmasked and is wrong without this).
+///  * `AuditDocument` / `AuditCorpus` — finite geometry, elements within
+///    the (noise-expanded) page frame, annotations that resolve against the
+///    corpus entity vocabulary.
+///  * `AuditChunkTree` / `AuditFlatTree` / `AuditMinedPatterns` — feature
+///    trees are well-formed, and every mined pattern is embeddable in at
+///    least `support` transaction trees (Sec 5.2.1; the MetaPAD-style
+///    pattern-quality gate).
+///
+/// All validators are pure, thread-safe, and always compiled; call sites
+/// decide when to run them (`check::AuditsEnabled()`). Each returns an
+/// `AuditReport` carrying every violated invariant, not just the first.
+/// `AuditResultCache` lives with its structure (serve/cache.hpp): its
+/// invariants span private members, and `check` must stay below `core` in
+/// the library stack.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "doc/document.hpp"
+#include "doc/layout_tree.hpp"
+#include "mining/subtree_miner.hpp"
+#include "nlp/chunk_tree.hpp"
+#include "raster/grid.hpp"
+
+namespace vs2::check {
+
+/// Knobs for `AuditLayoutTree`.
+struct LayoutTreeAuditOptions {
+  /// Maximum allowed node depth; < 0 disables the bound. The segmenter
+  /// recurses to `SegmenterConfig::max_depth` and semantic merging may add
+  /// one more level, so wiring passes `max_depth + 1`.
+  int max_depth = -1;
+  /// Containment slack in layout units (matches LayoutTree::Validate).
+  double epsilon = 1e-6;
+};
+
+/// Verifies the structural invariants of a layout tree against its source
+/// document: id-link consistency, element-set nesting/disjointness, bbox
+/// containment, depth bookkeeping, and global leaf-partition disjointness.
+AuditReport AuditLayoutTree(const doc::LayoutTree& tree,
+                            const doc::Document& doc,
+                            const LayoutTreeAuditOptions& options = {});
+
+/// Verifies the packed-bitset invariants of an occupancy grid: row/column
+/// packing cross-agreement, zero tail bits past the grid edge, and
+/// scalar-vs-packed accessor equivalence (including out-of-range behavior).
+AuditReport AuditOccupancyGrid(const raster::OccupancyGrid& grid);
+
+/// Verifies a document: finite, positive page geometry; finite element
+/// boxes within the noise-expanded page frame; kind-consistent payloads;
+/// well-formed annotations. When `entity_vocabulary` is non-null, every
+/// annotation's entity type must resolve against it.
+AuditReport AuditDocument(
+    const doc::Document& doc,
+    const std::vector<std::string>* entity_vocabulary = nullptr);
+
+/// Audits every document of a corpus against the corpus vocabulary.
+AuditReport AuditCorpus(const doc::Corpus& corpus);
+
+/// Verifies a chunk/feature tree: non-empty labels and bounded shape.
+AuditReport AuditChunkTree(const nlp::ParseNode& root);
+
+/// Verifies the preorder/parent invariants of a flat labelled tree
+/// (superset of `FlatTree::Validate`, reported per violation).
+AuditReport AuditFlatTree(const mining::FlatTree& tree);
+
+/// Verifies one mined pattern against its transaction trees: the pattern
+/// is itself a valid tree and occurs as an induced ordered subtree in at
+/// least `pattern.support` transactions, with `support` within the
+/// transaction count.
+AuditReport AuditPattern(const mining::MinedPattern& pattern,
+                         const std::vector<mining::FlatTree>& transactions);
+
+/// `AuditPattern` over a whole mining result.
+AuditReport AuditMinedPatterns(
+    const std::vector<mining::MinedPattern>& patterns,
+    const std::vector<mining::FlatTree>& transactions);
+
+}  // namespace vs2::check
+
+#endif  // VS2_CHECK_AUDIT_HPP_

@@ -1,0 +1,90 @@
+#include "check/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "util/strings.hpp"
+
+namespace vs2::check {
+
+namespace {
+std::atomic<bool> g_audits_enabled{kAuditBuild};
+}  // namespace
+
+bool AuditsEnabled() {
+  return g_audits_enabled.load(std::memory_order_relaxed);
+}
+
+bool SetAuditsEnabled(bool enabled) {
+  return g_audits_enabled.exchange(enabled, std::memory_order_relaxed);
+}
+
+std::string Failure::ToString() const {
+  std::string out =
+      util::Format("%s:%d: audit failed: (%s)", file, line, expression.c_str());
+  if (!context.empty()) {
+    out += " — ";
+    out += context;
+  }
+  return out;
+}
+
+void AuditReport::Add(Failure failure) {
+  ++total_;
+  if (failures_.size() < kMaxRecordedFailures) {
+    failures_.push_back(std::move(failure));
+  }
+}
+
+void AuditReport::Merge(const AuditReport& other) {
+  for (const Failure& f : other.failures_) Add(f);
+  // Failures past the other report's recording cap carry no detail; they
+  // still count toward the merged total.
+  total_ += other.total_ - other.failures_.size();
+}
+
+std::string AuditReport::ToString() const {
+  std::string out;
+  for (const Failure& f : failures_) {
+    if (!out.empty()) out += "\n";
+    out += f.ToString();
+  }
+  if (total_ > failures_.size()) {
+    out += util::Format("\n(... %zu further failures suppressed)",
+                        total_ - failures_.size());
+  }
+  return out;
+}
+
+Status AuditReport::ToStatus(const std::string& subject) const {
+  if (ok()) return Status::OK();
+  return Status::Internal(
+      util::Format("audit '%s' found %zu invariant violation(s):\n",
+                   subject.c_str(), total_) +
+      ToString());
+}
+
+FailureBuilder::~FailureBuilder() {
+  Failure failure;
+  failure.expression = expression_;
+  failure.file = file_;
+  failure.line = line_;
+  failure.context = stream_.str();
+  if (report_ != nullptr) {
+    report_->Add(std::move(failure));
+    return;
+  }
+  // Fatal path (VS2_CHECK): render and abort.
+  std::fprintf(stderr, "VS2_CHECK failure: %s\n", failure.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::ostream& NullStreamInstance() {
+  // A stream with no streambuf discards everything written to it.
+  static std::ostream null_stream(nullptr);
+  return null_stream;
+}
+
+}  // namespace vs2::check

@@ -1,0 +1,166 @@
+#ifndef VS2_CHECK_CHECK_HPP_
+#define VS2_CHECK_CHECK_HPP_
+
+/// \file check.hpp
+/// Structured assertion framework — the static/dynamic-analysis backbone of
+/// the correctness-audit subsystem (DESIGN.md §12).
+///
+/// Two macro families:
+///
+///  * `VS2_CHECK(expr) << context;` — an inline, process-fatal invariant for
+///    hot paths. Compiled to a true no-op (the expression is not evaluated)
+///    unless audits are compiled in (`-DVS2_AUDIT_MODE=ON`, or any build
+///    without `NDEBUG`). On failure it prints a `check::Failure` rendering
+///    to stderr and aborts.
+///
+///  * `VS2_AUDIT(report, expr) << context;` — a recording assertion used by
+///    the deep validators of audit.hpp. Always compiled (the validators are
+///    explicit calls; their *call sites* are gated, not their bodies): when
+///    `expr` is false it captures the expression text, file:line and the
+///    streamed context into a `check::Failure` appended to `report`, and
+///    execution continues so one audit pass reports every violated
+///    invariant at once.
+///
+/// Deep audits are additionally gated at runtime: `AuditsEnabled()` is the
+/// kill switch the pipeline wiring consults before running a validator.
+/// Its default is ON for audit-mode / debug builds and OFF for plain
+/// release builds; `SetAuditsEnabled` flips it (tests force it on in every
+/// build via tests/audit_bootstrap.cpp, and bench_micro A/Bs the audit-mode
+/// overhead by toggling it in one binary).
+
+#include <atomic>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+// Audit-mode compile gate: VS2_AUDIT_MODE is defined tree-wide by the CMake
+// option of the same name; builds without NDEBUG (plain Debug) audit too.
+#if defined(VS2_AUDIT_MODE) || !defined(NDEBUG)
+#define VS2_AUDIT_COMPILED_IN 1
+#else
+#define VS2_AUDIT_COMPILED_IN 0
+#endif
+
+namespace vs2::check {
+
+/// True in builds whose default is audits-on (`-DVS2_AUDIT_MODE=ON` or a
+/// `Debug` build). Plain release builds default to audits-off but keep the
+/// validators linked, so a process can still opt in at runtime.
+inline constexpr bool kAuditBuild = VS2_AUDIT_COMPILED_IN == 1;
+
+/// Runtime kill switch consulted by every audit call site. Relaxed atomic
+/// load: the cost in the audits-off case is one predictable branch.
+bool AuditsEnabled();
+
+/// Flips the runtime switch; returns the previous value.
+bool SetAuditsEnabled(bool enabled);
+
+/// \brief One violated invariant: the failed expression, where it fired,
+/// and the streamed context describing the offending values.
+struct Failure {
+  std::string expression;
+  const char* file = "";
+  int line = 0;
+  std::string context;
+
+  /// Renders `file:line: audit failed: (expr) — context`.
+  std::string ToString() const;
+};
+
+/// \brief Collected outcome of one deep audit. Records up to
+/// `kMaxRecordedFailures` failures in full detail and counts the rest, so
+/// a corrupted million-cell grid cannot turn an audit into an OOM.
+class AuditReport {
+ public:
+  static constexpr size_t kMaxRecordedFailures = 32;
+
+  bool ok() const { return total_ == 0; }
+  size_t total_failures() const { return total_; }
+  const std::vector<Failure>& failures() const { return failures_; }
+
+  void Add(Failure failure);
+
+  /// Merges another report's failures (used by composite audits).
+  void Merge(const AuditReport& other);
+
+  /// All recorded failures, one per line, plus a suppression note when
+  /// failures overflowed the recording cap.
+  std::string ToString() const;
+
+  /// `Status::OK()` when clean, else `kInternal` naming `subject` and
+  /// carrying `ToString()`.
+  Status ToStatus(const std::string& subject) const;
+
+ private:
+  std::vector<Failure> failures_;
+  size_t total_ = 0;
+};
+
+/// \brief Builds one `Failure` from a failed assertion; the destructor
+/// flushes it into the report (or, with a null report, prints it to stderr
+/// and aborts — the `VS2_CHECK` fatal path).
+class FailureBuilder {
+ public:
+  FailureBuilder(AuditReport* report, const char* expression, const char* file,
+                 int line)
+      : report_(report), expression_(expression), file_(file), line_(line) {}
+  ~FailureBuilder();
+
+  FailureBuilder(const FailureBuilder&) = delete;
+  FailureBuilder& operator=(const FailureBuilder&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  AuditReport* report_;
+  const char* expression_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression so the macro's conditional has type
+/// void in both branches. `&` binds looser than `<<`.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace vs2::check
+
+/// Recording assertion: appends a `Failure` to `report` when `expr` is
+/// false; streamed context follows. Always compiled — intended for the
+/// bodies of deep validators, whose call sites are the gated layer.
+#define VS2_AUDIT(report, expr)                                     \
+  (expr) ? (void)0                                                  \
+         : ::vs2::check::Voidify() &                                \
+               ::vs2::check::FailureBuilder(&(report), #expr,       \
+                                            __FILE__, __LINE__)    \
+                   .stream()
+
+#if VS2_AUDIT_COMPILED_IN
+/// Fatal inline invariant: evaluates `expr`, aborts with a rendered
+/// `Failure` when false. No-op (expression unevaluated) in plain release
+/// builds.
+#define VS2_CHECK(expr)                                             \
+  (expr) ? (void)0                                                  \
+         : ::vs2::check::Voidify() &                                \
+               ::vs2::check::FailureBuilder(nullptr, #expr,         \
+                                            __FILE__, __LINE__)    \
+                   .stream()
+#else
+#define VS2_CHECK(expr)             \
+  true ? (void)0                    \
+       : ::vs2::check::Voidify() & \
+             ::vs2::check::NullStreamInstance()
+#endif
+
+namespace vs2::check {
+/// Shared sink for disabled VS2_CHECK streams (never written to: the
+/// ternary short-circuits; it only has to compile).
+std::ostream& NullStreamInstance();
+}  // namespace vs2::check
+
+#endif  // VS2_CHECK_CHECK_HPP_

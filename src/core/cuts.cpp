@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "check/audit.hpp"
+#include "obs/log.hpp"
+
 namespace vs2::core {
 namespace {
 
@@ -227,6 +230,20 @@ std::vector<SeparatorRun> FindSeparatorRuns(
     }
     return fresh;
   }();
+
+  // Audit checkpoint (DESIGN.md §12): both cut kernels trust the packed
+  // whitespace bitsets blindly (no per-word edge masks), so in audit mode
+  // every grid entering the kernels is validated for packing agreement and
+  // the zero-tail invariant — whichever path built it (fresh rasterization
+  // or PageRaster::Crop).
+  if (check::AuditsEnabled()) {
+    check::AuditReport grid_audit = check::AuditOccupancyGrid(grid);
+    if (!grid_audit.ok()) {
+      VS2_LOG(ERROR) << "occupancy grid audit failed in FindSeparatorRuns:\n"
+                     << grid_audit.ToString();
+      VS2_CHECK(grid_audit.ok()) << grid_audit.ToString();
+    }
+  }
 
   double max_elem_height = 1.0;
   std::vector<double> heights;

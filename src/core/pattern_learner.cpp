@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <set>
 
+#include "check/audit.hpp"
 #include "nlp/analyzer.hpp"
 #include "nlp/chunk_tree.hpp"
+#include "obs/log.hpp"
 #include "util/strings.hpp"
 
 namespace vs2::core {
@@ -195,6 +197,19 @@ PatternBook LearnPatterns(const datasets::HoldoutCorpus& holdout,
     miner.max_nodes = config.max_pattern_nodes;
     miner.maximal_only = true;
     learned.mined = mining::MineFrequentSubtrees(transactions, miner);
+
+    // Pattern-quality audit (DESIGN.md §12, in the spirit of MetaPAD):
+    // every mined pattern must remain embeddable in exactly `support`
+    // transaction trees. A violation is a miner bug, fatal in audit mode.
+    if (check::AuditsEnabled()) {
+      check::AuditReport mined_audit =
+          check::AuditMinedPatterns(learned.mined, transactions);
+      if (!mined_audit.ok()) {
+        VS2_LOG(ERROR) << "mined-pattern audit failed for entity \""
+                       << learned.entity << "\":\n" << mined_audit.ToString();
+        VS2_CHECK(mined_audit.ok()) << mined_audit.ToString();
+      }
+    }
 
     for (const mining::MinedPattern& mp : learned.mined) {
       for (SyntacticPattern& p : PatternsFromMinedTree(mp.tree)) {

@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include "check/audit.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -29,7 +30,15 @@ Vs2::Vs2(doc::DatasetId dataset, const embed::Embedding& embedding,
 }
 
 Result<doc::LayoutTree> Vs2::SegmentOnly(const doc::Document& observed) const {
-  return Segment(observed, embedding_, config_.segmenter);
+  VS2_ASSIGN_OR_RETURN(doc::LayoutTree tree,
+                       Segment(observed, embedding_, config_.segmenter));
+  if (check::AuditsEnabled()) {
+    check::LayoutTreeAuditOptions audit_options;
+    audit_options.max_depth = config_.segmenter.max_depth + 1;
+    VS2_RETURN_IF_ERROR(check::AuditLayoutTree(tree, observed, audit_options)
+                            .ToStatus("vs2.segment.layout_tree"));
+  }
+  return tree;
 }
 
 Result<Vs2::DocResult> Vs2::Process(const doc::Document& doc) const {
@@ -55,12 +64,29 @@ Result<Vs2::DocResult> Vs2::Process(const doc::Document& doc,
     result.observed =
         config_.simulate_ocr ? ocr::Transcribe(doc, config_.ocr) : doc;
   }
+  // Stage-checkpoint audits (DESIGN.md §12): each stage's output is deep-
+  // validated before the next stage consumes it. A violated invariant is a
+  // pipeline bug, surfaced as kInternal rather than silently corrupting
+  // downstream extraction.
+  if (check::AuditsEnabled()) {
+    VS2_RETURN_IF_ERROR(check::AuditDocument(result.observed)
+                            .ToStatus("vs2.ocr_observe.document"));
+  }
   if (checkpoint) VS2_RETURN_IF_ERROR(checkpoint());
   {
     static obs::Histogram& h = obs::Metrics::GetHistogram("vs2.segment_ms");
     obs::Span span("vs2.segment", &h);
     VS2_ASSIGN_OR_RETURN(
         result.tree, Segment(result.observed, embedding_, config_.segmenter));
+  }
+  if (check::AuditsEnabled()) {
+    check::LayoutTreeAuditOptions audit_options;
+    // Semantic merging replaces two leaves at `max_depth` with a merged
+    // child one level below them.
+    audit_options.max_depth = config_.segmenter.max_depth + 1;
+    VS2_RETURN_IF_ERROR(
+        check::AuditLayoutTree(result.tree, result.observed, audit_options)
+            .ToStatus("vs2.segment.layout_tree"));
   }
   if (checkpoint) VS2_RETURN_IF_ERROR(checkpoint());
   {

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <vector>
@@ -29,12 +30,54 @@ struct JsonValue {
   JsonObject object;
 };
 
+// Nesting cap for the recursive-descent parser. Document JSON is at most
+// three levels deep; anything deeper is hostile input (`[[[[...` otherwise
+// overflows the stack — found by fuzz_doc_json).
+constexpr int kMaxJsonDepth = 64;
+
+// Strings must be well-formed UTF-8: correct continuation bytes, no overlong
+// encodings, no encoded surrogates, nothing past U+10FFFF. The pipeline
+// treats text as byte sequences, so a permissive parser here would let
+// ill-formed bytes flow all the way into extraction output.
+bool IsValidUtf8(const std::string& s) {
+  size_t i = 0;
+  while (i < s.size()) {
+    unsigned char b = static_cast<unsigned char>(s[i]);
+    size_t len;
+    unsigned min_code;
+    unsigned code;
+    if (b < 0x80) {
+      ++i;
+      continue;
+    } else if ((b & 0xE0) == 0xC0) {
+      len = 2; min_code = 0x80; code = b & 0x1Fu;
+    } else if ((b & 0xF0) == 0xE0) {
+      len = 3; min_code = 0x800; code = b & 0x0Fu;
+    } else if ((b & 0xF8) == 0xF0) {
+      len = 4; min_code = 0x10000; code = b & 0x07u;
+    } else {
+      return false;  // continuation byte or 0xF8+ lead
+    }
+    if (i + len > s.size()) return false;
+    for (size_t k = 1; k < len; ++k) {
+      unsigned char cont = static_cast<unsigned char>(s[i + k]);
+      if ((cont & 0xC0) != 0x80) return false;
+      code = (code << 6) | (cont & 0x3Fu);
+    }
+    if (code < min_code) return false;                 // overlong
+    if (code >= 0xD800 && code <= 0xDFFF) return false;  // surrogate
+    if (code > 0x10FFFF) return false;
+    i += len;
+  }
+  return true;
+}
+
 class JsonParser {
  public:
   explicit JsonParser(const std::string& text) : text_(text) {}
 
   Result<std::shared_ptr<JsonValue>> Parse() {
-    VS2_ASSIGN_OR_RETURN(std::shared_ptr<JsonValue> v, ParseValue());
+    VS2_ASSIGN_OR_RETURN(std::shared_ptr<JsonValue> v, ParseValue(0));
     SkipWs();
     if (pos_ != text_.size()) {
       return Status::InvalidArgument("trailing characters after JSON value");
@@ -59,21 +102,24 @@ class JsonParser {
     return false;
   }
 
-  Result<std::shared_ptr<JsonValue>> ParseValue() {
+  Result<std::shared_ptr<JsonValue>> ParseValue(int depth) {
+    if (depth > kMaxJsonDepth) {
+      return Status::InvalidArgument("JSON nesting too deep");
+    }
     SkipWs();
     if (pos_ >= text_.size()) {
       return Status::InvalidArgument("unexpected end of JSON");
     }
     char c = text_[pos_];
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
     if (c == '"') return ParseString();
     if (c == 't' || c == 'f') return ParseBool();
     if (c == 'n') return ParseNull();
     return ParseNumber();
   }
 
-  Result<std::shared_ptr<JsonValue>> ParseObject() {
+  Result<std::shared_ptr<JsonValue>> ParseObject(int depth) {
     auto v = std::make_shared<JsonValue>();
     v->kind = JsonValue::Kind::kObject;
     if (!Consume('{')) return Status::InvalidArgument("expected '{'");
@@ -82,7 +128,8 @@ class JsonParser {
     while (true) {
       VS2_ASSIGN_OR_RETURN(std::shared_ptr<JsonValue> key, ParseString());
       if (!Consume(':')) return Status::InvalidArgument("expected ':'");
-      VS2_ASSIGN_OR_RETURN(std::shared_ptr<JsonValue> val, ParseValue());
+      VS2_ASSIGN_OR_RETURN(std::shared_ptr<JsonValue> val,
+                           ParseValue(depth + 1));
       if (v->object.count(key->string) != 0) {
         return Status::InvalidArgument("duplicate key \"" + key->string +
                                        "\" in object");
@@ -95,20 +142,39 @@ class JsonParser {
     return v;
   }
 
-  Result<std::shared_ptr<JsonValue>> ParseArray() {
+  Result<std::shared_ptr<JsonValue>> ParseArray(int depth) {
     auto v = std::make_shared<JsonValue>();
     v->kind = JsonValue::Kind::kArray;
     if (!Consume('[')) return Status::InvalidArgument("expected '['");
     SkipWs();
     if (Consume(']')) return v;
     while (true) {
-      VS2_ASSIGN_OR_RETURN(std::shared_ptr<JsonValue> item, ParseValue());
+      VS2_ASSIGN_OR_RETURN(std::shared_ptr<JsonValue> item,
+                           ParseValue(depth + 1));
       v->array.push_back(item);
       if (Consume(',')) continue;
       if (Consume(']')) break;
       return Status::InvalidArgument("expected ',' or ']' in array");
     }
     return v;
+  }
+
+  // Reads the four hex digits of a \u escape (the backslash and 'u' already
+  // consumed) into a code unit.
+  Result<unsigned> ParseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      return Status::InvalidArgument("truncated \\u escape");
+    }
+    unsigned code = 0;
+    for (int k = 0; k < 4; ++k) {
+      char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else return Status::InvalidArgument("bad \\u escape digit");
+    }
+    return code;
   }
 
   Result<std::shared_ptr<JsonValue>> ParseString() {
@@ -118,7 +184,12 @@ class JsonParser {
     v->kind = JsonValue::Kind::kString;
     while (pos_ < text_.size()) {
       char c = text_[pos_++];
-      if (c == '"') return v;
+      if (c == '"') {
+        if (!IsValidUtf8(v->string)) {
+          return Status::InvalidArgument("string is not valid UTF-8");
+        }
+        return v;
+      }
       if (c == '\\') {
         if (pos_ >= text_.size()) break;
         char esc = text_[pos_++];
@@ -132,26 +203,38 @@ class JsonParser {
           case 'b': v->string.push_back('\b'); break;
           case 'f': v->string.push_back('\f'); break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) {
-              return Status::InvalidArgument("truncated \\u escape");
+            VS2_ASSIGN_OR_RETURN(unsigned code, ParseHex4());
+            if (code >= 0xDC00 && code <= 0xDFFF) {
+              return Status::InvalidArgument("lone low surrogate in \\u escape");
             }
-            unsigned code = 0;
-            for (int k = 0; k < 4; ++k) {
-              char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else return Status::InvalidArgument("bad \\u escape digit");
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              // High surrogate: a \uXXXX low surrogate must follow; the pair
+              // decodes to one supplementary-plane code point (RFC 8259 §7).
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Status::InvalidArgument(
+                    "high surrogate not followed by \\u escape");
+              }
+              pos_ += 2;
+              VS2_ASSIGN_OR_RETURN(unsigned low, ParseHex4());
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Status::InvalidArgument(
+                    "high surrogate not followed by low surrogate");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
             }
-            // ASCII-only corpus: encode as UTF-8 for the BMP.
             if (code < 0x80) {
               v->string.push_back(static_cast<char>(code));
             } else if (code < 0x800) {
               v->string.push_back(static_cast<char>(0xC0 | (code >> 6)));
               v->string.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-            } else {
+            } else if (code < 0x10000) {
               v->string.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              v->string.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              v->string.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              v->string.push_back(static_cast<char>(0xF0 | (code >> 18)));
+              v->string.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
               v->string.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
               v->string.push_back(static_cast<char>(0x80 | (code & 0x3F)));
             }
@@ -160,6 +243,10 @@ class JsonParser {
           default:
             return Status::InvalidArgument("unknown escape sequence");
         }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        // RFC 8259 §7: control characters must be escaped.
+        return Status::InvalidArgument(
+            "raw control character in string (must be escaped)");
       } else {
         v->string.push_back(c);
       }
@@ -202,10 +289,21 @@ class JsonParser {
     if (pos_ == start) return Status::InvalidArgument("expected number");
     auto v = std::make_shared<JsonValue>();
     v->kind = JsonValue::Kind::kNumber;
-    try {
-      v->number = std::stod(text_.substr(start, pos_ - start));
-    } catch (...) {
+    // strtod instead of stod: underflow to a subnormal is a value, not an
+    // error (stod throws out_of_range on it, which would reject legitimate
+    // tiny numbers the writer itself can produce). The pre-scan above
+    // limits the token to [0-9+-.eE], so strtod's hex-float and inf/nan
+    // forms are unreachable.
+    std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    v->number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
       return Status::InvalidArgument("malformed number");
+    }
+    // No document field is meaningful as NaN or ±Inf; overflow (e.g.
+    // "1e999") would poison every downstream geometry computation.
+    if (!std::isfinite(v->number)) {
+      return Status::InvalidArgument("non-finite number");
     }
     return v;
   }
@@ -270,6 +368,19 @@ Result<std::string> GetStr(const JsonObject& obj, const char* key,
                                    "\" must be a string");
   }
   return it->second->string;
+}
+
+// Range-checked variant for fields that are cast to narrower integer types
+// after parsing: a float→int cast of an out-of-range double is undefined
+// behavior, so the bound check must happen on the double.
+Result<double> GetNumIn(const JsonObject& obj, const char* key,
+                        double fallback, double min, double max) {
+  VS2_ASSIGN_OR_RETURN(double v, GetNum(obj, key, fallback));
+  if (v < min || v > max) {
+    return Status::InvalidArgument(util::Format(
+        "field \"%s\" out of range [%g, %g]: %g", key, min, max, v));
+  }
+  return v;
 }
 
 Result<bool> GetBool(const JsonObject& obj, const char* key, bool fallback) {
@@ -347,16 +458,23 @@ Result<Document> FromJson(const std::string& json) {
   }
   const JsonObject& obj = root->object;
 
+  // The double precision limit (2^53) bounds ids well below uint64_t's
+  // range; beyond it the JSON number could not name a distinct id anyway.
+  constexpr double kMaxExactId = 9007199254740992.0;  // 2^53
+  constexpr double kMaxInt = 2147483647.0;
+
   Document d;
-  VS2_ASSIGN_OR_RETURN(double id, GetNum(obj, "id", 0));
+  VS2_ASSIGN_OR_RETURN(double id, GetNumIn(obj, "id", 0, 0, kMaxExactId));
   d.id = static_cast<uint64_t>(id);
-  VS2_ASSIGN_OR_RETURN(double dataset_num, GetNum(obj, "dataset", 2));
+  VS2_ASSIGN_OR_RETURN(double dataset_num,
+                       GetNumIn(obj, "dataset", 2, -kMaxInt, kMaxInt));
   int dataset = static_cast<int>(dataset_num);
   if (dataset < 1 || dataset > 3) {
     return Status::InvalidArgument("dataset must be 1, 2 or 3");
   }
   d.dataset = static_cast<DatasetId>(dataset);
-  VS2_ASSIGN_OR_RETURN(double format_num, GetNum(obj, "format", 2));
+  VS2_ASSIGN_OR_RETURN(double format_num,
+                       GetNumIn(obj, "format", 2, -kMaxInt, kMaxInt));
   int format = static_cast<int>(format_num);
   if (format < 0 || format > 3) {
     return Status::InvalidArgument("format must be in [0, 3]");
@@ -369,7 +487,8 @@ Result<Document> FromJson(const std::string& json) {
   }
   VS2_ASSIGN_OR_RETURN(d.capture_quality,
                        GetNum(obj, "capture_quality", 1.0));
-  VS2_ASSIGN_OR_RETURN(double template_id, GetNum(obj, "template_id", -1));
+  VS2_ASSIGN_OR_RETURN(double template_id,
+                       GetNumIn(obj, "template_id", -1, -kMaxInt, kMaxInt));
   d.template_id = static_cast<int>(template_id);
   VS2_ASSIGN_OR_RETURN(d.rotation_degrees,
                        GetNum(obj, "rotation_degrees", 0.0));
@@ -400,24 +519,28 @@ Result<Document> FromJson(const std::string& json) {
         VS2_ASSIGN_OR_RETURN(style.font_size, GetNum(e, "font_size", 12.0));
         VS2_ASSIGN_OR_RETURN(style.bold, GetBool(e, "bold", false));
         VS2_ASSIGN_OR_RETURN(style.italic, GetBool(e, "italic", false));
-        VS2_ASSIGN_OR_RETURN(double r, GetNum(e, "r", 0));
-        VS2_ASSIGN_OR_RETURN(double g, GetNum(e, "g", 0));
-        VS2_ASSIGN_OR_RETURN(double b, GetNum(e, "b", 0));
+        VS2_ASSIGN_OR_RETURN(double r, GetNumIn(e, "r", 0, 0, 255));
+        VS2_ASSIGN_OR_RETURN(double g, GetNumIn(e, "g", 0, 0, 255));
+        VS2_ASSIGN_OR_RETURN(double b, GetNumIn(e, "b", 0, 0, 255));
         style.color = util::Rgb{static_cast<uint8_t>(r),
                                 static_cast<uint8_t>(g),
                                 static_cast<uint8_t>(b)};
         VS2_ASSIGN_OR_RETURN(std::string text, GetStr(e, "text"));
         AtomicElement el = MakeTextElement(std::move(text), bbox, style);
-        VS2_ASSIGN_OR_RETURN(double markup, GetNum(e, "markup_hint", 0));
+        VS2_ASSIGN_OR_RETURN(double markup, GetNumIn(e, "markup_hint", 0,
+                                                     -kMaxInt, kMaxInt));
         el.markup_hint = static_cast<int>(markup);
-        VS2_ASSIGN_OR_RETURN(double line_id, GetNum(e, "line_id", -1));
+        VS2_ASSIGN_OR_RETURN(double line_id, GetNumIn(e, "line_id", -1,
+                                                      -kMaxInt, kMaxInt));
         el.line_id = static_cast<int>(line_id);
         d.elements.push_back(std::move(el));
       } else if (kind == "image") {
-        VS2_ASSIGN_OR_RETURN(double image_id, GetNum(e, "image_id", 0));
+        VS2_ASSIGN_OR_RETURN(double image_id,
+                             GetNumIn(e, "image_id", 0, 0, kMaxExactId));
         AtomicElement el = MakeImageElement(static_cast<uint64_t>(image_id),
                                             bbox, util::SlateGray());
-        VS2_ASSIGN_OR_RETURN(double markup, GetNum(e, "markup_hint", 0));
+        VS2_ASSIGN_OR_RETURN(double markup, GetNumIn(e, "markup_hint", 0,
+                                                     -kMaxInt, kMaxInt));
         el.markup_hint = static_cast<int>(markup);
         d.elements.push_back(std::move(el));
       } else {

@@ -104,6 +104,11 @@ class OccupancyGrid {
   bool ColClear(int x) const;
 
  private:
+  /// Test-only backdoor (tests/check_test.cpp): corrupts the packed words
+  /// to prove `check::AuditOccupancyGrid` catches broken zero-tails and
+  /// row/column packing disagreement.
+  friend struct OccupancyGridTestPeer;
+
   bool RowBit(int x, int y) const {
     return (ws_rows_[static_cast<size_t>(y) * wpr_ +
                      (static_cast<size_t>(x) >> 6)] >>

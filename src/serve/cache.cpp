@@ -26,6 +26,7 @@ ResultCache::Value ResultCache::Get(uint64_t hash,
   }
   // Refresh recency: splice the entry to the front without reallocating.
   lru_.splice(lru_.begin(), lru_, it->second);
+  lru_.front().touched_seq = ++access_seq_;
   ++hits_;
   return lru_.front().value;
 }
@@ -40,6 +41,7 @@ void ResultCache::Put(uint64_t hash, const std::string& canonical,
     it->second->canonical = canonical;
     it->second->value = std::move(value);
     it->second->stored_at = now;
+    it->second->touched_seq = ++access_seq_;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
@@ -48,7 +50,7 @@ void ResultCache::Put(uint64_t hash, const std::string& canonical,
     lru_.pop_back();
     ++evictions_;
   }
-  lru_.push_front(Entry{hash, canonical, std::move(value), now});
+  lru_.push_front(Entry{hash, canonical, std::move(value), now, ++access_seq_});
   index_[hash] = lru_.begin();
 }
 
@@ -76,6 +78,48 @@ void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+}
+
+check::AuditReport AuditResultCache(const ResultCache& cache, double now) {
+  check::AuditReport report;
+  std::lock_guard<std::mutex> lock(cache.mu_);
+
+  VS2_AUDIT(report, cache.lru_.size() == cache.index_.size())
+      << "LRU list holds " << cache.lru_.size() << " entries, index holds "
+      << cache.index_.size();
+  VS2_AUDIT(report, cache.lru_.size() <= cache.options_.capacity)
+      << "cache holds " << cache.lru_.size() << " entries over capacity "
+      << cache.options_.capacity;
+
+  uint64_t prev_seq = ~uint64_t{0};
+  size_t position = 0;
+  for (auto it = cache.lru_.begin(); it != cache.lru_.end();
+       ++it, ++position) {
+    auto indexed = cache.index_.find(it->hash);
+    VS2_AUDIT(report, indexed != cache.index_.end())
+        << "LRU entry at position " << position << " (hash " << it->hash
+        << ") is missing from the index (dangling node)";
+    if (indexed != cache.index_.end()) {
+      VS2_AUDIT(report, indexed->second == it)
+          << "index for hash " << it->hash
+          << " points at a different list node than position " << position;
+    }
+    VS2_AUDIT(report, it->value != nullptr)
+        << "entry at position " << position << " holds a null result";
+    VS2_AUDIT(report, it->stored_at <= now)
+        << "entry at position " << position << " stored_at " << it->stored_at
+        << " lies in the future of now=" << now << " (TTL monotonicity)";
+    VS2_AUDIT(report, it->touched_seq <= cache.access_seq_)
+        << "entry at position " << position << " access sequence "
+        << it->touched_seq << " exceeds the cache counter "
+        << cache.access_seq_;
+    VS2_AUDIT(report, it->touched_seq < prev_seq)
+        << "recency order violated at position " << position
+        << ": access sequence " << it->touched_seq
+        << " not older than the entry in front (" << prev_seq << ")";
+    prev_seq = it->touched_seq;
+  }
+  return report;
 }
 
 }  // namespace vs2::serve

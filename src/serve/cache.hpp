@@ -17,6 +17,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "check/check.hpp"
 #include "core/pipeline.hpp"
 
 namespace vs2::serve {
@@ -64,7 +65,12 @@ class ResultCache {
     std::string canonical;
     Value value;
     double stored_at;
+    uint64_t touched_seq;  ///< access sequence at last Get hit / Put
   };
+
+  friend check::AuditReport AuditResultCache(const ResultCache& cache,
+                                             double now);
+  friend struct ResultCacheTestPeer;  // test-only corruption hook
 
   bool Expired(const Entry& entry, double now) const {
     return options_.ttl_seconds > 0.0 &&
@@ -78,7 +84,16 @@ class ResultCache {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t access_seq_ = 0;  ///< bumped on every Get hit and Put
 };
+
+/// Deep LRU/TTL coherence audit (DESIGN.md §12): the index and the recency
+/// list describe the same entries (same size, every list node indexed under
+/// its own hash, no dangling iterators, no duplicate hashes), recency order
+/// is strictly decreasing in access sequence, and no entry claims a
+/// `stored_at` in the future of `now`. Takes the cache lock; safe to call
+/// concurrently with any other operation.
+check::AuditReport AuditResultCache(const ResultCache& cache, double now);
 
 }  // namespace vs2::serve
 

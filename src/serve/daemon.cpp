@@ -11,6 +11,7 @@
 
 #include "doc/serialization.hpp"
 #include "obs/log.hpp"
+#include "util/strings.hpp"
 
 namespace vs2::serve {
 namespace {
@@ -164,6 +165,21 @@ void Daemon::ServeConnection(Connection* connection) {
       }
     }
     buffer.erase(0, start);
+    // Unbounded-buffer guard: a peer that never sends '\n' must not grow
+    // the receive buffer forever. Answer with an error line and hang up
+    // actively — the fd itself is still closed by the reaper, but the
+    // shutdown tells the peer (blocked in read) that the conversation is
+    // over now rather than at the next reap.
+    if (buffer.size() > options_.max_line_bytes) {
+      WriteAll(fd, doc::ErrorToJson(
+                       "<request>",
+                       Status::InvalidArgument(util::Format(
+                           "request line exceeds %zu bytes without newline",
+                           options_.max_line_bytes))) +
+                       "\n");
+      ::shutdown(fd, SHUT_RDWR);
+      break;
+    }
   }
   // The fd is closed by whoever reaps this record, never here — so Stop's
   // shutdown() cannot race a close and hit a recycled descriptor.

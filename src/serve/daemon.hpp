@@ -42,6 +42,12 @@ struct DaemonOptions {
   int tcp_port = 0;
   /// listen(2) backlog.
   int backlog = 64;
+  /// Hard cap on one request line. A client that streams bytes without ever
+  /// sending '\n' gets an error response and its connection closed once the
+  /// pending line exceeds this, instead of growing the daemon's receive
+  /// buffer without bound. 8 MiB comfortably fits a maximum-size document
+  /// (kMaxElementsPerDocument elements with long texts).
+  size_t max_line_bytes = 8u << 20;
 };
 
 /// \brief Accept-loop + per-connection line protocol around a service.

@@ -188,6 +188,17 @@ ExtractionService::Response ExtractionService::RunAdmitted(
                 Now());
     instruments.cache_evictions.Add(cache_->evictions() - evictions_before);
     instruments.cache_size.Set(static_cast<double>(cache_->size()));
+    // Cache-coherence audit (DESIGN.md §12) right after the only mutation
+    // point on this path. A broken LRU structure would otherwise surface as
+    // silently wrong cached responses.
+    if (check::AuditsEnabled()) {
+      check::AuditReport cache_audit = AuditResultCache(*cache_, Now());
+      if (!cache_audit.ok()) {
+        VS2_LOG(ERROR) << "result-cache audit failed:\n"
+                       << cache_audit.ToString();
+        return cache_audit.ToStatus("serve.result_cache");
+      }
+    }
   }
   return response;
 }

@@ -1,0 +1,18 @@
+// Linked into every tier-1 test binary (see vs2_test in CMakeLists.txt).
+//
+// Forces the runtime audit switch ON regardless of build type, so the deep
+// invariant validators in src/check run against every pipeline execution the
+// test suite performs — Release test runs audit exactly like Debug ones.
+// Benchmarks and production binaries are unaffected; they keep the build-type
+// default (see check::kAuditBuild).
+
+#include "check/check.hpp"
+
+namespace {
+
+[[maybe_unused]] const bool kAuditsForcedOn = [] {
+  vs2::check::SetAuditsEnabled(true);
+  return true;
+}();
+
+}  // namespace

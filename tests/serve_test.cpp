@@ -488,8 +488,10 @@ class TestClient {
   }
   bool connected() const { return fd_ >= 0; }
 
-  bool Send(const std::string& line) {
-    std::string data = line + "\n";
+  bool Send(const std::string& line) { return SendRaw(line + "\n"); }
+
+  /// Sends bytes verbatim — no newline appended (for oversized-line tests).
+  bool SendRaw(const std::string& data) {
     size_t sent = 0;
     while (sent < data.size()) {
       ssize_t n = ::write(fd_, data.data() + sent, data.size() - sent);
@@ -567,6 +569,34 @@ TEST(DaemonTest, SocketRoundTripMatchesDirectProcess) {
   EXPECT_GE(daemon.connections_served(), 1u);
   daemon.Stop();
   // The socket file is gone after Stop; a second Stop is a no-op.
+  daemon.Stop();
+}
+
+TEST(DaemonTest, OversizedLineGetsErrorAndDisconnect) {
+  const core::Vs2& vs2 = SharedPipeline();
+  serve::ServiceOptions service_options;
+  service_options.jobs = 1;
+  serve::ExtractionService service(vs2, service_options);
+  serve::DaemonOptions daemon_options;
+  daemon_options.unix_socket_path = TestSocketPath();
+  daemon_options.max_line_bytes = 256;
+  serve::Daemon daemon(service, daemon_options);
+  Status started = daemon.Start();
+  ASSERT_TRUE(started.ok()) << started;
+
+  // Stream well past the cap without ever sending a newline: the daemon
+  // must answer with one error line and hang up instead of buffering the
+  // stream without bound.
+  TestClient client(daemon_options.unix_socket_path);
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendRaw(std::string(1024, 'x')));
+  std::string error_line;
+  ASSERT_TRUE(client.ReadLine(&error_line));
+  EXPECT_NE(error_line.find("exceeds 256 bytes"), std::string::npos)
+      << error_line;
+  std::string after_close;
+  EXPECT_FALSE(client.ReadLine(&after_close));  // connection closed
+
   daemon.Stop();
 }
 
