@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "baselines/segmentation.hpp"
 #include "check/check.hpp"
@@ -25,6 +26,8 @@
 #include "nlp/analyzer.hpp"
 #include "nlp/chunk_tree.hpp"
 #include "nlp/pattern.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
 
 using namespace vs2;
 
@@ -283,6 +286,109 @@ void BM_EmbeddingTextSimilarity(benchmark::State& state) {
 }
 BENCHMARK(BM_EmbeddingTextSimilarity);
 
+// --------------------------------------------------- SIMD kernel pairs ----
+// Scalar/vector pairs for the runtime-dispatched kernels (DESIGN.md §13).
+// Each pair pins `util::simd::ForceLevel` around the loop so both sides run
+// in one binary; `kAuto` resolves to the best level the host supports.
+
+std::vector<float> RandomUnitVec(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.UniformDouble() - 0.5);
+  return v;
+}
+
+/// Synthetic clustering features sized like a dense D2 page region.
+const util::simd::FeatureSoA& BenchSoA() {
+  static const util::simd::FeatureSoA* soa = [] {
+    auto* s = new util::simd::FeatureSoA();
+    util::Rng rng(1234);
+    constexpr size_t kN = 512;
+    s->Reserve(kN);
+    for (size_t i = 0; i < kN; ++i) {
+      s->centroid_x.push_back(rng.UniformDouble() * 800.0);
+      s->centroid_y.push_back(rng.UniformDouble() * 1000.0);
+      s->height.push_back(8.0 + rng.UniformDouble() * 24.0);
+      s->lab_l.push_back(rng.UniformDouble() * 100.0);
+      s->lab_a.push_back(rng.UniformDouble() * 80.0 - 40.0);
+      s->lab_b.push_back(rng.UniformDouble() * 80.0 - 40.0);
+      s->angular.push_back(rng.UniformDouble() * 2.0);
+      s->theta_origin.push_back(rng.UniformDouble() * 1.5);
+      s->theta_anti.push_back(rng.UniformDouble() * 1.5);
+    }
+    return s;
+  }();
+  return *soa;
+}
+
+void BM_CosineF32_Scalar(benchmark::State& state) {
+  static const std::vector<float> a = RandomUnitVec(256, 7);
+  static const std::vector<float> b = RandomUnitVec(256, 8);
+  util::simd::ForceLevel(util::simd::Level::kScalar);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        util::simd::CosineF32(a.data(), b.data(), a.size()));
+  }
+  util::simd::ForceLevel(util::simd::Level::kAuto);
+}
+BENCHMARK(BM_CosineF32_Scalar);
+
+void BM_CosineF32_Simd(benchmark::State& state) {
+  static const std::vector<float> a = RandomUnitVec(256, 7);
+  static const std::vector<float> b = RandomUnitVec(256, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        util::simd::CosineF32(a.data(), b.data(), a.size()));
+  }
+}
+BENCHMARK(BM_CosineF32_Simd);
+
+void BM_VisualDistanceRow_Scalar(benchmark::State& state) {
+  const util::simd::FeatureSoA& soa = BenchSoA();
+  std::vector<double> row(soa.size());
+  util::simd::ForceLevel(util::simd::Level::kScalar);
+  for (auto _ : state) {
+    util::simd::VisualDistanceRow(soa, soa.size() / 2, row.data());
+    benchmark::DoNotOptimize(row.data());
+  }
+  util::simd::ForceLevel(util::simd::Level::kAuto);
+}
+BENCHMARK(BM_VisualDistanceRow_Scalar);
+
+void BM_VisualDistanceRow_Simd(benchmark::State& state) {
+  const util::simd::FeatureSoA& soa = BenchSoA();
+  std::vector<double> row(soa.size());
+  for (auto _ : state) {
+    util::simd::VisualDistanceRow(soa, soa.size() / 2, row.data());
+    benchmark::DoNotOptimize(row.data());
+  }
+}
+BENCHMARK(BM_VisualDistanceRow_Simd);
+
+void BM_ClusterElements_Scalar(benchmark::State& state) {
+  const doc::Document& d = SampleObserved();
+  std::vector<size_t> idx = d.TextElementIndices();
+  util::BBox region{0, 0, d.width, d.height};
+  core::SegmenterConfig config;
+  util::simd::ForceLevel(util::simd::Level::kScalar);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ClusterElements(d, idx, region, config));
+  }
+  util::simd::ForceLevel(util::simd::Level::kAuto);
+}
+BENCHMARK(BM_ClusterElements_Scalar);
+
+void BM_ClusterElements_Simd(benchmark::State& state) {
+  const doc::Document& d = SampleObserved();
+  std::vector<size_t> idx = d.TextElementIndices();
+  util::BBox region{0, 0, d.width, d.height};
+  core::SegmenterConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ClusterElements(d, idx, region, config));
+  }
+}
+BENCHMARK(BM_ClusterElements_Simd);
+
 // ------------------------------------------------- BENCH_segment.json -----
 
 /// Median-of-batches wall time per call of `fn`, in nanoseconds.
@@ -357,10 +463,39 @@ bool WriteSegmentJson(const std::string& path) {
       doc::DatasetId::kD2EventPosters, emb,
       core::DefaultConfigFor(doc::DatasetId::kD2EventPosters));
   const doc::Document& clean = SamplePoster();
+  // The baseline side also pins the scalar SIMD level so the pair measures
+  // every layer of the optimization stack (cut kernel, raster reuse, SIMD
+  // dispatch); the optimized side runs whatever `kAuto` resolves to here.
+  util::simd::ForceLevel(util::simd::Level::kScalar);
   double proc_baseline = NsPerOp(
       [&] { benchmark::DoNotOptimize(vs2_baseline.Process(clean)); });
+  util::simd::ForceLevel(util::simd::Level::kAuto);
   double proc_optimized = NsPerOp(
       [&] { benchmark::DoNotOptimize(vs2_optimized.Process(clean)); });
+
+  // Scalar/vector pairs for the dispatched kernels themselves.
+  const std::vector<float> cos_a = RandomUnitVec(256, 7);
+  const std::vector<float> cos_b = RandomUnitVec(256, 8);
+  const util::simd::FeatureSoA& soa = BenchSoA();
+  std::vector<double> row(soa.size());
+  util::simd::ForceLevel(util::simd::Level::kScalar);
+  double cosine_scalar = NsPerOp([&] {
+    benchmark::DoNotOptimize(
+        util::simd::CosineF32(cos_a.data(), cos_b.data(), cos_a.size()));
+  });
+  double drow_scalar = NsPerOp([&] {
+    util::simd::VisualDistanceRow(soa, soa.size() / 2, row.data());
+    benchmark::DoNotOptimize(row.data());
+  });
+  util::simd::ForceLevel(util::simd::Level::kAuto);
+  double cosine_simd = NsPerOp([&] {
+    benchmark::DoNotOptimize(
+        util::simd::CosineF32(cos_a.data(), cos_b.data(), cos_a.size()));
+  });
+  double drow_simd = NsPerOp([&] {
+    util::simd::VisualDistanceRow(soa, soa.size() / 2, row.data());
+    benchmark::DoNotOptimize(row.data());
+  });
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
@@ -377,18 +512,28 @@ bool WriteSegmentJson(const std::string& path) {
       "  \"segment\": {\"baseline_ns\": %.1f, \"raster_reuse_only_ns\": %.1f, "
       "\"optimized_ns\": %.1f, \"speedup\": %.2f},\n"
       "  \"process\": {\"baseline_ns\": %.1f, \"optimized_ns\": %.1f, "
-      "\"speedup\": %.2f}\n"
+      "\"speedup\": %.2f},\n"
+      "  \"simd\": {\"level\": \"%s\",\n"
+      "    \"cosine_f32\": {\"scalar_ns\": %.1f, \"simd_ns\": %.1f, "
+      "\"speedup\": %.2f},\n"
+      "    \"distance_row\": {\"scalar_ns\": %.1f, \"simd_ns\": %.1f, "
+      "\"speedup\": %.2f}}\n"
       "}\n",
       g.width(), g.height(), g.OccupancyRatio(), cuts_scalar, cuts_bitp,
       cuts_scalar / cuts_bitp, seg_baseline, seg_reuse_only, seg_optimized,
       seg_baseline / seg_optimized, proc_baseline, proc_optimized,
-      proc_baseline / proc_optimized);
+      proc_baseline / proc_optimized,
+      util::simd::LevelName(util::simd::DetectedLevel()), cosine_scalar,
+      cosine_simd, cosine_scalar / cosine_simd, drow_scalar, drow_simd,
+      drow_scalar / drow_simd);
   std::fclose(f);
   std::fprintf(stderr,
                "bench_micro: wrote %s (cut kernel %.2fx, segment %.2fx, "
-               "process %.2fx)\n",
+               "process %.2fx, %s cosine %.2fx, distance row %.2fx)\n",
                path.c_str(), cuts_scalar / cuts_bitp,
-               seg_baseline / seg_optimized, proc_baseline / proc_optimized);
+               seg_baseline / seg_optimized, proc_baseline / proc_optimized,
+               util::simd::LevelName(util::simd::DetectedLevel()),
+               cosine_scalar / cosine_simd, drow_scalar / drow_simd);
   return true;
 }
 

@@ -7,7 +7,9 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/arena.hpp"
 #include "util/math.hpp"
+#include "util/simd.hpp"
 #include "util/strings.hpp"
 
 namespace vs2::core {
@@ -139,9 +141,43 @@ double VisualDistance(const VisualFeatures& a, const VisualFeatures& b,
   return std::sqrt(d);
 }
 
-std::vector<std::vector<size_t>> ClusterElements(
+namespace {
+
+/// Fills the Table 1 SoA for one clustering step, precomputing the two
+/// angular terms of `util::SumOfAngularDistances` per element (the pairwise
+/// sum decomposes as |θo_i − θo_j| + |θa_i − θa_j|, collapsing the n² atan2
+/// calls of the pairwise path to n).
+void FillFeatureSoA(const Document& doc,
+                    const std::vector<size_t>& element_indices,
+                    const std::vector<VisualFeatures>& features,
+                    const util::BBox& region, util::simd::FeatureSoA* soa) {
+  const double w = std::max(region.width, 1.0);
+  const double h = std::max(region.height, 1.0);
+  soa->Clear();
+  soa->Reserve(features.size());
+  for (size_t fi = 0; fi < features.size(); ++fi) {
+    const VisualFeatures& f = features[fi];
+    soa->centroid_x.push_back(f.centroid_x);
+    soa->centroid_y.push_back(f.centroid_y);
+    soa->height.push_back(f.height);
+    soa->lab_l.push_back(f.lab_l);
+    soa->lab_a.push_back(f.lab_a);
+    soa->lab_b.push_back(f.lab_b);
+    soa->angular.push_back(f.angular_distance);
+    util::PointF c = doc.elements[element_indices[fi]].bbox.Centroid();
+    soa->theta_origin.push_back(std::atan2(c.y, c.x));
+    soa->theta_anti.push_back(std::atan2(h - c.y, w - c.x));
+  }
+}
+
+/// Above this element count the n×n distance matrix is not materialized
+/// (32 MB of doubles at the cap) and lookups fall back to on-demand pairs.
+constexpr size_t kDistanceMatrixCap = 2048;
+
+std::vector<std::vector<size_t>> ClusterElementsWithArena(
     const Document& doc, const std::vector<size_t>& element_indices,
-    const util::BBox& region, const SegmenterConfig& config) {
+    const util::BBox& region, const SegmenterConfig& config,
+    util::Arena* arena) {
   static obs::Counter& cluster_calls =
       obs::Metrics::GetCounter("segment.cluster_calls");
   static obs::Counter& cluster_iterations =
@@ -159,10 +195,25 @@ std::vector<std::vector<size_t>> ClusterElements(
   for (size_t i : element_indices) {
     features.push_back(ComputeVisualFeatures(doc.elements[i], region, max_h));
   }
+
+  // The medoid loops below evaluate Θ(n²) distances per iteration, so the
+  // full matrix is computed once up front with the SIMD row kernel
+  // (bit-identical to `VisualDistance`, see util/simd.hpp) and served from
+  // the per-call arena. Everything allocated here is rewound on return.
+  util::ArenaScope scope(arena);
+  thread_local util::simd::FeatureSoA soa;
+  FillFeatureSoA(doc, element_indices, features, region, &soa);
+  const size_t n = features.size();
+  double* matrix = nullptr;
+  if (n <= kDistanceMatrixCap) {
+    matrix = arena->AllocateArray<double>(n * n);
+    for (size_t i = 0; i < n; ++i) {
+      util::simd::VisualDistanceRow(soa, i, matrix + i * n);
+    }
+  }
   auto dist = [&](size_t fa, size_t fb) {
-    return VisualDistance(features[fa], features[fb],
-                          doc.elements[element_indices[fa]],
-                          doc.elements[element_indices[fb]], region);
+    return matrix != nullptr ? matrix[fa * n + fb]
+                             : util::simd::VisualDistancePair(soa, fa, fb);
   };
 
   // --- seed selection: one medoid per occupied cell of a g×g grid ---
@@ -355,6 +406,22 @@ std::vector<std::vector<size_t>> ClusterElements(
   return clusters;
 }
 
+/// Per-thread arena backing the public `ClusterElements` entry point.
+/// `Segment` threads its own per-call arena through the recursion instead.
+util::Arena& ClusterArena() {
+  thread_local util::Arena arena;
+  return arena;
+}
+
+}  // namespace
+
+std::vector<std::vector<size_t>> ClusterElements(
+    const Document& doc, const std::vector<size_t>& element_indices,
+    const util::BBox& region, const SegmenterConfig& config) {
+  return ClusterElementsWithArena(doc, element_indices, region, config,
+                                  &ClusterArena());
+}
+
 namespace {
 
 /// Per-`Segment` memo of normalized `EmbedText` vectors, keyed by layout
@@ -529,7 +596,7 @@ void SegmentRecursive(const Document& doc, LayoutTree* tree, size_t node_id,
                       const embed::Embedding& embedding,
                       const SegmenterConfig& config,
                       const raster::PageRaster* page,
-                      NodeEmbedCache* embed_cache) {
+                      NodeEmbedCache* embed_cache, util::Arena* arena) {
   const doc::LayoutNode& node = tree->node(node_id);
   if (node.depth >= config.max_depth) return;
   if (node.element_indices.size() < config.min_elements_to_split) return;
@@ -614,7 +681,7 @@ void SegmentRecursive(const Document& doc, LayoutTree* tree, size_t node_id,
   // Phase 2: implicit modifiers via visual clustering.
   if (parts.size() <= 1 && config.enable_visual_clustering) {
     VS2_TRACE_SPAN_ARG("segment.cluster", depth);
-    parts = ClusterElements(doc, indices, region, config);
+    parts = ClusterElementsWithArena(doc, indices, region, config, arena);
   }
   if (parts.size() <= 1) return;  // leaf: logical block
 
@@ -647,7 +714,8 @@ void SegmentRecursive(const Document& doc, LayoutTree* tree, size_t node_id,
   // Recurse into the (possibly merged) children.
   std::vector<size_t> children = tree->node(node_id).children;
   for (size_t child : children) {
-    SegmentRecursive(doc, tree, child, embedding, config, page, embed_cache);
+    SegmentRecursive(doc, tree, child, embedding, config, page, embed_cache,
+                     arena);
   }
 }
 
@@ -673,9 +741,12 @@ Result<doc::LayoutTree> Segment(const Document& doc,
       page = raster::PageRaster(boxes, config.grid_scale);
     }
     NodeEmbedCache embed_cache;
+    // One arena per call: clustering scratch (distance matrices) is rewound
+    // between steps and its chunks are reused across the whole recursion.
+    util::Arena arena;
     SegmentRecursive(doc, &tree, tree.root(), embedding, config,
                      config.reuse_page_raster ? &page : nullptr,
-                     &embed_cache);
+                     &embed_cache, &arena);
   }
   VS2_RETURN_IF_ERROR(tree.Validate(doc));
   return tree;

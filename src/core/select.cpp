@@ -273,12 +273,13 @@ std::vector<Extraction> SelectEntities(
       case DisambiguationMode::kMultimodal: {
         std::vector<double> fs;
         fs.reserve(candidates.size());
+        std::vector<float> s_vec;  // reused across the candidate loop
         for (const Candidate& cand : candidates) {
           const BlockContext& blk = blocks[cand.block_index];
           util::BBox s_bbox = MatchBBox(doc, blk, cand.match);
           std::string s_text =
               blk.analyzed.SpanText(cand.match.begin, cand.match.end);
-          std::vector<float> s_vec = embedding.EmbedText(s_text);
+          embedding.EmbedTextInto(s_text, &s_vec);
           double s_height = 1.0;
           for (size_t t = cand.match.begin; t < cand.match.end; ++t) {
             size_t el = blk.analyzed.tokens[t].element_index;

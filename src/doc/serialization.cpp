@@ -395,8 +395,9 @@ Result<bool> GetBool(const JsonObject& obj, const char* key, bool fallback) {
 
 }  // namespace
 
-std::string ToJson(const Document& d) {
-  std::string out = "{";
+void AppendJson(const Document& d, std::string* buffer) {
+  std::string& out = *buffer;
+  out += "{";
   out += util::Format("\"id\":%llu,", static_cast<unsigned long long>(d.id));
   out += util::Format("\"dataset\":%d,", static_cast<int>(d.dataset));
   out += util::Format("\"format\":%d,", static_cast<int>(d.format));
@@ -447,6 +448,11 @@ std::string ToJson(const Document& d) {
     out += "}";
   }
   out += "]}";
+}
+
+std::string ToJson(const Document& d) {
+  std::string out;
+  AppendJson(d, &out);
   return out;
 }
 

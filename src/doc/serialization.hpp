@@ -49,6 +49,11 @@ inline constexpr size_t kMaxAnnotationsPerDocument = 10000;
 /// Serializes a document (elements + annotations + metadata) to JSON.
 std::string ToJson(const Document& document);
 
+/// Appends `ToJson(document)` to `buffer` without clearing it. Hot callers
+/// (per-request cache canonicalization in serve/) reuse one buffer's
+/// capacity across requests instead of allocating a fresh string each time.
+void AppendJson(const Document& document, std::string* buffer);
+
 /// Parses a document from JSON produced by `ToJson` (or any conforming
 /// producer). Unknown keys are ignored; missing optional keys default.
 /// Malformed input — truncated JSON, duplicate keys, schema fields of the

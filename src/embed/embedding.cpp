@@ -4,6 +4,7 @@
 
 #include "util/math.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/strings.hpp"
 
 namespace vs2::embed {
@@ -22,11 +23,22 @@ int Vocabulary::Lookup(const std::string& word) const {
 Embedding::Embedding(int dim) : dim_(dim > 0 ? dim : 64) {}
 
 void Embedding::Normalize(std::vector<float>* v) {
+  // The norm accumulates sequentially in double at every SIMD level, so
+  // normalized vectors are bit-identical across kernels (DESIGN.md §13).
   double norm = 0.0;
   for (float x : *v) norm += static_cast<double>(x) * x;
   if (norm <= 0.0) return;
-  float inv = static_cast<float>(1.0 / std::sqrt(norm));
-  for (float& x : *v) x *= inv;
+  double inv = 1.0 / std::sqrt(norm);
+  float inv_f = static_cast<float>(inv);
+  if (std::isfinite(inv_f)) {
+    util::simd::ScaleF32(v->data(), inv_f, v->size());
+    return;
+  }
+  // norm underflowed so far that 1/sqrt(norm) overflows float — the regime
+  // of all-subnormal components (the seed-subnormal-width.json fuzz
+  // corpus). Scaling in float would turn every component into inf; scaling
+  // in double is safe because |x| <= sqrt(norm) implies |x * inv| <= 1.
+  for (float& x : *v) x = static_cast<float>(x * inv);
 }
 
 std::vector<float> Embedding::HashVector(const std::string& word) const {
@@ -133,11 +145,7 @@ void Embedding::EmbedInto(const std::string& word,
   // Blend: 80% topical signal, 20% subword signal, renormalized. The blend
   // keeps misspelled in-vocabulary variants near their clean forms.
   const std::vector<float>& trained = vectors_[static_cast<size_t>(id)];
-  for (int d = 0; d < dim_; ++d) {
-    (*out)[static_cast<size_t>(d)] =
-        0.8f * trained[static_cast<size_t>(d)] +
-        0.2f * (*out)[static_cast<size_t>(d)];
-  }
+  util::simd::BlendF32(out->data(), trained.data(), 0.8f, 0.2f, out->size());
   Normalize(out);
 }
 
@@ -147,17 +155,22 @@ std::vector<float> Embedding::Embed(const std::string& word) const {
   return out;
 }
 
-std::vector<float> Embedding::EmbedText(const std::string& text) const {
-  std::vector<float> acc(static_cast<size_t>(dim_), 0.0f);
+void Embedding::EmbedTextInto(const std::string& text,
+                              std::vector<float>* out) const {
+  out->assign(static_cast<size_t>(dim_), 0.0f);
   std::vector<std::string> words = util::SplitWhitespace(text);
-  if (words.empty()) return acc;
+  if (words.empty()) return;
   std::vector<float> scratch;  // one allocation for the whole text
   for (const std::string& w : words) {
     EmbedInto(w, &scratch);
-    for (int d = 0; d < dim_; ++d)
-      acc[static_cast<size_t>(d)] += scratch[static_cast<size_t>(d)];
+    util::simd::AddF32(out->data(), scratch.data(), out->size());
   }
-  Normalize(&acc);
+  Normalize(out);
+}
+
+std::vector<float> Embedding::EmbedText(const std::string& text) const {
+  std::vector<float> acc;
+  EmbedTextInto(text, &acc);
   return acc;
 }
 

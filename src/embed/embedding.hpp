@@ -65,6 +65,17 @@ class Embedding {
   /// the zero vector for empty text.
   std::vector<float> EmbedText(const std::string& text) const;
 
+  /// `EmbedText` into a caller-provided buffer (assigned to `dim` zeros
+  /// first). Hot loops that embed many candidate texts reuse one buffer
+  /// instead of allocating a fresh vector per candidate.
+  void EmbedTextInto(const std::string& text, std::vector<float>* out) const;
+
+  /// Scales `v` to unit L2 norm (no-op for the zero vector). The norm is
+  /// accumulated in double and the scale applied so that subnormal or
+  /// zero-norm inputs — e.g. a degenerate 80/20 blend — can never produce
+  /// inf/NaN components. Public so edge-case tests can drive it directly.
+  static void Normalize(std::vector<float>* v);
+
   /// Cosine similarity of two words in [-1, 1].
   double Similarity(const std::string& a, const std::string& b) const;
 
@@ -77,7 +88,6 @@ class Embedding {
   /// `EmbedText` loop reuses one scratch vector instead of allocating two
   /// fresh vectors per word.
   void EmbedInto(const std::string& word, std::vector<float>* out) const;
-  static void Normalize(std::vector<float>* v);
 
   int dim_;
   Vocabulary vocab_;

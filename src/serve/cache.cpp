@@ -1,5 +1,6 @@
 #include "serve/cache.hpp"
 
+#include <iterator>
 #include <utility>
 
 namespace vs2::serve {
@@ -46,8 +47,19 @@ void ResultCache::Put(uint64_t hash, const std::string& canonical,
     return;
   }
   if (lru_.size() >= options_.capacity) {
-    index_.erase(lru_.back().hash);
-    lru_.pop_back();
+    // Prefer evicting an entry that is already TTL-expired. An expired
+    // entry that was *touched* recently (e.g. looked up moments before its
+    // expiry) sits near the list front, and evicting the plain back entry
+    // would keep the dead data alive at the cost of a live entry — the
+    // stale-recency interaction between TTL bookkeeping and LRU order.
+    // Among several expired entries the one nearest the back (least
+    // recently touched) is taken, matching plain LRU tie-breaking.
+    auto victim = std::prev(lru_.end());
+    for (auto entry = lru_.begin(); entry != lru_.end(); ++entry) {
+      if (Expired(*entry, now)) victim = entry;
+    }
+    index_.erase(victim->hash);
+    lru_.erase(victim);
     ++evictions_;
   }
   lru_.push_front(Entry{hash, canonical, std::move(value), now, ++access_seq_});

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 
 #include "doc/serialization.hpp"
@@ -16,18 +17,36 @@
 namespace vs2::serve {
 namespace {
 
-/// write(2) until the whole buffer is out (or the peer is gone).
+/// send(2) until the whole buffer is out (or the peer is gone).
+///
+/// MSG_NOSIGNAL is load-bearing: a peer that resets mid-response would
+/// otherwise raise SIGPIPE on the write and kill the whole daemon. With it,
+/// a broken pipe surfaces as EPIPE/ECONNRESET — the clean client-gone path
+/// (`false`), exactly like a read-side EOF.
 bool WriteAll(int fd, const std::string& data) {
   size_t sent = 0;
   while (sent < data.size()) {
-    ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      return false;
+      return false;  // EPIPE/ECONNRESET/...: client hung up, not an error
     }
     sent += static_cast<size_t>(n);
   }
   return true;
+}
+
+/// Belt-and-braces next to MSG_NOSIGNAL: ignore SIGPIPE process-wide once,
+/// covering any stray descriptor write outside `WriteAll`. Installed lazily
+/// on first daemon start so merely linking serve/ never alters signal
+/// disposition.
+void IgnoreSigpipeOnce() {
+  static const bool installed = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)installed;
 }
 
 }  // namespace
@@ -39,6 +58,7 @@ Daemon::~Daemon() { Stop(); }
 
 Status Daemon::Start() {
   if (running_.load()) return Status::AlreadyExists("daemon already started");
+  IgnoreSigpipeOnce();
 
   if (!options_.unix_socket_path.empty()) {
     sockaddr_un addr{};
@@ -146,6 +166,7 @@ std::string Daemon::HandleLine(const std::string& line) {
 void Daemon::ServeConnection(Connection* connection) {
   const int fd = connection->fd;
   std::string buffer;
+  std::string line, response;  // reused across request lines
   char chunk[4096];
   bool open = true;
   while (open) {
@@ -156,10 +177,12 @@ void Daemon::ServeConnection(Connection* connection) {
     size_t start = 0;
     for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
          nl = buffer.find('\n', start)) {
-      std::string line = buffer.substr(start, nl - start);
+      line.assign(buffer, start, nl - start);
       start = nl + 1;
       if (line.empty()) continue;  // tolerate blank keep-alive lines
-      if (!WriteAll(fd, HandleLine(line) + "\n")) {
+      response = HandleLine(line);
+      response.push_back('\n');
+      if (!WriteAll(fd, response)) {
         open = false;
         break;
       }

@@ -148,11 +148,15 @@ ExtractionService::Response ExtractionService::RunAdmitted(
   }
 
   const bool use_cache = options_.cache_entries > 0 && !options.bypass_cache;
-  std::string canonical;
+  // Per-request serving scratch: the canonical cache key is rebuilt into a
+  // thread-retained buffer, so a steady-state request reuses its capacity
+  // instead of allocating a document-sized string every time.
+  thread_local std::string canonical;
+  canonical.clear();
   uint64_t hash = 0;
   if (use_cache) {
     VS2_TRACE_SPAN("serve.cache_lookup");
-    canonical = doc::ToJson(document);
+    doc::AppendJson(document, &canonical);
     hash = util::Fnv1a64(canonical);
     uint64_t evictions_before = cache_->evictions();
     if (ResultCache::Value hit = cache_->Get(hash, canonical, Now())) {

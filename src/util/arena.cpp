@@ -1,0 +1,35 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+
+namespace vs2::util {
+
+void* Arena::AllocateSlow(size_t bytes, size_t align) {
+  // Try retained chunks past the active one before growing.
+  for (size_t i = active_ + 1; i < chunks_.size(); ++i) {
+    Chunk& c = chunks_[i];
+    size_t aligned = AlignedOffset(c, align);
+    if (aligned + bytes <= c.size) {
+      active_ = i;
+      c.used = aligned + bytes;
+      return c.data.get() + aligned;
+    }
+  }
+  // Grow geometrically; oversized requests get a dedicated chunk so one
+  // big matrix does not inflate every later chunk.
+  size_t next_size = chunks_.empty()
+                         ? first_chunk_bytes_
+                         : std::min<size_t>(chunks_.back().size * 2,
+                                            size_t{8} * 1024 * 1024);
+  Chunk chunk;
+  chunk.size = std::max(next_size, bytes + align);
+  chunk.data = std::make_unique<std::byte[]>(chunk.size);
+  chunks_.push_back(std::move(chunk));
+  active_ = chunks_.size() - 1;
+  Chunk& c = chunks_.back();
+  size_t aligned = AlignedOffset(c, align);
+  c.used = aligned + bytes;
+  return c.data.get() + aligned;
+}
+
+}  // namespace vs2::util

@@ -1,0 +1,187 @@
+#ifndef VS2_UTIL_ARENA_HPP_
+#define VS2_UTIL_ARENA_HPP_
+
+/// \file arena.hpp
+/// Monotonic chunked arena for the per-request scratch of the segmenter,
+/// the pattern learner, and the serving layer (DESIGN.md §13). The goal is
+/// O(1) mallocs in steady state: a request allocates out of retained
+/// chunks, `Reset()` rewinds the write cursor without freeing, and the next
+/// request reuses the same memory.
+///
+/// Objects placed in the arena are never destructed — `Create` and
+/// `AllocateArray` are restricted to trivially-destructible types. For STL
+/// containers whose *buffer* should live in the arena (and whose elements
+/// are destructed normally by the container), use `ArenaAllocator`.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace vs2::util {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(size_t first_chunk_bytes = kDefaultChunkBytes)
+      : first_chunk_bytes_(first_chunk_bytes == 0 ? kDefaultChunkBytes
+                                                  : first_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  /// Never returns nullptr; `bytes == 0` yields a distinct aligned pointer.
+  void* Allocate(size_t bytes, size_t align) {
+    if (active_ < chunks_.size()) {
+      Chunk& c = chunks_[active_];
+      size_t aligned = AlignedOffset(c, align);
+      if (aligned + bytes <= c.size) {
+        c.used = aligned + bytes;
+        return c.data.get() + aligned;
+      }
+    }
+    return AllocateSlow(bytes, align);
+  }
+
+  /// Uninitialized storage for `n` objects of trivially-destructible `T`.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena never runs destructors");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Constructs a `T` in the arena. The destructor will never run.
+  template <typename T, typename... Args>
+  T* Create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena never runs destructors");
+    return ::new (Allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(args)...);
+  }
+
+  /// Rewinds the write cursor to empty. Chunks are retained, so a
+  /// steady-state caller that allocates the same working set each request
+  /// performs no further mallocs after warm-up.
+  void Reset() {
+    for (Chunk& c : chunks_) c.used = 0;
+    active_ = 0;
+  }
+
+  /// Position mark for scoped reclamation (see `ArenaScope`).
+  struct Mark {
+    size_t chunk = 0;
+    size_t used = 0;
+  };
+
+  Mark Position() const {
+    if (active_ >= chunks_.size()) return {0, 0};
+    return {active_, chunks_[active_].used};
+  }
+
+  /// Rewinds to a previously captured mark; everything allocated after it
+  /// is reclaimed (chunks stay owned).
+  void Rewind(Mark mark) {
+    if (chunks_.empty()) return;
+    if (mark.chunk >= chunks_.size()) mark = {0, 0};
+    for (size_t i = mark.chunk + 1; i < chunks_.size(); ++i) {
+      chunks_[i].used = 0;
+    }
+    chunks_[mark.chunk].used = mark.used;
+    active_ = mark.chunk;
+  }
+
+  /// Bytes currently handed out (diagnostics / tests).
+  size_t bytes_used() const {
+    size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.used;
+    return total;
+  }
+
+  /// Bytes owned across all chunks (diagnostics / tests).
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+  size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  /// First offset >= `c.used` whose *pointer* is `align`-aligned (the chunk
+  /// base is only guaranteed operator-new alignment).
+  static size_t AlignedOffset(const Chunk& c, size_t align) {
+    uintptr_t base = reinterpret_cast<uintptr_t>(c.data.get());
+    uintptr_t addr = base + c.used;
+    uintptr_t aligned = (addr + align - 1) & ~(uintptr_t{align} - 1);
+    return static_cast<size_t>(aligned - base);
+  }
+
+  void* AllocateSlow(size_t bytes, size_t align);
+
+  std::vector<Chunk> chunks_;
+  size_t active_ = 0;
+  size_t first_chunk_bytes_;
+};
+
+/// RAII position mark: allocations made while the scope is alive are
+/// reclaimed on destruction. Scopes must nest like stack frames.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena* arena)
+      : arena_(arena), mark_(arena->Position()) {}
+  ~ArenaScope() { arena_->Rewind(mark_); }
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena* arena_;
+  Arena::Mark mark_;
+};
+
+/// Minimal STL allocator over an `Arena`: `deallocate` is a no-op, the
+/// arena reclaims in bulk. Containers using it must not outlive the arena.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, size_t) {}
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const {
+    return arena_ != other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace vs2::util
+
+#endif  // VS2_UTIL_ARENA_HPP_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/simd.hpp"
+
 namespace vs2::util {
 
 double Mean(const std::vector<double>& xs) {
@@ -50,27 +52,13 @@ double PearsonCorrelation(const std::vector<double>& xs,
 double CosineSimilarity(const std::vector<double>& a,
                         const std::vector<double>& b) {
   if (a.size() != b.size() || a.empty()) return 0.0;
-  double dot = 0.0, na = 0.0, nb = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    dot += a[i] * b[i];
-    na += a[i] * a[i];
-    nb += b[i] * b[i];
-  }
-  if (na <= 0.0 || nb <= 0.0) return 0.0;
-  return dot / (std::sqrt(na) * std::sqrt(nb));
+  return simd::CosineF64(a.data(), b.data(), a.size());
 }
 
 double CosineSimilarity(const std::vector<float>& a,
                         const std::vector<float>& b) {
   if (a.size() != b.size() || a.empty()) return 0.0;
-  double dot = 0.0, na = 0.0, nb = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    dot += static_cast<double>(a[i]) * b[i];
-    na += static_cast<double>(a[i]) * a[i];
-    nb += static_cast<double>(b[i]) * b[i];
-  }
-  if (na <= 0.0 || nb <= 0.0) return 0.0;
-  return dot / (std::sqrt(na) * std::sqrt(nb));
+  return simd::CosineF32(a.data(), b.data(), a.size());
 }
 
 size_t FirstInflectionPoint(const std::vector<double>& series,

@@ -1,0 +1,406 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#define VS2_SIMD_NEON 1
+#endif
+
+namespace vs2::util::simd {
+namespace {
+
+std::atomic<Level>& ForcedLevelSlot() {
+  static std::atomic<Level> forced{Level::kAuto};
+  return forced;
+}
+
+bool LevelAvailable(Level level) {
+  switch (level) {
+    case Level::kAuto:
+    case Level::kScalar:
+      return true;
+    case Level::kAvx2:
+    case Level::kNeon:
+      return DetectedLevel() == level;
+  }
+  return false;
+}
+
+/// Resolves a call-site level request to a concrete, supported level.
+Level Resolve(Level request) {
+  if (request == Level::kAuto) request = ActiveLevel();
+  return LevelAvailable(request) ? request : Level::kScalar;
+}
+
+// ------------------------------------------------------- scalar kernels --
+// These are the differential references: operation-for-operation identical
+// to the historical loops in util/math.cpp and embed/embedding.cpp.
+
+double CosineF32Scalar(const float* a, const float* b, size_t n) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double CosineF64Scalar(const double* a, const double* b, size_t n) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+void AddF32Scalar(float* acc, const float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) acc[i] += x[i];
+}
+
+void ScaleF32Scalar(float* v, float s, size_t n) {
+  for (size_t i = 0; i < n; ++i) v[i] *= s;
+}
+
+void BlendF32Scalar(float* v, const float* a, float wa, float wv, size_t n) {
+  for (size_t i = 0; i < n; ++i) v[i] = wa * a[i] + wv * v[i];
+}
+
+void VisualDistanceRowScalar(const FeatureSoA& f, size_t query, double* out) {
+  const size_t n = f.size();
+  for (size_t j = 0; j < n; ++j) out[j] = VisualDistancePair(f, query, j);
+}
+
+#if defined(VS2_SIMD_NEON)
+// --------------------------------------------------------- NEON kernels --
+// Element-wise lanes execute the same operation sequence as the scalar
+// reference (mul + add, no fused contraction), so they are bit-identical;
+// the cosine reductions accumulate in lane-blocked order (ULP policy).
+
+double CosineF32Neon(const float* a, const float* b, size_t n) {
+  float64x2_t dot0 = vdupq_n_f64(0.0), dot1 = vdupq_n_f64(0.0);
+  float64x2_t na0 = vdupq_n_f64(0.0), na1 = vdupq_n_f64(0.0);
+  float64x2_t nb0 = vdupq_n_f64(0.0), nb1 = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    float32x4_t va = vld1q_f32(a + i);
+    float32x4_t vb = vld1q_f32(b + i);
+    float64x2_t alo = vcvt_f64_f32(vget_low_f32(va));
+    float64x2_t ahi = vcvt_high_f64_f32(va);
+    float64x2_t blo = vcvt_f64_f32(vget_low_f32(vb));
+    float64x2_t bhi = vcvt_high_f64_f32(vb);
+    dot0 = vfmaq_f64(dot0, alo, blo);
+    dot1 = vfmaq_f64(dot1, ahi, bhi);
+    na0 = vfmaq_f64(na0, alo, alo);
+    na1 = vfmaq_f64(na1, ahi, ahi);
+    nb0 = vfmaq_f64(nb0, blo, blo);
+    nb1 = vfmaq_f64(nb1, bhi, bhi);
+  }
+  double dot = vaddvq_f64(vaddq_f64(dot0, dot1));
+  double na = vaddvq_f64(vaddq_f64(na0, na1));
+  double nb = vaddvq_f64(vaddq_f64(nb0, nb1));
+  for (; i < n; ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double CosineF64Neon(const double* a, const double* b, size_t n) {
+  float64x2_t dot = vdupq_n_f64(0.0);
+  float64x2_t na = vdupq_n_f64(0.0);
+  float64x2_t nb = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    float64x2_t va = vld1q_f64(a + i);
+    float64x2_t vb = vld1q_f64(b + i);
+    dot = vfmaq_f64(dot, va, vb);
+    na = vfmaq_f64(na, va, va);
+    nb = vfmaq_f64(nb, vb, vb);
+  }
+  double d = vaddvq_f64(dot), sa = vaddvq_f64(na), sb = vaddvq_f64(nb);
+  for (; i < n; ++i) {
+    d += a[i] * b[i];
+    sa += a[i] * a[i];
+    sb += b[i] * b[i];
+  }
+  if (sa <= 0.0 || sb <= 0.0) return 0.0;
+  return d / (std::sqrt(sa) * std::sqrt(sb));
+}
+
+void AddF32Neon(float* acc, const float* x, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(acc + i, vaddq_f32(vld1q_f32(acc + i), vld1q_f32(x + i)));
+  }
+  for (; i < n; ++i) acc[i] += x[i];
+}
+
+void ScaleF32Neon(float* v, float s, size_t n) {
+  float32x4_t vs = vdupq_n_f32(s);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(v + i, vmulq_f32(vld1q_f32(v + i), vs));
+  }
+  for (; i < n; ++i) v[i] *= s;
+}
+
+void BlendF32Neon(float* v, const float* a, float wa, float wv, size_t n) {
+  float32x4_t vwa = vdupq_n_f32(wa);
+  float32x4_t vwv = vdupq_n_f32(wv);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // mul + mul + add, matching the scalar `wa * a[i] + wv * v[i]` exactly
+    // (no fused contraction).
+    float32x4_t ta = vmulq_f32(vwa, vld1q_f32(a + i));
+    float32x4_t tv = vmulq_f32(vwv, vld1q_f32(v + i));
+    vst1q_f32(v + i, vaddq_f32(ta, tv));
+  }
+  for (; i < n; ++i) v[i] = wa * a[i] + wv * v[i];
+}
+
+void VisualDistanceRowNeon(const FeatureSoA& f, size_t query, double* out) {
+  const size_t n = f.size();
+  const float64x2_t qx = vdupq_n_f64(f.centroid_x[query]);
+  const float64x2_t qy = vdupq_n_f64(f.centroid_y[query]);
+  const float64x2_t qh = vdupq_n_f64(f.height[query]);
+  const float64x2_t ql = vdupq_n_f64(f.lab_l[query]);
+  const float64x2_t qa = vdupq_n_f64(f.lab_a[query]);
+  const float64x2_t qb = vdupq_n_f64(f.lab_b[query]);
+  const float64x2_t qang = vdupq_n_f64(f.angular[query]);
+  const float64x2_t qto = vdupq_n_f64(f.theta_origin[query]);
+  const float64x2_t qta = vdupq_n_f64(f.theta_anti[query]);
+  const float64x2_t w_pos = vdupq_n_f64(3.0);
+  const float64x2_t w_h = vdupq_n_f64(1.2);
+  const float64x2_t w_lab = vdupq_n_f64(0.6);
+  const float64x2_t w_ang = vdupq_n_f64(0.4);
+  const float64x2_t w_sum = vdupq_n_f64(0.15);
+  const float64x2_t pi_sq = vdupq_n_f64(M_PI * M_PI);
+  size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    float64x2_t dx = vsubq_f64(qx, vld1q_f64(f.centroid_x.data() + j));
+    float64x2_t dy = vsubq_f64(qy, vld1q_f64(f.centroid_y.data() + j));
+    float64x2_t d =
+        vmulq_f64(w_pos, vaddq_f64(vmulq_f64(dx, dx), vmulq_f64(dy, dy)));
+    float64x2_t dh = vsubq_f64(qh, vld1q_f64(f.height.data() + j));
+    d = vaddq_f64(d, vmulq_f64(vmulq_f64(w_h, dh), dh));
+    float64x2_t dl = vsubq_f64(ql, vld1q_f64(f.lab_l.data() + j));
+    float64x2_t da = vsubq_f64(qa, vld1q_f64(f.lab_a.data() + j));
+    float64x2_t db = vsubq_f64(qb, vld1q_f64(f.lab_b.data() + j));
+    float64x2_t lab = vaddq_f64(vaddq_f64(vmulq_f64(dl, dl), vmulq_f64(da, da)),
+                                vmulq_f64(db, db));
+    d = vaddq_f64(d, vmulq_f64(w_lab, lab));
+    float64x2_t dang = vsubq_f64(qang, vld1q_f64(f.angular.data() + j));
+    d = vaddq_f64(d, vmulq_f64(vmulq_f64(w_ang, dang), dang));
+    float64x2_t s = vaddq_f64(
+        vabsq_f64(vsubq_f64(qto, vld1q_f64(f.theta_origin.data() + j))),
+        vabsq_f64(vsubq_f64(qta, vld1q_f64(f.theta_anti.data() + j))));
+    d = vaddq_f64(d, vdivq_f64(vmulq_f64(vmulq_f64(w_sum, s), s), pi_sq));
+    vst1q_f64(out + j, vsqrtq_f64(d));
+  }
+  for (; j < n; ++j) out[j] = VisualDistancePair(f, query, j);
+}
+#endif  // VS2_SIMD_NEON
+
+}  // namespace
+
+Level DetectedLevel() {
+  static const Level detected = [] {
+#if defined(VS2_HAVE_AVX2_KERNELS)
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      return Level::kAvx2;
+    }
+#endif
+#if defined(VS2_SIMD_NEON)
+    return Level::kNeon;
+#else
+    return Level::kScalar;
+#endif
+  }();
+  return detected;
+}
+
+void ForceLevel(Level level) {
+  if (!LevelAvailable(level)) level = Level::kScalar;
+  ForcedLevelSlot().store(level, std::memory_order_relaxed);
+}
+
+Level ActiveLevel() {
+  Level forced = ForcedLevelSlot().load(std::memory_order_relaxed);
+  return forced == Level::kAuto ? DetectedLevel() : forced;
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kAuto:
+      return "auto";
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+double CosineF32(const float* a, const float* b, size_t n, Level level) {
+  switch (Resolve(level)) {
+#if defined(VS2_HAVE_AVX2_KERNELS)
+    case Level::kAvx2:
+      return detail::CosineF32Avx2(a, b, n);
+#endif
+#if defined(VS2_SIMD_NEON)
+    case Level::kNeon:
+      return CosineF32Neon(a, b, n);
+#endif
+    default:
+      return CosineF32Scalar(a, b, n);
+  }
+}
+
+double CosineF64(const double* a, const double* b, size_t n, Level level) {
+  switch (Resolve(level)) {
+#if defined(VS2_HAVE_AVX2_KERNELS)
+    case Level::kAvx2:
+      return detail::CosineF64Avx2(a, b, n);
+#endif
+#if defined(VS2_SIMD_NEON)
+    case Level::kNeon:
+      return CosineF64Neon(a, b, n);
+#endif
+    default:
+      return CosineF64Scalar(a, b, n);
+  }
+}
+
+void AddF32(float* acc, const float* x, size_t n, Level level) {
+  switch (Resolve(level)) {
+#if defined(VS2_HAVE_AVX2_KERNELS)
+    case Level::kAvx2:
+      detail::AddF32Avx2(acc, x, n);
+      return;
+#endif
+#if defined(VS2_SIMD_NEON)
+    case Level::kNeon:
+      AddF32Neon(acc, x, n);
+      return;
+#endif
+    default:
+      AddF32Scalar(acc, x, n);
+      return;
+  }
+}
+
+void ScaleF32(float* v, float s, size_t n, Level level) {
+  switch (Resolve(level)) {
+#if defined(VS2_HAVE_AVX2_KERNELS)
+    case Level::kAvx2:
+      detail::ScaleF32Avx2(v, s, n);
+      return;
+#endif
+#if defined(VS2_SIMD_NEON)
+    case Level::kNeon:
+      ScaleF32Neon(v, s, n);
+      return;
+#endif
+    default:
+      ScaleF32Scalar(v, s, n);
+      return;
+  }
+}
+
+void BlendF32(float* v, const float* a, float wa, float wv, size_t n,
+              Level level) {
+  switch (Resolve(level)) {
+#if defined(VS2_HAVE_AVX2_KERNELS)
+    case Level::kAvx2:
+      detail::BlendF32Avx2(v, a, wa, wv, n);
+      return;
+#endif
+#if defined(VS2_SIMD_NEON)
+    case Level::kNeon:
+      BlendF32Neon(v, a, wa, wv, n);
+      return;
+#endif
+    default:
+      BlendF32Scalar(v, a, wa, wv, n);
+      return;
+  }
+}
+
+void FeatureSoA::Reserve(size_t n) {
+  centroid_x.reserve(n);
+  centroid_y.reserve(n);
+  height.reserve(n);
+  lab_l.reserve(n);
+  lab_a.reserve(n);
+  lab_b.reserve(n);
+  angular.reserve(n);
+  theta_origin.reserve(n);
+  theta_anti.reserve(n);
+}
+
+void FeatureSoA::Clear() {
+  centroid_x.clear();
+  centroid_y.clear();
+  height.clear();
+  lab_l.clear();
+  lab_a.clear();
+  lab_b.clear();
+  angular.clear();
+  theta_origin.clear();
+  theta_anti.clear();
+}
+
+double VisualDistancePair(const FeatureSoA& f, size_t i, size_t j) {
+  // The exact operation order of `core::VisualDistance` (Table 1 weights):
+  // a parenthesized sum for the position and LAB groups, left-to-right
+  // `w * diff * diff` for the height/angle terms, and the pairwise
+  // angular-sum term divided by π² last.
+  double d = 0.0;
+  double dx = f.centroid_x[i] - f.centroid_x[j];
+  double dy = f.centroid_y[i] - f.centroid_y[j];
+  d += 3.0 * (dx * dx + dy * dy);
+  double dh = f.height[i] - f.height[j];
+  d += 1.2 * dh * dh;
+  double dl = f.lab_l[i] - f.lab_l[j];
+  double da = f.lab_a[i] - f.lab_a[j];
+  double db = f.lab_b[i] - f.lab_b[j];
+  d += 0.6 * (dl * dl + da * da + db * db);
+  double dang = f.angular[i] - f.angular[j];
+  d += 0.4 * dang * dang;
+  double sum_ang = std::abs(f.theta_origin[i] - f.theta_origin[j]) +
+                   std::abs(f.theta_anti[i] - f.theta_anti[j]);
+  d += 0.15 * sum_ang * sum_ang / (M_PI * M_PI);
+  return std::sqrt(d);
+}
+
+void VisualDistanceRow(const FeatureSoA& f, size_t query, double* out,
+                       Level level) {
+  switch (Resolve(level)) {
+#if defined(VS2_HAVE_AVX2_KERNELS)
+    case Level::kAvx2:
+      detail::VisualDistanceRowAvx2(f, query, out);
+      return;
+#endif
+#if defined(VS2_SIMD_NEON)
+    case Level::kNeon:
+      VisualDistanceRowNeon(f, query, out);
+      return;
+#endif
+    default:
+      VisualDistanceRowScalar(f, query, out);
+      return;
+  }
+}
+
+}  // namespace vs2::util::simd

@@ -1,0 +1,118 @@
+#ifndef VS2_UTIL_SIMD_HPP_
+#define VS2_UTIL_SIMD_HPP_
+
+/// \file simd.hpp
+/// Runtime-dispatched SIMD kernels for the post-cut numeric hot paths
+/// (DESIGN.md §13): the Eq. 1 / Eq. 2 embedding-cosine loops and the
+/// Table 1 visual-feature distance.
+///
+/// Dispatch discipline mirrors the cut kernels of §11: a scalar kernel —
+/// operation-for-operation identical to the historical loops — is always
+/// compiled and stays the differential-testing reference; an AVX2 variant
+/// is compiled in its own translation unit (built with `-mavx2 -mfma`) and
+/// selected only when `__builtin_cpu_supports` confirms the host; a NEON
+/// variant covers aarch64. `ForceLevel` pins the process to one level so
+/// differential suites can compare levels inside a single binary.
+///
+/// Numeric-agreement policy (the "ULP policy" of DESIGN.md §13):
+///  * element-wise kernels (`ScaleF32`, `AddF32`, `BlendF32`) and the
+///    Table 1 distance row perform the same per-lane operation sequence as
+///    the scalar reference and are **bit-identical** at every level;
+///  * reduction kernels (`CosineF32`, `CosineF64`) accumulate in
+///    lane-blocked order, so results differ from the sequential reference
+///    only in the final rounding — differential tests bound the divergence
+///    in ULPs instead of demanding equality.
+
+#include <cstddef>
+#include <vector>
+
+namespace vs2::util::simd {
+
+/// Kernel selection. `kAuto` resolves to the forced level if one is set,
+/// else to the best detected level.
+enum class Level {
+  kAuto = 0,
+  kScalar = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+
+/// Best level the host CPU supports (never `kAuto`). Probed once.
+Level DetectedLevel();
+
+/// Pins every `kAuto` call site to `level` (clamped to `DetectedLevel()`;
+/// requesting an unsupported level falls back to scalar). `kAuto` restores
+/// hardware detection. Reads/writes are relaxed-atomic: safe to call from
+/// tests around single-threaded regions.
+void ForceLevel(Level level);
+
+/// The level `kAuto` currently resolves to.
+Level ActiveLevel();
+
+/// Human-readable level name ("scalar", "avx2", ...), for logs and benches.
+const char* LevelName(Level level);
+
+/// Cosine similarity of two float vectors with double accumulation,
+/// matching `util::CosineSimilarity`'s semantics: 0 when `n == 0` or either
+/// norm is <= 0.
+double CosineF32(const float* a, const float* b, size_t n,
+                 Level level = Level::kAuto);
+
+/// Cosine similarity of two double vectors; 0 when `n == 0` or either norm
+/// is <= 0.
+double CosineF64(const double* a, const double* b, size_t n,
+                 Level level = Level::kAuto);
+
+/// acc[i] += x[i].
+void AddF32(float* acc, const float* x, size_t n, Level level = Level::kAuto);
+
+/// v[i] *= s.
+void ScaleF32(float* v, float s, size_t n, Level level = Level::kAuto);
+
+/// v[i] = wa * a[i] + wv * v[i] — the Eq. 1 trained/subword blend.
+void BlendF32(float* v, const float* a, float wa, float wv, size_t n,
+              Level level = Level::kAuto);
+
+/// \brief Structure-of-arrays layout of the Table 1 feature space for one
+/// clustering step. `theta_origin`/`theta_anti` are the per-element angular
+/// terms of `util::SumOfAngularDistances` — the pairwise sum decomposes as
+/// |θo_i − θo_j| + |θa_i − θa_j|, so the n² atan2 calls of the historical
+/// pairwise path collapse to n precomputed values.
+struct FeatureSoA {
+  std::vector<double> centroid_x, centroid_y;
+  std::vector<double> height;
+  std::vector<double> lab_l, lab_a, lab_b;
+  std::vector<double> angular;
+  std::vector<double> theta_origin, theta_anti;
+
+  size_t size() const { return centroid_x.size(); }
+  void Reserve(size_t n);
+  void Clear();
+};
+
+/// Table 1 weighted feature distance from element `query` to every element:
+/// `out[j] = VisualDistance(query, j)` with the exact operation order of
+/// `core::VisualDistance`. `out` must hold `f.size()` doubles. Bit-identical
+/// across levels (element-wise lanes, no FMA, IEEE sqrt).
+void VisualDistanceRow(const FeatureSoA& f, size_t query, double* out,
+                       Level level = Level::kAuto);
+
+/// Single-pair Table 1 distance over the SoA (the on-demand fallback when a
+/// full distance matrix is not materialized). Always scalar arithmetic;
+/// bit-identical to `VisualDistanceRow`'s lanes.
+double VisualDistancePair(const FeatureSoA& f, size_t i, size_t j);
+
+namespace detail {
+// AVX2 kernels, defined in simd_avx2.cpp (compiled with -mavx2 -mfma).
+// Declared unconditionally; referenced only when the build enables them.
+double CosineF32Avx2(const float* a, const float* b, size_t n);
+double CosineF64Avx2(const double* a, const double* b, size_t n);
+void AddF32Avx2(float* acc, const float* x, size_t n);
+void ScaleF32Avx2(float* v, float s, size_t n);
+void BlendF32Avx2(float* v, const float* a, float wa, float wv, size_t n);
+void VisualDistanceRowAvx2(const FeatureSoA& f, size_t query, double* out);
+}  // namespace detail
+
+}  // namespace vs2::util::simd
+
+#endif  // VS2_UTIL_SIMD_HPP_

@@ -1,0 +1,162 @@
+/// AVX2 + FMA kernel bodies (DESIGN.md §13). This translation unit is the
+/// only one compiled with `-mavx2 -mfma`; callers reach it through the
+/// runtime dispatch in simd.cpp, never directly, so the binary stays safe
+/// on pre-AVX2 hosts.
+
+#include "util/simd.hpp"
+
+#if defined(VS2_HAVE_AVX2_KERNELS)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace vs2::util::simd::detail {
+namespace {
+
+double HorizontalSum(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(lo, _mm_unpackhi_pd(lo, lo)));
+}
+
+__m256d AbsPd(__m256d v) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  return _mm256_andnot_pd(sign_mask, v);
+}
+
+}  // namespace
+
+double CosineF32Avx2(const float* a, const float* b, size_t n) {
+  __m256d dot = _mm256_setzero_pd();
+  __m256d na = _mm256_setzero_pd();
+  __m256d nb = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d va = _mm256_cvtps_pd(_mm_loadu_ps(a + i));
+    __m256d vb = _mm256_cvtps_pd(_mm_loadu_ps(b + i));
+    dot = _mm256_fmadd_pd(va, vb, dot);
+    na = _mm256_fmadd_pd(va, va, na);
+    nb = _mm256_fmadd_pd(vb, vb, nb);
+  }
+  double d = HorizontalSum(dot);
+  double sa = HorizontalSum(na);
+  double sb = HorizontalSum(nb);
+  for (; i < n; ++i) {
+    d += static_cast<double>(a[i]) * b[i];
+    sa += static_cast<double>(a[i]) * a[i];
+    sb += static_cast<double>(b[i]) * b[i];
+  }
+  if (sa <= 0.0 || sb <= 0.0) return 0.0;
+  return d / (std::sqrt(sa) * std::sqrt(sb));
+}
+
+double CosineF64Avx2(const double* a, const double* b, size_t n) {
+  __m256d dot = _mm256_setzero_pd();
+  __m256d na = _mm256_setzero_pd();
+  __m256d nb = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d va = _mm256_loadu_pd(a + i);
+    __m256d vb = _mm256_loadu_pd(b + i);
+    dot = _mm256_fmadd_pd(va, vb, dot);
+    na = _mm256_fmadd_pd(va, va, na);
+    nb = _mm256_fmadd_pd(vb, vb, nb);
+  }
+  double d = HorizontalSum(dot);
+  double sa = HorizontalSum(na);
+  double sb = HorizontalSum(nb);
+  for (; i < n; ++i) {
+    d += a[i] * b[i];
+    sa += a[i] * a[i];
+    sb += b[i] * b[i];
+  }
+  if (sa <= 0.0 || sb <= 0.0) return 0.0;
+  return d / (std::sqrt(sa) * std::sqrt(sb));
+}
+
+void AddF32Avx2(float* acc, const float* x, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(acc + i, _mm256_add_ps(_mm256_loadu_ps(acc + i),
+                                            _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) acc[i] += x[i];
+}
+
+void ScaleF32Avx2(float* v, float s, size_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(v + i, _mm256_mul_ps(_mm256_loadu_ps(v + i), vs));
+  }
+  for (; i < n; ++i) v[i] *= s;
+}
+
+void BlendF32Avx2(float* v, const float* a, float wa, float wv, size_t n) {
+  const __m256 vwa = _mm256_set1_ps(wa);
+  const __m256 vwv = _mm256_set1_ps(wv);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // mul + mul + add — matches the scalar `wa * a[i] + wv * v[i]` exactly
+    // (deliberately no FMA: contraction would change the rounding and break
+    // bit-identity with the scalar reference).
+    __m256 ta = _mm256_mul_ps(vwa, _mm256_loadu_ps(a + i));
+    __m256 tv = _mm256_mul_ps(vwv, _mm256_loadu_ps(v + i));
+    _mm256_storeu_ps(v + i, _mm256_add_ps(ta, tv));
+  }
+  for (; i < n; ++i) v[i] = wa * a[i] + wv * v[i];
+}
+
+void VisualDistanceRowAvx2(const FeatureSoA& f, size_t query, double* out) {
+  const size_t n = f.size();
+  const __m256d qx = _mm256_set1_pd(f.centroid_x[query]);
+  const __m256d qy = _mm256_set1_pd(f.centroid_y[query]);
+  const __m256d qh = _mm256_set1_pd(f.height[query]);
+  const __m256d ql = _mm256_set1_pd(f.lab_l[query]);
+  const __m256d qa = _mm256_set1_pd(f.lab_a[query]);
+  const __m256d qb = _mm256_set1_pd(f.lab_b[query]);
+  const __m256d qang = _mm256_set1_pd(f.angular[query]);
+  const __m256d qto = _mm256_set1_pd(f.theta_origin[query]);
+  const __m256d qta = _mm256_set1_pd(f.theta_anti[query]);
+  const __m256d w_pos = _mm256_set1_pd(3.0);
+  const __m256d w_h = _mm256_set1_pd(1.2);
+  const __m256d w_lab = _mm256_set1_pd(0.6);
+  const __m256d w_ang = _mm256_set1_pd(0.4);
+  const __m256d w_sum = _mm256_set1_pd(0.15);
+  const __m256d pi_sq = _mm256_set1_pd(M_PI * M_PI);
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    // Each lane replays VisualDistancePair's exact operation order with
+    // plain mul/add (no FMA) and IEEE sqrt/div, so lanes are bit-identical
+    // to the scalar reference.
+    __m256d dx = _mm256_sub_pd(qx, _mm256_loadu_pd(f.centroid_x.data() + j));
+    __m256d dy = _mm256_sub_pd(qy, _mm256_loadu_pd(f.centroid_y.data() + j));
+    __m256d d = _mm256_mul_pd(
+        w_pos, _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)));
+    __m256d dh = _mm256_sub_pd(qh, _mm256_loadu_pd(f.height.data() + j));
+    d = _mm256_add_pd(d, _mm256_mul_pd(_mm256_mul_pd(w_h, dh), dh));
+    __m256d dl = _mm256_sub_pd(ql, _mm256_loadu_pd(f.lab_l.data() + j));
+    __m256d da = _mm256_sub_pd(qa, _mm256_loadu_pd(f.lab_a.data() + j));
+    __m256d db = _mm256_sub_pd(qb, _mm256_loadu_pd(f.lab_b.data() + j));
+    __m256d lab = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(dl, dl), _mm256_mul_pd(da, da)),
+        _mm256_mul_pd(db, db));
+    d = _mm256_add_pd(d, _mm256_mul_pd(w_lab, lab));
+    __m256d dang = _mm256_sub_pd(qang, _mm256_loadu_pd(f.angular.data() + j));
+    d = _mm256_add_pd(d, _mm256_mul_pd(_mm256_mul_pd(w_ang, dang), dang));
+    __m256d s = _mm256_add_pd(
+        AbsPd(_mm256_sub_pd(qto,
+                            _mm256_loadu_pd(f.theta_origin.data() + j))),
+        AbsPd(_mm256_sub_pd(qta, _mm256_loadu_pd(f.theta_anti.data() + j))));
+    d = _mm256_add_pd(
+        d, _mm256_div_pd(_mm256_mul_pd(_mm256_mul_pd(w_sum, s), s), pi_sq));
+    _mm256_storeu_pd(out + j, _mm256_sqrt_pd(d));
+  }
+  for (; j < n; ++j) out[j] = VisualDistancePair(f, query, j);
+}
+
+}  // namespace vs2::util::simd::detail
+
+#endif  // VS2_HAVE_AVX2_KERNELS

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "datasets/generator.hpp"
@@ -38,6 +39,45 @@ TEST(EmbeddingTest, VectorsAreUnitNorm) {
   for (float x : v) norm += static_cast<double>(x) * x;
   EXPECT_NEAR(norm, 1.0, 1e-5);
   EXPECT_EQ(v.size(), 32u);
+}
+
+TEST(EmbeddingTest, NormalizeSubnormalVectorStaysFinite) {
+  // Regression: with every component subnormal the squared norm
+  // underflows so far that float(1/sqrt(norm)) rounds to +inf, and the
+  // fast float scaling path turned the whole vector into inf. The
+  // double-path fallback must keep every component finite and the result
+  // unit-norm.
+  std::vector<float> v(64, 1e-41f);
+  embed::Embedding::Normalize(&v);
+  double norm = 0.0;
+  for (float x : v) {
+    ASSERT_TRUE(std::isfinite(x)) << x;
+    norm += static_cast<double>(x) * x;
+  }
+  EXPECT_NEAR(norm, 1.0, 1e-6);
+
+  // Mixed-sign subnormals exercise the same regime with cancellation-free
+  // accumulation; signs must survive the rescale.
+  std::vector<float> mixed = {1e-41f, -2e-41f, 4e-41f, -1e-40f};
+  embed::Embedding::Normalize(&mixed);
+  double mixed_norm = 0.0;
+  for (float x : mixed) {
+    ASSERT_TRUE(std::isfinite(x)) << x;
+    mixed_norm += static_cast<double>(x) * x;
+  }
+  EXPECT_NEAR(mixed_norm, 1.0, 1e-6);
+  EXPECT_GT(mixed[0], 0.0f);
+  EXPECT_LT(mixed[1], 0.0f);
+}
+
+TEST(EmbeddingTest, NormalizeZeroAndEmptyVectorsAreNoOps) {
+  std::vector<float> zero(16, 0.0f);
+  embed::Embedding::Normalize(&zero);
+  for (float x : zero) EXPECT_EQ(x, 0.0f);
+
+  std::vector<float> empty;
+  embed::Embedding::Normalize(&empty);  // must not touch v->data()
+  EXPECT_TRUE(empty.empty());
 }
 
 TEST(EmbeddingTest, HashVectorsRobustToOcrCorruption) {

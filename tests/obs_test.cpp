@@ -304,6 +304,33 @@ TEST(PercentileTest, UnsortedConvenienceSortsFirst) {
   EXPECT_EQ(obs::Percentile({5.0, 1.0, 3.0, 2.0, 4.0}, 0.50), 3.0);
 }
 
+TEST(PercentileTest, EmptyAndSingleSampleEdgeCases) {
+  // Empty input is 0.0 at every p — the "no data yet" sentinel, not NaN.
+  EXPECT_EQ(obs::SortedPercentile({}, 0.0), 0.0);
+  EXPECT_EQ(obs::SortedPercentile({}, 1.0), 0.0);
+  EXPECT_EQ(obs::Percentile({}, 0.99), 0.0);
+
+  // A single sample answers every quantile with itself, including p past
+  // 1.0 (the index clamp, not the caller, keeps it in range).
+  EXPECT_EQ(obs::SortedPercentile({42.0}, 0.5), 42.0);
+  EXPECT_EQ(obs::SortedPercentile({42.0}, 2.0), 42.0);
+  EXPECT_EQ(obs::SortedPercentile({1.0, 2.0, 3.0}, 1.5), 3.0);  // clamped
+
+  // The histogram estimator mirrors both edges: empty histogram reads
+  // 0.0, and a single recorded sample pins every quantile to the same
+  // bucket bound at or above the sample.
+  obs::Histogram& h =
+      obs::Metrics::GetHistogram("obs_test.percentile_edge_ms");
+  h.Reset();
+  EXPECT_EQ(h.PercentileEstimate(0.0), 0.0);
+  EXPECT_EQ(h.PercentileEstimate(0.99), 0.0);
+  h.Record(3.0);
+  double p0 = h.PercentileEstimate(0.0);
+  EXPECT_GE(p0, 3.0);
+  EXPECT_EQ(h.PercentileEstimate(0.5), p0);
+  EXPECT_EQ(h.PercentileEstimate(1.0), p0);
+}
+
 // ---------------------------------------------------------------- Metrics --
 
 TEST(MetricsTest, CounterAndGaugeBasics) {

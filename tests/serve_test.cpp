@@ -144,6 +144,47 @@ TEST(ResultCacheTest, HashCollisionNeverServesWrongDocument) {
   EXPECT_EQ(v->observed.id, 2u);
 }
 
+TEST(ResultCacheTest, CapacityEvictionPrefersExpiredOverFreshLru) {
+  // Regression (stale-recency race): an entry whose recency was refreshed
+  // just before its TTL ran out sits at the LRU front even though it is
+  // now dead. Capacity eviction used to take the plain back entry, which
+  // discarded a live result to keep the expired one cached.
+  serve::ResultCache cache({/*capacity=*/2, /*ttl_seconds=*/10.0});
+  cache.Put(1, "a", MakeValue(1), 0.0);
+  cache.Put(2, "b", MakeValue(2), 7.0);
+  ASSERT_NE(cache.Get(1, "a", 7.5), nullptr);  // refresh A to the front
+
+  // t=10.5: A (stored at 0) is expired but most recently touched; B
+  // (stored at 7) is live but at the LRU back. The new entry must
+  // displace dead A, not live B.
+  cache.Put(3, "c", MakeValue(3), 10.5);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Get(1, "a", 10.6), nullptr);  // the expired entry is gone
+  ASSERT_NE(cache.Get(2, "b", 10.6), nullptr);  // the live entry survived
+  ASSERT_NE(cache.Get(3, "c", 10.6), nullptr);
+
+  check::AuditReport audit = serve::AuditResultCache(cache, 10.6);
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+}
+
+TEST(ResultCacheTest, CapacityEvictionTakesLeastRecentExpiredEntry) {
+  // With several expired candidates the victim is the one nearest the
+  // back — the least recently touched — matching plain LRU tie-breaking.
+  serve::ResultCache cache({/*capacity=*/3, /*ttl_seconds=*/5.0});
+  cache.Put(1, "a", MakeValue(1), 0.0);
+  cache.Put(2, "b", MakeValue(2), 0.0);
+  cache.Put(3, "c", MakeValue(3), 4.0);
+  ASSERT_NE(cache.Get(1, "a", 4.5), nullptr);  // order front->back: a c b
+
+  cache.Put(4, "d", MakeValue(4), 6.0);  // a and b expired; b is backmost
+  EXPECT_EQ(cache.Get(2, "b", 6.0), nullptr);
+  ASSERT_NE(cache.Get(3, "c", 6.0), nullptr);  // live entry untouched
+  ASSERT_NE(cache.Get(4, "d", 6.0), nullptr);
+
+  check::AuditReport audit = serve::AuditResultCache(cache, 6.0);
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+}
+
 TEST(ResultCacheTest, ZeroCapacityDisables) {
   serve::ResultCache cache({/*capacity=*/0, /*ttl_seconds=*/0.0});
   cache.Put(1, "a", MakeValue(1), 0.0);
@@ -569,6 +610,46 @@ TEST(DaemonTest, SocketRoundTripMatchesDirectProcess) {
   EXPECT_GE(daemon.connections_served(), 1u);
   daemon.Stop();
   // The socket file is gone after Stop; a second Stop is a no-op.
+  daemon.Stop();
+}
+
+TEST(DaemonTest, EarlyClosingClientDoesNotKillDaemon) {
+  // Regression: a client that sends a request and closes its socket
+  // before reading the response makes the daemon's answering send() hit a
+  // broken pipe. With plain write(2) that raised SIGPIPE and killed the
+  // whole process; with MSG_NOSIGNAL (+ SIG_IGN belt-and-braces) it
+  // surfaces as EPIPE and only that connection is dropped.
+  const core::Vs2& vs2 = SharedPipeline();
+  doc::Corpus corpus = SmallD2Corpus(1, 921);
+
+  serve::ServiceOptions service_options;
+  service_options.jobs = 1;
+  serve::ExtractionService service(vs2, service_options);
+  serve::DaemonOptions daemon_options;
+  daemon_options.unix_socket_path = TestSocketPath();
+  serve::Daemon daemon(service, daemon_options);
+  Status started = daemon.Start();
+  ASSERT_TRUE(started.ok()) << started;
+
+  const std::string request = doc::ToJson(corpus.documents[0]);
+  for (int round = 0; round < 4; ++round) {
+    TestClient quitter(daemon_options.unix_socket_path);
+    ASSERT_TRUE(quitter.connected());
+    ASSERT_TRUE(quitter.Send(request));
+    // Destructor closes the socket immediately — the pipeline is still
+    // processing, so the daemon's response lands on a closed peer.
+  }
+
+  // The daemon survived every broken pipe and still serves correctly.
+  auto direct = vs2.Process(corpus.documents[0]);
+  ASSERT_TRUE(direct.ok());
+  TestClient client(daemon_options.unix_socket_path);
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(request));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(response, doc::ExtractionsToJson(*direct));
+
   daemon.Stop();
 }
 

@@ -1,0 +1,333 @@
+/// Differential tests for the runtime-dispatched numeric kernels of
+/// DESIGN.md §13. The scalar kernels are the reference; every level the
+/// host supports must agree with them under the per-kernel policy:
+///  * element-wise kernels (Add/Scale/Blend, the Table 1 distance row)
+///    are **bit-identical** — same per-lane operation sequence, no FMA;
+///  * reduction kernels (cosine) accumulate lane-blocked and are held to a
+///    tight absolute tolerance instead (the "bounded-ULP" policy);
+///  * whole layout trees must come out bit-for-bit identical on D1–D3
+///    regardless of the forced kernel level.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/segmenter.hpp"
+#include "datasets/generator.hpp"
+#include "datasets/pretrained.hpp"
+#include "doc/layout_tree.hpp"
+#include "ocr/ocr.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace vs2::util::simd {
+namespace {
+
+/// Restores hardware auto-detection when a test body returns or fails.
+struct LevelGuard {
+  ~LevelGuard() { ForceLevel(Level::kAuto); }
+};
+
+/// Non-scalar levels this host can actually run (empty on a plain x86-64
+/// baseline machine — then the differential tests degenerate to
+/// scalar-vs-scalar, which the CI -march matrix is there to avoid on at
+/// least one leg).
+std::vector<Level> VectorLevels() {
+  std::vector<Level> out;
+  if (DetectedLevel() != Level::kScalar) out.push_back(DetectedLevel());
+  return out;
+}
+
+bool BitEqual(float a, float b) {
+  uint32_t ua, ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+bool BitEqual(double a, double b) {
+  uint64_t ua, ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+std::vector<float> RandomFloats(Rng* rng, size_t n) {
+  std::vector<float> v(n);
+  for (float& x : v) {
+    x = static_cast<float>(rng->UniformDouble(-2.0, 2.0));
+  }
+  return v;
+}
+
+// The lengths straddle every vector width in play: sub-lane, exactly one
+// 4- and 8-wide lane, lane + tail, and larger-than-any-block sizes.
+const size_t kLengths[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 31, 64, 257};
+
+// ----------------------------------------------------- dispatch plumbing --
+
+TEST(SimdDispatchTest, DetectedLevelIsConcrete) {
+  EXPECT_NE(DetectedLevel(), Level::kAuto);
+  EXPECT_STRNE(LevelName(DetectedLevel()), "unknown");
+  EXPECT_STREQ(LevelName(Level::kScalar), "scalar");
+}
+
+TEST(SimdDispatchTest, ForceLevelPinsAndRestores) {
+  LevelGuard guard;
+  ForceLevel(Level::kScalar);
+  EXPECT_EQ(ActiveLevel(), Level::kScalar);
+  ForceLevel(Level::kAuto);
+  EXPECT_EQ(ActiveLevel(), DetectedLevel());
+}
+
+TEST(SimdDispatchTest, ForcingUnsupportedLevelFallsBackToScalar) {
+  LevelGuard guard;
+  // At most one of AVX2/NEON exists on any host; the other must clamp.
+  Level missing =
+      DetectedLevel() == Level::kAvx2 ? Level::kNeon : Level::kAvx2;
+  ForceLevel(missing);
+  EXPECT_EQ(ActiveLevel(), Level::kScalar);
+}
+
+// ------------------------------------------------------ cosine reductions --
+
+TEST(SimdKernelDifferentialTest, CosineF32BoundedDivergence) {
+  Rng rng(0x51D1);
+  for (Level level : VectorLevels()) {
+    for (size_t n : kLengths) {
+      for (int trial = 0; trial < 8; ++trial) {
+        std::vector<float> a = RandomFloats(&rng, n);
+        std::vector<float> b = RandomFloats(&rng, n);
+        double ref = CosineF32(a.data(), b.data(), n, Level::kScalar);
+        double got = CosineF32(a.data(), b.data(), n, level);
+        // Reduction reorder only: the divergence is a handful of ULPs of
+        // the double accumulators, far below 1e-12 for these magnitudes.
+        EXPECT_NEAR(ref, got, 1e-12)
+            << LevelName(level) << " n=" << n << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelDifferentialTest, CosineF64BoundedDivergence) {
+  Rng rng(0x51D2);
+  for (Level level : VectorLevels()) {
+    for (size_t n : kLengths) {
+      std::vector<double> a(n), b(n);
+      for (size_t i = 0; i < n; ++i) {
+        a[i] = rng.UniformDouble(-3.0, 3.0);
+        b[i] = rng.UniformDouble(-3.0, 3.0);
+      }
+      EXPECT_NEAR(CosineF64(a.data(), b.data(), n, Level::kScalar),
+                  CosineF64(a.data(), b.data(), n, level), 1e-12)
+          << LevelName(level) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernelDifferentialTest, CosineZeroNormIsExactlyZeroAtEveryLevel) {
+  std::vector<float> zero(64, 0.0f);
+  std::vector<float> unit(64, 0.0f);
+  unit[0] = 1.0f;
+  for (Level level : {Level::kScalar, DetectedLevel()}) {
+    EXPECT_EQ(CosineF32(zero.data(), unit.data(), 64, level), 0.0);
+    EXPECT_EQ(CosineF32(unit.data(), zero.data(), 64, level), 0.0);
+    EXPECT_EQ(CosineF32(zero.data(), zero.data(), 64, level), 0.0);
+    EXPECT_EQ(CosineF32(unit.data(), unit.data(), 0, level), 0.0);
+  }
+}
+
+// ------------------------------------------------- element-wise kernels --
+
+TEST(SimdKernelDifferentialTest, AddScaleBlendBitIdentical) {
+  Rng rng(0xE1E3);
+  for (Level level : VectorLevels()) {
+    for (size_t n : kLengths) {
+      std::vector<float> base = RandomFloats(&rng, n);
+      std::vector<float> other = RandomFloats(&rng, n);
+      // Sprinkle edge values through the buffers: signed zeros, subnormals,
+      // large magnitudes.
+      if (n >= 4) {
+        base[0] = -0.0f;
+        base[1] = 1e-41f;
+        base[2] = -3.4e38f;
+        other[3] = 1.2e-40f;
+      }
+      float s = static_cast<float>(rng.UniformDouble(-1.5, 1.5));
+
+      std::vector<float> ref = base, got = base;
+      AddF32(ref.data(), other.data(), n, Level::kScalar);
+      AddF32(got.data(), other.data(), n, level);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_TRUE(BitEqual(ref[i], got[i]))
+            << "AddF32 " << LevelName(level) << " n=" << n << " i=" << i;
+      }
+
+      ref = base;
+      got = base;
+      ScaleF32(ref.data(), s, n, Level::kScalar);
+      ScaleF32(got.data(), s, n, level);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_TRUE(BitEqual(ref[i], got[i]))
+            << "ScaleF32 " << LevelName(level) << " n=" << n << " i=" << i;
+      }
+
+      ref = base;
+      got = base;
+      BlendF32(ref.data(), other.data(), 0.8f, 0.2f, n, Level::kScalar);
+      BlendF32(got.data(), other.data(), 0.8f, 0.2f, n, level);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_TRUE(BitEqual(ref[i], got[i]))
+            << "BlendF32 " << LevelName(level) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------- Table 1 distance row --
+
+FeatureSoA RandomSoA(Rng* rng, size_t n) {
+  FeatureSoA soa;
+  soa.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    soa.centroid_x.push_back(rng->UniformDouble(0.0, 1.0));
+    soa.centroid_y.push_back(rng->UniformDouble(0.0, 1.0));
+    soa.height.push_back(rng->UniformDouble(0.05, 1.0));
+    soa.lab_l.push_back(rng->UniformDouble(0.0, 1.0));
+    soa.lab_a.push_back(rng->UniformDouble(-1.0, 1.0));
+    soa.lab_b.push_back(rng->UniformDouble(-1.0, 1.0));
+    soa.angular.push_back(rng->UniformDouble(-2.0, 2.0));
+    soa.theta_origin.push_back(rng->UniformDouble(-M_PI, M_PI));
+    soa.theta_anti.push_back(rng->UniformDouble(-M_PI, M_PI));
+  }
+  return soa;
+}
+
+TEST(SimdKernelDifferentialTest, VisualDistanceRowBitIdentical) {
+  Rng rng(0xD157);
+  for (size_t n : {size_t{1}, size_t{2}, size_t{3}, size_t{4}, size_t{5},
+                   size_t{8}, size_t{33}, size_t{100}}) {
+    FeatureSoA soa = RandomSoA(&rng, n);
+    std::vector<double> ref(n), got(n);
+    for (size_t q = 0; q < n; ++q) {
+      VisualDistanceRow(soa, q, ref.data(), Level::kScalar);
+      // The on-demand pair fallback must agree with the row kernel exactly.
+      for (size_t j = 0; j < n; ++j) {
+        EXPECT_TRUE(BitEqual(ref[j], VisualDistancePair(soa, q, j)))
+            << "pair vs row n=" << n << " q=" << q << " j=" << j;
+      }
+      for (Level level : VectorLevels()) {
+        VisualDistanceRow(soa, q, got.data(), level);
+        for (size_t j = 0; j < n; ++j) {
+          EXPECT_TRUE(BitEqual(ref[j], got[j]))
+              << LevelName(level) << " n=" << n << " q=" << q << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+/// Pins the SoA kernel to the historical `core::VisualDistance` formula:
+/// same features, same elements, same region must produce the same bits.
+TEST(SimdKernelDifferentialTest, VisualDistancePairMatchesCoreFormula) {
+  Rng rng(0xC0DE);
+  const util::BBox region{0.0, 0.0, 320.0, 240.0};
+  const double w = std::max(region.width, 1.0);
+  const double h = std::max(region.height, 1.0);
+  const size_t n = 40;
+
+  std::vector<doc::AtomicElement> elements(n);
+  for (auto& el : elements) {
+    el.bbox = {rng.UniformDouble(0.0, 280.0), rng.UniformDouble(0.0, 200.0),
+               rng.UniformDouble(2.0, 60.0), rng.UniformDouble(2.0, 24.0)};
+    el.color = {rng.UniformDouble(0.0, 100.0), rng.UniformDouble(-60.0, 60.0),
+                rng.UniformDouble(-60.0, 60.0)};
+  }
+  double max_h = 1.0;
+  for (const auto& el : elements) max_h = std::max(max_h, el.bbox.height);
+
+  std::vector<core::VisualFeatures> features;
+  FeatureSoA soa;
+  soa.Reserve(n);
+  for (const auto& el : elements) {
+    core::VisualFeatures f = core::ComputeVisualFeatures(el, region, max_h);
+    features.push_back(f);
+    soa.centroid_x.push_back(f.centroid_x);
+    soa.centroid_y.push_back(f.centroid_y);
+    soa.height.push_back(f.height);
+    soa.lab_l.push_back(f.lab_l);
+    soa.lab_a.push_back(f.lab_a);
+    soa.lab_b.push_back(f.lab_b);
+    soa.angular.push_back(f.angular_distance);
+    PointF c = el.bbox.Centroid();
+    soa.theta_origin.push_back(std::atan2(c.y, c.x));
+    soa.theta_anti.push_back(std::atan2(h - c.y, w - c.x));
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double expected = core::VisualDistance(features[i], features[j],
+                                             elements[i], elements[j], region);
+      EXPECT_TRUE(BitEqual(expected, VisualDistancePair(soa, i, j)))
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+// ------------------------------------------------------- whole-tree pins --
+
+void ExpectTreesIdentical(const doc::LayoutTree& a, const doc::LayoutTree& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t id = 0; id < a.size(); ++id) {
+    const doc::LayoutNode& na = a.node(id);
+    const doc::LayoutNode& nb = b.node(id);
+    EXPECT_EQ(na.bbox, nb.bbox) << label << " node " << id;
+    EXPECT_EQ(na.element_indices, nb.element_indices)
+        << label << " node " << id;
+    EXPECT_EQ(na.parent, nb.parent) << label << " node " << id;
+    EXPECT_EQ(na.children, nb.children) << label << " node " << id;
+    EXPECT_EQ(na.depth, nb.depth) << label << " node " << id;
+  }
+}
+
+TEST(SimdKernelDifferentialTest, LayoutTreesIdenticalAcrossLevels) {
+  LevelGuard guard;
+  const embed::Embedding& emb = datasets::PretrainedEmbedding();
+  datasets::GeneratorConfig gc;
+  gc.num_documents = 2;
+  gc.seed = 77;
+  struct Sample {
+    std::string name;
+    doc::Corpus corpus;
+  };
+  std::vector<Sample> samples;
+  samples.push_back({"D1", datasets::GenerateD1(gc)});
+  samples.push_back({"D2", datasets::GenerateD2(gc)});
+  samples.push_back({"D3", datasets::GenerateD3(gc)});
+
+  for (const Sample& sample : samples) {
+    for (const doc::Document& clean : sample.corpus.documents) {
+      doc::Document observed = ocr::Transcribe(clean, {});
+
+      ForceLevel(Level::kScalar);
+      auto ref_tree = core::Segment(observed, emb, {});
+      ASSERT_TRUE(ref_tree.ok()) << sample.name;
+
+      for (Level level : VectorLevels()) {
+        ForceLevel(level);
+        auto tree = core::Segment(observed, emb, {});
+        ASSERT_TRUE(tree.ok()) << sample.name;
+        ExpectTreesIdentical(ref_tree.value(), tree.value(),
+                             sample.name + "/" + LevelName(level));
+      }
+      ForceLevel(Level::kAuto);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vs2::util::simd
