@@ -26,6 +26,7 @@
 #include "nlp/analyzer.hpp"
 #include "nlp/chunk_tree.hpp"
 #include "nlp/pattern.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/simd.hpp"
 
@@ -286,6 +287,33 @@ void BM_EmbeddingTextSimilarity(benchmark::State& state) {
 }
 BENCHMARK(BM_EmbeddingTextSimilarity);
 
+// ------------------------------------------------ obs instrument pairs ----
+
+// Windowed-histogram record vs. the plain histogram it extends (DESIGN.md
+// §14). Both are relaxed-atomic and lock-free; the windowed path adds a
+// coarse clock read plus a slot-epoch check, and the documented budget is
+// <2x the plain record. The pair is also folded into BENCH_segment.json.
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram& hist = obs::Metrics::GetHistogram("bench.obs_plain_ms");
+  double value = 0.05;
+  for (auto _ : state) {
+    hist.Record(value);
+    value = value < 400.0 ? value * 1.7 : 0.05;  // walk the bucket ladder
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_WindowedHistogramRecord(benchmark::State& state) {
+  obs::WindowedHistogram& hist =
+      obs::Metrics::GetWindowedHistogram("bench.obs_windowed_ms");
+  double value = 0.05;
+  for (auto _ : state) {
+    hist.Record(value);
+    value = value < 400.0 ? value * 1.7 : 0.05;
+  }
+}
+BENCHMARK(BM_WindowedHistogramRecord);
+
 // --------------------------------------------------- SIMD kernel pairs ----
 // Scalar/vector pairs for the runtime-dispatched kernels (DESIGN.md §13).
 // Each pair pins `util::simd::ForceLevel` around the loop so both sides run
@@ -497,6 +525,23 @@ bool WriteSegmentJson(const std::string& path) {
     benchmark::DoNotOptimize(row.data());
   });
 
+  // Telemetry-plane record cost (DESIGN.md §14): the windowed record must
+  // stay within 2x of the plain histogram it extends. Each timed call is a
+  // 256-record batch so loop overhead stays negligible at ns-scale ops.
+  obs::Histogram& obs_plain = obs::Metrics::GetHistogram("bench.obs_plain_ms");
+  obs::WindowedHistogram& obs_windowed =
+      obs::Metrics::GetWindowedHistogram("bench.obs_windowed_ms");
+  auto record_batch = [](auto& instrument) {
+    double v = 0.05;
+    for (int i = 0; i < 256; ++i) {
+      instrument.Record(v);
+      v = v < 400.0 ? v * 1.7 : 0.05;
+    }
+  };
+  double obs_plain_ns = NsPerOp([&] { record_batch(obs_plain); }) / 256.0;
+  double obs_windowed_ns =
+      NsPerOp([&] { record_batch(obs_windowed); }) / 256.0;
+
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "bench_micro: cannot open %s\n", path.c_str());
@@ -517,7 +562,9 @@ bool WriteSegmentJson(const std::string& path) {
       "    \"cosine_f32\": {\"scalar_ns\": %.1f, \"simd_ns\": %.1f, "
       "\"speedup\": %.2f},\n"
       "    \"distance_row\": {\"scalar_ns\": %.1f, \"simd_ns\": %.1f, "
-      "\"speedup\": %.2f}}\n"
+      "\"speedup\": %.2f}},\n"
+      "  \"obs\": {\"histogram_record_ns\": %.2f, "
+      "\"windowed_record_ns\": %.2f, \"ratio\": %.2f}\n"
       "}\n",
       g.width(), g.height(), g.OccupancyRatio(), cuts_scalar, cuts_bitp,
       cuts_scalar / cuts_bitp, seg_baseline, seg_reuse_only, seg_optimized,
@@ -525,15 +572,18 @@ bool WriteSegmentJson(const std::string& path) {
       proc_baseline / proc_optimized,
       util::simd::LevelName(util::simd::DetectedLevel()), cosine_scalar,
       cosine_simd, cosine_scalar / cosine_simd, drow_scalar, drow_simd,
-      drow_scalar / drow_simd);
+      drow_scalar / drow_simd, obs_plain_ns, obs_windowed_ns,
+      obs_windowed_ns / obs_plain_ns);
   std::fclose(f);
   std::fprintf(stderr,
                "bench_micro: wrote %s (cut kernel %.2fx, segment %.2fx, "
-               "process %.2fx, %s cosine %.2fx, distance row %.2fx)\n",
+               "process %.2fx, %s cosine %.2fx, distance row %.2fx, "
+               "windowed record %.2fx plain)\n",
                path.c_str(), cuts_scalar / cuts_bitp,
                seg_baseline / seg_optimized, proc_baseline / proc_optimized,
                util::simd::LevelName(util::simd::DetectedLevel()),
-               cosine_scalar / cosine_simd, drow_scalar / drow_simd);
+               cosine_scalar / cosine_simd, drow_scalar / drow_simd,
+               obs_windowed_ns / obs_plain_ns);
   return true;
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "harness.hpp"
+#include "obs/metrics.hpp"
 #include "serve/service.hpp"
 
 using namespace vs2;
@@ -183,6 +184,11 @@ int main(int argc, char** argv) {
     service.Drain();
   }
   std::printf("\n");
+
+  // The serve instruments are process-wide; reset values (counters, the
+  // rolling windows, histogram contents — registrations stay) so the warm
+  // regime's `serve.*` numbers aren't polluted by the cold phase.
+  obs::Metrics::ResetValues();
 
   // Warm regime: cache pre-filled with the working set; steady-state
   // requests are cache hits.

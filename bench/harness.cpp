@@ -6,6 +6,7 @@
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -216,9 +217,14 @@ ObsFlags ParseObsFlags(int argc, char** argv) {
   };
   for (int i = 1; i < argc; ++i) {
     if (match(i, "--trace", &flags.trace_path)) continue;
-    match(i, "--metrics", &flags.metrics_path);
+    if (match(i, "--metrics", &flags.metrics_path)) continue;
+    match(i, "--profile", &flags.profile_path);
   }
   if (!flags.trace_path.empty()) obs::Trace::Enable();
+  if (!flags.profile_path.empty()) {
+    Status s = obs::Profiler::Start();
+    if (!s.ok()) VS2_LOG(ERROR) << "profiler start failed: " << s;
+  }
   return flags;
 }
 
@@ -239,6 +245,16 @@ void ExportObsFlags(const ObsFlags& flags) {
                    flags.metrics_path.c_str());
     } else {
       VS2_LOG(ERROR) << "metrics export failed: " << s;
+    }
+  }
+  if (!flags.profile_path.empty()) {
+    obs::Profiler::Stop();
+    Status s = obs::Profiler::ExportCollapsed(flags.profile_path);
+    if (s.ok()) {
+      std::fprintf(stderr, "profile written to %s (%zu samples)\n",
+                   flags.profile_path.c_str(), obs::Profiler::sample_count());
+    } else {
+      VS2_LOG(ERROR) << "profile export failed: " << s;
     }
   }
 }

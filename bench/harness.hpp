@@ -84,16 +84,19 @@ size_t ParseJobsFlag(int argc, char** argv);
 struct ObsFlags {
   std::string trace_path;    ///< `--trace=FILE` (empty: tracing stays off)
   std::string metrics_path;  ///< `--metrics=FILE` (empty: no dump)
+  std::string profile_path;  ///< `--profile=FILE` (empty: sampler stays off)
 };
 
-/// Parses `--trace=FILE` / `--metrics=FILE` (also the space-separated
-/// `--trace FILE` form) and enables the tracer when a trace path is given.
-/// Call before any pipeline work so spans are captured from the start.
+/// Parses `--trace=FILE` / `--metrics=FILE` / `--profile=FILE` (also the
+/// space-separated `--trace FILE` form), enables the tracer when a trace
+/// path is given, and arms the sampling profiler (`obs::Profiler`) when a
+/// profile path is given. Call before any pipeline work so spans and
+/// samples are captured from the start.
 ObsFlags ParseObsFlags(int argc, char** argv);
 
-/// Writes the trace / metrics files requested by `flags` (no-ops when the
-/// corresponding path is empty) and reports the destinations on stderr.
-/// Call once, at the end of main.
+/// Writes the trace / metrics / collapsed-stack files requested by `flags`
+/// (no-ops when the corresponding path is empty) and reports the
+/// destinations on stderr. Call once, at the end of main.
 void ExportObsFlags(const ObsFlags& flags);
 
 /// \brief Serial-vs-parallel `BatchEngine` throughput comparison.

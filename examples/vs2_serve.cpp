@@ -10,7 +10,7 @@
 ///   vs2_serve [--dataset 1|2|3] [--unix PATH | --port N] [--jobs N]
 ///             [--queue-depth N] [--cache-entries N] [--cache-ttl SECONDS]
 ///             [--deadline-ms MS] [--no-ocr-noise]
-///             [--trace=FILE] [--metrics=FILE]
+///             [--trace=FILE] [--metrics=FILE] [--profile=FILE]
 ///
 /// Defaults: dataset 2, TCP on an ephemeral 127.0.0.1 port (printed on
 /// stderr). SIGINT/SIGTERM shut down gracefully: stop accepting
@@ -29,6 +29,7 @@
 
 #include "core/pipeline.hpp"
 #include "datasets/pretrained.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "serve/daemon.hpp"
 #include "serve/service.hpp"
@@ -47,7 +48,8 @@ void Usage() {
       "usage: vs2_serve [--dataset 1|2|3] [--unix PATH | --port N]\n"
       "                 [--jobs N] [--queue-depth N] [--cache-entries N]\n"
       "                 [--cache-ttl SECONDS] [--deadline-ms MS]\n"
-      "                 [--no-ocr-noise] [--trace=FILE] [--metrics=FILE]\n");
+      "                 [--no-ocr-noise] [--trace=FILE] [--metrics=FILE]\n"
+      "                 [--profile=FILE]\n");
 }
 
 }  // namespace
@@ -55,6 +57,7 @@ void Usage() {
 int main(int argc, char** argv) {
   int dataset = 2;
   bool ocr_noise = true;
+  std::string profile_path;
   serve::ServiceOptions service_options;
   serve::DaemonOptions daemon_options;
   daemon_options.tcp_port = 0;  // ephemeral unless told otherwise
@@ -86,6 +89,8 @@ int main(int argc, char** argv) {
       service_options.trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
       service_options.metrics_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
+      profile_path = argv[i] + 10;
     } else if (std::strcmp(argv[i], "--no-ocr-noise") == 0) {
       ocr_noise = false;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -102,6 +107,14 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (!service_options.trace_path.empty()) obs::Trace::Enable();
+  if (!profile_path.empty()) {
+    Status started = obs::Profiler::Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "vs2_serve: profiler: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+  }
 
   doc::DatasetId id = static_cast<doc::DatasetId>(dataset);
   std::fprintf(stderr, "vs2_serve: learning patterns for dataset %d...\n",
@@ -140,6 +153,17 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "vs2_serve: shutting down...\n");
   daemon.Stop();      // no new connections or request lines
   service.Drain();    // finish admitted work, flush trace/metrics
+  if (!profile_path.empty()) {
+    obs::Profiler::Stop();
+    Status exported = obs::Profiler::ExportCollapsed(profile_path);
+    if (!exported.ok()) {
+      std::fprintf(stderr, "vs2_serve: profile export: %s\n",
+                   exported.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "vs2_serve: wrote %zu profile samples to %s\n",
+                   obs::Profiler::sample_count(), profile_path.c_str());
+    }
+  }
   serve::ExtractionService::Stats stats = service.stats();
   std::fprintf(stderr,
                "vs2_serve: served %llu requests (%llu rejected, %llu "

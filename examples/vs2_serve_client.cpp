@@ -7,6 +7,13 @@
 ///   vs2_serve_client (--unix PATH | --port N [--host H]) [file.json...]
 ///   vs2_serve_client --unix /tmp/vs2.sock --demo     # self-generated doc
 ///   ... | vs2_serve_client --port 7070               # document on stdin
+///   vs2_serve_client --port 7070 --cmd stats         # admin command
+///   vs2_serve_client --port 7070 --demo --trace-id $(openssl rand -hex 16)
+///
+/// `--cmd NAME` sends the admin line `{"cmd":"NAME"}` (stats, health,
+/// slow — DESIGN.md §14) instead of a document. `--trace-id HEX` attaches
+/// a 32-hex-digit trace id to each document request, opting the response
+/// into the trace/stage-breakdown echo.
 ///
 /// Responses print on stdout, one line per input document, in input order.
 /// Exits non-zero when the server answered any request with an error line.
@@ -102,6 +109,8 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = -1;
   bool demo = false;
+  std::string cmd;
+  std::string trace_id;
   std::vector<const char*> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--unix") == 0 && i + 1 < argc) {
@@ -110,12 +119,17 @@ int main(int argc, char** argv) {
       host = argv[++i];
     } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cmd") == 0 && i + 1 < argc) {
+      cmd = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-id") == 0 && i + 1 < argc) {
+      trace_id = argv[++i];
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::fprintf(stderr,
                    "usage: vs2_serve_client (--unix PATH | --port N "
-                   "[--host H]) [--demo] [file.json...]\n");
+                   "[--host H]) [--demo] [--cmd NAME] [--trace-id HEX] "
+                   "[file.json...]\n");
       return 0;
     } else {
       paths.push_back(argv[i]);
@@ -126,9 +140,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // One request line per input document (file, generated demo, or stdin).
+  // One request line per input document (file, generated demo, or stdin) —
+  // or a single admin command line.
   std::vector<std::string> requests;
-  if (demo) {
+  if (!cmd.empty()) {
+    requests.push_back("{\"cmd\":\"" + cmd + "\"}");
+  } else if (demo) {
     datasets::GeneratorConfig gc;
     gc.num_documents = 1;
     gc.seed = 4;
@@ -153,6 +170,17 @@ int main(int argc, char** argv) {
     std::stringstream buffer;
     buffer << std::cin.rdbuf();
     requests.push_back(util::ReplaceAll(buffer.str(), "\n", " "));
+  }
+
+  if (!trace_id.empty() && cmd.empty()) {
+    // Documents are non-empty JSON objects: slot the envelope field right
+    // after the opening brace.
+    for (std::string& request : requests) {
+      size_t brace = request.find('{');
+      if (brace != std::string::npos) {
+        request.insert(brace + 1, "\"trace_id\":\"" + trace_id + "\",");
+      }
+    }
   }
 
   int fd = Connect(unix_path, host, port);

@@ -48,12 +48,18 @@ Result<Vs2::DocResult> Vs2::Process(const doc::Document& doc) const {
 Result<Vs2::DocResult> Vs2::Process(const doc::Document& doc,
                                     const StageCheckpoint& checkpoint) const {
   // Stage latencies always feed the registry (a clock read per stage); the
-  // same spans land in the trace only when tracing is on.
+  // same spans land in the trace only when tracing is on. The whole-pipeline
+  // span additionally feeds the rolling-window view behind `{"cmd":"stats"}`.
   static obs::Histogram& process_ms =
       obs::Metrics::GetHistogram("vs2.process_ms");
+  static obs::WindowedHistogram& process_windowed =
+      obs::Metrics::GetWindowedHistogram("vs2.process");
   static obs::Counter& documents = obs::Metrics::GetCounter("vs2.documents");
-  obs::Span process_span("vs2.process", &process_ms);
+  static obs::WindowedCounter& documents_windowed =
+      obs::Metrics::GetWindowedCounter("vs2.documents");
+  obs::Span process_span("vs2.process", &process_ms, &process_windowed);
   documents.Add(1);
+  documents_windowed.Add(1);
 
   DocResult result;
   if (checkpoint) VS2_RETURN_IF_ERROR(checkpoint());

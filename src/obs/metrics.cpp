@@ -1,8 +1,10 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <ctime>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -57,6 +59,29 @@ NamedRegistry<Gauge>& Gauges() {
 NamedRegistry<Histogram>& Histograms() {
   static NamedRegistry<Histogram>* r = new NamedRegistry<Histogram>;
   return *r;
+}
+NamedRegistry<WindowedCounter>& WindowedCounters() {
+  static NamedRegistry<WindowedCounter>* r = new NamedRegistry<WindowedCounter>;
+  return *r;
+}
+NamedRegistry<WindowedHistogram>& WindowedHistograms() {
+  static NamedRegistry<WindowedHistogram>* r =
+      new NamedRegistry<WindowedHistogram>;
+  return *r;
+}
+
+/// The windows every snapshot renders, smallest first.
+constexpr struct {
+  int64_t sec;
+  const char* label;
+} kSnapshotWindows[] = {{10, "10s"}, {60, "1m"}, {300, "5m"}};
+
+/// First bucket whose bound catches `value_ms`, else the overflow bucket.
+size_t BucketIndex(double value_ms) {
+  for (size_t i = 0; i < kNumFiniteBuckets; ++i) {
+    if (value_ms <= kBucketBoundsMs[i]) return i;
+  }
+  return kNumFiniteBuckets;
 }
 
 /// Lock-free running min/max via compare-exchange.
@@ -152,6 +177,138 @@ void Histogram::Reset() {
   max_.store(0.0, std::memory_order_relaxed);
 }
 
+int64_t MonotonicSeconds() {
+#if defined(__linux__)
+  // CLOCK_MONOTONIC_COARSE is a VDSO read of the last-tick timestamp —
+  // several times cheaper than steady_clock's rdtsc path and still
+  // millisecond-accurate, far inside the one-second slot resolution. The
+  // clock read is what keeps the windowed record path inside its <2x
+  // budget over the plain histogram (BM_WindowedHistogramRecord).
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC_COARSE, &ts) == 0) {
+    static const int64_t epoch = ts.tv_sec;
+    return static_cast<int64_t>(ts.tv_sec) - epoch;
+  }
+#endif
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+void WindowedCounter::AddAt(uint64_t n, int64_t now_sec) {
+  if (now_sec < 0) return;
+  Slot& slot = slots_[static_cast<size_t>(now_sec) % kNumSlots];
+  int64_t epoch = slot.epoch.load(std::memory_order_relaxed);
+  if (epoch != now_sec) {
+    // CAS winner recycles the slot for the new second; a racing add landing
+    // between the CAS and the zeroing can be lost (documented design).
+    if (slot.epoch.compare_exchange_strong(epoch, now_sec,
+                                           std::memory_order_relaxed)) {
+      slot.count.store(0, std::memory_order_relaxed);
+    }
+  }
+  slot.count.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t WindowedCounter::CountInWindowAt(int64_t window_sec,
+                                          int64_t now_sec) const {
+  window_sec = std::clamp<int64_t>(window_sec, 1, kMaxWindowSec);
+  uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    int64_t epoch = slot.epoch.load(std::memory_order_relaxed);
+    if (epoch >= 0 && epoch > now_sec - window_sec && epoch <= now_sec) {
+      total += slot.count.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+double WindowedCounter::RateInWindowAt(int64_t window_sec,
+                                       int64_t now_sec) const {
+  window_sec = std::clamp<int64_t>(window_sec, 1, kMaxWindowSec);
+  return static_cast<double>(CountInWindowAt(window_sec, now_sec)) /
+         static_cast<double>(window_sec);
+}
+
+void WindowedCounter::Reset() {
+  for (Slot& slot : slots_) {
+    slot.epoch.store(-1, std::memory_order_relaxed);
+    slot.count.store(0, std::memory_order_relaxed);
+  }
+}
+
+void WindowedHistogram::RecordAt(double value_ms, int64_t now_sec) {
+  static_assert(kNumBuckets == kNumFiniteBuckets + 1,
+                "windowed slot grid must mirror the Histogram bucket table");
+  if (now_sec < 0) return;
+  Slot& slot = slots_[static_cast<size_t>(now_sec) % kNumSlots];
+  int64_t epoch = slot.epoch.load(std::memory_order_relaxed);
+  if (epoch != now_sec) {
+    if (slot.epoch.compare_exchange_strong(epoch, now_sec,
+                                           std::memory_order_relaxed)) {
+      for (auto& b : slot.buckets) b.store(0, std::memory_order_relaxed);
+      slot.count.store(0, std::memory_order_relaxed);
+      slot.sum.store(0.0, std::memory_order_relaxed);
+      slot.max.store(0.0, std::memory_order_relaxed);
+    }
+  }
+  slot.buckets[BucketIndex(value_ms)].fetch_add(1, std::memory_order_relaxed);
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  slot.sum.fetch_add(value_ms, std::memory_order_relaxed);
+  AtomicMax(&slot.max, value_ms);
+}
+
+WindowedHistogram::WindowStats WindowedHistogram::StatsInWindowAt(
+    int64_t window_sec, int64_t now_sec) const {
+  window_sec = std::clamp<int64_t>(window_sec, 1, kMaxWindowSec);
+  uint64_t merged[kNumBuckets] = {};
+  WindowStats stats;
+  for (const Slot& slot : slots_) {
+    int64_t epoch = slot.epoch.load(std::memory_order_relaxed);
+    if (epoch < 0 || epoch <= now_sec - window_sec || epoch > now_sec) {
+      continue;
+    }
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      merged[i] += slot.buckets[i].load(std::memory_order_relaxed);
+    }
+    stats.count += slot.count.load(std::memory_order_relaxed);
+    stats.sum += slot.sum.load(std::memory_order_relaxed);
+    stats.max = std::max(stats.max, slot.max.load(std::memory_order_relaxed));
+  }
+  stats.rate_per_sec =
+      static_cast<double>(stats.count) / static_cast<double>(window_sec);
+  if (stats.count == 0) return stats;
+  // Nearest-rank estimates from the merged bucket counts, consistent with
+  // Histogram::PercentileEstimate (overflow resolves to the windowed max).
+  auto estimate = [&](double p) {
+    uint64_t rank = static_cast<uint64_t>(
+        std::llround(p * static_cast<double>(stats.count - 1)));
+    rank = std::min(rank, stats.count - 1);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < kNumFiniteBuckets; ++i) {
+      cumulative += merged[i];
+      if (cumulative > rank) return kBucketBoundsMs[i];
+    }
+    return stats.max;
+  };
+  stats.p50 = estimate(0.50);
+  stats.p95 = estimate(0.95);
+  stats.p99 = estimate(0.99);
+  return stats;
+}
+
+void WindowedHistogram::Reset() {
+  for (Slot& slot : slots_) {
+    slot.epoch.store(-1, std::memory_order_relaxed);
+    for (auto& b : slot.buckets) b.store(0, std::memory_order_relaxed);
+    slot.count.store(0, std::memory_order_relaxed);
+    slot.sum.store(0.0, std::memory_order_relaxed);
+    slot.max.store(0.0, std::memory_order_relaxed);
+  }
+}
+
 Counter& Metrics::GetCounter(const std::string& name) {
   return Counters().GetOrCreate(name);
 }
@@ -162,6 +319,14 @@ Gauge& Metrics::GetGauge(const std::string& name) {
 
 Histogram& Metrics::GetHistogram(const std::string& name) {
   return Histograms().GetOrCreate(name);
+}
+
+WindowedCounter& Metrics::GetWindowedCounter(const std::string& name) {
+  return WindowedCounters().GetOrCreate(name);
+}
+
+WindowedHistogram& Metrics::GetWindowedHistogram(const std::string& name) {
+  return WindowedHistograms().GetOrCreate(name);
 }
 
 std::string Metrics::SnapshotJson() {
@@ -207,6 +372,45 @@ std::string Metrics::SnapshotJson() {
                         static_cast<unsigned long long>(
                             h.BucketCount(bounds.size())));
   });
+  int64_t now_sec = MonotonicSeconds();
+  out += "},\"windowed_counters\":{";
+  first = true;
+  WindowedCounters().ForEach([&](WindowedCounter& c) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += util::Format("\"%s\":{", c.name().c_str());
+    bool first_window = true;
+    for (const auto& w : kSnapshotWindows) {
+      if (!first_window) out.push_back(',');
+      first_window = false;
+      out += util::Format(
+          "\"%s\":{\"count\":%llu,\"rate_per_sec\":%s}", w.label,
+          static_cast<unsigned long long>(c.CountInWindowAt(w.sec, now_sec)),
+          Num(c.RateInWindowAt(w.sec, now_sec)).c_str());
+    }
+    out.push_back('}');
+  });
+  out += "},\"windowed_histograms\":{";
+  first = true;
+  WindowedHistograms().ForEach([&](WindowedHistogram& h) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += util::Format("\"%s\":{", h.name().c_str());
+    bool first_window = true;
+    for (const auto& w : kSnapshotWindows) {
+      if (!first_window) out.push_back(',');
+      first_window = false;
+      WindowedHistogram::WindowStats stats = h.StatsInWindowAt(w.sec, now_sec);
+      out += util::Format(
+          "\"%s\":{\"count\":%llu,\"rate_per_sec\":%s,\"sum\":%s,"
+          "\"max\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s}",
+          w.label, static_cast<unsigned long long>(stats.count),
+          Num(stats.rate_per_sec).c_str(), Num(stats.sum).c_str(),
+          Num(stats.max).c_str(), Num(stats.p50).c_str(),
+          Num(stats.p95).c_str(), Num(stats.p99).c_str());
+    }
+    out.push_back('}');
+  });
   out += "}}";
   return out;
 }
@@ -229,6 +433,8 @@ void Metrics::ResetValues() {
   Counters().ForEach([](Counter& c) { c.Reset(); });
   Gauges().ForEach([](Gauge& g) { g.Reset(); });
   Histograms().ForEach([](Histogram& h) { h.Reset(); });
+  WindowedCounters().ForEach([](WindowedCounter& c) { c.Reset(); });
+  WindowedHistograms().ForEach([](WindowedHistogram& h) { h.Reset(); });
 }
 
 }  // namespace vs2::obs

@@ -1,0 +1,196 @@
+#include "obs/profiler.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/strings.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VS2_PROFILER_POSIX 1
+#include <csignal>
+#include <sys/time.h>
+#endif
+
+namespace vs2::obs {
+namespace {
+
+/// One sampled stack, root-first. Frames are span-name literals (static
+/// storage), so copying pointers in the handler is safe.
+struct Sample {
+  static constexpr int kMaxFrames = 24;
+  const char* frames[kMaxFrames];
+  int depth;
+};
+
+/// Sampler state. The buffers are preallocated by Start() and only grown
+/// there, so the handler never allocates. Intentionally leaked via static
+/// storage: a straggler SIGPROF delivered during teardown must find them.
+std::mutex g_control_mu;            // serializes Start/Stop/Reset/export
+std::vector<Sample>* g_samples = new std::vector<Sample>;
+std::vector<std::atomic<uint8_t>>* g_ready =
+    new std::vector<std::atomic<uint8_t>>;
+std::atomic<size_t> g_next_slot{0};
+std::atomic<uint64_t> g_dropped{0};
+std::atomic<bool> g_active{false};
+
+#if VS2_PROFILER_POSIX
+
+void SigprofHandler(int /*signo*/) {
+  int saved_errno = errno;
+  if (g_active.load(std::memory_order_relaxed)) {
+    size_t slot = g_next_slot.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= g_samples->size()) {
+      g_dropped.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      Sample& sample = (*g_samples)[slot];
+      sample.depth = 0;
+      internal::SpanStack* stack = internal::ThreadSpanStackIfPresent();
+      if (stack != nullptr) {
+        int depth = stack->depth.load(std::memory_order_relaxed);
+        // Orders the depth read before the frame reads; pairs with the
+        // release fence in Span::MaybePushStack. Same-thread interruption,
+        // so signal fences (compiler ordering) are sufficient.
+        std::atomic_signal_fence(std::memory_order_acquire);
+        if (depth > internal::SpanStack::kMaxDepth) {
+          depth = internal::SpanStack::kMaxDepth;
+        }
+        if (depth > Sample::kMaxFrames) depth = Sample::kMaxFrames;
+        for (int i = 0; i < depth; ++i) {
+          sample.frames[i] = stack->frames[i];
+        }
+        sample.depth = depth;
+      }
+      if (sample.depth == 0) {
+        sample.frames[0] = "(no_span)";
+        sample.depth = 1;
+      }
+      (*g_ready)[slot].store(1, std::memory_order_release);
+    }
+  }
+  errno = saved_errno;
+}
+
+#endif  // VS2_PROFILER_POSIX
+
+}  // namespace
+
+Status Profiler::Start(const Options& options) {
+#if VS2_PROFILER_POSIX
+  std::lock_guard<std::mutex> lock(g_control_mu);
+  if (g_active.load(std::memory_order_relaxed)) {
+    return Status::AlreadyExists("profiler already active");
+  }
+  if (options.interval_usec <= 0 || options.max_samples == 0) {
+    return Status::InvalidArgument("profiler interval/capacity must be > 0");
+  }
+  g_samples->assign(options.max_samples, Sample{});
+  // vector<atomic> cannot be assign()ed; rebuild in place.
+  std::vector<std::atomic<uint8_t>> fresh(options.max_samples);
+  g_ready->swap(fresh);
+  g_next_slot.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+
+  struct sigaction action = {};
+  action.sa_handler = &SigprofHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  if (sigaction(SIGPROF, &action, nullptr) != 0) {
+    return Status::Internal("sigaction(SIGPROF) failed");
+  }
+
+  // Ask Span to maintain the per-thread name stacks even with tracing off.
+  Trace::SetFlag(Trace::kSpanStackBit, true);
+  g_active.store(true, std::memory_order_relaxed);
+
+  struct itimerval timer = {};
+  timer.it_interval.tv_sec = options.interval_usec / 1000000;
+  timer.it_interval.tv_usec = options.interval_usec % 1000000;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    g_active.store(false, std::memory_order_relaxed);
+    Trace::SetFlag(Trace::kSpanStackBit, false);
+    return Status::Internal("setitimer(ITIMER_PROF) failed");
+  }
+  return Status::OK();
+#else
+  (void)options;
+  return Status::Unimplemented("profiler requires POSIX itimer support");
+#endif
+}
+
+void Profiler::Stop() {
+#if VS2_PROFILER_POSIX
+  std::lock_guard<std::mutex> lock(g_control_mu);
+  if (!g_active.load(std::memory_order_relaxed)) return;
+  struct itimerval disarm = {};
+  setitimer(ITIMER_PROF, &disarm, nullptr);
+  g_active.store(false, std::memory_order_relaxed);
+  Trace::SetFlag(Trace::kSpanStackBit, false);
+  // The handler stays installed (inert: g_active gates it) so a tick
+  // already in flight when the timer was disarmed cannot hit SIG_DFL.
+#endif
+}
+
+bool Profiler::active() { return g_active.load(std::memory_order_relaxed); }
+
+size_t Profiler::sample_count() {
+  size_t next = g_next_slot.load(std::memory_order_relaxed);
+  return next < g_samples->size() ? next : g_samples->size();
+}
+
+size_t Profiler::dropped_samples() {
+  return static_cast<size_t>(g_dropped.load(std::memory_order_relaxed));
+}
+
+void Profiler::Reset() {
+  std::lock_guard<std::mutex> lock(g_control_mu);
+  if (g_active.load(std::memory_order_relaxed)) return;  // refuse while armed
+  g_next_slot.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+  for (auto& flag : *g_ready) flag.store(0, std::memory_order_relaxed);
+}
+
+std::string Profiler::CollapsedStacks() {
+  std::lock_guard<std::mutex> lock(g_control_mu);
+  std::map<std::string, uint64_t> folded;
+  size_t limit = g_next_slot.load(std::memory_order_relaxed);
+  if (limit > g_samples->size()) limit = g_samples->size();
+  std::string stack;
+  for (size_t i = 0; i < limit; ++i) {
+    if ((*g_ready)[i].load(std::memory_order_acquire) == 0) continue;
+    const Sample& sample = (*g_samples)[i];
+    stack.clear();
+    for (int f = 0; f < sample.depth; ++f) {
+      if (f > 0) stack.push_back(';');
+      stack += sample.frames[f];
+    }
+    ++folded[stack];
+  }
+  std::string out;
+  for (const auto& [frames, count] : folded) {
+    out += util::Format("%s %llu\n", frames.c_str(),
+                        static_cast<unsigned long long>(count));
+  }
+  return out;
+}
+
+Status Profiler::ExportCollapsed(const std::string& path) {
+  std::string text = CollapsedStacks();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open profile file: " + path);
+  }
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  bool closed = std::fclose(f) == 0;
+  if (written != text.size() || !closed) {
+    return Status::Internal("short write to profile file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace vs2::obs

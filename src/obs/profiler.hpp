@@ -1,0 +1,79 @@
+#ifndef VS2_OBS_PROFILER_HPP_
+#define VS2_OBS_PROFILER_HPP_
+
+/// \file profiler.hpp
+/// Opt-in sampling profiler: an `ITIMER_PROF`/`SIGPROF` sampler that
+/// attributes each tick to the innermost open span of the interrupted
+/// thread, answering "where does a p99 request spend its time" without a
+/// rebuild or external tooling.
+///
+/// **How it samples.** `Start()` arms a process CPU-time interval timer;
+/// each expiry delivers `SIGPROF` to a currently-running thread. The
+/// handler copies that thread's open-span name stack (maintained by `Span`
+/// whenever tracing *or* the profiler is active — `Trace`'s span-stack
+/// flag) into a preallocated sample slot. Samples taken outside any span
+/// are attributed to the synthetic frame `(no_span)`.
+///
+/// **Signal safety.** The handler only reads one plain thread-local
+/// pointer, relaxed atomics, and preallocated memory; it claims its slot
+/// with `fetch_add`, publishes with a release store on a per-slot ready
+/// flag, and saves/restores `errno`. The span stack is written by its
+/// owning thread under `std::atomic_signal_fence` discipline, which is
+/// sufficient because the handler interrupts the same thread whose stack
+/// it reads. See DESIGN.md §14.
+///
+/// **Export.** `CollapsedStacks()` folds the samples into
+/// `flamegraph.pl`-compatible collapsed-stack text: one
+/// `root;child;leaf count` line per distinct stack, root-first.
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace vs2::obs {
+
+/// Process-wide sampler. All static members are safe to call from any
+/// thread; `Start`/`Stop` are serialized internally. POSIX-only (compiles
+/// to inert stubs returning `kUnimplemented` where `setitimer` is absent).
+class Profiler {
+ public:
+  struct Options {
+    /// Sampling period. 1 ms (~1 kHz of process CPU time) resolves
+    /// millisecond-scale pipeline stages within a few seconds of load.
+    int interval_usec = 1000;
+    /// Sample buffer capacity, preallocated by `Start`. Ticks past it are
+    /// counted in `dropped_samples()` instead of recorded.
+    size_t max_samples = 1 << 16;
+  };
+
+  /// Arms the sampler (fails with `kAlreadyExists` if already active).
+  /// Implicitly `Reset()`s previously collected samples.
+  static Status Start(const Options& options);
+  static Status Start() { return Start(Options()); }
+
+  /// Disarms the timer and stops the span-stack maintenance it requested.
+  /// Collected samples stay available for export. Idempotent.
+  static void Stop();
+
+  static bool active();
+  /// Samples recorded so far (capped at `max_samples`).
+  static size_t sample_count();
+  /// Ticks that found the buffer full.
+  static size_t dropped_samples();
+
+  /// Drops collected samples. Must not be called while active.
+  static void Reset();
+
+  /// Folds samples into collapsed-stack text (`a;b;c 42` lines, sorted by
+  /// stack string). Call after `Stop()` — in-flight handler slots are
+  /// skipped, so calling mid-run undercounts the newest ticks.
+  static std::string CollapsedStacks();
+
+  /// Writes `CollapsedStacks()` to `path`.
+  static Status ExportCollapsed(const std::string& path);
+};
+
+}  // namespace vs2::obs
+
+#endif  // VS2_OBS_PROFILER_HPP_

@@ -1,0 +1,64 @@
+#include "obs/slowlog.hpp"
+
+#include <algorithm>
+
+namespace vs2::obs {
+
+SlowLog::SlowLog(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  entries_.reserve(capacity_);
+}
+
+void SlowLog::Record(const TraceContext& trace, double total_ms,
+                     const std::string& status, const StageRecorder& stages) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() >= capacity_) {
+    // Evict the smallest total; among equals the oldest goes first, so a
+    // newer equally-slow request still lands.
+    auto victim = std::min_element(
+        entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
+          return a.total_ms != b.total_ms ? a.total_ms < b.total_ms
+                                          : a.seq < b.seq;
+        });
+    if (victim->total_ms >= total_ms) return;  // not among the K slowest
+    entries_.erase(victim);
+  }
+  Entry entry;
+  entry.trace = trace;
+  entry.total_ms = total_ms;
+  entry.seq = next_seq_++;
+  entry.status = status;
+  entry.stages.assign(stages.stages(), stages.stages() + stages.size());
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<SlowLog::Entry> SlowLog::Snapshot() const {
+  std::vector<Entry> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = entries_;
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.total_ms != b.total_ms ? a.total_ms > b.total_ms
+                                              : a.seq > b.seq;
+            });
+  return snapshot;
+}
+
+size_t SlowLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void SlowLog::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  next_seq_ = 0;
+}
+
+SlowLog& SlowLog::Global() {
+  static SlowLog* log = new SlowLog();
+  return *log;
+}
+
+}  // namespace vs2::obs

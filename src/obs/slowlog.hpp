@@ -1,0 +1,64 @@
+#ifndef VS2_OBS_SLOWLOG_HPP_
+#define VS2_OBS_SLOWLOG_HPP_
+
+/// \file slowlog.hpp
+/// Bounded ring of the K slowest recent requests, each carrying its
+/// `TraceContext` and per-stage timing breakdown — the payload behind the
+/// daemon's `{"cmd":"slow"}` admin command (DESIGN.md §14).
+///
+/// The ring keeps the K largest totals seen since the last `Reset`:
+/// `Record` evicts the current smallest entry when full (ties broken
+/// against the oldest sequence number), so a burst of slow requests cannot
+/// be flushed out by a flood of fast ones. Recording is mutex-protected —
+/// the serving path records once per request after the latency histograms,
+/// far off the per-element hot paths, so a lock is within the cost model.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace vs2::obs {
+
+/// Thread-safe K-slowest ring. Copyable snapshots, fixed capacity.
+class SlowLog {
+ public:
+  /// One recorded request.
+  struct Entry {
+    TraceContext trace;           ///< may be invalid if caller had none
+    double total_ms = 0.0;
+    uint64_t seq = 0;             ///< monotonic record sequence (recency)
+    std::string status;           ///< e.g. "ok", "deadline_exceeded"
+    std::vector<StageRecorder::Stage> stages;  ///< names are literals
+  };
+
+  static constexpr size_t kDefaultCapacity = 16;
+
+  explicit SlowLog(size_t capacity = kDefaultCapacity);
+
+  /// Admits the request if it is among the K slowest so far.
+  void Record(const TraceContext& trace, double total_ms,
+              const std::string& status, const StageRecorder& stages);
+
+  /// Entries sorted by `total_ms` descending (slowest first).
+  std::vector<Entry> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  void Reset();
+
+  /// The process-wide ring the serving path records into. Never destroyed.
+  static SlowLog& Global();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;  // unordered; sorted at snapshot time
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace vs2::obs
+
+#endif  // VS2_OBS_SLOWLOG_HPP_

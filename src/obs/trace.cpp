@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -34,18 +35,22 @@ struct Event {
   int64_t dur_us;
   int depth;     ///< nesting depth at the time the span was open
   int64_t arg;
+  uint64_t trace_hi;  ///< request attribution; 0/0 = none
+  uint64_t trace_lo;
   bool has_arg;
 };
 
 /// Per-thread event buffer. `events` is appended to only by the owning
 /// thread; `mu` serializes those appends against a concurrent export from
 /// another thread (uncontended in steady state, so the append cost is one
-/// cache-local lock).
+/// cache-local lock). `stack` is the open-span name stack shared with the
+/// sampling profiler — written only by the owning thread, read by a signal
+/// handler interrupting that same thread.
 struct ThreadBuffer {
   std::mutex mu;
   std::vector<Event> events;
   uint32_t tid = 0;
-  int depth = 0;  ///< touched only by the owning thread
+  internal::SpanStack stack;
 };
 
 /// Registry of every thread's buffer. Holds shared ownership so events
@@ -63,6 +68,13 @@ Registry& GetRegistry() {
   return *registry;
 }
 
+/// Raw per-thread pointers with trivial TLS slots: safe to read from a
+/// signal handler (no lazy construction on the read path). Set exactly once
+/// per thread by `LocalBuffer()`.
+thread_local internal::SpanStack* g_tls_span_stack = nullptr;
+thread_local StageRecorder* g_tls_stage_recorder = nullptr;
+thread_local TraceContext g_tls_trace_context{};
+
 ThreadBuffer& LocalBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
     auto created = std::make_shared<ThreadBuffer>();
@@ -70,6 +82,7 @@ ThreadBuffer& LocalBuffer() {
     std::lock_guard<std::mutex> lock(registry.mu);
     created->tid = registry.next_tid++;
     registry.buffers.push_back(created);
+    g_tls_span_stack = &created->stack;
     return created;
   }();
   return *buffer;
@@ -82,16 +95,88 @@ void AppendEscaped(std::string* out, const char* s) {
   }
 }
 
+/// splitmix64 finisher — full-avalanche mixing for trace-id generation.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
 }  // namespace
 
-std::atomic<bool> Trace::enabled_{false};
+// ------------------------------------------------------------ TraceContext --
+
+std::string TraceContext::ToHex() const {
+  return util::Format("%016llx%016llx", static_cast<unsigned long long>(hi),
+                      static_cast<unsigned long long>(lo));
+}
+
+TraceContext TraceContext::FromHex(const std::string& hex) {
+  if (hex.size() != 32) return {};
+  TraceContext context;
+  for (size_t i = 0; i < 32; ++i) {
+    int digit = HexDigit(hex[i]);
+    if (digit < 0) return {};
+    uint64_t& word = i < 16 ? context.hi : context.lo;
+    word = (word << 4) | static_cast<uint64_t>(digit);
+  }
+  return context;
+}
+
+TraceContext TraceContext::Generate() {
+  // One entropy draw per process; thereafter a mixed counter. fetch_add
+  // keeps concurrent generators collision-free.
+  static std::atomic<uint64_t> counter = [] {
+    std::random_device entropy;
+    uint64_t seed = (static_cast<uint64_t>(entropy()) << 32) ^ entropy();
+    seed ^= static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return std::atomic<uint64_t>(seed);
+  }();
+  TraceContext context;
+  do {
+    uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+    context.hi = Mix64(n);
+    context.lo = Mix64(context.hi ^ n);
+  } while (!context.valid());
+  return context;
+}
+
+TraceContextScope::TraceContextScope(TraceContext context)
+    : saved_(g_tls_trace_context) {
+  g_tls_trace_context = context;
+}
+
+TraceContextScope::~TraceContextScope() { g_tls_trace_context = saved_; }
+
+TraceContext CurrentTraceContext() { return g_tls_trace_context; }
+
+// --------------------------------------------------------------- Registry --
+
+std::atomic<uint32_t> Trace::flags_{0};
+
+void Trace::SetFlag(uint32_t bit, bool on) {
+  if (on) {
+    flags_.fetch_or(bit, std::memory_order_relaxed);
+  } else {
+    flags_.fetch_and(~bit, std::memory_order_relaxed);
+  }
+}
 
 void Trace::Enable() {
   TraceEpoch();  // pin the time origin before the first span
-  enabled_.store(true, std::memory_order_relaxed);
+  SetFlag(kTracingBit, true);
 }
 
-void Trace::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+void Trace::Disable() { SetFlag(kTracingBit, false); }
 
 void Trace::Reset() {
   Registry& registry = GetRegistry();
@@ -114,7 +199,8 @@ size_t Trace::EventCount() {
 }
 
 size_t Trace::CurrentDepth() {
-  return static_cast<size_t>(LocalBuffer().depth);
+  return static_cast<size_t>(
+      LocalBuffer().stack.depth.load(std::memory_order_relaxed));
 }
 
 std::string Trace::ToJson() {
@@ -138,6 +224,12 @@ std::string Trace::ToJson() {
       if (e.has_arg) {
         out += util::Format(",\"arg\":%lld", static_cast<long long>(e.arg));
       }
+      if ((e.trace_hi | e.trace_lo) != 0) {
+        out += util::Format(
+            ",\"trace_id\":\"%016llx%016llx\"",
+            static_cast<unsigned long long>(e.trace_hi),
+            static_cast<unsigned long long>(e.trace_lo));
+      }
       out += "}}";
     }
   }
@@ -159,43 +251,107 @@ Status Trace::ExportJson(const std::string& path) {
   return Status::OK();
 }
 
+namespace internal {
+
+SpanStack* ThreadSpanStackIfPresent() { return g_tls_span_stack; }
+
+}  // namespace internal
+
+// ---------------------------------------------------------- StageRecorder --
+
+StageRecorder::StageRecorder() : prev_(g_tls_stage_recorder) {
+  g_tls_stage_recorder = this;
+}
+
+StageRecorder::~StageRecorder() { g_tls_stage_recorder = prev_; }
+
+void StageRecorder::Add(const char* name, double ms) {
+  if (size_ >= kMaxStages) {
+    ++dropped_;
+    return;
+  }
+  stages_[size_++] = {name, ms};
+}
+
+// ------------------------------------------------------------------- Span --
+
+void Span::MaybePushStack(const char* name, uint32_t flags) {
+  if (flags == 0) return;
+  internal::SpanStack& stack = LocalBuffer().stack;
+  int depth = stack.depth.load(std::memory_order_relaxed);
+  if (depth >= internal::SpanStack::kMaxDepth) return;  // deep recursion: drop
+  stack.frames[depth] = name;
+  // The fence orders the frame write before the depth publish for a SIGPROF
+  // handler interrupting this same thread (profiler.cpp reads depth first).
+  std::atomic_signal_fence(std::memory_order_release);
+  stack.depth.store(depth + 1, std::memory_order_relaxed);
+  pushed_ = true;
+}
+
 Span::Span(const char* name) {
-  if (!Trace::enabled()) return;
-  name_ = name;
-  start_us_ = NowMicros();
-  ++LocalBuffer().depth;
+  uint32_t flags = Trace::flags();
+  if (flags == 0) return;
+  if ((flags & Trace::kTracingBit) != 0) {
+    name_ = name;
+    start_us_ = NowMicros();
+  }
+  MaybePushStack(name, flags);
 }
 
 Span::Span(const char* name, int64_t arg) : arg_(arg), has_arg_(true) {
-  if (!Trace::enabled()) return;
-  name_ = name;
-  start_us_ = NowMicros();
-  ++LocalBuffer().depth;
+  uint32_t flags = Trace::flags();
+  if (flags == 0) return;
+  if ((flags & Trace::kTracingBit) != 0) {
+    name_ = name;
+    start_us_ = NowMicros();
+  }
+  MaybePushStack(name, flags);
 }
 
 Span::Span(const char* name, Histogram* latency_ms_hist)
-    : hist_(latency_ms_hist) {
-  bool tracing = Trace::enabled();
-  if (!tracing && hist_ == nullptr) return;
+    : Span(name, latency_ms_hist, nullptr) {}
+
+Span::Span(const char* name, Histogram* latency_ms_hist,
+           WindowedHistogram* windowed_ms_hist)
+    : hist_(latency_ms_hist), whist_(windowed_ms_hist) {
+  uint32_t flags = Trace::flags();
+  bool timed = hist_ != nullptr || whist_ != nullptr ||
+               g_tls_stage_recorder != nullptr;
+  if (flags == 0 && !timed) return;
   start_us_ = NowMicros();
-  if (tracing) {
-    name_ = name;
-    ++LocalBuffer().depth;
-  }
+  if ((flags & Trace::kTracingBit) != 0) name_ = name;
+  MaybePushStack(name, flags);
+  if (timed) stage_name_ = name;
 }
 
 Span::~Span() {
-  if (name_ == nullptr && hist_ == nullptr) return;
+  bool timed = hist_ != nullptr || whist_ != nullptr || stage_name_ != nullptr;
+  if (name_ == nullptr && !pushed_ && !timed) return;
   int64_t end_us = NowMicros();
-  if (hist_ != nullptr) {
-    hist_->Record(static_cast<double>(end_us - start_us_) / 1e3);
+  double dur_ms = static_cast<double>(end_us - start_us_) / 1e3;
+  if (hist_ != nullptr) hist_->Record(dur_ms);
+  if (whist_ != nullptr) whist_->Record(dur_ms);
+  if (stage_name_ != nullptr && g_tls_stage_recorder != nullptr) {
+    g_tls_stage_recorder->Add(stage_name_, dur_ms);
+  }
+  ThreadBuffer* buffer = nullptr;
+  if (pushed_) {
+    buffer = &LocalBuffer();
+    internal::SpanStack& stack = buffer->stack;
+    int depth = stack.depth.load(std::memory_order_relaxed);
+    if (depth > 0) {
+      stack.depth.store(depth - 1, std::memory_order_relaxed);
+    }
   }
   if (name_ == nullptr) return;
-  ThreadBuffer& buffer = LocalBuffer();
-  int depth = buffer.depth--;
-  std::lock_guard<std::mutex> lock(buffer.mu);
-  buffer.events.push_back(
-      {name_, start_us_, end_us - start_us_, depth, arg_, has_arg_});
+  if (buffer == nullptr) buffer = &LocalBuffer();
+  int depth = pushed_
+                  ? buffer->stack.depth.load(std::memory_order_relaxed) + 1
+                  : 1;
+  TraceContext trace = g_tls_trace_context;
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back({name_, start_us_, end_us - start_us_, depth, arg_,
+                            trace.hi, trace.lo, has_arg_});
 }
 
 }  // namespace vs2::obs

@@ -25,6 +25,14 @@
 /// (`Trace::CurrentDepth()` exposes it for tests). Chrome's viewer nests
 /// the exported complete (`"ph":"X"`) events by timestamp containment on
 /// the same thread lane, which RAII scoping guarantees.
+///
+/// **Request attribution.** A `TraceContext` is a 128-bit request id that
+/// crosses the wire (`"trace_id"` on the serving protocol, see DESIGN.md
+/// §14). `TraceContextScope` binds one to the calling thread; every trace
+/// event completed under the scope carries it, and `StageRecorder` collects
+/// the histogram-carrying (stage) spans that finish on the thread into a
+/// per-request stage breakdown — the payload of slow-request records and
+/// the daemon's response echo.
 
 #include <atomic>
 #include <cstddef>
@@ -35,7 +43,51 @@
 
 namespace vs2::obs {
 
-class Histogram;  // metrics.hpp; spans can feed a latency histogram
+class Histogram;          // metrics.hpp; spans can feed a latency histogram
+class WindowedHistogram;  // metrics.hpp; rolling-window latency views
+
+/// \brief 128-bit request trace id, propagated over the serving wire as 32
+/// lowercase hex digits. The all-zero value means "no trace context".
+struct TraceContext {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool valid() const { return (hi | lo) != 0; }
+  /// 32 lowercase hex digits (hi then lo), the wire spelling.
+  std::string ToHex() const;
+  /// Parses `ToHex()` output. Anything but exactly 32 hex digits — or the
+  /// all-zero string — yields the invalid context.
+  static TraceContext FromHex(const std::string& hex);
+  /// Fresh pseudo-random id, never the invalid value. Ids are unique per
+  /// process run (seeded from the system entropy source once, then a
+  /// mixed counter), which is all wire attribution needs.
+  static TraceContext Generate();
+
+  friend bool operator==(const TraceContext& a, const TraceContext& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const TraceContext& a, const TraceContext& b) {
+    return !(a == b);
+  }
+};
+
+/// Binds `context` to the calling thread for the scope's lifetime (restores
+/// the previous binding on destruction — scopes nest). Trace events and
+/// stage records completed under the scope are attributed to it.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext context);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// The calling thread's bound trace context (invalid when none is bound).
+TraceContext CurrentTraceContext();
 
 /// Global tracer state: enable/disable, event collection, JSON export.
 /// All static members are safe to call from any thread.
@@ -50,7 +102,9 @@ class Trace {
 
   /// True when spans are being recorded. A relaxed load — the only cost a
   /// disabled span pays.
-  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+  static bool enabled() {
+    return (flags_.load(std::memory_order_relaxed) & kTracingBit) != 0;
+  }
 
   /// Drops every recorded event (buffers stay registered).
   static void Reset();
@@ -72,7 +126,72 @@ class Trace {
 
  private:
   friend class Span;
-  static std::atomic<bool> enabled_;
+  friend class Profiler;  // toggles the span-stack bit (profiler.hpp)
+
+  static constexpr uint32_t kTracingBit = 1u;
+  /// Span-name stack maintained for the sampling profiler even when trace
+  /// recording is off.
+  static constexpr uint32_t kSpanStackBit = 2u;
+
+  static uint32_t flags() { return flags_.load(std::memory_order_relaxed); }
+  static void SetFlag(uint32_t bit, bool on);
+
+  static std::atomic<uint32_t> flags_;
+};
+
+namespace internal {
+
+/// Per-thread stack of open span names, maintained whenever tracing or the
+/// sampling profiler is active. `depth` is written with signal-fence
+/// discipline so a SIGPROF handler interrupting the owning thread reads a
+/// consistent prefix of `frames` (see DESIGN.md §14, signal safety).
+struct SpanStack {
+  static constexpr int kMaxDepth = 64;
+  std::atomic<int> depth{0};
+  const char* frames[kMaxDepth];
+};
+
+/// The calling thread's span stack, or null when this thread has never
+/// opened a span. Async-signal-safe: reads one plain thread-local pointer
+/// and never allocates.
+SpanStack* ThreadSpanStackIfPresent();
+
+}  // namespace internal
+
+/// \brief Collects the stage spans (the histogram-carrying ones) that
+/// complete on the calling thread while the recorder is installed — the
+/// per-request stage breakdown. Recorders nest; the innermost active one
+/// receives the records. Capacity-bounded: past `kMaxStages` completions
+/// are counted in `dropped()` instead of stored.
+class StageRecorder {
+ public:
+  static constexpr size_t kMaxStages = 16;
+
+  struct Stage {
+    const char* name;  ///< span-name literal (static storage)
+    double ms;
+  };
+
+  /// Installs this recorder as the thread's current one.
+  StageRecorder();
+  /// Restores the previously installed recorder (if any).
+  ~StageRecorder();
+
+  StageRecorder(const StageRecorder&) = delete;
+  StageRecorder& operator=(const StageRecorder&) = delete;
+
+  const Stage* stages() const { return stages_; }
+  size_t size() const { return size_; }
+  size_t dropped() const { return dropped_; }
+
+  /// Called by `Span` on stage completion (same thread only).
+  void Add(const char* name, double ms);
+
+ private:
+  Stage stages_[kMaxStages];
+  size_t size_ = 0;
+  size_t dropped_ = 0;
+  StageRecorder* prev_ = nullptr;
 };
 
 /// \brief RAII span. Records a trace event over its lexical scope when
@@ -90,7 +209,13 @@ class Span {
   /// Span that also records its duration (milliseconds) into
   /// `latency_ms_hist` on destruction — the stage-latency entry point.
   /// `latency_ms_hist` may be null (equivalent to the trace-only form).
+  /// Stage spans additionally feed the innermost active `StageRecorder`.
   Span(const char* name, Histogram* latency_ms_hist);
+
+  /// As above, additionally recording the duration into a rolling-window
+  /// histogram (may be null) — the live-telemetry stage entry point.
+  Span(const char* name, Histogram* latency_ms_hist,
+       WindowedHistogram* windowed_ms_hist);
 
   ~Span();
 
@@ -98,11 +223,17 @@ class Span {
   Span& operator=(const Span&) = delete;
 
  private:
-  const char* name_ = nullptr;    ///< non-null: emit a trace event
-  Histogram* hist_ = nullptr;     ///< non-null: record duration
+  /// Pushes `name` onto the thread's span stack when `flags` asks for it.
+  void MaybePushStack(const char* name, uint32_t flags);
+
+  const char* name_ = nullptr;     ///< non-null: emit a trace event
+  Histogram* hist_ = nullptr;      ///< non-null: record duration
+  WindowedHistogram* whist_ = nullptr;  ///< non-null: record windowed
+  const char* stage_name_ = nullptr;    ///< non-null: notify StageRecorder
   int64_t start_us_ = 0;
   int64_t arg_ = 0;
   bool has_arg_ = false;
+  bool pushed_ = false;  ///< this span holds a slot on the span stack
 };
 
 #define VS2_OBS_CONCAT_IMPL(a, b) a##b

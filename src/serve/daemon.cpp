@@ -7,15 +7,108 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 
 #include "doc/serialization.hpp"
 #include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slowlog.hpp"
 #include "util/strings.hpp"
 
 namespace vs2::serve {
 namespace {
+
+/// Outcome of scanning a request line for a top-level field.
+enum class FieldScan { kAbsent, kString, kNonString };
+
+/// Consumes the JSON string whose opening quote is at `(*i)`, leaving `*i`
+/// one past the closing quote. Escapes are passed through with only the
+/// backslash dropped — enough to skip strings faithfully; full unescaping
+/// belongs to `doc::FromJson`.
+bool ScanString(const std::string& s, size_t* i, std::string* out) {
+  out->clear();
+  for (++*i; *i < s.size(); ++*i) {
+    char c = s[*i];
+    if (c == '\\') {
+      if (*i + 1 >= s.size()) return false;
+      out->push_back(s[++*i]);
+      continue;
+    }
+    if (c == '"') {
+      ++*i;
+      return true;
+    }
+    out->push_back(c);
+  }
+  return false;
+}
+
+/// Minimal envelope scanner: finds a top-level `"key":"value"` pair in a
+/// one-line JSON object without parsing the whole document. Tracks nesting
+/// depth so keys inside `"elements"` etc. cannot spoof the envelope.
+/// Documents never carry the envelope keys (`cmd`, `trace_id`), admin
+/// lines never carry document keys — this scanner is how the daemon tells
+/// them apart before paying for a full parse.
+FieldScan FindTopLevelField(const std::string& line, const std::string& key,
+                            std::string* value) {
+  size_t i = 0;
+  const size_t n = line.size();
+  auto skip_ws = [&] {
+    while (i < n && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) {
+      ++i;
+    }
+  };
+  skip_ws();
+  if (i >= n || line[i] != '{') return FieldScan::kAbsent;
+  ++i;
+  int depth = 1;
+  std::string token;
+  while (i < n && depth > 0) {
+    char c = line[i];
+    if (c == '"') {
+      bool at_top = depth == 1;
+      if (!ScanString(line, &i, &token)) return FieldScan::kAbsent;
+      skip_ws();
+      if (at_top && i < n && line[i] == ':') {
+        ++i;
+        skip_ws();
+        bool match = token == key;
+        if (i < n && line[i] == '"') {
+          if (!ScanString(line, &i, &token)) return FieldScan::kAbsent;
+          if (match) {
+            *value = token;
+            return FieldScan::kString;
+          }
+        } else if (match) {
+          return FieldScan::kNonString;
+        }
+      }
+      continue;  // ScanString already advanced past the string
+    }
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ++i;
+  }
+  return FieldScan::kAbsent;
+}
+
+/// `%g` rendering for wire milliseconds, matching the metrics snapshot.
+std::string Ms(double v) { return util::Format("%g", v); }
+
+/// Renders a stage breakdown as `[{"name":"vs2.segment","ms":1.2},...]`.
+/// Stage names are span-name literals — JSON-safe by construction.
+std::string StagesJson(const std::vector<obs::StageRecorder::Stage>& stages) {
+  std::string out = "[";
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += util::Format("{\"name\":\"%s\",\"ms\":%s}", stages[i].name,
+                        Ms(stages[i].ms).c_str());
+  }
+  out.push_back(']');
+  return out;
+}
 
 /// send(2) until the whole buffer is out (or the peer is gone).
 ///
@@ -47,6 +140,12 @@ void IgnoreSigpipeOnce() {
     return true;
   }();
   (void)installed;
+}
+
+double SteadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -110,6 +209,7 @@ Status Daemon::Start() {
                                std::strerror(errno));
   }
   running_.store(true);
+  started_at_sec_ = SteadySeconds();
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
@@ -150,17 +250,100 @@ void Daemon::AcceptLoop() {
 }
 
 std::string Daemon::HandleLine(const std::string& line) {
+  std::string cmd;
+  switch (FindTopLevelField(line, "cmd", &cmd)) {
+    case FieldScan::kString:
+      return HandleAdmin(cmd);
+    case FieldScan::kNonString:
+      return doc::ErrorToJson(
+          "<admin>", Status::InvalidArgument(
+                         "\"cmd\" must be a string: stats, health or slow"));
+    case FieldScan::kAbsent:
+      break;
+  }
+  return HandleDocument(line);
+}
+
+std::string Daemon::HandleAdmin(const std::string& cmd) {
+  if (cmd == "stats") {
+    // The full instrument snapshot; the windowed sections carry the
+    // 10s/1m/5m `serve.extract` views the fleet console polls.
+    return obs::Metrics::SnapshotJson();
+  }
+  if (cmd == "health") {
+    ExtractionService::Stats stats = service_.stats();
+    return util::Format(
+        "{\"status\":\"%s\",\"accepting\":%s,\"queue_depth\":%zu,"
+        "\"in_flight\":%zu,\"queue_capacity\":%zu,\"jobs\":%zu,"
+        "\"completed\":%llu,\"rejected\":%llu,\"uptime_sec\":%s,"
+        "\"connections\":%llu}",
+        stats.accepting ? "ok" : "draining", stats.accepting ? "true" : "false",
+        stats.queue_depth, stats.in_flight, service_.options().queue_capacity,
+        service_.jobs(), static_cast<unsigned long long>(stats.completed),
+        static_cast<unsigned long long>(stats.rejected),
+        Ms(SteadySeconds() - started_at_sec_).c_str(),
+        static_cast<unsigned long long>(connections_served()));
+  }
+  if (cmd == "slow") {
+    std::string out = "{\"slow\":[";
+    bool first = true;
+    for (const obs::SlowLog::Entry& entry : obs::SlowLog::Global().Snapshot()) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += util::Format(
+          "{\"trace_id\":\"%s\",\"total_ms\":%s,\"status\":\"%s\","
+          "\"seq\":%llu,\"stages\":%s}",
+          entry.trace.ToHex().c_str(), Ms(entry.total_ms).c_str(),
+          entry.status.c_str(), static_cast<unsigned long long>(entry.seq),
+          StagesJson(entry.stages).c_str());
+    }
+    out += "]}";
+    return out;
+  }
+  return doc::ErrorToJson(
+      "<admin>",
+      Status::InvalidArgument("unknown cmd \"" + cmd +
+                              "\": expected stats, health or slow"));
+}
+
+std::string Daemon::HandleDocument(const std::string& line) {
+  // A client-supplied trace id opts the response into the telemetry echo;
+  // lines without one keep the pre-telemetry response bytes.
+  std::string trace_hex;
+  bool has_trace =
+      FindTopLevelField(line, "trace_id", &trace_hex) != FieldScan::kAbsent;
+  RequestOptions request_options;
+  if (has_trace) {
+    request_options.trace = obs::TraceContext::FromHex(trace_hex);
+    if (!request_options.trace.valid()) {
+      return doc::ErrorToJson(
+          "<request>",
+          Status::InvalidArgument(
+              "bad trace_id \"" + trace_hex +
+              "\": expected 32 hex digits, not all zero"));
+    }
+  }
+
   auto parsed = doc::FromJson(line);
   if (!parsed.ok()) {
     return doc::ErrorToJson(
         "<request>", Status::InvalidArgument("bad document JSON: " +
                                              parsed.status().ToString()));
   }
-  ExtractionService::Response response = service_.Extract(*std::move(parsed));
-  if (!response.ok()) {
-    return doc::ErrorToJson("<request>", response.status());
-  }
-  return doc::ExtractionsToJson(*response);
+  RequestTelemetry telemetry;
+  ExtractionService::Response response = service_.Extract(
+      *std::move(parsed), request_options, has_trace ? &telemetry : nullptr);
+  std::string payload = response.ok()
+                            ? doc::ExtractionsToJson(*response)
+                            : doc::ErrorToJson("<request>", response.status());
+  if (!has_trace) return payload;
+  // Prefix the echo fields inside the existing object: both payload forms
+  // are non-empty objects, so the trailing comma is always valid.
+  return util::Format("{\"trace_id\":\"%s\",\"total_ms\":%s,\"stages\":%s,",
+                      telemetry.trace.ToHex().c_str(),
+                      Ms(telemetry.total_ms).c_str(),
+                      StagesJson(telemetry.stages).c_str()) +
+         payload.substr(1);
 }
 
 void Daemon::ServeConnection(Connection* connection) {

@@ -12,6 +12,21 @@
 ///   response: {"extractions":[...],"blocks":N,"interest_points":M}
 ///   error:    {"error":"InvalidArgument: ...","source":"<request>"}
 ///
+/// A request line carrying a top-level `"trace_id"` (32 hex digits) runs
+/// under that trace context and its response line is prefixed with the
+/// echo fields `"trace_id"`, `"total_ms"` and `"stages"` (per-stage timing
+/// breakdown). Lines without `trace_id` get byte-identical responses to
+/// the pre-telemetry protocol.
+///
+/// Admin lines carry a top-level `"cmd"` instead of a document:
+///
+///   {"cmd":"stats"}   -> the obs::Metrics snapshot (rolling windows incl.)
+///   {"cmd":"health"}  -> accepting/queue/in-flight/uptime summary
+///   {"cmd":"slow"}    -> K slowest recent requests with stage breakdowns
+///
+/// Unknown `cmd` values are rejected with a structured error line, never
+/// parsed as documents. Wire schema details: DESIGN.md §14.
+///
 /// Responses on one connection come back in request order. Each connection
 /// is served by its own thread; concurrency, backpressure, deadlines and
 /// caching all live in the wrapped `ExtractionService` — an overloaded
@@ -98,11 +113,16 @@ class Daemon {
   void ServeConnection(Connection* connection);
   /// Joins and closes finished connections (accept-loop housekeeping).
   void ReapFinished();
+  /// Dispatches one `{"cmd":...}` admin line.
+  std::string HandleAdmin(const std::string& cmd);
+  /// Runs one document request line (optionally under a wire trace id).
+  std::string HandleDocument(const std::string& line);
 
   ExtractionService& service_;
   DaemonOptions options_;
   int listen_fd_ = -1;
   int port_ = 0;
+  double started_at_sec_ = 0.0;  ///< monotonic, set by Start()
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> connections_{0};
   std::thread accept_thread_;

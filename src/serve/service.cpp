@@ -33,6 +33,23 @@ struct ServeInstruments {
   obs::Gauge& cache_size = obs::Metrics::GetGauge("serve.cache_size");
   obs::Histogram& request_latency =
       obs::Metrics::GetHistogram("serve.request_latency_ms");
+  // Histogram-carrying so the lookup registers as a stage in per-request
+  // breakdowns — a cache hit's only stage.
+  obs::Histogram& cache_lookup =
+      obs::Metrics::GetHistogram("serve.cache_lookup_ms");
+  // Rolling 10s/1m/5m views for the live telemetry plane (`{"cmd":"stats"}`
+  // — DESIGN.md §14). `serve.extract` is the end-to-end latency the fleet
+  // console watches.
+  obs::WindowedHistogram& extract_windowed =
+      obs::Metrics::GetWindowedHistogram("serve.extract");
+  obs::WindowedCounter& requests_windowed =
+      obs::Metrics::GetWindowedCounter("serve.requests");
+  obs::WindowedCounter& rejected_windowed =
+      obs::Metrics::GetWindowedCounter("serve.rejected");
+  obs::WindowedCounter& cache_hits_windowed =
+      obs::Metrics::GetWindowedCounter("serve.cache_hits");
+  obs::WindowedCounter& cache_misses_windowed =
+      obs::Metrics::GetWindowedCounter("serve.cache_misses");
 };
 
 ServeInstruments& Instruments() {
@@ -74,9 +91,18 @@ double ExtractionService::ResolveDeadline(const RequestOptions& options,
 }
 
 std::future<ExtractionService::Response> ExtractionService::Submit(
-    doc::Document document, RequestOptions options) {
+    doc::Document document, RequestOptions options,
+    RequestTelemetry* telemetry) {
   auto promise = std::make_shared<std::promise<Response>>();
   std::future<Response> future = promise->get_future();
+
+  // Every request runs under a trace context so slow-log records stay
+  // attributable; the caller's id (wire `"trace_id"`) wins when supplied.
+  if (!options.trace.valid()) options.trace = obs::TraceContext::Generate();
+  if (telemetry != nullptr) {
+    *telemetry = RequestTelemetry{};
+    telemetry->trace = options.trace;
+  }
 
   double admitted_at = Now();
   {
@@ -84,12 +110,14 @@ std::future<ExtractionService::Response> ExtractionService::Submit(
     if (!accepting_) {
       ++rejected_;
       Instruments().rejected.Add();
+      Instruments().rejected_windowed.Add();
       promise->set_value(Status::Unavailable("service is draining"));
       return future;
     }
     if (queued_ >= options_.queue_capacity) {
       ++rejected_;
       Instruments().rejected.Add();
+      Instruments().rejected_windowed.Add();
       promise->set_value(Status::Unavailable(util::Format(
           "admission queue full (%zu queued, capacity %zu)", queued_,
           options_.queue_capacity)));
@@ -98,13 +126,14 @@ std::future<ExtractionService::Response> ExtractionService::Submit(
     ++queued_;
     ++accepted_;
     Instruments().accepted.Add();
+    Instruments().requests_windowed.Add();
     Instruments().queue_depth.Set(static_cast<double>(queued_));
   }
 
   double deadline = ResolveDeadline(options, admitted_at);
   // The request closure owns the document; the promise is shared because
   // `std::function` requires a copyable callable.
-  pool_->Submit([this, promise, options, deadline, admitted_at,
+  pool_->Submit([this, promise, options, deadline, admitted_at, telemetry,
                  document = std::move(document)]() {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -115,8 +144,24 @@ std::future<ExtractionService::Response> ExtractionService::Submit(
     }
     if (options_.dequeue_hook) options_.dequeue_hook();
 
+    // Bind the request's trace context to this worker thread and collect
+    // the stage spans (the histogram-carrying ones) it completes — the
+    // per-request breakdown echoed on the wire and kept by the slow log.
+    obs::TraceContextScope trace_scope(options.trace);
+    obs::StageRecorder recorder;
     Response response = RunAdmitted(document, options, deadline);
-    Instruments().request_latency.Record((Now() - admitted_at) * 1e3);
+    double total_ms = (Now() - admitted_at) * 1e3;
+    Instruments().request_latency.Record(total_ms);
+    Instruments().extract_windowed.Record(total_ms);
+    obs::SlowLog::Global().Record(options.trace, total_ms,
+                                  StatusCodeName(response.status().code()),
+                                  recorder);
+    if (telemetry != nullptr) {
+      telemetry->total_ms = total_ms;
+      telemetry->stages.assign(recorder.stages(),
+                               recorder.stages() + recorder.size());
+      telemetry->stages_dropped = recorder.dropped();
+    }
 
     // Account before fulfilling the promise: a client that unblocks on its
     // future must already see this request reflected in stats().
@@ -155,16 +200,18 @@ ExtractionService::Response ExtractionService::RunAdmitted(
   canonical.clear();
   uint64_t hash = 0;
   if (use_cache) {
-    VS2_TRACE_SPAN("serve.cache_lookup");
+    obs::Span span("serve.cache_lookup", &instruments.cache_lookup);
     doc::AppendJson(document, &canonical);
     hash = util::Fnv1a64(canonical);
     uint64_t evictions_before = cache_->evictions();
     if (ResultCache::Value hit = cache_->Get(hash, canonical, Now())) {
       instruments.cache_hits.Add();
+      instruments.cache_hits_windowed.Add();
       instruments.cache_size.Set(static_cast<double>(cache_->size()));
       return *hit;  // copy out: callers own their response
     }
     instruments.cache_misses.Add();
+    instruments.cache_misses_windowed.Add();
     instruments.cache_evictions.Add(cache_->evictions() - evictions_before);
   }
 
@@ -208,8 +255,9 @@ ExtractionService::Response ExtractionService::RunAdmitted(
 }
 
 ExtractionService::Response ExtractionService::Extract(
-    const doc::Document& document, RequestOptions options) {
-  return Submit(document, options).get();
+    const doc::Document& document, RequestOptions options,
+    RequestTelemetry* telemetry) {
+  return Submit(document, options, telemetry).get();
 }
 
 void ExtractionService::Drain() {
@@ -245,6 +293,7 @@ ExtractionService::Stats ExtractionService::stats() const {
     stats.deadline_exceeded = deadline_exceeded_;
     stats.queue_depth = queued_;
     stats.in_flight = in_flight_;
+    stats.accepting = accepting_;
   }
   stats.cache_hits = cache_->hits();
   stats.cache_misses = cache_->misses();

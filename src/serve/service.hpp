@@ -32,8 +32,11 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/pipeline.hpp"
+#include "obs/slowlog.hpp"
+#include "obs/trace.hpp"
 #include "serve/cache.hpp"
 #include "util/thread_pool.hpp"
 
@@ -74,6 +77,23 @@ struct RequestOptions {
   double deadline_ms = 0.0;
   /// Skip cache lookup and fill for this request.
   bool bypass_cache = false;
+  /// Caller-supplied trace id (the wire `"trace_id"` field). Invalid
+  /// (default) = the service generates one, so every request is still
+  /// attributable in the slow log; the daemon only echoes ids the client
+  /// supplied.
+  obs::TraceContext trace;
+};
+
+/// Per-request observability results, filled by the worker before the
+/// request's future resolves. Pass to `Submit`/`Extract` to receive the
+/// trace id the request ran under and its per-stage timing breakdown (the
+/// same data the slow log records).
+struct RequestTelemetry {
+  obs::TraceContext trace;
+  double total_ms = 0.0;
+  std::vector<obs::StageRecorder::Stage> stages;
+  /// Stage completions beyond the recorder's capacity (not in `stages`).
+  size_t stages_dropped = 0;
 };
 
 /// \brief The long-lived extraction server core: a `Vs2` behind a bounded
@@ -95,12 +115,16 @@ class ExtractionService {
 
   /// Admits one request. Returns a future that resolves to the extraction
   /// result, or — already resolved, without blocking — to `kUnavailable`
-  /// when the queue is full or the service is draining.
+  /// when the queue is full or the service is draining. When `telemetry`
+  /// is non-null it must outlive the future; it is fully written before
+  /// the future resolves (rejected requests record zero stages).
   std::future<Response> Submit(doc::Document document,
-                               RequestOptions options = {});
+                               RequestOptions options = {},
+                               RequestTelemetry* telemetry = nullptr);
 
   /// Blocking convenience: `Submit(...).get()`.
-  Response Extract(const doc::Document& document, RequestOptions options = {});
+  Response Extract(const doc::Document& document, RequestOptions options = {},
+                   RequestTelemetry* telemetry = nullptr);
 
   /// Stops admitting (`Submit` returns `kUnavailable` from this point),
   /// waits for every queued and in-flight request to finish, then flushes
@@ -120,6 +144,7 @@ class ExtractionService {
     size_t queue_depth = 0;  ///< admitted, not yet picked up by a worker
     size_t in_flight = 0;    ///< currently executing on a worker
     size_t cache_size = 0;
+    bool accepting = true;   ///< false once draining began
   };
   Stats stats() const;
 

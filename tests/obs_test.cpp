@@ -1,11 +1,15 @@
 /// Tests for src/obs: tracer (span nesting, thread safety, Chrome JSON
-/// export), metrics registry (counters, gauges, histogram buckets,
-/// percentile semantics, snapshot/reset) and the structured logger.
+/// export), request attribution (TraceContext, StageRecorder), metrics
+/// registry (counters, gauges, histogram buckets, percentile semantics,
+/// snapshot/reset), the rolling-window instruments, the slow-request ring,
+/// the sampling profiler and the structured logger.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -13,6 +17,8 @@
 #include "datasets/pretrained.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/slowlog.hpp"
 #include "obs/trace.hpp"
 #include "serve/service.hpp"
 #include "util/color.hpp"
@@ -277,6 +283,103 @@ TEST(TraceTest, SpanFeedsHistogramEvenWhenTracingDisabled) {
   EXPECT_EQ(obs::Trace::EventCount(), 0u);  // no trace event while disabled
 }
 
+// ----------------------------------------------------------- TraceContext --
+
+TEST(TraceContextTest, HexRoundTripAndRejection) {
+  obs::TraceContext context{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  std::string hex = context.ToHex();
+  EXPECT_EQ(hex, "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(obs::TraceContext::FromHex(hex), context);
+
+  // Anything but exactly 32 hex digits — or all zeros — is invalid.
+  EXPECT_FALSE(obs::TraceContext::FromHex("").valid());
+  EXPECT_FALSE(obs::TraceContext::FromHex("abc").valid());
+  EXPECT_FALSE(obs::TraceContext::FromHex(hex + "0").valid());
+  EXPECT_FALSE(
+      obs::TraceContext::FromHex("0123456789abcdeffedcba987654321g").valid());
+  EXPECT_FALSE(
+      obs::TraceContext::FromHex(std::string(32, '0')).valid());
+  EXPECT_FALSE(obs::TraceContext{}.valid());
+}
+
+TEST(TraceContextTest, GenerateIsValidAndUnique) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 256; ++i) {
+    obs::TraceContext context = obs::TraceContext::Generate();
+    EXPECT_TRUE(context.valid());
+    EXPECT_TRUE(seen.insert(context.ToHex()).second);
+  }
+}
+
+TEST(TraceContextTest, ScopeBindsAndRestoresNested) {
+  EXPECT_FALSE(obs::CurrentTraceContext().valid());
+  obs::TraceContext outer_ctx{1, 2};
+  obs::TraceContext inner_ctx{3, 4};
+  {
+    obs::TraceContextScope outer(outer_ctx);
+    EXPECT_EQ(obs::CurrentTraceContext(), outer_ctx);
+    {
+      obs::TraceContextScope inner(inner_ctx);
+      EXPECT_EQ(obs::CurrentTraceContext(), inner_ctx);
+    }
+    EXPECT_EQ(obs::CurrentTraceContext(), outer_ctx);
+  }
+  EXPECT_FALSE(obs::CurrentTraceContext().valid());
+}
+
+TEST(TraceContextTest, TraceEventsCarryTheBoundContext) {
+  obs::Trace::Reset();
+  obs::Trace::Enable();
+  obs::TraceContext context{0x00000000000000abULL, 0x00000000000000cdULL};
+  {
+    obs::TraceContextScope scope(context);
+    VS2_TRACE_SPAN("attributed");
+  }
+  { VS2_TRACE_SPAN("unattributed"); }
+  obs::Trace::Disable();
+  std::string json = obs::Trace::ToJson();
+  EXPECT_TRUE(JsonChecker(json).Validate()) << json;
+  // Exactly the span under the scope carries the id.
+  std::string needle = "\"trace_id\":\"" + context.ToHex() + "\"";
+  size_t first = json.find(needle);
+  ASSERT_NE(first, std::string::npos) << json;
+  EXPECT_EQ(json.find(needle, first + 1), std::string::npos);
+  obs::Trace::Reset();
+}
+
+TEST(StageRecorderTest, CollectsTimedSpansAndNests) {
+  obs::Histogram& hist = obs::Metrics::GetHistogram("obs_test.stage_ms");
+  hist.Reset();
+  obs::StageRecorder outer;
+  { obs::Span stage("stage.one", &hist); }
+  {
+    obs::StageRecorder inner;
+    // The innermost recorder receives records while installed.
+    { obs::Span stage("stage.two", &hist); }
+    ASSERT_EQ(inner.size(), 1u);
+    EXPECT_STREQ(inner.stages()[0].name, "stage.two");
+    EXPECT_GE(inner.stages()[0].ms, 0.0);
+  }
+  { obs::Span stage("stage.three", &hist); }
+  // Trace-only spans are not stages.
+  { obs::Span untimed("not.a.stage"); }
+  ASSERT_EQ(outer.size(), 2u);
+  EXPECT_STREQ(outer.stages()[0].name, "stage.one");
+  EXPECT_STREQ(outer.stages()[1].name, "stage.three");
+  EXPECT_EQ(outer.dropped(), 0u);
+}
+
+TEST(StageRecorderTest, CapacityOverflowCountsDropped) {
+  obs::Histogram& hist = obs::Metrics::GetHistogram("obs_test.stage_cap_ms");
+  hist.Reset();
+  obs::StageRecorder recorder;
+  for (size_t i = 0; i < obs::StageRecorder::kMaxStages + 3; ++i) {
+    obs::Span stage("stage.n", &hist);
+  }
+  EXPECT_EQ(recorder.size(), obs::StageRecorder::kMaxStages);
+  EXPECT_EQ(recorder.dropped(), 3u);
+}
+
 // ----------------------------------------------------------- Percentiles --
 
 // Pins the nearest-rank semantics BatchStats has always used:
@@ -463,6 +566,243 @@ TEST(MetricsTest, ConcurrentIncrementsAreLossless) {
   EXPECT_EQ(h.count(), kTasks);
   EXPECT_EQ(h.sum(), static_cast<double>(kTasks));
 }
+
+// --------------------------------------------------- Windowed instruments --
+// All deterministic tests drive the `*At` entry points with synthetic
+// epochs; only the concurrency test touches the real clock path.
+
+TEST(WindowedCounterTest, WindowIncludesInProgressSecondExcludesOlder) {
+  obs::WindowedCounter& c =
+      obs::Metrics::GetWindowedCounter("obs_test.wc_window");
+  c.Reset();
+  c.AddAt(3, 100);
+  c.AddAt(2, 105);
+  c.AddAt(1, 109);
+  // A 10s window at now=109 covers epochs (99, 109]: everything above.
+  EXPECT_EQ(c.CountInWindowAt(10, 109), 6u);
+  // At now=110 the (100, 110] window drops the epoch-100 adds.
+  EXPECT_EQ(c.CountInWindowAt(10, 110), 3u);
+  // The in-progress second itself counts.
+  c.AddAt(4, 110);
+  EXPECT_EQ(c.CountInWindowAt(10, 110), 7u);
+  // A 1s window sees only the current second.
+  EXPECT_EQ(c.CountInWindowAt(1, 110), 4u);
+  // Rate normalizes by the window length, not the occupied seconds.
+  EXPECT_EQ(c.RateInWindowAt(10, 110), 0.7);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&obs::Metrics::GetWindowedCounter("obs_test.wc_window"), &c);
+}
+
+TEST(WindowedCounterTest, SlotRecyclingDropsLappedEpochs) {
+  obs::WindowedCounter& c =
+      obs::Metrics::GetWindowedCounter("obs_test.wc_recycle");
+  c.Reset();
+  c.AddAt(5, 100);
+  // 400 maps to the same ring slot as 100 (ring of 300 one-second slots);
+  // the recycled slot must not leak the old count into the new second.
+  c.AddAt(2, 400);
+  EXPECT_EQ(c.CountInWindowAt(obs::WindowedCounter::kMaxWindowSec, 400), 2u);
+  EXPECT_EQ(c.CountInWindowAt(1, 400), 2u);
+}
+
+TEST(WindowedCounterTest, StaleEpochsNeverResurface) {
+  obs::WindowedCounter& c =
+      obs::Metrics::GetWindowedCounter("obs_test.wc_stale");
+  c.Reset();
+  c.AddAt(9, 50);
+  // Far in the future every slot is stale; nothing may be counted even
+  // though the slots still hold their old epochs.
+  EXPECT_EQ(c.CountInWindowAt(obs::WindowedCounter::kMaxWindowSec, 10000), 0u);
+  // Reset empties the views at the original epoch too.
+  c.Reset();
+  EXPECT_EQ(c.CountInWindowAt(10, 50), 0u);
+}
+
+TEST(WindowedHistogramTest, StatsMatchHistogramPercentileSemantics) {
+  obs::WindowedHistogram& h =
+      obs::Metrics::GetWindowedHistogram("obs_test.wh_stats");
+  h.Reset();
+  // Mirrors MetricsTest.HistogramPercentileEstimate: 9 values in the
+  // (0.25, 0.5] bucket and one in (5, 10] — p50 reports the bucket bound
+  // 0.5, p99 the slow bucket's bound 10.
+  for (int i = 0; i < 9; ++i) h.RecordAt(0.3, 100);
+  h.RecordAt(7.0, 100);
+  obs::WindowedHistogram::WindowStats stats = h.StatsInWindowAt(10, 100);
+  EXPECT_EQ(stats.count, 10u);
+  EXPECT_NEAR(stats.sum, 9 * 0.3 + 7.0, 1e-9);
+  EXPECT_EQ(stats.rate_per_sec, 1.0);
+  EXPECT_EQ(stats.p50, 0.5);
+  EXPECT_EQ(stats.p95, 10.0);
+  EXPECT_EQ(stats.p99, 10.0);
+  EXPECT_EQ(stats.max, 7.0);
+  // Sliding the window past the samples empties the view.
+  EXPECT_EQ(h.StatsInWindowAt(10, 200).count, 0u);
+  // Overflow percentiles report the windowed max, not infinity.
+  h.Reset();
+  h.RecordAt(50000.0, 300);
+  EXPECT_EQ(h.StatsInWindowAt(10, 300).p99, 50000.0);
+}
+
+TEST(WindowedHistogramTest, WindowsAreIndependentViews) {
+  obs::WindowedHistogram& h =
+      obs::Metrics::GetWindowedHistogram("obs_test.wh_views");
+  h.Reset();
+  h.RecordAt(1.0, 1000);   // only in the 5m view at now=1200
+  h.RecordAt(2.0, 1150);   // in the 1m and 5m views
+  h.RecordAt(4.0, 1200);   // in every view
+  EXPECT_EQ(h.StatsInWindowAt(10, 1200).count, 1u);
+  EXPECT_EQ(h.StatsInWindowAt(60, 1200).count, 2u);
+  EXPECT_EQ(h.StatsInWindowAt(300, 1200).count, 3u);
+  EXPECT_EQ(h.StatsInWindowAt(10, 1200).max, 4.0);
+  EXPECT_EQ(h.StatsInWindowAt(300, 1200).max, 4.0);
+}
+
+TEST(WindowedInstrumentsTest, ResetValuesEmptiesWindows) {
+  obs::WindowedCounter& c =
+      obs::Metrics::GetWindowedCounter("obs_test.wc_resetvalues");
+  obs::WindowedHistogram& h =
+      obs::Metrics::GetWindowedHistogram("obs_test.wh_resetvalues");
+  c.AddAt(5, 100);
+  h.RecordAt(1.0, 100);
+  obs::Metrics::ResetValues();
+  EXPECT_EQ(c.CountInWindowAt(10, 100), 0u);
+  EXPECT_EQ(h.StatsInWindowAt(10, 100).count, 0u);
+  // References stay usable after the reset.
+  c.AddAt(1, 101);
+  EXPECT_EQ(c.CountInWindowAt(10, 101), 1u);
+}
+
+// Concurrent records into one epoch are lossless (the documented bounded
+// loss only applies to records racing a slot recycle at a second
+// boundary, which a fixed synthetic epoch never triggers). Run under
+// -DVS2_SANITIZE=thread to verify the lock-free record path.
+TEST(WindowedInstrumentsTest, ConcurrentRecordsAreLossless) {
+  obs::WindowedCounter& c =
+      obs::Metrics::GetWindowedCounter("obs_test.wc_mt");
+  obs::WindowedHistogram& h =
+      obs::Metrics::GetWindowedHistogram("obs_test.wh_mt");
+  c.Reset();
+  h.Reset();
+  constexpr size_t kTasks = 200;
+  constexpr int64_t kEpoch = 500;
+  {
+    util::ThreadPool pool(4);
+    util::ParallelFor(&pool, kTasks, [&](size_t i) {
+      c.AddAt(1, kEpoch);
+      h.RecordAt(static_cast<double>(i % 7) + 0.5, kEpoch);
+      // Concurrent window reads must be safe against the writers.
+      (void)c.CountInWindowAt(10, kEpoch);
+      (void)h.StatsInWindowAt(10, kEpoch);
+    });
+  }
+  EXPECT_EQ(c.CountInWindowAt(10, kEpoch), kTasks);
+  obs::WindowedHistogram::WindowStats stats = h.StatsInWindowAt(10, kEpoch);
+  EXPECT_EQ(stats.count, kTasks);
+  EXPECT_EQ(stats.max, 6.5);
+}
+
+TEST(WindowedInstrumentsTest, SnapshotJsonCarriesWindowedSections) {
+  obs::Metrics::GetWindowedCounter("obs_test.wc_snap").Add(2);
+  obs::Metrics::GetWindowedHistogram("obs_test.wh_snap").Record(1.5);
+  std::string json = obs::Metrics::SnapshotJson();
+  EXPECT_TRUE(JsonChecker(json).Validate()) << json;
+  EXPECT_NE(json.find("\"windowed_counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"windowed_histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.wc_snap\""), std::string::npos);
+  // Every windowed instrument renders all three rolling views.
+  size_t at = json.find("\"obs_test.wh_snap\"");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_NE(json.find("\"10s\"", at), std::string::npos);
+  EXPECT_NE(json.find("\"1m\"", at), std::string::npos);
+  EXPECT_NE(json.find("\"5m\"", at), std::string::npos);
+  EXPECT_NE(json.find("\"rate_per_sec\"", at), std::string::npos);
+  EXPECT_NE(json.find("\"p99\"", at), std::string::npos);
+}
+
+// ---------------------------------------------------------------- SlowLog --
+
+TEST(SlowLogTest, KeepsTheSlowestAndSortsDescending) {
+  // Scoped so it uninstalls from the thread's recorder chain before the
+  // test returns.
+  obs::StageRecorder no_stages;
+  obs::SlowLog log(3);
+  for (double ms : {5.0, 1.0, 9.0, 3.0, 7.0}) {
+    log.Record(obs::TraceContext::Generate(), ms, "OK", no_stages);
+  }
+  std::vector<obs::SlowLog::Entry> entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].total_ms, 9.0);
+  EXPECT_EQ(entries[1].total_ms, 7.0);
+  EXPECT_EQ(entries[2].total_ms, 5.0);
+  // A flood of fast requests cannot flush the slow ones out.
+  for (int i = 0; i < 100; ++i) {
+    log.Record(obs::TraceContext::Generate(), 0.1, "OK", no_stages);
+  }
+  entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].total_ms, 9.0);
+  EXPECT_EQ(entries[2].total_ms, 5.0);
+}
+
+TEST(SlowLogTest, EntriesCarryTraceStatusAndStages) {
+  obs::SlowLog log(4);
+  obs::TraceContext trace{11, 22};
+  obs::Histogram& hist = obs::Metrics::GetHistogram("obs_test.slowlog_ms");
+  {
+    obs::StageRecorder recorder;
+    { obs::Span stage("slow.stage", &hist); }
+    log.Record(trace, 42.0, "DeadlineExceeded", recorder);
+  }
+  std::vector<obs::SlowLog::Entry> entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].trace, trace);
+  EXPECT_EQ(entries[0].status, "DeadlineExceeded");
+  ASSERT_EQ(entries[0].stages.size(), 1u);
+  EXPECT_STREQ(entries[0].stages[0].name, "slow.stage");
+  log.Reset();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+// --------------------------------------------------------------- Profiler --
+
+#if defined(__unix__) || defined(__APPLE__)
+// Smoke the SIGPROF sampler end to end: burn CPU inside named spans and
+// require at least one attributed collapsed stack. Sampling is inherently
+// probabilistic, so the test spins until a sample lands (bounded by wall
+// time) rather than asserting an exact count.
+TEST(ProfilerTest, SamplesSpansIntoCollapsedStacks) {
+  obs::Profiler::Options options;
+  options.interval_usec = 1000;
+  ASSERT_TRUE(obs::Profiler::Start(options).ok());
+  EXPECT_TRUE(obs::Profiler::active());
+  // Double-start reports AlreadyExists and leaves the sampler running.
+  EXPECT_EQ(obs::Profiler::Start(options).code(), StatusCode::kAlreadyExists);
+
+  // Spin until a healthy batch of ticks landed (20 samples at a 1 ms
+  // period ≈ 20 ms of CPU) so span attribution, not just the timer, is
+  // exercised — virtually all CPU time burns inside the spans.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  volatile double sink = 0.0;
+  while (obs::Profiler::sample_count() < 20 &&
+         std::chrono::steady_clock::now() < deadline) {
+    obs::Span outer("profiler_test.outer");
+    obs::Span inner("profiler_test.inner");
+    for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  }
+  obs::Profiler::Stop();
+  EXPECT_FALSE(obs::Profiler::active());
+  ASSERT_GT(obs::Profiler::sample_count(), 0u);
+
+  std::string collapsed = obs::Profiler::CollapsedStacks();
+  ASSERT_FALSE(collapsed.empty());
+  // Innermost-span attribution: the busy loop runs under outer;inner.
+  EXPECT_NE(collapsed.find("profiler_test.outer;profiler_test.inner"),
+            std::string::npos)
+      << collapsed;
+  obs::Profiler::Reset();
+  EXPECT_EQ(obs::Profiler::sample_count(), 0u);
+}
+#endif  // __unix__ || __APPLE__
 
 // ------------------------------------------------------------------- Log --
 

@@ -2,8 +2,10 @@
 /// result cache, `ExtractionService` admission control / deadlines /
 /// caching / drain semantics, concurrent clients against one service (the
 /// TSan target alongside the batch-engine stress test), the wire-format
-/// pinning of `doc::ExtractionsToJson` / `doc::ErrorToJson`, and an
-/// end-to-end socket round-trip through `serve::Daemon`.
+/// pinning of `doc::ExtractionsToJson` / `doc::ErrorToJson`, an
+/// end-to-end socket round-trip through `serve::Daemon`, and the telemetry
+/// plane (admin commands, trace-id echo, request telemetry — DESIGN.md
+/// §14).
 
 #include <gtest/gtest.h>
 
@@ -24,6 +26,7 @@
 #include "datasets/generator.hpp"
 #include "datasets/pretrained.hpp"
 #include "doc/serialization.hpp"
+#include "obs/trace.hpp"
 #include "serve/cache.hpp"
 #include "serve/daemon.hpp"
 #include "serve/service.hpp"
@@ -679,6 +682,205 @@ TEST(DaemonTest, OversizedLineGetsErrorAndDisconnect) {
   EXPECT_FALSE(client.ReadLine(&after_close));  // connection closed
 
   daemon.Stop();
+}
+
+// ------------------------------------------- Daemon: telemetry plane ----
+
+/// Brace/bracket balance outside strings — a cheap structural sanity
+/// check for the admin responses (full JSON validation lives in
+/// obs_test.cpp's JsonChecker and the CI bench-smoke python check).
+bool BalancedJsonObject(const std::string& s) {
+  if (s.empty() || s.front() != '{') return false;
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (depth == 0 && i + 1 < s.size()) return false;  // trailing bytes
+  }
+  return depth == 0 && !in_string;
+}
+
+/// `doc::ToJson(d)` with a wire `"trace_id"` injected after the opening
+/// brace — what `vs2_serve_client --trace-id` sends.
+std::string WithTraceId(const std::string& request, const std::string& hex) {
+  return "{\"trace_id\":\"" + hex + "\"," + request.substr(1);
+}
+
+TEST(DaemonTest, UnknownOrMalformedAdminCmdGetsStructuredError) {
+  const core::Vs2& vs2 = SharedPipeline();
+  serve::ServiceOptions options;
+  options.jobs = 1;
+  serve::ExtractionService service(vs2, options);
+  serve::Daemon daemon(service, serve::DaemonOptions{});
+
+  std::string unknown = daemon.HandleLine("{\"cmd\":\"bogus\"}");
+  EXPECT_TRUE(BalancedJsonObject(unknown)) << unknown;
+  EXPECT_NE(unknown.find("\"error\":\"InvalidArgument: unknown cmd "
+                         "\\\"bogus\\\": expected stats, health or slow\""),
+            std::string::npos)
+      << unknown;
+  EXPECT_NE(unknown.find("\"source\":\"<admin>\""), std::string::npos);
+
+  // A non-string cmd is an envelope error, not a document parse attempt.
+  std::string non_string = daemon.HandleLine("{\"cmd\":42}");
+  EXPECT_NE(non_string.find("\\\"cmd\\\" must be a string"), std::string::npos)
+      << non_string;
+
+  // A nested "cmd" key does not spoof the envelope: the line is treated as
+  // a (malformed) document.
+  std::string nested = daemon.HandleLine("{\"a\":{\"cmd\":\"stats\"}}");
+  EXPECT_NE(nested.find("bad document JSON"), std::string::npos) << nested;
+}
+
+TEST(DaemonTest, AdminCommandsAnswerStructuredState) {
+  const core::Vs2& vs2 = SharedPipeline();
+  doc::Corpus corpus = SmallD2Corpus(1, 922);
+  serve::ServiceOptions options;
+  options.jobs = 1;
+  serve::ExtractionService service(vs2, options);
+  serve::Daemon daemon(service, serve::DaemonOptions{});
+
+  // Run one request so stats/slow have serving data to report.
+  ASSERT_TRUE(service.Extract(corpus.documents[0]).ok());
+
+  std::string stats = daemon.HandleLine("{\"cmd\":\"stats\"}");
+  EXPECT_TRUE(BalancedJsonObject(stats)) << stats;
+  EXPECT_NE(stats.find("\"windowed_histograms\""), std::string::npos);
+  size_t extract_at = stats.find("\"serve.extract\"");
+  ASSERT_NE(extract_at, std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"10s\"", extract_at), std::string::npos);
+  EXPECT_NE(stats.find("\"1m\"", extract_at), std::string::npos);
+  EXPECT_NE(stats.find("\"5m\"", extract_at), std::string::npos);
+  EXPECT_NE(stats.find("\"p99\"", extract_at), std::string::npos);
+
+  std::string health = daemon.HandleLine("{\"cmd\":\"health\"}");
+  EXPECT_TRUE(BalancedJsonObject(health)) << health;
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos) << health;
+  EXPECT_NE(health.find("\"accepting\":true"), std::string::npos);
+  EXPECT_NE(health.find("\"queue_capacity\""), std::string::npos);
+
+  std::string slow = daemon.HandleLine("{\"cmd\":\"slow\"}");
+  EXPECT_TRUE(BalancedJsonObject(slow)) << slow;
+  EXPECT_EQ(slow.rfind("{\"slow\":[", 0), 0u) << slow;
+  EXPECT_NE(slow.find("\"trace_id\""), std::string::npos) << slow;
+  EXPECT_NE(slow.find("\"stages\":["), std::string::npos) << slow;
+
+  // Draining flips the health verdict.
+  service.Drain();
+  health = daemon.HandleLine("{\"cmd\":\"health\"}");
+  EXPECT_NE(health.find("\"status\":\"draining\""), std::string::npos)
+      << health;
+  EXPECT_NE(health.find("\"accepting\":false"), std::string::npos);
+}
+
+TEST(DaemonTest, TraceIdRoundTripsWithStageBreakdown) {
+  const core::Vs2& vs2 = SharedPipeline();
+  doc::Corpus corpus = SmallD2Corpus(1, 923);
+  serve::ServiceOptions options;
+  options.jobs = 1;
+  // Cache off so the traced request runs the pipeline and its stage
+  // breakdown names the pipeline stages, not just the cache lookup.
+  options.cache_entries = 0;
+  serve::ExtractionService service(vs2, options);
+  serve::Daemon daemon(service, serve::DaemonOptions{});
+
+  const std::string request = doc::ToJson(corpus.documents[0]);
+  auto direct = vs2.Process(corpus.documents[0]);
+  ASSERT_TRUE(direct.ok());
+  const std::string payload = doc::ExtractionsToJson(*direct);
+
+  // Without a trace id the response bytes are exactly the pinned payload —
+  // the pre-telemetry wire format is preserved.
+  EXPECT_EQ(daemon.HandleLine(request), payload);
+
+  const std::string hex = obs::TraceContext::Generate().ToHex();
+  std::string response = daemon.HandleLine(WithTraceId(request, hex));
+  EXPECT_TRUE(BalancedJsonObject(response)) << response;
+  // The echo prefixes trace id, total and stages onto the same payload.
+  EXPECT_EQ(response.rfind("{\"trace_id\":\"" + hex + "\",\"total_ms\":", 0),
+            0u)
+      << response;
+  EXPECT_NE(response.find("\"stages\":[{"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"name\":\"vs2.process\""), std::string::npos)
+      << response;
+  // Everything after the echo fields is byte-identical to the pinned
+  // payload body.
+  ASSERT_GT(response.size(), payload.size());
+  EXPECT_EQ(response.substr(response.size() - (payload.size() - 1)),
+            payload.substr(1));
+
+  // A malformed trace id is rejected before the document is parsed.
+  std::string bad = daemon.HandleLine(WithTraceId(request, "xyz"));
+  EXPECT_NE(bad.find("bad trace_id \\\"xyz\\\""), std::string::npos) << bad;
+}
+
+TEST(DaemonTest, AdminAndDocumentLinesInterleaveOnOneConnection) {
+  const core::Vs2& vs2 = SharedPipeline();
+  doc::Corpus corpus = SmallD2Corpus(1, 924);
+  serve::ServiceOptions service_options;
+  service_options.jobs = 1;
+  serve::ExtractionService service(vs2, service_options);
+  serve::DaemonOptions daemon_options;
+  daemon_options.unix_socket_path = TestSocketPath();
+  serve::Daemon daemon(service, daemon_options);
+  Status started = daemon.Start();
+  ASSERT_TRUE(started.ok()) << started;
+
+  auto direct = vs2.Process(corpus.documents[0]);
+  ASSERT_TRUE(direct.ok());
+
+  TestClient client(daemon_options.unix_socket_path);
+  ASSERT_TRUE(client.connected());
+  std::string line;
+  ASSERT_TRUE(client.Send("{\"cmd\":\"health\"}"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos) << line;
+  ASSERT_TRUE(client.Send(doc::ToJson(corpus.documents[0])));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, doc::ExtractionsToJson(*direct));
+  ASSERT_TRUE(client.Send("{\"cmd\":\"stats\"}"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_NE(line.find("\"serve.extract\""), std::string::npos);
+
+  daemon.Stop();
+}
+
+TEST(ExtractionServiceTest, ExtractFillsRequestTelemetry) {
+  const core::Vs2& vs2 = SharedPipeline();
+  doc::Corpus corpus = SmallD2Corpus(1, 925);
+  serve::ServiceOptions options;
+  options.jobs = 1;
+  serve::ExtractionService service(vs2, options);
+
+  // Without a caller-supplied trace the service generates one.
+  serve::RequestTelemetry telemetry;
+  ASSERT_TRUE(
+      service.Extract(corpus.documents[0], {}, &telemetry).ok());
+  EXPECT_TRUE(telemetry.trace.valid());
+  EXPECT_GT(telemetry.total_ms, 0.0);
+  ASSERT_FALSE(telemetry.stages.empty());
+  EXPECT_EQ(telemetry.stages_dropped, 0u);
+  bool saw_process = false;
+  for (const obs::StageRecorder::Stage& stage : telemetry.stages) {
+    if (std::string(stage.name) == "vs2.process") saw_process = true;
+  }
+  EXPECT_TRUE(saw_process);
+
+  // A caller-supplied trace id is echoed back verbatim.
+  serve::RequestOptions request_options;
+  request_options.trace = obs::TraceContext{7, 9};
+  serve::RequestTelemetry echoed;
+  ASSERT_TRUE(
+      service.Extract(corpus.documents[0], request_options, &echoed).ok());
+  EXPECT_EQ(echoed.trace, request_options.trace);
 }
 
 TEST(DaemonTest, HandleLineMapsServiceErrorsToErrorJson) {
