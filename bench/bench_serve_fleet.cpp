@@ -1,0 +1,398 @@
+/// \file bench_serve_fleet.cpp
+/// Closed-loop load benchmark for the sharded serving fleet
+/// (`fleet::Router` over N worker daemons — DESIGN.md §15).
+///
+/// The fleet is hosted in-process: each worker shard is its own
+/// `serve::ExtractionService` + `serve::Daemon` on a private Unix-domain
+/// socket (shared-nothing caches, one shared read-only `core::Vs2`), and
+/// the router adopts those endpoints. Clients are real socket clients —
+/// every request crosses the router hop, so the measured cost includes
+/// routing, not just the service.
+///
+/// Phases:
+///  * **scale-out** — for 1/2/4/8 workers, cold (caches empty, measured on
+///    first pass) and warm (corpus pre-routed, steady-state hits) regimes.
+///    The headline acceptance numbers: warm hit rate at 4 workers must
+///    match 1 worker (consistent hashing keeps each document's cache entry
+///    on one shard), and warm throughput should scale with workers on
+///    multi-core hosts.
+///  * **knee** — client ramp (1..16) against the 4-worker fleet, warm:
+///    where throughput flattens is the saturation knee.
+///  * **failover** — mid-run, one worker daemon of the 4-worker fleet is
+///    stopped cold. Every in-flight and subsequent request must still get
+///    exactly one response line (served, re-routed, or a clean
+///    kUnavailable) — a hung or half-dead connection counts as a lost
+///    request and fails the bench.
+///
+/// Machine-readable output, one line per measurement:
+///   fleet-json {"bench":"serve_fleet","phase":"scale","workers":4,...}
+/// `--fleet_json=FILE` additionally appends the same lines to FILE
+/// (the CI artifact BENCH_serve_fleet.json).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "doc/serialization.hpp"
+#include "fleet/net.hpp"
+#include "fleet/router.hpp"
+#include "harness.hpp"
+#include "obs/metrics.hpp"
+#include "serve/daemon.hpp"
+#include "serve/service.hpp"
+#include "util/strings.hpp"
+
+using namespace vs2;
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double Percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  double rank = p * static_cast<double>(sorted_ms.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted_ms[lo] * (1.0 - frac) + sorted_ms[hi] * frac;
+}
+
+FILE* g_json_file = nullptr;
+
+void EmitJson(const std::string& line) {
+  std::printf("fleet-json %s\n", line.c_str());
+  if (g_json_file) std::fprintf(g_json_file, "%s\n", line.c_str());
+}
+
+/// One in-process worker shard: shared-nothing service + daemon on its own
+/// Unix socket. The router adopts the endpoint.
+struct InProcessWorker {
+  InProcessWorker(const core::Vs2& vs2, const serve::ServiceOptions& options,
+                  const std::string& socket_path)
+      : service(vs2, options) {
+    serve::DaemonOptions daemon_options;
+    daemon_options.unix_socket_path = socket_path;
+    daemon = std::make_unique<serve::Daemon>(service, daemon_options);
+  }
+  serve::ExtractionService service;
+  std::unique_ptr<serve::Daemon> daemon;
+};
+
+struct Fleet {
+  std::vector<std::unique_ptr<InProcessWorker>> workers;
+  std::unique_ptr<fleet::Router> router;
+  fleet::Endpoint front;
+
+  ~Fleet() {
+    if (router) router->Stop();
+    for (auto& w : workers) {
+      if (w->daemon) w->daemon->Stop();
+      w->service.Drain();
+    }
+  }
+};
+
+std::unique_ptr<Fleet> StartFleet(const core::Vs2& vs2, size_t shards,
+                                  size_t jobs_per_worker,
+                                  size_t cache_entries) {
+  auto fleet_ptr = std::make_unique<Fleet>();
+  std::vector<fleet::WorkerSpec> specs;
+  for (size_t w = 0; w < shards; ++w) {
+    serve::ServiceOptions options;
+    options.jobs = jobs_per_worker;
+    options.queue_capacity = 1024;
+    options.cache_entries = cache_entries;
+    std::string socket = util::Format("/tmp/vs2_bench_fleet.%d.%zu.sock",
+                                      ::getpid(), w);
+    fleet_ptr->workers.push_back(
+        std::make_unique<InProcessWorker>(vs2, options, socket));
+    Status started = fleet_ptr->workers.back()->daemon->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "worker %zu: %s\n", w,
+                   started.ToString().c_str());
+      return nullptr;
+    }
+    fleet::WorkerSpec spec;
+    spec.endpoint.unix_socket_path = socket;  // adopted: no spawn_argv
+    specs.push_back(std::move(spec));
+  }
+  fleet::RouterOptions options;
+  options.unix_socket_path =
+      util::Format("/tmp/vs2_bench_fleet.%d.router.sock", ::getpid());
+  options.health_interval_sec = 0.1;
+  fleet_ptr->router =
+      std::make_unique<fleet::Router>(std::move(specs), options);
+  Status started = fleet_ptr->router->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "router: %s\n", started.ToString().c_str());
+    return nullptr;
+  }
+  fleet_ptr->front.unix_socket_path = options.unix_socket_path;
+  return fleet_ptr;
+}
+
+struct LevelResult {
+  size_t clients = 0;
+  size_t completed = 0;
+  size_t rejected = 0;
+  size_t errors = 0;
+  size_t lost = 0;  ///< no response line at all — must stay 0
+  double seconds = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  double hit_rate = 0.0;  ///< summed across shards over the level
+};
+
+/// Sums the shard-local cache counters (service-side truth, no scraping).
+void CacheCounters(const Fleet& fleet, uint64_t* hits, uint64_t* misses) {
+  *hits = 0;
+  *misses = 0;
+  for (const auto& w : fleet.workers) {
+    serve::ExtractionService::Stats stats = w->service.stats();
+    *hits += stats.cache_hits;
+    *misses += stats.cache_misses;
+  }
+}
+
+/// Closed loop through the router: `clients` socket connections, each
+/// sending `requests_per_client` document lines back-to-back.
+LevelResult RunLevel(const Fleet& fleet,
+                     const std::vector<std::string>& lines, size_t clients,
+                     size_t requests_per_client) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<size_t> rejected{0}, errors{0}, lost{0};
+
+  uint64_t hits_before, misses_before;
+  CacheCounters(fleet, &hits_before, &misses_before);
+  double start = NowSeconds();
+  {
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        latencies[c].reserve(requests_per_client);
+        fleet::LineConn conn(fleet::Dial(fleet.front, 60.0));
+        for (size_t k = 0; k < requests_per_client; ++k) {
+          const std::string& line =
+              lines[(c * requests_per_client + k) % lines.size()];
+          if (!conn.ok()) {
+            conn = fleet::LineConn(fleet::Dial(fleet.front, 60.0));
+          }
+          double t0 = NowSeconds();
+          std::string response;
+          if (!conn.ok() || !conn.SendLine(line) ||
+              !conn.RecvLine(&response)) {
+            lost.fetch_add(1);
+            conn.Close();
+            continue;
+          }
+          double ms = (NowSeconds() - t0) * 1e3;
+          if (response.rfind("{\"error\":\"Unavailable", 0) == 0) {
+            rejected.fetch_add(1);
+          } else if (response.rfind("{\"error\":", 0) == 0) {
+            errors.fetch_add(1);
+          } else {
+            latencies[c].push_back(ms);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  LevelResult result;
+  result.clients = clients;
+  result.seconds = NowSeconds() - start;
+  result.rejected = rejected.load();
+  result.errors = errors.load();
+  result.lost = lost.load();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+  result.completed = all.size();
+  result.p50 = Percentile(all, 0.50);
+  result.p95 = Percentile(all, 0.95);
+  result.p99 = Percentile(all, 0.99);
+
+  uint64_t hits_after, misses_after;
+  CacheCounters(fleet, &hits_after, &misses_after);
+  uint64_t hits = hits_after - hits_before;
+  uint64_t misses = misses_after - misses_before;
+  result.hit_rate =
+      hits + misses == 0
+          ? 0.0
+          : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  return result;
+}
+
+void Report(const std::string& phase, const std::string& regime,
+            size_t workers, const LevelResult& r) {
+  double throughput = r.seconds > 0.0
+                          ? static_cast<double>(r.completed) / r.seconds
+                          : 0.0;
+  std::printf(
+      "  %-5s workers=%zu clients=%-3zu  %8.1f docs/s  p50=%7.2fms  "
+      "p95=%7.2fms  p99=%7.2fms  hit_rate=%.2f  rejected=%zu  lost=%zu\n",
+      regime.c_str(), workers, r.clients, throughput, r.p50, r.p95, r.p99,
+      r.hit_rate, r.rejected, r.lost);
+  EmitJson(util::Format(
+      "{\"bench\":\"serve_fleet\",\"phase\":\"%s\",\"regime\":\"%s\","
+      "\"workers\":%zu,\"clients\":%zu,\"completed\":%zu,\"rejected\":%zu,"
+      "\"errors\":%zu,\"lost\":%zu,\"docs_per_sec\":%.2f,\"p50_ms\":%.3f,"
+      "\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"cache_hit_rate\":%.4f}",
+      phase.c_str(), regime.c_str(), workers, r.clients, r.completed,
+      r.rejected, r.errors, r.lost, throughput, r.p50, r.p95, r.p99,
+      r.hit_rate));
+}
+
+/// Routes the whole corpus once so every document is cached on its home
+/// shard. Returns false on any error line.
+bool Prefill(const Fleet& fleet, const std::vector<std::string>& lines) {
+  fleet::LineConn conn(fleet::Dial(fleet.front, 60.0));
+  for (const std::string& line : lines) {
+    std::string response;
+    if (!conn.ok() || !conn.SendLine(line) || !conn.RecvLine(&response) ||
+        response.rfind("{\"error\":", 0) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t jobs = bench::ParseJobsFlag(argc, argv);
+  if (jobs == 0) jobs = 1;
+  size_t requests_per_client = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      long v = std::atol(argv[i + 1]);
+      if (v > 0) requests_per_client = static_cast<size_t>(v);
+    } else if (std::strncmp(argv[i], "--fleet_json=", 13) == 0) {
+      g_json_file = std::fopen(argv[i] + 13, "w");
+      if (!g_json_file) {
+        std::fprintf(stderr, "cannot open %s\n", argv[i] + 13);
+        return 1;
+      }
+    }
+  }
+
+  bench::PrintBenchHeader("serve_fleet: sharded fleet throughput");
+
+  doc::Corpus corpus = bench::BenchCorpus(doc::DatasetId::kD2EventPosters);
+  size_t working_set = std::min<size_t>(corpus.documents.size(), 16);
+  std::vector<std::string> lines;
+  lines.reserve(working_set);
+  for (size_t i = 0; i < working_set; ++i) {
+    lines.push_back(doc::ToJson(corpus.documents[i]));
+  }
+
+  core::Vs2 vs2(doc::DatasetId::kD2EventPosters,
+                datasets::PretrainedEmbedding(),
+                core::DefaultConfigFor(doc::DatasetId::kD2EventPosters));
+
+  std::printf("jobs/worker=%zu  working_set=%zu docs  requests/client=%zu\n\n",
+              jobs, lines.size(), requests_per_client);
+
+  int exit_code = 0;
+
+  // ---- scale-out: 1/2/4/8 workers, cold then warm -----------------------
+  std::printf("scale-out (clients = 2 x workers):\n");
+  double warm_hit_rate_1 = -1.0, warm_hit_rate_4 = -1.0;
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    obs::Metrics::ResetValues();
+    auto fleet = StartFleet(vs2, workers, jobs, lines.size() * 2);
+    if (!fleet) return 1;
+    size_t clients = workers * 2;
+    LevelResult cold = RunLevel(*fleet, lines, clients, requests_per_client);
+    Report("scale", "cold", workers, cold);
+    if (!Prefill(*fleet, lines)) {
+      std::fprintf(stderr, "prefill failed at %zu workers\n", workers);
+      return 1;
+    }
+    LevelResult warm = RunLevel(*fleet, lines, clients, requests_per_client);
+    Report("scale", "warm", workers, warm);
+    if (workers == 1) warm_hit_rate_1 = warm.hit_rate;
+    if (workers == 4) warm_hit_rate_4 = warm.hit_rate;
+    if (cold.lost + warm.lost > 0) exit_code = 1;
+  }
+  if (warm_hit_rate_1 >= 0.0 && warm_hit_rate_4 >= 0.0) {
+    bool ok = warm_hit_rate_4 >= warm_hit_rate_1 - 0.05;
+    std::printf(
+        "\nwarm hit rate: 1 worker %.4f vs 4 workers %.4f -> %s (consistent "
+        "hashing keeps each document on one shard)\n",
+        warm_hit_rate_1, warm_hit_rate_4, ok ? "OK" : "FAIL");
+    if (!ok) exit_code = 1;
+  }
+  std::printf("\n");
+
+  // ---- saturation knee: client ramp on the 4-worker fleet, warm ---------
+  std::printf("saturation knee (4 workers, warm):\n");
+  {
+    obs::Metrics::ResetValues();
+    auto fleet = StartFleet(vs2, 4, jobs, lines.size() * 2);
+    if (!fleet) return 1;
+    if (!Prefill(*fleet, lines)) {
+      std::fprintf(stderr, "knee prefill failed\n");
+      return 1;
+    }
+    for (size_t clients : {1u, 2u, 4u, 8u, 16u}) {
+      LevelResult r = RunLevel(*fleet, lines, clients, requests_per_client);
+      Report("knee", "warm", 4, r);
+      if (r.lost > 0) exit_code = 1;
+    }
+  }
+  std::printf("\n");
+
+  // ---- failover: stop one worker mid-run; no request may be lost --------
+  std::printf("failover (4 workers, one stopped mid-run):\n");
+  {
+    obs::Metrics::ResetValues();
+    auto fleet = StartFleet(vs2, 4, jobs, lines.size() * 2);
+    if (!fleet) return 1;
+    if (!Prefill(*fleet, lines)) {
+      std::fprintf(stderr, "failover prefill failed\n");
+      return 1;
+    }
+    // Kill shard 2's daemon shortly into the run: connected clients see the
+    // router re-route or answer kUnavailable — never silence.
+    std::thread killer([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      fleet->workers[2]->daemon->Stop();
+    });
+    LevelResult r = RunLevel(*fleet, lines, 4, requests_per_client * 4);
+    killer.join();
+    Report("failover", "warm", 4, r);
+    fleet::Router::Stats stats = fleet->router->stats();
+    std::printf(
+        "  router: forwarded=%llu rerouted=%llu shed=%llu unavailable=%llu "
+        "markdowns=%llu\n",
+        static_cast<unsigned long long>(stats.forwarded),
+        static_cast<unsigned long long>(stats.rerouted),
+        static_cast<unsigned long long>(stats.shed_to_sibling),
+        static_cast<unsigned long long>(stats.unavailable),
+        static_cast<unsigned long long>(stats.markdowns));
+    bool ok = r.lost == 0 &&
+              r.completed + r.rejected + r.errors ==
+                  4 * requests_per_client * 4;
+    std::printf("  no lost requests -> %s\n", ok ? "OK" : "FAIL");
+    if (!ok) exit_code = 1;
+  }
+
+  if (g_json_file) std::fclose(g_json_file);
+  return exit_code;
+}

@@ -11,7 +11,9 @@
 ///   vs2_serve_client --port 7070 --demo --trace-id $(openssl rand -hex 16)
 ///
 /// `--cmd NAME` sends the admin line `{"cmd":"NAME"}` (stats, health,
-/// slow — DESIGN.md §14) instead of a document. `--trace-id HEX` attaches
+/// slow — DESIGN.md §14) instead of a document; `--cmd-json LINE` sends a
+/// verbatim admin line for commands that take extra fields (the fleet
+/// router's `{"cmd":"restart","shard":"1"}`). `--trace-id HEX` attaches
 /// a 32-hex-digit trace id to each document request, opting the response
 /// into the trace/stage-breakdown echo.
 ///
@@ -110,6 +112,7 @@ int main(int argc, char** argv) {
   int port = -1;
   bool demo = false;
   std::string cmd;
+  std::string cmd_json;
   std::string trace_id;
   std::vector<const char*> paths;
   for (int i = 1; i < argc; ++i) {
@@ -121,6 +124,10 @@ int main(int argc, char** argv) {
       port = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--cmd") == 0 && i + 1 < argc) {
       cmd = argv[++i];
+    } else if (std::strcmp(argv[i], "--cmd-json") == 0 && i + 1 < argc) {
+      // Verbatim admin line — for commands with extra fields, e.g. the
+      // fleet router's {"cmd":"restart","shard":"1"}.
+      cmd_json = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-id") == 0 && i + 1 < argc) {
       trace_id = argv[++i];
     } else if (std::strcmp(argv[i], "--demo") == 0) {
@@ -128,8 +135,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::fprintf(stderr,
                    "usage: vs2_serve_client (--unix PATH | --port N "
-                   "[--host H]) [--demo] [--cmd NAME] [--trace-id HEX] "
-                   "[file.json...]\n");
+                   "[--host H]) [--demo] [--cmd NAME] [--cmd-json LINE] "
+                   "[--trace-id HEX] [file.json...]\n");
       return 0;
     } else {
       paths.push_back(argv[i]);
@@ -143,7 +150,9 @@ int main(int argc, char** argv) {
   // One request line per input document (file, generated demo, or stdin) —
   // or a single admin command line.
   std::vector<std::string> requests;
-  if (!cmd.empty()) {
+  if (!cmd_json.empty()) {
+    requests.push_back(cmd_json);
+  } else if (!cmd.empty()) {
     requests.push_back("{\"cmd\":\"" + cmd + "\"}");
   } else if (demo) {
     datasets::GeneratorConfig gc;
@@ -172,7 +181,7 @@ int main(int argc, char** argv) {
     requests.push_back(util::ReplaceAll(buffer.str(), "\n", " "));
   }
 
-  if (!trace_id.empty() && cmd.empty()) {
+  if (!trace_id.empty() && cmd.empty() && cmd_json.empty()) {
     // Documents are non-empty JSON objects: slot the envelope field right
     // after the opening brace.
     for (std::string& request : requests) {

@@ -1,10 +1,13 @@
 /// \file vs2_top.cpp
-/// Terminal dashboard for a running `vs2_serve` daemon — the operator
-/// console of the telemetry plane (DESIGN.md §14). Polls the admin wire
-/// commands (`stats`, `health`, `slow`) over one persistent connection and
-/// repaints a top(1)-style frame: throughput, cache hit rate, queue depth,
-/// rolling 10s/1m/5m latency percentiles for `serve.extract`, and the
-/// slowest recent requests with their per-stage breakdowns.
+/// Terminal dashboard for a running `vs2_serve` daemon or `vs2_fleet`
+/// router — the operator console of the telemetry plane (DESIGN.md §14,
+/// §15). Polls the admin wire commands (`stats`, `health`, `slow`) over
+/// one persistent connection and repaints a top(1)-style frame: for a
+/// single daemon, throughput, cache hit rate, queue depth, rolling
+/// 10s/1m/5m latency percentiles for `serve.extract` and the slowest
+/// recent requests; for a fleet router (detected by the `"fleet"` stats
+/// envelope), the router counters, fleet totals and a per-shard table
+/// with state, queue, hit rate and latency percentiles.
 ///
 /// Usage:
 ///   vs2_top (--unix PATH | --port N [--host H]) [--interval MS] [--once]
@@ -243,6 +246,81 @@ void PrintFrame(const string& stats, const string& health, const string& slow,
   if (shown == 0) std::printf("  (none recorded)\n");
 }
 
+/// Renders the fleet router's merged stats (`{"fleet":...,"shards":[...]}`
+/// from `fleet::Router::MergedStatsJson`) as a per-shard table. Percentiles
+/// stay per-shard — they cannot be merged across histograms — while the
+/// counter totals fold.
+void PrintFleetFrame(const string& stats, const string& health,
+                     const string& slow, const string& endpoint) {
+  string fleet = Object(stats, "fleet");
+  std::printf(
+      "vs2_top — fleet %s    uptime %.1fs    shards %.0f/%.0f live    "
+      "connections %.0f    [%s]\n",
+      endpoint.c_str(), Number(fleet, "uptime_sec"), Number(fleet, "live"),
+      Number(fleet, "shards"), Number(fleet, "connections"),
+      RawValue(health, "status").rfind("\"ok\"", 0) == 0 ? "accepting"
+                                                         : "DOWN");
+  string router = Object(fleet, "router");
+  std::printf(
+      "router: forwarded %.0f  rerouted %.0f  shed %.0f  unavailable %.0f  "
+      "markdowns %.0f  restarts %.0f\n",
+      Number(router, "forwarded"), Number(router, "rerouted"),
+      Number(router, "shed_to_sibling"), Number(router, "unavailable"),
+      Number(router, "markdowns"), Number(router, "restarts"));
+  string totals = Object(fleet, "totals");
+  std::printf(
+      "fleet:  %.1f req/s (10s)  hit rate %.2f  queue %.0f  in-flight %.0f  "
+      "completed %.0f  rejected %.0f\n\n",
+      Number(totals, "req_per_sec_10s"), Number(totals, "hit_rate"),
+      Number(totals, "queue_depth"), Number(totals, "in_flight"),
+      Number(totals, "completed"), Number(totals, "rejected"));
+
+  std::printf(
+      "  shard  state        queue  infl  req/s   hit    p50ms    p95ms    "
+      "p99ms  endpoint\n");
+  size_t at = stats.find("\"shards\":[");
+  int shown = 0;
+  while (at != string::npos) {
+    size_t entry_at = stats.find("{\"shard\":", at);
+    if (entry_at == string::npos) break;
+    string state = RawValue(stats, "state", entry_at);
+    size_t state_end = state.find('"', 1);
+    state = state_end == string::npos ? "?" : state.substr(1, state_end - 1);
+    string shard_endpoint = RawValue(stats, "endpoint", entry_at);
+    size_t ep_end = shard_endpoint.find('"', 1);
+    shard_endpoint = ep_end == string::npos
+                         ? "?"
+                         : shard_endpoint.substr(1, ep_end - 1);
+    std::printf(
+        "  %5.0f  %-11s %6.0f %5.0f %6.1f  %4.2f %8.2f %8.2f %8.2f  %s\n",
+        Number(stats, "shard", entry_at), state.c_str(),
+        Number(stats, "queue_depth", entry_at),
+        Number(stats, "in_flight", entry_at),
+        Number(stats, "req_per_sec_10s", entry_at),
+        Number(stats, "hit_rate", entry_at),
+        Number(stats, "p50_ms", entry_at), Number(stats, "p95_ms", entry_at),
+        Number(stats, "p99_ms", entry_at), shard_endpoint.c_str());
+    ++shown;
+    at = entry_at + 1;
+  }
+  if (shown == 0) std::printf("  (no shards reported)\n");
+
+  std::printf("\nslowest requests (all shards):\n");
+  size_t slow_at = 0;
+  int slow_shown = 0;
+  while (slow_shown < 5) {
+    size_t entry_at = slow.find("{\"trace_id\":", slow_at);
+    if (entry_at == string::npos) break;
+    string trace = RawValue(slow, "trace_id", entry_at);
+    trace = trace.size() > 1 ? trace.substr(1, 12) : "?";
+    std::printf("  %s…  %8.2f ms\n", trace.c_str(),
+                Number(slow, "total_ms", entry_at));
+    ++slow_shown;
+    slow_at = entry_at + 1;
+  }
+  if (slow_shown == 0) std::printf("  (none recorded)\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -299,7 +377,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (!once) std::printf("\x1b[H\x1b[2J");  // home + clear
-    PrintFrame(stats, health, slow, endpoint);
+    // A fleet router's merged stats announce themselves with a "fleet"
+    // envelope; a single daemon gets the classic frame.
+    if (stats.rfind("{\"fleet\":", 0) == 0) {
+      PrintFleetFrame(stats, health, slow, endpoint);
+    } else {
+      PrintFrame(stats, health, slow, endpoint);
+    }
     std::fflush(stdout);
     if (once) break;
     ::usleep(interval_ms * 1000);

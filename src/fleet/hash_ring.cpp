@@ -1,0 +1,84 @@
+#include "fleet/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace vs2::fleet {
+namespace {
+
+/// splitmix64-style finalizer over the FNV point hash. FNV-1a alone is
+/// weak on short, similar inputs ("shard:0#1" vs "shard:0#2" differ in one
+/// byte); the finalizer spreads those over the whole 64-bit ring so
+/// virtual nodes interleave instead of clustering.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+HashRing::HashRing(size_t shard_count, HashRingOptions options)
+    : up_(shard_count, 1), live_(shard_count) {
+  size_t vnodes = options.virtual_nodes == 0 ? 1 : options.virtual_nodes;
+  points_.reserve(shard_count * vnodes);
+  for (size_t shard = 0; shard < shard_count; ++shard) {
+    for (size_t replica = 0; replica < vnodes; ++replica) {
+      uint64_t h = Mix64(
+          util::Fnv1a64(util::Format("shard:%zu#%zu", shard, replica)));
+      points_.push_back(Point{h, static_cast<uint32_t>(shard)});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.position != b.position ? a.position < b.position
+                                              : a.shard < b.shard;
+            });
+}
+
+void HashRing::SetUp(size_t shard, bool up) {
+  if (shard >= up_.size() || (up_[shard] != 0) == up) return;
+  up_[shard] = up ? 1 : 0;
+  live_ += up ? 1 : static_cast<size_t>(-1);
+}
+
+size_t HashRing::FirstPointAt(uint64_t key) const {
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const Point& p, uint64_t k) { return p.position < k; });
+  size_t at = static_cast<size_t>(it - points_.begin());
+  return at == points_.size() ? 0 : at;  // wrap past the highest point
+}
+
+size_t HashRing::NextLive(size_t at, size_t exclude) const {
+  for (size_t step = 0; step < points_.size(); ++step) {
+    const Point& p = points_[(at + step) % points_.size()];
+    if (p.shard != exclude && up_[p.shard] != 0) return p.shard;
+  }
+  return kNone;
+}
+
+size_t HashRing::ShardFor(uint64_t key) const {
+  if (points_.empty() || live_ == 0) return kNone;
+  return NextLive(FirstPointAt(key), kNone);
+}
+
+size_t HashRing::SiblingFor(uint64_t key) const {
+  if (points_.empty() || live_ == 0) return kNone;
+  size_t primary = ShardFor(key);
+  if (live_ <= 1) return primary;  // the only live shard is its own sibling
+  size_t sibling = NextLive(FirstPointAt(key), primary);
+  return sibling == kNone ? primary : sibling;
+}
+
+size_t HashRing::HomeFor(uint64_t key) const {
+  if (points_.empty()) return kNone;
+  return points_[FirstPointAt(key)].shard;
+}
+
+}  // namespace vs2::fleet

@@ -1,0 +1,87 @@
+#ifndef VS2_FLEET_HASH_RING_HPP_
+#define VS2_FLEET_HASH_RING_HPP_
+
+/// \file hash_ring.hpp
+/// Consistent-hash ring with virtual nodes: the fleet's shard-placement
+/// function. Each shard owns `virtual_nodes` pseudo-random points on a
+/// 64-bit ring; a key (the document's `serve::ContentAddress`) belongs to
+/// the first live shard point at or clockwise after it. The two fleet
+/// invariants this buys (DESIGN.md §15):
+///
+///  * **Warmth survives scale-out.** A document's cache entry lives on
+///    exactly one shard, so a warm fleet of N workers hits its caches at
+///    the same rate as one big worker — keys never fan out.
+///  * **Minimal disruption.** Marking one shard down moves only the keys
+///    that shard owned (~1/N of the space) to their clockwise successors;
+///    every other key keeps its placement, so a single failure never cold-
+///    starts the whole fleet. Marking it back up restores the exact
+///    original placement (point positions depend only on shard index and
+///    replica, never on membership history).
+///
+/// Placement is deterministic across processes and runs — router restarts
+/// do not reshuffle a warm fleet.
+///
+/// Plain data structure, not thread-safe: the router serializes access
+/// under its own lock.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vs2::fleet {
+
+struct HashRingOptions {
+  /// Ring points per shard. More points smooth the key distribution
+  /// (imbalance shrinks like 1/sqrt(virtual_nodes * shards)) at the cost
+  /// of a larger sorted point table; 64 keeps worst-shard load within a
+  /// few percent of fair for small fleets.
+  size_t virtual_nodes = 64;
+};
+
+/// \brief Fixed-membership ring over shards `0..shard_count-1` with
+/// per-shard up/down health state.
+class HashRing {
+ public:
+  /// Sentinel returned when no live shard can serve a key.
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  explicit HashRing(size_t shard_count, HashRingOptions options = {});
+
+  size_t shard_count() const { return up_.size(); }
+  size_t live_count() const { return live_; }
+  bool up(size_t shard) const { return up_[shard] != 0; }
+  void SetUp(size_t shard, bool up);
+
+  /// Primary owner of `key`: the first *live* shard clockwise from the
+  /// key's ring position. `kNone` when every shard is down.
+  size_t ShardFor(uint64_t key) const;
+
+  /// The shed-to-sibling target: the next live shard clockwise after the
+  /// primary's owning run, distinct from the primary. Equals `ShardFor`
+  /// when it is the only live shard.
+  size_t SiblingFor(uint64_t key) const;
+
+  /// Owner of `key` ignoring health — the placement the key returns to
+  /// when every shard is up. Used by tests and audits.
+  size_t HomeFor(uint64_t key) const;
+
+ private:
+  struct Point {
+    uint64_t position;
+    uint32_t shard;
+  };
+
+  /// Index into `points_` of the first point at or clockwise after `key`.
+  size_t FirstPointAt(uint64_t key) const;
+  /// Walks clockwise from point index `at` to the first live shard,
+  /// skipping shards in `exclude` (kNone = exclude nothing).
+  size_t NextLive(size_t at, size_t exclude) const;
+
+  std::vector<Point> points_;  ///< sorted by position
+  std::vector<char> up_;
+  size_t live_ = 0;
+};
+
+}  // namespace vs2::fleet
+
+#endif  // VS2_FLEET_HASH_RING_HPP_

@@ -1,0 +1,120 @@
+#include "fleet/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+namespace vs2::fleet {
+
+std::string Endpoint::ToString() const {
+  if (!unix_socket_path.empty()) return "unix:" + unix_socket_path;
+  return host + ":" + std::to_string(port);
+}
+
+int Dial(const Endpoint& endpoint, double timeout_sec) {
+  int fd = -1;
+  if (!endpoint.unix_socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.unix_socket_path.size() >= sizeof(addr.sun_path)) {
+      errno = ENAMETOOLONG;
+      return -1;
+    }
+    std::strncpy(addr.sun_path, endpoint.unix_socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(endpoint.port));
+    if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  if (timeout_sec > 0.0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_sec);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (timeout_sec - std::floor(timeout_sec)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  return fd;
+}
+
+LineConn& LineConn::operator=(LineConn&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+    other.buffer_.clear();
+  }
+  return *this;
+}
+
+bool LineConn::SendLine(const std::string& line) {
+  if (fd_ < 0) return false;
+  std::string framed = line + "\n";
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EPIPE / timeout / reset: worker is gone
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool LineConn::RecvLine(std::string* line) {
+  if (fd_ < 0) return false;
+  while (true) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line->assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;  // EOF, timeout (EAGAIN) or error
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void LineConn::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool AdminRoundTrip(const Endpoint& endpoint, const std::string& cmd,
+                    double timeout_sec, std::string* response) {
+  LineConn conn(Dial(endpoint, timeout_sec));
+  return conn.ok() && conn.SendLine("{\"cmd\":\"" + cmd + "\"}") &&
+         conn.RecvLine(response);
+}
+
+}  // namespace vs2::fleet

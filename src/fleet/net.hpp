@@ -1,0 +1,71 @@
+#ifndef VS2_FLEET_NET_HPP_
+#define VS2_FLEET_NET_HPP_
+
+/// \file net.hpp
+/// Client-side plumbing for the fleet: dialing a worker endpoint and
+/// speaking the newline-JSON wire protocol over the resulting descriptor.
+/// The router's data path, its health prober, the worker lifecycle layer,
+/// `bench_serve_fleet` and the fleet tests all go through these helpers so
+/// timeout and framing behaviour is identical everywhere.
+
+#include <string>
+
+namespace vs2::fleet {
+
+/// Where a worker daemon listens: exactly one of Unix-domain or TCP,
+/// mirroring `serve::LineServerOptions`.
+struct Endpoint {
+  std::string unix_socket_path;  ///< non-empty = Unix-domain
+  std::string host = "127.0.0.1";
+  int port = 0;
+
+  std::string ToString() const;
+};
+
+/// Connects to `endpoint`. When `timeout_sec > 0` the socket's receive and
+/// send timeouts are set to it, so a later `RecvLine` against a hung (not
+/// dead) worker fails instead of blocking forever — the "never a hung
+/// connection" guarantee of the router's failover path. Returns the fd, or
+/// -1 with errno set.
+int Dial(const Endpoint& endpoint, double timeout_sec);
+
+/// \brief Buffered line-oriented client over one connected descriptor.
+///
+/// Move-only; owns and closes the fd. Not thread-safe — each router
+/// connection thread keeps its own set.
+class LineConn {
+ public:
+  LineConn() = default;
+  explicit LineConn(int fd) : fd_(fd) {}
+  ~LineConn() { Close(); }
+
+  LineConn(LineConn&& other) noexcept { *this = std::move(other); }
+  LineConn& operator=(LineConn&& other) noexcept;
+  LineConn(const LineConn&) = delete;
+  LineConn& operator=(const LineConn&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+
+  /// Writes `line` plus a newline. False on any transport error.
+  bool SendLine(const std::string& line);
+
+  /// Reads up to the next newline (consumed, not included). False on EOF,
+  /// timeout or error — the caller treats all three as a dead worker.
+  bool RecvLine(std::string* line);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// One request/response round trip on a fresh connection: dial, send
+/// `{"cmd":"<cmd>"}`, read one line. False when the endpoint is
+/// unreachable or does not answer within `timeout_sec`.
+bool AdminRoundTrip(const Endpoint& endpoint, const std::string& cmd,
+                    double timeout_sec, std::string* response);
+
+}  // namespace vs2::fleet
+
+#endif  // VS2_FLEET_NET_HPP_

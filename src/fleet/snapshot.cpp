@@ -1,0 +1,80 @@
+#include "fleet/snapshot.hpp"
+
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace vs2::fleet {
+
+double JsonNumber(const std::string& json, const std::string& key,
+                  size_t from) {
+  std::string needle = "\"" + key + "\":";
+  size_t at = json.find(needle, from);
+  if (at == std::string::npos) return 0.0;
+  return std::atof(json.c_str() + at + needle.size());
+}
+
+std::string JsonObject(const std::string& json, const std::string& key,
+                       size_t from) {
+  std::string needle = "\"" + key + "\":{";
+  size_t at = json.find(needle, from);
+  if (at == std::string::npos) return "";
+  size_t start = at + needle.size() - 1;
+  int depth = 0;
+  for (size_t i = start; i < json.size(); ++i) {
+    if (json[i] == '{') ++depth;
+    if (json[i] == '}' && --depth == 0) {
+      return json.substr(start, i - start + 1);
+    }
+  }
+  return "";
+}
+
+ShardSnapshot ParseShardSnapshot(const std::string& health_json,
+                                 const std::string& stats_json) {
+  ShardSnapshot snapshot;
+  if (health_json.find("\"status\":") == std::string::npos) return snapshot;
+  snapshot.reachable = true;
+  snapshot.accepting =
+      health_json.find("\"accepting\":true") != std::string::npos;
+  snapshot.queue_depth = JsonNumber(health_json, "queue_depth");
+  snapshot.queue_capacity = JsonNumber(health_json, "queue_capacity");
+  snapshot.in_flight = JsonNumber(health_json, "in_flight");
+  snapshot.completed = JsonNumber(health_json, "completed");
+  snapshot.rejected = JsonNumber(health_json, "rejected");
+  snapshot.cache_hits = JsonNumber(health_json, "cache_hits");
+  snapshot.cache_misses = JsonNumber(health_json, "cache_misses");
+  snapshot.cache_size = JsonNumber(health_json, "cache_size");
+  snapshot.uptime_sec = JsonNumber(health_json, "uptime_sec");
+
+  if (!stats_json.empty()) {
+    std::string histograms = JsonObject(stats_json, "histograms");
+    std::string latency = JsonObject(histograms, "serve.request_latency_ms");
+    snapshot.p50_ms = JsonNumber(latency, "p50");
+    snapshot.p95_ms = JsonNumber(latency, "p95");
+    snapshot.p99_ms = JsonNumber(latency, "p99");
+    std::string windowed = JsonObject(stats_json, "windowed_histograms");
+    std::string extract = JsonObject(windowed, "serve.extract");
+    snapshot.rate_10s = JsonNumber(JsonObject(extract, "10s"), "rate_per_sec");
+  }
+  return snapshot;
+}
+
+std::string ShardSnapshotJson(size_t shard, const std::string& endpoint,
+                              const std::string& state,
+                              const ShardSnapshot& s) {
+  return util::Format(
+      "{\"shard\":%zu,\"endpoint\":\"%s\",\"state\":\"%s\","
+      "\"reachable\":%s,\"queue_depth\":%g,\"queue_capacity\":%g,"
+      "\"in_flight\":%g,\"completed\":%g,\"rejected\":%g,"
+      "\"cache_hits\":%g,\"cache_misses\":%g,\"cache_size\":%g,"
+      "\"hit_rate\":%.4f,\"req_per_sec_10s\":%g,\"p50_ms\":%g,"
+      "\"p95_ms\":%g,\"p99_ms\":%g,\"uptime_sec\":%g}",
+      shard, endpoint.c_str(), state.c_str(),
+      s.reachable ? "true" : "false", s.queue_depth, s.queue_capacity,
+      s.in_flight, s.completed, s.rejected, s.cache_hits, s.cache_misses,
+      s.cache_size, s.hit_rate(), s.rate_10s, s.p50_ms, s.p95_ms, s.p99_ms,
+      s.uptime_sec);
+}
+
+}  // namespace vs2::fleet

@@ -1,0 +1,121 @@
+#include "fleet/worker.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/strings.hpp"
+
+namespace vs2::fleet {
+namespace {
+
+double SteadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Non-blocking reap; true when the child has exited (or never existed).
+bool TryReap(pid_t pid) {
+  return ::waitpid(pid, nullptr, WNOHANG) == pid;
+}
+
+}  // namespace
+
+WorkerHandle::~WorkerHandle() {
+  if (spawned() && pid_ > 0) Terminate(/*grace_sec=*/2.0);
+}
+
+Status WorkerHandle::Launch() {
+  if (!spawned()) return Status::OK();
+  if (pid_ > 0 && ::kill(pid_, 0) == 0) {
+    return Status::AlreadyExists(util::Format(
+        "worker %s already running as pid %d",
+        spec_.endpoint.ToString().c_str(), static_cast<int>(pid_)));
+  }
+  // exec needs a mutable char* array; keep the strings alive across fork.
+  std::vector<char*> argv;
+  argv.reserve(spec_.spawn_argv.size() + 1);
+  for (std::string& arg : spec_.spawn_argv) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    return Status::Unavailable(std::string("fork() failed: ") +
+                               std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: only async-signal-safe calls between fork and exec (the
+    // parent may be multi-threaded during a restart).
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+  pid_ = pid;
+  return Status::OK();
+}
+
+Status WorkerHandle::Terminate(double grace_sec) {
+  if (!spawned()) {
+    return Status::InvalidArgument("adopted worker " +
+                                   spec_.endpoint.ToString() +
+                                   " is managed externally");
+  }
+  if (pid_ <= 0) return Status::OK();
+  ::kill(pid_, SIGTERM);
+  double deadline = SteadySeconds() + grace_sec;
+  while (SteadySeconds() < deadline) {
+    if (TryReap(pid_)) {
+      pid_ = -1;
+      return Status::OK();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ::kill(pid_, SIGKILL);
+  ::waitpid(pid_, nullptr, 0);
+  pid_ = -1;
+  return Status::OK();
+}
+
+Status WorkerHandle::Kill() {
+  if (!spawned()) {
+    return Status::InvalidArgument("adopted worker " +
+                                   spec_.endpoint.ToString() +
+                                   " is managed externally");
+  }
+  if (pid_ <= 0) return Status::OK();
+  ::kill(pid_, SIGKILL);
+  ::waitpid(pid_, nullptr, 0);
+  pid_ = -1;
+  return Status::OK();
+}
+
+Status WorkerHandle::Admin(const std::string& cmd, double timeout_sec,
+                           std::string* response) const {
+  if (!AdminRoundTrip(spec_.endpoint, cmd, timeout_sec, response)) {
+    return Status::Unavailable("worker " + spec_.endpoint.ToString() +
+                               " did not answer {\"cmd\":\"" + cmd + "\"}");
+  }
+  return Status::OK();
+}
+
+Status WorkerHandle::WaitHealthy(double deadline_sec) const {
+  double deadline = SteadySeconds() + deadline_sec;
+  std::string health;
+  do {
+    if (Admin("health", /*timeout_sec=*/1.0, &health).ok() &&
+        health.find("\"status\":\"ok\"") != std::string::npos) {
+      return Status::OK();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  } while (SteadySeconds() < deadline);
+  return Status::Unavailable(util::Format(
+      "worker %s not healthy after %.1fs",
+      spec_.endpoint.ToString().c_str(), deadline_sec));
+}
+
+}  // namespace vs2::fleet

@@ -1,0 +1,83 @@
+#ifndef VS2_FLEET_WORKER_HPP_
+#define VS2_FLEET_WORKER_HPP_
+
+/// \file worker.hpp
+/// Worker lifecycle for the fleet: one `WorkerHandle` per shard, owning
+/// either a **spawned** worker process (fork/exec of `vs2_serve`, SIGTERM
+/// for draining shutdown — the daemon's signal handler drains in-flight
+/// work before exiting) or an **adopted** endpoint (a daemon somebody else
+/// manages — another process, or an in-process `serve::Daemon` in tests
+/// and `bench_serve_fleet`). The router treats both uniformly; only
+/// spawned workers support `Terminate`/`Launch` cycles (draining
+/// restarts).
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+#include "fleet/net.hpp"
+#include "util/status.hpp"
+
+namespace vs2::fleet {
+
+/// One shard's worker: where it listens, and (when `spawn_argv` is
+/// non-empty) how to start it.
+struct WorkerSpec {
+  Endpoint endpoint;
+  /// argv[0..] of the worker process. Empty = adopt: the endpoint is
+  /// managed externally and lifecycle calls are no-ops/errors.
+  std::vector<std::string> spawn_argv;
+};
+
+/// \brief Lifecycle + admin-wire handle for one worker.
+///
+/// Thread-compatible: the router serializes lifecycle calls per shard;
+/// `Admin` is safe from any thread (each call dials its own connection).
+class WorkerHandle {
+ public:
+  explicit WorkerHandle(WorkerSpec spec) : spec_(std::move(spec)) {}
+  /// Terminates a still-running spawned worker (SIGTERM, short grace,
+  /// SIGKILL) so a dying router never leaks processes.
+  ~WorkerHandle();
+
+  WorkerHandle(const WorkerHandle&) = delete;
+  WorkerHandle& operator=(const WorkerHandle&) = delete;
+
+  const Endpoint& endpoint() const { return spec_.endpoint; }
+  bool spawned() const { return !spec_.spawn_argv.empty(); }
+  /// Live child pid, or -1 (adopted, or not running).
+  pid_t pid() const { return pid_; }
+
+  /// Forks and execs `spawn_argv`. No-op `OK` for adopted workers. Fails
+  /// with `kAlreadyExists` when the previous child is still running.
+  Status Launch();
+
+  /// Draining stop of a spawned worker: SIGTERM (the daemon drains and
+  /// exits), then SIGKILL after `grace_sec`. Reaps the child either way.
+  /// No-op `OK` when nothing is running; `kInvalidArgument` for adopted
+  /// workers.
+  Status Terminate(double grace_sec);
+
+  /// Immediate SIGKILL + reap — the crash-injection path used by tests
+  /// and the fleet-smoke CI job. Same restrictions as `Terminate`.
+  Status Kill();
+
+  /// One `{"cmd":"<cmd>"}` round trip against the worker's admin wire on a
+  /// fresh connection. `kUnavailable` when unreachable or timed out.
+  Status Admin(const std::string& cmd, double timeout_sec,
+               std::string* response) const;
+
+  /// Polls `{"cmd":"health"}` until the worker answers `"status":"ok"` or
+  /// `deadline_sec` elapses. Covers the worker's startup cost (pattern
+  /// learning takes seconds), not just socket liveness.
+  Status WaitHealthy(double deadline_sec) const;
+
+ private:
+  WorkerSpec spec_;
+  pid_t pid_ = -1;
+};
+
+}  // namespace vs2::fleet
+
+#endif  // VS2_FLEET_WORKER_HPP_

@@ -1,0 +1,21 @@
+#include "serve/content_address.hpp"
+
+#include "doc/serialization.hpp"
+#include "util/rng.hpp"
+
+namespace vs2::serve {
+
+uint64_t ContentAddress(const doc::Document& document) {
+  std::string canonical;
+  return ContentAddressInto(document, &canonical);
+}
+
+uint64_t ContentAddressInto(const doc::Document& document,
+                            std::string* canonical) {
+  size_t start = canonical->size();
+  doc::AppendJson(document, canonical);
+  return util::Fnv1a64(
+      std::string_view(*canonical).substr(start));
+}
+
+}  // namespace vs2::serve

@@ -1,0 +1,42 @@
+#ifndef VS2_SERVE_CONTENT_ADDRESS_HPP_
+#define VS2_SERVE_CONTENT_ADDRESS_HPP_
+
+/// \file content_address.hpp
+/// The serving stack's content address: the FNV-1a64 hash of a document's
+/// canonical JSON (`doc::ToJson` byte-for-byte). One definition shared by
+/// every layer that must agree on it:
+///
+///  * `ResultCache` keys entries by it (collision-checked against the
+///    canonical string, see cache.hpp);
+///  * the fleet `Router` consistent-hashes it over worker shards, so a
+///    document's cache entry lives on exactly one shard (DESIGN.md §15).
+///
+/// Router and cache computing the address through this helper — never each
+/// with their own serialization — is what makes shard-local cache warmth
+/// sound: the hash the router routes on is provably the hash the worker's
+/// cache looks up. The D1–D3 values are pinned by tests/serve_test.cpp;
+/// changing `doc::ToJson` output or the hash function shifts every shard
+/// assignment and invalidates every warm cache, so it must show up as a
+/// pinned-test diff, not as a silent drift.
+
+#include <cstdint>
+#include <string>
+
+#include "doc/document.hpp"
+
+namespace vs2::serve {
+
+/// Content address of `document`: `util::Fnv1a64(doc::ToJson(document))`.
+uint64_t ContentAddress(const doc::Document& document);
+
+/// As `ContentAddress`, but also appends the canonical JSON to `*canonical`
+/// (not cleared first — callers reusing a scratch buffer clear it
+/// themselves). The cache needs the canonical bytes to reject 64-bit hash
+/// collisions; computing hash and bytes in one pass avoids serializing the
+/// document twice on the hot path.
+uint64_t ContentAddressInto(const doc::Document& document,
+                            std::string* canonical);
+
+}  // namespace vs2::serve
+
+#endif  // VS2_SERVE_CONTENT_ADDRESS_HPP_

@@ -1,98 +1,15 @@
 #include "serve/daemon.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <chrono>
-#include <csignal>
-#include <cstring>
 
 #include "doc/serialization.hpp"
-#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slowlog.hpp"
+#include "serve/wire.hpp"
 #include "util/strings.hpp"
 
 namespace vs2::serve {
 namespace {
-
-/// Outcome of scanning a request line for a top-level field.
-enum class FieldScan { kAbsent, kString, kNonString };
-
-/// Consumes the JSON string whose opening quote is at `(*i)`, leaving `*i`
-/// one past the closing quote. Escapes are passed through with only the
-/// backslash dropped — enough to skip strings faithfully; full unescaping
-/// belongs to `doc::FromJson`.
-bool ScanString(const std::string& s, size_t* i, std::string* out) {
-  out->clear();
-  for (++*i; *i < s.size(); ++*i) {
-    char c = s[*i];
-    if (c == '\\') {
-      if (*i + 1 >= s.size()) return false;
-      out->push_back(s[++*i]);
-      continue;
-    }
-    if (c == '"') {
-      ++*i;
-      return true;
-    }
-    out->push_back(c);
-  }
-  return false;
-}
-
-/// Minimal envelope scanner: finds a top-level `"key":"value"` pair in a
-/// one-line JSON object without parsing the whole document. Tracks nesting
-/// depth so keys inside `"elements"` etc. cannot spoof the envelope.
-/// Documents never carry the envelope keys (`cmd`, `trace_id`), admin
-/// lines never carry document keys — this scanner is how the daemon tells
-/// them apart before paying for a full parse.
-FieldScan FindTopLevelField(const std::string& line, const std::string& key,
-                            std::string* value) {
-  size_t i = 0;
-  const size_t n = line.size();
-  auto skip_ws = [&] {
-    while (i < n && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) {
-      ++i;
-    }
-  };
-  skip_ws();
-  if (i >= n || line[i] != '{') return FieldScan::kAbsent;
-  ++i;
-  int depth = 1;
-  std::string token;
-  while (i < n && depth > 0) {
-    char c = line[i];
-    if (c == '"') {
-      bool at_top = depth == 1;
-      if (!ScanString(line, &i, &token)) return FieldScan::kAbsent;
-      skip_ws();
-      if (at_top && i < n && line[i] == ':') {
-        ++i;
-        skip_ws();
-        bool match = token == key;
-        if (i < n && line[i] == '"') {
-          if (!ScanString(line, &i, &token)) return FieldScan::kAbsent;
-          if (match) {
-            *value = token;
-            return FieldScan::kString;
-          }
-        } else if (match) {
-          return FieldScan::kNonString;
-        }
-      }
-      continue;  // ScanString already advanced past the string
-    }
-    if (c == '{' || c == '[') ++depth;
-    if (c == '}' || c == ']') --depth;
-    ++i;
-  }
-  return FieldScan::kAbsent;
-}
 
 /// `%g` rendering for wire milliseconds, matching the metrics snapshot.
 std::string Ms(double v) { return util::Format("%g", v); }
@@ -110,38 +27,6 @@ std::string StagesJson(const std::vector<obs::StageRecorder::Stage>& stages) {
   return out;
 }
 
-/// send(2) until the whole buffer is out (or the peer is gone).
-///
-/// MSG_NOSIGNAL is load-bearing: a peer that resets mid-response would
-/// otherwise raise SIGPIPE on the write and kill the whole daemon. With it,
-/// a broken pipe surfaces as EPIPE/ECONNRESET — the clean client-gone path
-/// (`false`), exactly like a read-side EOF.
-bool WriteAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;  // EPIPE/ECONNRESET/...: client hung up, not an error
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-/// Belt-and-braces next to MSG_NOSIGNAL: ignore SIGPIPE process-wide once,
-/// covering any stray descriptor write outside `WriteAll`. Installed lazily
-/// on first daemon start so merely linking serve/ never alters signal
-/// disposition.
-void IgnoreSigpipeOnce() {
-  static const bool installed = [] {
-    std::signal(SIGPIPE, SIG_IGN);
-    return true;
-  }();
-  (void)installed;
-}
-
 double SteadySeconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -151,102 +36,29 @@ double SteadySeconds() {
 }  // namespace
 
 Daemon::Daemon(ExtractionService& service, DaemonOptions options)
-    : service_(service), options_(std::move(options)) {}
+    : LineServer(std::move(options)), service_(service) {}
 
-Daemon::~Daemon() { Stop(); }
+std::unique_ptr<LineServer::ConnectionHandler> Daemon::NewConnection() {
+  // The daemon's per-line handling is stateless across lines; every
+  // connection shares the service through the daemon itself.
+  class Handler : public ConnectionHandler {
+   public:
+    explicit Handler(Daemon* daemon) : daemon_(daemon) {}
+    std::string HandleLine(const std::string& line) override {
+      return daemon_->HandleLine(line);
+    }
 
-Status Daemon::Start() {
-  if (running_.load()) return Status::AlreadyExists("daemon already started");
-  IgnoreSigpipeOnce();
-
-  if (!options_.unix_socket_path.empty()) {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (options_.unix_socket_path.size() >= sizeof(addr.sun_path)) {
-      return Status::InvalidArgument("unix socket path too long: " +
-                                     options_.unix_socket_path);
-    }
-    std::strncpy(addr.sun_path, options_.unix_socket_path.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) return Status::Unavailable("socket() failed");
-    ::unlink(options_.unix_socket_path.c_str());  // replace a stale socket
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-               sizeof(addr)) != 0) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      return Status::Unavailable("cannot bind " + options_.unix_socket_path +
-                                 ": " + std::strerror(errno));
-    }
-  } else {
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) return Status::Unavailable("socket() failed");
-    int reuse = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-               sizeof(addr)) != 0) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      return Status::Unavailable(
-          std::string("cannot bind 127.0.0.1: ") + std::strerror(errno));
-    }
-    sockaddr_in bound{};
-    socklen_t len = sizeof(bound);
-    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                      &len) == 0) {
-      port_ = ntohs(bound.sin_port);
-    }
-  }
-
-  if (::listen(listen_fd_, options_.backlog) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Unavailable(std::string("listen() failed: ") +
-                               std::strerror(errno));
-  }
-  running_.store(true);
-  started_at_sec_ = SteadySeconds();
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  return Status::OK();
+   private:
+    Daemon* daemon_;
+  };
+  return std::make_unique<Handler>(this);
 }
 
-void Daemon::ReapFinished() {
-  std::lock_guard<std::mutex> lock(clients_mu_);
-  for (auto it = clients_.begin(); it != clients_.end();) {
-    if ((*it)->done.load()) {
-      (*it)->thread.join();
-      ::close((*it)->fd);
-      it = clients_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-void Daemon::AcceptLoop() {
-  while (running_.load()) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener shut down (Stop) or fatal error
-    }
-    ReapFinished();
-    connections_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(clients_mu_);
-    if (!running_.load()) {
-      ::close(fd);
-      break;
-    }
-    auto connection = std::make_unique<Connection>();
-    Connection* raw = connection.get();
-    raw->fd = fd;
-    clients_.push_back(std::move(connection));
-    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
-  }
+std::string Daemon::OversizedLineResponse(size_t max_line_bytes) {
+  return doc::ErrorToJson(
+      "<request>",
+      Status::InvalidArgument(util::Format(
+          "request line exceeds %zu bytes without newline", max_line_bytes)));
 }
 
 std::string Daemon::HandleLine(const std::string& line) {
@@ -272,16 +84,22 @@ std::string Daemon::HandleAdmin(const std::string& cmd) {
   }
   if (cmd == "health") {
     ExtractionService::Stats stats = service_.stats();
+    // The cache fields are service-local (not the process-wide obs
+    // counters): the fleet router reads per-shard hit rates from here, and
+    // in-process multi-worker tests must see each shard's own cache.
     return util::Format(
         "{\"status\":\"%s\",\"accepting\":%s,\"queue_depth\":%zu,"
         "\"in_flight\":%zu,\"queue_capacity\":%zu,\"jobs\":%zu,"
-        "\"completed\":%llu,\"rejected\":%llu,\"uptime_sec\":%s,"
+        "\"completed\":%llu,\"rejected\":%llu,\"cache_hits\":%llu,"
+        "\"cache_misses\":%llu,\"cache_size\":%zu,\"uptime_sec\":%s,"
         "\"connections\":%llu}",
         stats.accepting ? "ok" : "draining", stats.accepting ? "true" : "false",
         stats.queue_depth, stats.in_flight, service_.options().queue_capacity,
         service_.jobs(), static_cast<unsigned long long>(stats.completed),
         static_cast<unsigned long long>(stats.rejected),
-        Ms(SteadySeconds() - started_at_sec_).c_str(),
+        static_cast<unsigned long long>(stats.cache_hits),
+        static_cast<unsigned long long>(stats.cache_misses), stats.cache_size,
+        Ms(SteadySeconds() - started_at_sec()).c_str(),
         static_cast<unsigned long long>(connections_served()));
   }
   if (cmd == "slow") {
@@ -344,81 +162,6 @@ std::string Daemon::HandleDocument(const std::string& line) {
                       Ms(telemetry.total_ms).c_str(),
                       StagesJson(telemetry.stages).c_str()) +
          payload.substr(1);
-}
-
-void Daemon::ServeConnection(Connection* connection) {
-  const int fd = connection->fd;
-  std::string buffer;
-  std::string line, response;  // reused across request lines
-  char chunk[4096];
-  bool open = true;
-  while (open) {
-    ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF or shutdown
-    buffer.append(chunk, static_cast<size_t>(n));
-    size_t start = 0;
-    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
-         nl = buffer.find('\n', start)) {
-      line.assign(buffer, start, nl - start);
-      start = nl + 1;
-      if (line.empty()) continue;  // tolerate blank keep-alive lines
-      response = HandleLine(line);
-      response.push_back('\n');
-      if (!WriteAll(fd, response)) {
-        open = false;
-        break;
-      }
-    }
-    buffer.erase(0, start);
-    // Unbounded-buffer guard: a peer that never sends '\n' must not grow
-    // the receive buffer forever. Answer with an error line and hang up
-    // actively — the fd itself is still closed by the reaper, but the
-    // shutdown tells the peer (blocked in read) that the conversation is
-    // over now rather than at the next reap.
-    if (buffer.size() > options_.max_line_bytes) {
-      WriteAll(fd, doc::ErrorToJson(
-                       "<request>",
-                       Status::InvalidArgument(util::Format(
-                           "request line exceeds %zu bytes without newline",
-                           options_.max_line_bytes))) +
-                       "\n");
-      ::shutdown(fd, SHUT_RDWR);
-      break;
-    }
-  }
-  // The fd is closed by whoever reaps this record, never here — so Stop's
-  // shutdown() cannot race a close and hit a recycled descriptor.
-  connection->done.store(true);
-}
-
-void Daemon::Stop() {
-  bool was_running = running_.exchange(false);
-  if (listen_fd_ >= 0) {
-    // shutdown() wakes the blocked accept(); the fd is closed after the
-    // accept thread has joined, so it cannot be recycled under the loop.
-    ::shutdown(listen_fd_, SHUT_RDWR);
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  std::vector<std::unique_ptr<Connection>> clients;
-  {
-    std::lock_guard<std::mutex> lock(clients_mu_);
-    clients.swap(clients_);
-  }
-  for (auto& connection : clients) {
-    ::shutdown(connection->fd, SHUT_RDWR);  // unblocks read()
-  }
-  for (auto& connection : clients) {
-    if (connection->thread.joinable()) connection->thread.join();
-    ::close(connection->fd);
-  }
-  if (was_running && !options_.unix_socket_path.empty()) {
-    ::unlink(options_.unix_socket_path.c_str());
-  }
 }
 
 }  // namespace vs2::serve

@@ -21,7 +21,7 @@
 /// Admin lines carry a top-level `"cmd"` instead of a document:
 ///
 ///   {"cmd":"stats"}   -> the obs::Metrics snapshot (rolling windows incl.)
-///   {"cmd":"health"}  -> accepting/queue/in-flight/uptime summary
+///   {"cmd":"health"}  -> accepting/queue/in-flight/cache/uptime summary
 ///   {"cmd":"slow"}    -> K slowest recent requests with stage breakdowns
 ///
 /// Unknown `cmd` values are rejected with a structured error line, never
@@ -31,39 +31,23 @@
 /// is served by its own thread; concurrency, backpressure, deadlines and
 /// caching all live in the wrapped `ExtractionService` — an overloaded
 /// service turns into `{"error":"Unavailable: ..."}` lines, not into
-/// unbounded daemon-side buffering. `vs2_serve` (examples/) is the CLI
-/// host; `tests/serve_test.cpp` drives a loopback round-trip.
+/// unbounded daemon-side buffering. The socket mechanics (accept loop,
+/// framing, oversized-line guard, shutdown) are inherited from
+/// `LineServer`, the same base the fleet `Router` builds on (DESIGN.md
+/// §15). `vs2_serve` (examples/) is the CLI host; `tests/serve_test.cpp`
+/// drives a loopback round-trip.
 
-#include <atomic>
-#include <cstdint>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
+#include "serve/line_server.hpp"
 #include "serve/service.hpp"
 #include "util/status.hpp"
 
 namespace vs2::serve {
 
-/// Listener configuration: exactly one of Unix-domain or TCP.
-struct DaemonOptions {
-  /// When non-empty: listen on this Unix-domain socket path (an existing
-  /// stale socket file is replaced).
-  std::string unix_socket_path;
-  /// When `unix_socket_path` is empty: listen on 127.0.0.1:`tcp_port`.
-  /// 0 asks the kernel for an ephemeral port (read it back via `port()`).
-  int tcp_port = 0;
-  /// listen(2) backlog.
-  int backlog = 64;
-  /// Hard cap on one request line. A client that streams bytes without ever
-  /// sending '\n' gets an error response and its connection closed once the
-  /// pending line exceeds this, instead of growing the daemon's receive
-  /// buffer without bound. 8 MiB comfortably fits a maximum-size document
-  /// (kMaxElementsPerDocument elements with long texts).
-  size_t max_line_bytes = 8u << 20;
-};
+/// Listener configuration (see `LineServerOptions` for the fields:
+/// Unix-path/TCP-port, accept backlog, `SO_REUSEADDR`, max line bytes).
+using DaemonOptions = LineServerOptions;
 
 /// \brief Accept-loop + per-connection line protocol around a service.
 ///
@@ -71,63 +55,25 @@ struct DaemonOptions {
 /// shuts the listener and every open connection down and joins all
 /// threads. The wrapped service is *not* drained by `Stop` — the host
 /// decides when to `Drain()` (see `vs2_serve`'s shutdown sequence).
-class Daemon {
+class Daemon : public LineServer {
  public:
   Daemon(ExtractionService& service, DaemonOptions options);
-  ~Daemon();
-
-  Daemon(const Daemon&) = delete;
-  Daemon& operator=(const Daemon&) = delete;
-
-  /// Binds, listens and starts accepting. Fails with `kUnavailable` when
-  /// the address cannot be bound, `kInvalidArgument` on a bad config.
-  Status Start();
-
-  /// Stops accepting, disconnects clients mid-line, joins every thread.
-  /// Idempotent.
-  void Stop();
-
-  /// Resolved TCP port after `Start` (0 for Unix-domain listeners).
-  int port() const { return port_; }
-
-  /// Connections accepted over the daemon's lifetime.
-  uint64_t connections_served() const {
-    return connections_.load(std::memory_order_relaxed);
-  }
 
   /// One request line in, one response line out (no trailing newline).
-  /// Exposed for tests; `ServeConnection` calls this per received line.
+  /// Exposed for tests; connection handlers call this per received line.
   std::string HandleLine(const std::string& line);
 
- private:
-  /// One live client connection. The fd stays open until the record is
-  /// reaped (accept loop) or torn down (`Stop`), so a `shutdown()` from
-  /// `Stop` can never hit a recycled descriptor.
-  struct Connection {
-    int fd = -1;
-    std::atomic<bool> done{false};
-    std::thread thread;
-  };
+ protected:
+  std::unique_ptr<ConnectionHandler> NewConnection() override;
+  std::string OversizedLineResponse(size_t max_line_bytes) override;
 
-  void AcceptLoop();
-  void ServeConnection(Connection* connection);
-  /// Joins and closes finished connections (accept-loop housekeeping).
-  void ReapFinished();
+ private:
   /// Dispatches one `{"cmd":...}` admin line.
   std::string HandleAdmin(const std::string& cmd);
   /// Runs one document request line (optionally under a wire trace id).
   std::string HandleDocument(const std::string& line);
 
   ExtractionService& service_;
-  DaemonOptions options_;
-  int listen_fd_ = -1;
-  int port_ = 0;
-  double started_at_sec_ = 0.0;  ///< monotonic, set by Start()
-  std::atomic<bool> running_{false};
-  std::atomic<uint64_t> connections_{0};
-  std::thread accept_thread_;
-  std::mutex clients_mu_;
-  std::vector<std::unique_ptr<Connection>> clients_;
 };
 
 }  // namespace vs2::serve

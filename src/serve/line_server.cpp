@@ -1,0 +1,230 @@
+#include "serve/line_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+namespace vs2::serve {
+namespace {
+
+/// send(2) until the whole buffer is out (or the peer is gone).
+///
+/// MSG_NOSIGNAL is load-bearing: a peer that resets mid-response would
+/// otherwise raise SIGPIPE on the write and kill the whole server. With it,
+/// a broken pipe surfaces as EPIPE/ECONNRESET — the clean client-gone path
+/// (`false`), exactly like a read-side EOF.
+bool WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EPIPE/ECONNRESET/...: client hung up, not an error
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Belt-and-braces next to MSG_NOSIGNAL: ignore SIGPIPE process-wide once,
+/// covering any stray descriptor write outside `WriteAll`. Installed lazily
+/// on first server start so merely linking serve/ never alters signal
+/// disposition.
+void IgnoreSigpipeOnce() {
+  static const bool installed = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)installed;
+}
+
+double SteadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+LineServer::LineServer(LineServerOptions options)
+    : options_(std::move(options)) {}
+
+LineServer::~LineServer() { Stop(); }
+
+Status LineServer::Start() {
+  if (running_.load()) return Status::AlreadyExists("server already started");
+  IgnoreSigpipeOnce();
+
+  if (!options_.unix_socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " +
+                                     options_.unix_socket_path);
+    }
+    std::strncpy(addr.sun_path, options_.unix_socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Status::Unavailable("socket() failed");
+    ::unlink(options_.unix_socket_path.c_str());  // replace a stale socket
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::Unavailable("cannot bind " + options_.unix_socket_path +
+                                 ": " + std::strerror(errno));
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Status::Unavailable("socket() failed");
+    if (options_.reuse_addr) {
+      int reuse = 1;
+      ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse,
+                   sizeof(reuse));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::Unavailable(
+          std::string("cannot bind 127.0.0.1: ") + std::strerror(errno));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      port_ = ntohs(bound.sin_port);
+    }
+  }
+
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable(std::string("listen() failed: ") +
+                               std::strerror(errno));
+  }
+  running_.store(true);
+  started_at_sec_ = SteadySeconds();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void LineServer::ReapFinished() {
+  std::lock_guard<std::mutex> lock(clients_mu_);
+  for (auto it = clients_.begin(); it != clients_.end();) {
+    if ((*it)->done.load()) {
+      (*it)->thread.join();
+      ::close((*it)->fd);
+      it = clients_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LineServer::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (Stop) or fatal error
+    }
+    ReapFinished();
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    auto connection = std::make_unique<Connection>();
+    Connection* raw = connection.get();
+    raw->fd = fd;
+    clients_.push_back(std::move(connection));
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+  }
+}
+
+void LineServer::ServeConnection(Connection* connection) {
+  const int fd = connection->fd;
+  std::unique_ptr<ConnectionHandler> handler = NewConnection();
+  std::string buffer;
+  std::string line, response;  // reused across request lines
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or shutdown
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      line.assign(buffer, start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;  // tolerate blank keep-alive lines
+      response = handler->HandleLine(line);
+      response.push_back('\n');
+      if (!WriteAll(fd, response)) {
+        open = false;
+        break;
+      }
+    }
+    buffer.erase(0, start);
+    // Unbounded-buffer guard: a peer that never sends '\n' must not grow
+    // the receive buffer forever. Answer with an error line and hang up
+    // actively — the fd itself is still closed by the reaper, but the
+    // shutdown tells the peer (blocked in read) that the conversation is
+    // over now rather than at the next reap.
+    if (buffer.size() > options_.max_line_bytes) {
+      WriteAll(fd, OversizedLineResponse(options_.max_line_bytes) + "\n");
+      ::shutdown(fd, SHUT_RDWR);
+      break;
+    }
+  }
+  // The fd is closed by whoever reaps this record, never here — so Stop's
+  // shutdown() cannot race a close and hit a recycled descriptor.
+  connection->done.store(true);
+}
+
+void LineServer::Stop() {
+  bool was_running = running_.exchange(false);
+  if (listen_fd_ >= 0) {
+    // shutdown() wakes the blocked accept(); the fd is closed after the
+    // accept thread has joined, so it cannot be recycled under the loop.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::unique_ptr<Connection>> clients;
+  {
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    clients.swap(clients_);
+  }
+  for (auto& connection : clients) {
+    ::shutdown(connection->fd, SHUT_RDWR);  // unblocks read()
+  }
+  for (auto& connection : clients) {
+    if (connection->thread.joinable()) connection->thread.join();
+    ::close(connection->fd);
+  }
+  if (was_running && !options_.unix_socket_path.empty()) {
+    ::unlink(options_.unix_socket_path.c_str());
+  }
+}
+
+}  // namespace vs2::serve

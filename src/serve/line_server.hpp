@@ -1,0 +1,140 @@
+#ifndef VS2_SERVE_LINE_SERVER_HPP_
+#define VS2_SERVE_LINE_SERVER_HPP_
+
+/// \file line_server.hpp
+/// Reusable newline-delimited-JSON socket server: the accept loop,
+/// per-connection threads, line framing, oversized-line guard and shutdown
+/// sequencing shared by `serve::Daemon` (one worker process) and
+/// `fleet::Router` (the fleet front door). Subclasses supply only the
+/// per-line behaviour via a `ConnectionHandler`; everything about POSIX
+/// sockets — Unix-domain vs loopback TCP, `SO_REUSEADDR`, `listen`
+/// backlog, SIGPIPE hygiene, reap-don't-race fd lifetime — lives here
+/// exactly once.
+///
+/// Protocol contract (shared by every subclass): one request line in, one
+/// response line out, responses on a connection in request order. A peer
+/// that streams bytes without a newline past `max_line_bytes` gets an
+/// error line and a shutdown instead of growing the receive buffer without
+/// bound.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace vs2::serve {
+
+/// Listener configuration: exactly one of Unix-domain or TCP.
+struct LineServerOptions {
+  /// When non-empty: listen on this Unix-domain socket path (an existing
+  /// stale socket file is replaced).
+  std::string unix_socket_path;
+  /// When `unix_socket_path` is empty: listen on 127.0.0.1:`tcp_port`.
+  /// 0 asks the kernel for an ephemeral port (read it back via `port()`).
+  int tcp_port = 0;
+  /// listen(2) backlog. Restart-heavy fleet orchestration reconnects many
+  /// clients at once against a freshly respawned worker; raise this when
+  /// accept bursts outrun the accept loop.
+  int backlog = 64;
+  /// `SO_REUSEADDR` on the TCP listener. Without it a restarted server
+  /// cannot rebind its own port while old connections sit in TIME_WAIT —
+  /// which is every draining-restart in a fleet. On by default; exposed so
+  /// tests can pin the failure mode.
+  bool reuse_addr = true;
+  /// Hard cap on one request line. A client that streams bytes without ever
+  /// sending '\n' gets an error response and its connection closed once the
+  /// pending line exceeds this, instead of growing the server's receive
+  /// buffer without bound. 8 MiB comfortably fits a maximum-size document
+  /// (kMaxElementsPerDocument elements with long texts).
+  size_t max_line_bytes = 8u << 20;
+};
+
+/// \brief Accept-loop + per-connection line protocol; subclasses define
+/// what a line means.
+///
+/// `Start` binds and spawns the accept thread; `Stop` (or the destructor)
+/// shuts the listener and every open connection down and joins all
+/// threads. Whatever the lines drive (a wrapped service, upstream workers)
+/// is *not* torn down by `Stop` — the host sequences that.
+class LineServer {
+ public:
+  virtual ~LineServer();
+
+  LineServer(const LineServer&) = delete;
+  LineServer& operator=(const LineServer&) = delete;
+
+  /// Binds, listens and starts accepting. Fails with `kUnavailable` when
+  /// the address cannot be bound, `kInvalidArgument` on a bad config.
+  /// Virtual so composite servers (the fleet router) can sequence worker
+  /// startup around the listener.
+  virtual Status Start();
+
+  /// Stops accepting, disconnects clients mid-line, joins every thread.
+  /// Idempotent.
+  virtual void Stop();
+
+  /// Resolved TCP port after `Start` (0 for Unix-domain listeners).
+  int port() const { return port_; }
+
+  /// Connections accepted over the server's lifetime.
+  uint64_t connections_served() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  explicit LineServer(LineServerOptions options);
+
+  /// Per-connection request handler. One instance serves one connection's
+  /// lines from one thread, so implementations hold per-connection state
+  /// (e.g. the router's upstream sockets) without locking.
+  class ConnectionHandler {
+   public:
+    virtual ~ConnectionHandler() = default;
+    /// One request line in (no newline), one response line out (no
+    /// trailing newline).
+    virtual std::string HandleLine(const std::string& line) = 0;
+  };
+
+  /// Called on the connection's own thread right after accept.
+  virtual std::unique_ptr<ConnectionHandler> NewConnection() = 0;
+
+  /// Renders the oversized-line error response (subclass wire format).
+  virtual std::string OversizedLineResponse(size_t max_line_bytes) = 0;
+
+  double started_at_sec() const { return started_at_sec_; }
+  const LineServerOptions& line_options() const { return options_; }
+
+ private:
+  /// One live client connection. The fd stays open until the record is
+  /// reaped (accept loop) or torn down (`Stop`), so a `shutdown()` from
+  /// `Stop` can never hit a recycled descriptor.
+  struct Connection {
+    int fd = -1;
+    std::atomic<bool> done{false};
+    std::thread thread;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* connection);
+  /// Joins and closes finished connections (accept-loop housekeeping).
+  void ReapFinished();
+
+  LineServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  double started_at_sec_ = 0.0;  ///< monotonic, set by Start()
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> connections_{0};
+  std::thread accept_thread_;
+  std::mutex clients_mu_;
+  std::vector<std::unique_ptr<Connection>> clients_;
+};
+
+}  // namespace vs2::serve
+
+#endif  // VS2_SERVE_LINE_SERVER_HPP_

@@ -9,7 +9,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "util/rng.hpp"
+#include "serve/content_address.hpp"
 #include "util/strings.hpp"
 
 namespace vs2::serve {
@@ -201,8 +201,10 @@ ExtractionService::Response ExtractionService::RunAdmitted(
   uint64_t hash = 0;
   if (use_cache) {
     obs::Span span("serve.cache_lookup", &instruments.cache_lookup);
-    doc::AppendJson(document, &canonical);
-    hash = util::Fnv1a64(canonical);
+    // The shared content address (content_address.hpp): the same hash the
+    // fleet router shards on, so a routed request lands on the shard that
+    // owns this cache entry.
+    hash = ContentAddressInto(document, &canonical);
     uint64_t evictions_before = cache_->evictions();
     if (ResultCache::Value hit = cache_->Get(hash, canonical, Now())) {
       instruments.cache_hits.Add();

@@ -1,0 +1,77 @@
+#include "serve/wire.hpp"
+
+namespace vs2::serve {
+namespace {
+
+/// Consumes the JSON string whose opening quote is at `(*i)`, leaving `*i`
+/// one past the closing quote. Escapes are passed through with only the
+/// backslash dropped — enough to skip strings faithfully; full unescaping
+/// belongs to `doc::FromJson`.
+bool ScanString(const std::string& s, size_t* i, std::string* out) {
+  out->clear();
+  for (++*i; *i < s.size(); ++*i) {
+    char c = s[*i];
+    if (c == '\\') {
+      if (*i + 1 >= s.size()) return false;
+      out->push_back(s[++*i]);
+      continue;
+    }
+    if (c == '"') {
+      ++*i;
+      return true;
+    }
+    out->push_back(c);
+  }
+  return false;
+}
+
+}  // namespace
+
+FieldScan FindTopLevelField(const std::string& line, const std::string& key,
+                            std::string* value) {
+  size_t i = 0;
+  const size_t n = line.size();
+  auto skip_ws = [&] {
+    while (i < n && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) {
+      ++i;
+    }
+  };
+  skip_ws();
+  if (i >= n || line[i] != '{') return FieldScan::kAbsent;
+  ++i;
+  int depth = 1;
+  std::string token;
+  while (i < n && depth > 0) {
+    char c = line[i];
+    if (c == '"') {
+      bool at_top = depth == 1;
+      if (!ScanString(line, &i, &token)) return FieldScan::kAbsent;
+      skip_ws();
+      if (at_top && i < n && line[i] == ':') {
+        ++i;
+        skip_ws();
+        bool match = token == key;
+        if (i < n && line[i] == '"') {
+          if (!ScanString(line, &i, &token)) return FieldScan::kAbsent;
+          if (match) {
+            *value = token;
+            return FieldScan::kString;
+          }
+        } else if (match) {
+          return FieldScan::kNonString;
+        }
+      }
+      continue;  // ScanString already advanced past the string
+    }
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ++i;
+  }
+  return FieldScan::kAbsent;
+}
+
+bool IsUnavailableResponse(const std::string& line) {
+  return line.rfind("{\"error\":\"Unavailable", 0) == 0;
+}
+
+}  // namespace vs2::serve

@@ -1,0 +1,36 @@
+#ifndef VS2_SERVE_WIRE_HPP_
+#define VS2_SERVE_WIRE_HPP_
+
+/// \file wire.hpp
+/// Envelope-level helpers for the newline-JSON wire protocol, shared by
+/// the worker daemon and the fleet router. The protocol multiplexes three
+/// line kinds on one connection — documents, `{"cmd":...}` admin lines,
+/// and documents carrying a `"trace_id"` echo opt-in — and both ends of
+/// the fleet must tell them apart *before* paying for a full document
+/// parse. Wire schema details: DESIGN.md §14 (telemetry) and §15 (fleet).
+
+#include <string>
+
+namespace vs2::serve {
+
+/// Outcome of scanning a request line for a top-level field.
+enum class FieldScan { kAbsent, kString, kNonString };
+
+/// Minimal envelope scanner: finds a top-level `"key":"value"` pair in a
+/// one-line JSON object without parsing the whole document. Tracks nesting
+/// depth so keys inside `"elements"` etc. cannot spoof the envelope.
+/// Documents never carry the envelope keys (`cmd`, `trace_id`, `shard`),
+/// admin lines never carry document keys — this scanner is how servers
+/// tell them apart before paying for a full parse.
+FieldScan FindTopLevelField(const std::string& line, const std::string& key,
+                            std::string* value);
+
+/// True when `line` is an `{"error":"Unavailable: ...` response — the
+/// wire spelling of `kUnavailable` (`doc::ErrorToJson`). The router's
+/// load-shedding tiers branch on this to tell an overloaded shard
+/// (shed-to-sibling) from a served request.
+bool IsUnavailableResponse(const std::string& line);
+
+}  // namespace vs2::serve
+
+#endif  // VS2_SERVE_WIRE_HPP_

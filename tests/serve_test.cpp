@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -28,6 +29,7 @@
 #include "doc/serialization.hpp"
 #include "obs/trace.hpp"
 #include "serve/cache.hpp"
+#include "serve/content_address.hpp"
 #include "serve/daemon.hpp"
 #include "serve/service.hpp"
 #include "util/rng.hpp"
@@ -902,6 +904,156 @@ TEST(DaemonTest, HandleLineMapsServiceErrorsToErrorJson) {
   std::string refused = daemon.HandleLine(doc::ToJson(corpus.documents[0]));
   EXPECT_NE(refused.find("\"error\":\"Unavailable"), std::string::npos)
       << refused;
+}
+
+// --------------------------------------------------------- ContentAddress --
+
+TEST(ContentAddressTest, MatchesCanonicalJsonHash) {
+  doc::Corpus corpus = SmallD2Corpus(2, 921);
+  for (const doc::Document& d : corpus.documents) {
+    std::string canonical;
+    uint64_t hash = serve::ContentAddressInto(d, &canonical);
+    EXPECT_EQ(canonical, doc::ToJson(d));
+    EXPECT_EQ(hash, util::Fnv1a64(canonical));
+    EXPECT_EQ(hash, serve::ContentAddress(d));
+  }
+}
+
+TEST(ContentAddressTest, AppendsWithoutClearing) {
+  doc::Corpus corpus = SmallD2Corpus(1, 922);
+  std::string buffer = "prefix";
+  uint64_t hash = serve::ContentAddressInto(corpus.documents[0], &buffer);
+  EXPECT_EQ(buffer.rfind("prefix", 0), 0u);
+  std::string canonical = buffer.substr(6);
+  EXPECT_EQ(canonical, doc::ToJson(corpus.documents[0]));
+  EXPECT_EQ(hash, util::Fnv1a64(canonical));
+}
+
+TEST(ContentAddressTest, PinnedHashesForDatasetFixtures) {
+  // The content address is a wire-visible contract: the fleet router's
+  // shard assignment and every worker's cache key both derive from it, so
+  // an accidental change to canonical serialization or the hash mix would
+  // silently invalidate caches fleet-wide. These values pin the D1-D3
+  // fixture hashes; update them only on a deliberate format change.
+  datasets::GeneratorConfig gc;
+  gc.num_documents = 1;
+  gc.seed = 4242;
+  const uint64_t kExpected[3] = {0xda50f718f25d3333ull,
+                                 0x70639fafbc9459faull,
+                                 0xbd2f2ed160421cd0ull};
+  doc::Corpus fixtures[3] = {datasets::GenerateD1(gc),
+                             datasets::GenerateD2(gc),
+                             datasets::GenerateD3(gc)};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(fixtures[i].documents.size(), 1u);
+    EXPECT_EQ(serve::ContentAddress(fixtures[i].documents[0]), kExpected[i])
+        << "D" << (i + 1) << " fixture content address drifted";
+  }
+}
+
+// ------------------------------------------------------- Drain semantics --
+
+TEST(ExtractionServiceTest, DrainIsIdempotent) {
+  const core::Vs2& vs2 = SharedPipeline();
+  doc::Corpus corpus = SmallD2Corpus(1, 923);
+
+  serve::ServiceOptions options;
+  options.jobs = 2;
+  serve::ExtractionService service(vs2, options);
+  ASSERT_TRUE(service.Extract(corpus.documents[0]).ok());
+
+  service.Drain();
+  serve::ExtractionService::Stats after_first = service.stats();
+  // Second and third drains are no-ops, not crashes or double-joins.
+  service.Drain();
+  service.Drain();
+  serve::ExtractionService::Stats after_third = service.stats();
+  EXPECT_EQ(after_first.completed, after_third.completed);
+  EXPECT_EQ(service.Extract(corpus.documents[0]).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(ExtractionServiceTest, ConcurrentDrainsJoinExactlyOnce) {
+  const core::Vs2& vs2 = SharedPipeline();
+  doc::Corpus corpus = SmallD2Corpus(2, 924);
+
+  WorkerGate gate;
+  serve::ServiceOptions options;
+  options.jobs = 2;
+  options.dequeue_hook = gate.hook();
+  serve::ExtractionService service(vs2, options);
+
+  // One request pinned in a worker, so the racing drains all have real
+  // in-flight work to wait out.
+  std::future<serve::ExtractionService::Response> pinned =
+      service.Submit(corpus.documents[0]);
+  gate.AwaitArrival();
+
+  std::vector<std::thread> drains;
+  for (int i = 0; i < 4; ++i) {
+    drains.emplace_back([&service] { service.Drain(); });
+  }
+  // The drains are now blocked on the pinned request; release it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.Release();
+  for (std::thread& t : drains) t.join();
+
+  EXPECT_TRUE(pinned.get().ok());
+  EXPECT_EQ(service.stats().queue_depth, 0u);
+  EXPECT_EQ(service.stats().in_flight, 0u);
+  EXPECT_EQ(service.Extract(corpus.documents[1]).status().code(),
+            StatusCode::kUnavailable);
+}
+
+// ------------------------------------------------- Daemon rebind / restart --
+
+TEST(DaemonTest, RestartedDaemonRebindsItsTcpPort) {
+  // Regression for the fleet's draining restarts: a respawned worker must
+  // rebind the port its predecessor just released (connections from the
+  // old incarnation sit in TIME_WAIT) — that is what SO_REUSEADDR is for.
+  const core::Vs2& vs2 = SharedPipeline();
+  doc::Corpus corpus = SmallD2Corpus(1, 925);
+
+  serve::ServiceOptions service_options;
+  service_options.jobs = 1;
+  serve::ExtractionService service(vs2, service_options);
+
+  serve::DaemonOptions daemon_options;
+  daemon_options.tcp_port = 0;  // ephemeral first bind
+  int port = 0;
+  {
+    serve::Daemon first(service, daemon_options);
+    ASSERT_TRUE(first.Start().ok());
+    port = first.port();
+    ASSERT_GT(port, 0);
+    // Leave a served connection behind: the daemon closes it during Stop,
+    // so the server side of the pair enters TIME_WAIT on this port.
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    first.Stop();
+    ::close(fd);
+  }
+
+  // Same fixed port, immediately after: must bind (reuse_addr default on).
+  daemon_options.tcp_port = port;
+  serve::Daemon second(service, daemon_options);
+  Status rebound = second.Start();
+  ASSERT_TRUE(rebound.ok()) << rebound;
+  EXPECT_EQ(second.port(), port);
+  second.Stop();
+
+  // And with reuse_addr explicitly on, a third bind also succeeds — the
+  // option is plumbed through DaemonOptions.
+  daemon_options.reuse_addr = true;
+  serve::Daemon third(service, daemon_options);
+  ASSERT_TRUE(third.Start().ok());
+  third.Stop();
 }
 
 }  // namespace
