@@ -6,6 +6,9 @@
 /// `--jobs N` appends a serial-vs-parallel `BatchEngine` throughput
 /// comparison (byte-identical output check + `batch-json` line).
 /// `--trace=FILE` / `--metrics=FILE` export observability data.
+/// `--triage=auto` routes every document through the pre-classifier
+/// (DESIGN.md §16) before the pipeline; D2 routes FULL, so the table is
+/// expected to be identical to the seed.
 
 #include <cstdio>
 
@@ -16,8 +19,12 @@ using namespace vs2;
 
 int main(int argc, char** argv) {
   size_t jobs = bench::ParseJobsFlag(argc, argv);
+  triage::TriageMode triage_mode = bench::ParseTriageFlag(argc, argv);
   bench::ObsFlags obs_flags = bench::ParseObsFlags(argc, argv);
   bench::PrintBenchHeader("Table 6: End-to-end evaluation of VS2 on D2");
+  if (triage_mode != triage::TriageMode::kOff) {
+    std::printf("triage: %s\n\n", triage::TriageModeName(triage_mode));
+  }
 
   const embed::Embedding& embedding = datasets::PretrainedEmbedding();
   ocr::OcrConfig ocr_config;
@@ -27,6 +34,7 @@ int main(int argc, char** argv) {
   core::PipelineConfig config =
       core::DefaultConfigFor(doc::DatasetId::kD2EventPosters);
   config.simulate_ocr = false;  // the corpus is already observed
+  config.triage.mode = triage_mode;
   core::Vs2 vs2(doc::DatasetId::kD2EventPosters, embedding, config);
 
   baselines::BaselineContext ctx{doc::DatasetId::kD2EventPosters, &embedding,

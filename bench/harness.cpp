@@ -70,8 +70,33 @@ doc::Corpus ObserveCorpus(const doc::Corpus& corpus,
   return observed;
 }
 
+namespace {
+
+/// Text-bearing leaf bboxes of a layout tree — the entity-location
+/// proposals shared by the A6 variants.
+std::vector<util::BBox> TextLeafBoxes(const doc::Document& observed,
+                                      const doc::LayoutTree& tree) {
+  std::vector<util::BBox> out;
+  for (size_t leaf : tree.Leaves()) {
+    // Only blocks carrying text are entity-location proposals;
+    // image-only leaves (logos, surviving smudges) are not.
+    bool has_text = false;
+    for (size_t e : tree.node(leaf).element_indices) {
+      if (observed.elements[e].is_text()) {
+        has_text = true;
+        break;
+      }
+    }
+    if (has_text) out.push_back(tree.node(leaf).bbox);
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<SegMethod> Table5Methods(const embed::Embedding& embedding,
-                                     const ocr::OcrConfig& ocr) {
+                                     const ocr::OcrConfig& ocr,
+                                     triage::TriageMode triage_mode) {
   (void)ocr;  // observation happens once in ObserveCorpus
   auto boxes_of = [](const std::vector<baselines::SegBlock>& blocks) {
     std::vector<util::BBox> out;
@@ -106,27 +131,39 @@ std::vector<SegMethod> Table5Methods(const embed::Embedding& embedding,
                                       -> Result<std::vector<util::BBox>> {
                        return boxes_of(baselines::SegmentTesseract(observed));
                      }});
-  methods.push_back(
-      {"VS2-Segment", [&embedding](const doc::Document& observed)
-                          -> Result<std::vector<util::BBox>> {
-         core::SegmenterConfig config;
-         VS2_ASSIGN_OR_RETURN(doc::LayoutTree tree,
-                              core::Segment(observed, embedding, config));
-         std::vector<util::BBox> out;
-         for (size_t leaf : tree.Leaves()) {
-           // Only blocks carrying text are entity-location proposals;
-           // image-only leaves (logos, surviving smudges) are not.
-           bool has_text = false;
-           for (size_t e : tree.node(leaf).element_indices) {
-             if (observed.elements[e].is_text()) {
-               has_text = true;
-               break;
-             }
+  if (triage_mode == triage::TriageMode::kOff) {
+    methods.push_back(
+        {"VS2-Segment", [&embedding](const doc::Document& observed)
+                            -> Result<std::vector<util::BBox>> {
+           core::SegmenterConfig config;
+           VS2_ASSIGN_OR_RETURN(doc::LayoutTree tree,
+                                core::Segment(observed, embedding, config));
+           return TextLeafBoxes(observed, tree);
+         }});
+  } else {
+    // Routed A6: classify, then segment on the decided lane.
+    triage::TriageConfig triage_config;
+    triage_config.mode = triage_mode;
+    methods.push_back(
+        {"VS2-Segment[triage]",
+         [&embedding, triage_config](const doc::Document& observed)
+             -> Result<std::vector<util::BBox>> {
+           triage::TriageDecision decision =
+               triage::Classify(observed, triage_config);
+           if (decision.lane == triage::Lane::kSkip) {
+             return std::vector<util::BBox>{};
            }
-           if (has_text) out.push_back(tree.node(leaf).bbox);
-         }
-         return out;
-       }});
+           if (decision.lane == triage::Lane::kFast) {
+             doc::LayoutTree tree =
+                 triage::XYCutLayoutTree(observed, triage_config.xycut);
+             return TextLeafBoxes(observed, tree);
+           }
+           core::SegmenterConfig config;
+           VS2_ASSIGN_OR_RETURN(doc::LayoutTree tree,
+                                core::Segment(observed, embedding, config));
+           return TextLeafBoxes(observed, tree);
+         }});
+  }
   return methods;
 }
 
@@ -199,6 +236,20 @@ size_t ParseJobsFlag(int argc, char** argv) {
     }
   }
   return 1;
+}
+
+triage::TriageMode ParseTriageFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--triage=", 9) == 0) {
+      triage::TriageMode mode;
+      if (triage::ParseTriageMode(argv[i] + 9, &mode)) return mode;
+      std::fprintf(stderr,
+                   "ignoring bad --triage value \"%s\" (expected auto, "
+                   "skip, fast, full or off)\n",
+                   argv[i] + 9);
+    }
+  }
+  return triage::TriageMode::kOff;
 }
 
 ObsFlags ParseObsFlags(int argc, char** argv) {

@@ -49,9 +49,13 @@ struct SegMethod {
   std::function<Result<std::vector<util::BBox>>(const doc::Document&)> run;
 };
 
-/// The six Table 5 contenders, in paper order (A1–A6).
-std::vector<SegMethod> Table5Methods(const embed::Embedding& embedding,
-                                     const ocr::OcrConfig& ocr);
+/// The six Table 5 contenders, in paper order (A1–A6). With a triage mode
+/// other than `kOff`, A6 becomes the routed segmenter: each document is
+/// classified first, FAST documents take the shared XY-cut splitter, SKIP
+/// documents propose nothing, FULL documents run VS2-Segment unchanged.
+std::vector<SegMethod> Table5Methods(
+    const embed::Embedding& embedding, const ocr::OcrConfig& ocr,
+    triage::TriageMode triage_mode = triage::TriageMode::kOff);
 
 /// Runs a segmentation method over a corpus; aggregates Sec 6.2 phase-1
 /// precision/recall. Returns false when NotApplicable for this corpus.
@@ -79,6 +83,11 @@ void PrintBenchHeader(const std::string& title);
 /// Parses a `--jobs N` argument (N >= 1). Returns 1 — the serial reference
 /// path — when the flag is absent or malformed; 0 is normalized to 1.
 size_t ParseJobsFlag(int argc, char** argv);
+
+/// Parses `--triage=auto|skip|fast|full|off` (DESIGN.md §16). Returns
+/// `kOff` — the seed-identical reference path — when the flag is absent;
+/// warns and returns `kOff` on an unknown value.
+triage::TriageMode ParseTriageFlag(int argc, char** argv);
 
 /// Observability export destinations parsed from the command line.
 struct ObsFlags {

@@ -6,8 +6,14 @@
 ///
 /// Usage:
 ///   vs2_extract [--dataset 1|2|3] [--no-ocr-noise] [--jobs N]
-///               [--trace=FILE] [--metrics=FILE] [file.json...]
+///               [--triage=auto|skip|fast|full] [--trace=FILE]
+///               [--metrics=FILE] [file.json...]
 ///   ... | vs2_extract --dataset 2
+///
+/// `--triage=auto` routes each document through the pre-classifier
+/// (DESIGN.md §16) before the pipeline; `skip`/`fast`/`full` force one lane
+/// for A/B runs. The chosen lane and the classifier features are printed to
+/// stderr per document.
 ///
 /// `--trace=FILE` records a Chrome trace-event JSON of the run (open in
 /// chrome://tracing or https://ui.perfetto.dev); `--metrics=FILE` dumps
@@ -73,12 +79,21 @@ int main(int argc, char** argv) {
   bool ocr_noise = true;
   bool demo = false;
   size_t jobs = 0;  // BatchEngine default: hardware concurrency
+  triage::TriageMode triage_mode = triage::TriageMode::kOff;
   std::string trace_path;
   std::string metrics_path;
   std::vector<const char*> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dataset") == 0 && i + 1 < argc) {
       dataset = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--triage=", 9) == 0) {
+      if (!triage::ParseTriageMode(argv[i] + 9, &triage_mode)) {
+        std::fprintf(stderr,
+                     "bad --triage value \"%s\": expected auto, skip, fast, "
+                     "full or off\n",
+                     argv[i] + 9);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       int v = std::atoi(argv[++i]);
       jobs = v > 0 ? static_cast<size_t>(v) : 0;
@@ -97,8 +112,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::fprintf(stderr,
                    "usage: vs2_extract [--dataset 1|2|3] [--no-ocr-noise] "
-                   "[--jobs N] [--trace=FILE] [--metrics=FILE] [--demo] "
-                   "[file.json...]\n");
+                   "[--jobs N] [--triage=auto|skip|fast|full] [--trace=FILE] "
+                   "[--metrics=FILE] [--demo] [file.json...]\n");
       return 0;
     } else {
       paths.push_back(argv[i]);
@@ -162,6 +177,7 @@ int main(int argc, char** argv) {
   const embed::Embedding& embedding = datasets::PretrainedEmbedding();
   core::PipelineConfig config = core::DefaultConfigFor(id);
   config.simulate_ocr = ocr_noise;
+  config.triage.mode = triage_mode;
   core::Vs2 vs2(id, embedding, config);
 
   core::BatchOptions options;
@@ -182,6 +198,14 @@ int main(int argc, char** argv) {
     if (!r.ok()) {
       VS2_LOG(WARN) << "document " << sources[doc_input[k]]
                     << " failed: " << r.status();
+    }
+    if (r.ok() && triage_mode != triage::TriageMode::kOff) {
+      // Lane + classifier features per document — the triage debugging view.
+      std::fprintf(stderr, "triage: %s lane=%s%s features=%s\n",
+                   sources[doc_input[k]].c_str(),
+                   triage::LaneName(r->triage.lane),
+                   r->triage.forced ? " (forced)" : "",
+                   r->triage.features.ToJson().c_str());
     }
     lines[doc_input[k]] = r.ok() ? doc::ExtractionsToJson(*r)
                                  : doc::ErrorToJson(sources[doc_input[k]],

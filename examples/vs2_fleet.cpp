@@ -10,6 +10,11 @@
 ///             [--worker-bin PATH] [--sock-dir DIR] [--jobs N]
 ///             [--queue-depth N] [--cache-entries N] [--virtual-nodes N]
 ///             [--health-interval SECONDS] [--shed-fraction F]
+///             [--triage=auto|skip|fast|full]
+///
+/// `--triage` is passed through to every spawned worker (responses carry
+/// the routed `"lane"`); the router always counts the fleet's traffic mix
+/// in `{"cmd":"stats"}` regardless.
 ///
 /// Defaults: 4 workers over dataset 2, router on an ephemeral 127.0.0.1
 /// TCP port (printed on stderr), workers launched from the `vs2_serve`
@@ -49,7 +54,8 @@ void Usage() {
       "                 [--unix PATH | --port N] [--worker-bin PATH]\n"
       "                 [--sock-dir DIR] [--jobs N] [--queue-depth N]\n"
       "                 [--cache-entries N] [--virtual-nodes N]\n"
-      "                 [--health-interval SECONDS] [--shed-fraction F]\n");
+      "                 [--health-interval SECONDS] [--shed-fraction F]\n"
+      "                 [--triage=auto|skip|fast|full]\n");
 }
 
 /// `vs2_serve` sitting next to this binary; falls back to PATH lookup.
@@ -68,6 +74,7 @@ int main(int argc, char** argv) {
   int jobs = 0;
   int queue_depth = 0;
   int cache_entries = -1;
+  std::string triage_flag;
   std::string worker_bin = DefaultWorkerBin(argv[0]);
   std::string sock_dir = "/tmp";
   fleet::RouterOptions options;
@@ -103,6 +110,16 @@ int main(int argc, char** argv) {
       options.health_interval_sec = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--shed-fraction") == 0 && i + 1 < argc) {
       options.shed_queue_fraction = std::atof(argv[++i]);
+    } else if (std::strncmp(argv[i], "--triage=", 9) == 0) {
+      triage::TriageMode mode;
+      if (!triage::ParseTriageMode(argv[i] + 9, &mode)) {
+        std::fprintf(stderr,
+                     "bad --triage value \"%s\": expected auto, skip, fast, "
+                     "full or off\n",
+                     argv[i] + 9);
+        return 2;
+      }
+      triage_flag = argv[i];  // forwarded verbatim to each worker
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage();
       return 0;
@@ -141,6 +158,7 @@ int main(int argc, char** argv) {
           spec.spawn_argv.end(),
           {"--cache-entries", std::to_string(cache_entries)});
     }
+    if (!triage_flag.empty()) spec.spawn_argv.push_back(triage_flag);
     specs.push_back(std::move(spec));
   }
 

@@ -10,7 +10,12 @@
 ///   vs2_serve [--dataset 1|2|3] [--unix PATH | --port N] [--jobs N]
 ///             [--queue-depth N] [--cache-entries N] [--cache-ttl SECONDS]
 ///             [--deadline-ms MS] [--no-ocr-noise]
+///             [--triage=auto|skip|fast|full]
 ///             [--trace=FILE] [--metrics=FILE] [--profile=FILE]
+///
+/// With `--triage`, every response object leads with the routed
+/// `"lane"` and per-lane `serve.lane.*` / `triage.*` instruments appear in
+/// `{"cmd":"stats"}` (DESIGN.md §16).
 ///
 /// Defaults: dataset 2, TCP on an ephemeral 127.0.0.1 port (printed on
 /// stderr). SIGINT/SIGTERM shut down gracefully: stop accepting
@@ -48,8 +53,8 @@ void Usage() {
       "usage: vs2_serve [--dataset 1|2|3] [--unix PATH | --port N]\n"
       "                 [--jobs N] [--queue-depth N] [--cache-entries N]\n"
       "                 [--cache-ttl SECONDS] [--deadline-ms MS]\n"
-      "                 [--no-ocr-noise] [--trace=FILE] [--metrics=FILE]\n"
-      "                 [--profile=FILE]\n");
+      "                 [--no-ocr-noise] [--triage=auto|skip|fast|full]\n"
+      "                 [--trace=FILE] [--metrics=FILE] [--profile=FILE]\n");
 }
 
 }  // namespace
@@ -57,6 +62,7 @@ void Usage() {
 int main(int argc, char** argv) {
   int dataset = 2;
   bool ocr_noise = true;
+  triage::TriageMode triage_mode = triage::TriageMode::kOff;
   std::string profile_path;
   serve::ServiceOptions service_options;
   serve::DaemonOptions daemon_options;
@@ -91,6 +97,14 @@ int main(int argc, char** argv) {
       service_options.metrics_path = argv[i] + 10;
     } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
       profile_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--triage=", 9) == 0) {
+      if (!triage::ParseTriageMode(argv[i] + 9, &triage_mode)) {
+        std::fprintf(stderr,
+                     "bad --triage value \"%s\": expected auto, skip, fast, "
+                     "full or off\n",
+                     argv[i] + 9);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--no-ocr-noise") == 0) {
       ocr_noise = false;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -121,6 +135,7 @@ int main(int argc, char** argv) {
                dataset);
   core::PipelineConfig config = core::DefaultConfigFor(id);
   config.simulate_ocr = ocr_noise;
+  config.triage.mode = triage_mode;
   core::Vs2 vs2(id, datasets::PretrainedEmbedding(), config);
 
   serve::ExtractionService service(vs2, service_options);

@@ -267,6 +267,18 @@ void PrintFleetFrame(const string& stats, const string& health,
       Number(router, "forwarded"), Number(router, "rerouted"),
       Number(router, "shed_to_sibling"), Number(router, "unavailable"),
       Number(router, "markdowns"), Number(router, "restarts"));
+  string triage = Object(router, "triage");
+  if (!triage.empty()) {
+    double skip = Number(triage, "skip");
+    double fast = Number(triage, "fast");
+    double full = Number(triage, "full");
+    double total = skip + fast + full;
+    std::printf(
+        "triage: skip %.0f  fast %.0f  full %.0f  (%.0f%% off the full "
+        "path)\n",
+        skip, fast, full,
+        total > 0 ? 100.0 * (skip + fast) / total : 0.0);
+  }
   string totals = Object(fleet, "totals");
   std::printf(
       "fleet:  %.1f req/s (10s)  hit rate %.2f  queue %.0f  in-flight %.0f  "

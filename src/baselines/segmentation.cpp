@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "triage/xycut.hpp"
 #include "util/math.hpp"
 
 namespace vs2::baselines {
@@ -77,88 +78,12 @@ std::vector<SegBlock> SegmentTextOnly(const Document& doc,
 }
 
 std::vector<SegBlock> SegmentXYCut(const Document& doc) {
+  // The recursive splitter lives in triage/xycut (shared with the triage
+  // fast path — one implementation, no copy-paste drift); this wrapper only
+  // materializes the leaf groups as blocks.
   std::vector<SegBlock> blocks;
-  std::vector<size_t> all;
-  double median_h;
-  {
-    std::vector<double> heights;
-    for (size_t i = 0; i < doc.elements.size(); ++i) {
-      all.push_back(i);
-      heights.push_back(doc.elements[i].bbox.height);
-    }
-    median_h = heights.empty() ? 12.0 : util::Median(heights);
-  }
-  if (all.empty()) return blocks;
-
-  // Recursive straight-gap splitting: find the widest gap in the horizontal
-  // (then vertical) projection profile; split when it exceeds the minimum
-  // separator width.
-  double min_gap = std::max(median_h * 0.9, 8.0);
-
-  struct Frame {
-    std::vector<size_t> indices;
-    int depth;
-  };
-  std::vector<Frame> stack{{all, 0}};
-  while (!stack.empty()) {
-    Frame frame = std::move(stack.back());
-    stack.pop_back();
-    const std::vector<size_t>& idx = frame.indices;
-    if (idx.size() <= 1 || frame.depth > 12) {
-      blocks.push_back(MakeBlock(doc, idx));
-      continue;
-    }
-
-    // Projection gaps along an axis: sort intervals, find the widest
-    // interior gap not covered by any element.
-    auto widest_gap = [&](bool vertical_axis, double* split_at) {
-      std::vector<std::pair<double, double>> intervals;
-      for (size_t i : idx) {
-        const BBox& b = doc.elements[i].bbox;
-        if (vertical_axis) {
-          intervals.push_back({b.y, b.bottom()});
-        } else {
-          intervals.push_back({b.x, b.right()});
-        }
-      }
-      std::sort(intervals.begin(), intervals.end());
-      double best = 0.0;
-      double cover_end = intervals[0].second;
-      for (size_t i = 1; i < intervals.size(); ++i) {
-        if (intervals[i].first > cover_end) {
-          double gap = intervals[i].first - cover_end;
-          if (gap > best) {
-            best = gap;
-            *split_at = cover_end + gap / 2.0;
-          }
-        }
-        cover_end = std::max(cover_end, intervals[i].second);
-      }
-      return best;
-    };
-
-    double h_split = 0.0, v_split = 0.0;
-    double h_gap = widest_gap(/*vertical_axis=*/true, &h_split);
-    double v_gap = widest_gap(/*vertical_axis=*/false, &v_split);
-    bool horizontal = h_gap >= v_gap;
-    double gap = horizontal ? h_gap : v_gap;
-    double split = horizontal ? h_split : v_split;
-    if (gap < min_gap) {
-      blocks.push_back(MakeBlock(doc, idx));
-      continue;
-    }
-    std::vector<size_t> lo, hi;
-    for (size_t i : idx) {
-      util::PointF c = doc.elements[i].bbox.Centroid();
-      double coord = horizontal ? c.y : c.x;
-      (coord < split ? lo : hi).push_back(i);
-    }
-    if (lo.empty() || hi.empty()) {
-      blocks.push_back(MakeBlock(doc, idx));
-      continue;
-    }
-    stack.push_back({std::move(lo), frame.depth + 1});
-    stack.push_back({std::move(hi), frame.depth + 1});
+  for (std::vector<size_t>& group : triage::XYCutPartition(doc)) {
+    blocks.push_back(MakeBlock(doc, std::move(group)));
   }
   return blocks;
 }

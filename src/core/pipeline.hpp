@@ -14,6 +14,7 @@
 #include "datasets/generator.hpp"
 #include "datasets/holdout.hpp"
 #include "ocr/ocr.hpp"
+#include "triage/triage.hpp"
 
 namespace vs2::core {
 
@@ -27,6 +28,9 @@ struct PipelineConfig {
   bool simulate_ocr = true;
   LearnerConfig learner;
   uint64_t holdout_seed = 0x5EED;
+  /// Pre-classification router (DESIGN.md §16). Off by default: the
+  /// pipeline is then bit-identical to a build without triage.
+  triage::TriageConfig triage;
 };
 
 /// \brief The assembled VS2 system for one dataset/IE task. Construction
@@ -55,6 +59,9 @@ class Vs2 {
     doc::LayoutTree tree;                 ///< layout model T_D
     std::vector<size_t> interest_points;  ///< node ids
     std::vector<Extraction> extractions;  ///< key-value pairs
+    /// Routing decision + classifier features. With triage off this stays
+    /// default-constructed (lane = kFull, zeroed features).
+    triage::TriageDecision triage;
   };
 
   /// Runs the full pipeline on one document. Reentrant: depends only on
@@ -75,6 +82,14 @@ class Vs2 {
   Result<DocResult> Process(const doc::Document& doc,
                             const StageCheckpoint& checkpoint) const;
 
+  /// As `Process`, but routing per `triage` instead of `config().triage` —
+  /// the A/B entry point. Benches compare lanes on one `Vs2` instance (one
+  /// pattern-learning pass) instead of constructing a pipeline per mode.
+  Result<DocResult> ProcessWithTriage(const doc::Document& doc,
+                                      const triage::TriageConfig& triage,
+                                      const StageCheckpoint& checkpoint =
+                                          StageCheckpoint()) const;
+
   /// Segmentation only (phase 1), on the observed document.
   Result<doc::LayoutTree> SegmentOnly(const doc::Document& observed) const;
 
@@ -86,6 +101,10 @@ class Vs2 {
   doc::DatasetId dataset() const { return dataset_; }
 
  private:
+  Result<DocResult> ProcessRouted(const doc::Document& doc,
+                                  const StageCheckpoint& checkpoint,
+                                  const triage::TriageConfig& triage) const;
+
   doc::DatasetId dataset_;
   const embed::Embedding& embedding_;
   PipelineConfig config_;

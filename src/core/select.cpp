@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "nlp/analyzer.hpp"
 #include "nlp/lesk.hpp"
@@ -225,6 +226,16 @@ std::vector<Extraction> SelectEntities(
   };
   std::vector<EntityCandidates> per_entity;
 
+  // Form-regime acceleration (FAST lane): per-block token-length masks for
+  // the descriptor prefilter, computed once per document.
+  std::vector<uint64_t> length_masks;
+  if (config.descriptor_index) {
+    length_masks.reserve(blocks.size());
+    for (const BlockContext& b : blocks) {
+      length_masks.push_back(nlp::TokenLengthMask(b.analyzed));
+    }
+  }
+
   static obs::Counter& patterns_matched =
       obs::Metrics::GetCounter("select.patterns_matched");
   for (const datasets::EntitySpec& spec : specs) {
@@ -232,9 +243,31 @@ std::vector<Extraction> SelectEntities(
     if (learned == nullptr || learned->patterns.empty()) continue;
     VS2_TRACE_SPAN_ARG("select.search_entity", learned->patterns.size());
 
+    // Pre-tokenized descriptors, parallel to `learned->patterns`; an empty
+    // `want` marks a pattern the generic matcher handles. Prepared once
+    // per entity instead of once per (entity, block).
+    std::vector<nlp::PreparedDescriptor> prepared;
+    if (config.descriptor_index) {
+      prepared.reserve(learned->patterns.size());
+      for (const nlp::SyntacticPattern& pattern : learned->patterns) {
+        prepared.push_back(nlp::PrepareDescriptor(pattern));
+      }
+    }
+
     std::vector<Candidate> candidates;
     for (size_t bi = 0; bi < blocks.size(); ++bi) {
-      for (const nlp::SyntacticPattern& pattern : learned->patterns) {
+      for (size_t pi = 0; pi < learned->patterns.size(); ++pi) {
+        const nlp::SyntacticPattern& pattern = learned->patterns[pi];
+        if (config.descriptor_index && !prepared[pi].want.empty()) {
+          if (!nlp::DescriptorMayMatch(length_masks[bi], prepared[pi])) {
+            continue;
+          }
+          for (const nlp::PatternMatch& m : nlp::MatchPreparedDescriptor(
+                   blocks[bi].analyzed, prepared[pi])) {
+            candidates.push_back({bi, m, pattern.kind});
+          }
+          continue;
+        }
         for (const nlp::PatternMatch& m :
              nlp::MatchPattern(blocks[bi].analyzed, pattern)) {
           candidates.push_back({bi, m, pattern.kind});

@@ -110,6 +110,9 @@ Router::Stats Router::stats() const {
   stats.markdowns = markdowns_;
   stats.markups = markups_;
   stats.restarts = restarts_;
+  stats.triage_skip = triage_lanes_[static_cast<size_t>(triage::Lane::kSkip)];
+  stats.triage_fast = triage_lanes_[static_cast<size_t>(triage::Lane::kFast)];
+  stats.triage_full = triage_lanes_[static_cast<size_t>(triage::Lane::kFull)];
   return stats;
 }
 
@@ -215,6 +218,18 @@ std::string Router::RouteDocument(const std::string& line,
                                              parsed.status().ToString()));
   }
   uint64_t key = serve::ContentAddress(*parsed);
+
+  if (options_.triage_stats) {
+    // Router-side triage accounting (DESIGN.md §16): classify the document
+    // the content-address step already parsed — a coarse-grid feature pass,
+    // microseconds next to the upstream round trip — so `{"cmd":"stats"}`
+    // reports the fleet's traffic mix even when workers triage themselves.
+    triage::Lane lane = triage::RouteFeatures(
+        triage::ComputeTriageFeatures(*parsed, options_.triage.grid_scale),
+        options_.triage);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++triage_lanes_[static_cast<size_t>(lane)];
+  }
 
   size_t primary, sibling;
   bool shed_primary;
@@ -392,7 +407,8 @@ std::string Router::MergedStatsJson() {
              "\"router\":{\"forwarded\":%llu,\"rerouted\":%llu,"
              "\"shed_to_sibling\":%llu,\"unavailable\":%llu,"
              "\"bad_document\":%llu,\"markdowns\":%llu,\"markups\":%llu,"
-             "\"restarts\":%llu},\"totals\":{\"queue_depth\":%g,"
+             "\"restarts\":%llu,\"triage\":{\"skip\":%llu,\"fast\":%llu,"
+             "\"full\":%llu}},\"totals\":{\"queue_depth\":%g,"
              "\"in_flight\":%g,\"completed\":%g,\"rejected\":%g,"
              "\"cache_hits\":%g,\"cache_misses\":%g,\"hit_rate\":%.4f,"
              "\"req_per_sec_10s\":%g}},\"shards\":",
@@ -407,6 +423,9 @@ std::string Router::MergedStatsJson() {
              static_cast<unsigned long long>(router_stats.markdowns),
              static_cast<unsigned long long>(router_stats.markups),
              static_cast<unsigned long long>(router_stats.restarts),
+             static_cast<unsigned long long>(router_stats.triage_skip),
+             static_cast<unsigned long long>(router_stats.triage_fast),
+             static_cast<unsigned long long>(router_stats.triage_full),
              totals.queue_depth, totals.in_flight, totals.completed,
              totals.rejected, totals.cache_hits, totals.cache_misses,
              totals.hit_rate(), rate_total) +

@@ -56,6 +56,7 @@
 #include "fleet/net.hpp"
 #include "fleet/worker.hpp"
 #include "serve/line_server.hpp"
+#include "triage/triage.hpp"
 #include "util/status.hpp"
 
 namespace vs2::fleet {
@@ -103,6 +104,16 @@ struct RouterOptions {
   /// Max wait for router-side in-flight requests to a shard to finish
   /// before its worker is terminated.
   double restart_drain_timeout_sec = 10.0;
+
+  // ---- triage ----
+  /// Classify every routed document (microseconds on the document the
+  /// router already parsed for content addressing) and count the lanes in
+  /// `{"cmd":"stats"}` — the fleet-wide traffic-mix view, independent of
+  /// which workers actually triage. Routing itself is unaffected.
+  bool triage_stats = true;
+  /// Thresholds for the router-side classification (mode is ignored; the
+  /// router always applies the auto rule).
+  triage::TriageConfig triage;
 };
 
 /// \brief Consistent-hash front router over a fleet of worker daemons.
@@ -142,6 +153,9 @@ class Router : public serve::LineServer {
     uint64_t markdowns = 0;
     uint64_t markups = 0;
     uint64_t restarts = 0;
+    uint64_t triage_skip = 0;  ///< router-side lane counts (traffic mix)
+    uint64_t triage_fast = 0;
+    uint64_t triage_full = 0;
   };
   Stats stats() const;
 
@@ -197,6 +211,7 @@ class Router : public serve::LineServer {
   uint64_t markdowns_ = 0;
   uint64_t markups_ = 0;
   uint64_t restarts_ = 0;
+  uint64_t triage_lanes_[3] = {0, 0, 0};  ///< indexed by triage::Lane
 
   std::atomic<bool> health_running_{false};
   std::mutex health_mu_;

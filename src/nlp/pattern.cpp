@@ -428,4 +428,84 @@ std::vector<PatternMatch> MatchAny(
   return all;
 }
 
+PreparedDescriptor PrepareDescriptor(const SyntacticPattern& pattern) {
+  PreparedDescriptor prep;
+  if (pattern.kind != PatternKind::kFieldDescriptor || pattern.args.empty()) {
+    return prep;
+  }
+  for (const std::string& piece :
+       util::SplitWhitespace(util::ToLower(pattern.args[0]))) {
+    prep.want.push_back(piece);
+    // Same OCR tolerance as the generic matcher: one edit per token, two
+    // for long tokens.
+    prep.budgets.push_back(piece.size() >= 8 ? 2
+                                             : (piece.size() >= 4 ? 1 : 0));
+  }
+  return prep;
+}
+
+bool WithinEditBudget(std::string_view a, std::string_view b, size_t budget) {
+  size_t la = a.size(), lb = b.size();
+  size_t diff = la > lb ? la - lb : lb - la;
+  if (diff > budget) return false;  // length gap lower-bounds the distance
+  if (budget == 0) return a == b;
+  if (lb >= 64) return util::Levenshtein(a, b) <= budget;
+  size_t prev[64], cur[64];
+  for (size_t j = 0; j <= lb; ++j) prev[j] = j;
+  for (size_t i = 1; i <= la; ++i) {
+    cur[0] = i;
+    size_t row_min = i;
+    for (size_t j = 1; j <= lb; ++j) {
+      size_t sub = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + sub});
+      row_min = std::min(row_min, cur[j]);
+    }
+    if (row_min > budget) return false;  // every extension only grows
+    for (size_t j = 0; j <= lb; ++j) prev[j] = cur[j];
+  }
+  return prev[lb] <= budget;
+}
+
+uint64_t TokenLengthMask(const AnalyzedText& text) {
+  uint64_t mask = 0;
+  for (const Token& tok : text.tokens) {
+    mask |= uint64_t{1} << std::min<size_t>(tok.lower.size(), 63);
+  }
+  return mask;
+}
+
+bool DescriptorMayMatch(uint64_t length_mask, const PreparedDescriptor& prep) {
+  if (prep.want.empty()) return false;
+  size_t len = prep.want[0].size();
+  size_t budget = prep.budgets[0];
+  size_t lo = len > budget ? len - budget : 0;
+  size_t hi = std::min<size_t>(len + budget, 63);
+  uint64_t range = (hi >= 63 ? ~uint64_t{0} : (uint64_t{1} << (hi + 1)) - 1) &
+                   ~((uint64_t{1} << lo) - 1);
+  return (length_mask & range) != 0;
+}
+
+std::vector<PatternMatch> MatchPreparedDescriptor(
+    const AnalyzedText& text, const PreparedDescriptor& prep) {
+  std::vector<PatternMatch> out;
+  if (prep.want.empty()) return out;
+  const auto& tokens = text.tokens;
+  size_t n = prep.want.size();
+  for (size_t i = 0; i + n <= tokens.size(); ++i) {
+    // Ascending fixed-length scan: the generic matcher's first-wins
+    // overlap rule reduces to skipping starts inside the last match.
+    if (!out.empty() && i < out.back().end) continue;
+    bool all = true;
+    for (size_t k = 0; k < n; ++k) {
+      if (!WithinEditBudget(tokens[i + k].lower, prep.want[k],
+                            prep.budgets[k])) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out.push_back({i, i + n, 1.0});
+  }
+  return out;
+}
+
 }  // namespace vs2::nlp

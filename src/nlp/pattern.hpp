@@ -10,7 +10,9 @@
 /// *learned* (frequent-subtree mining over a holdout corpus) rather than
 /// hard-coded; `MatchPattern` searches them inside analyzed block text.
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "nlp/analyzer.hpp"
@@ -64,6 +66,47 @@ std::vector<PatternMatch> MatchPattern(const AnalyzedText& text,
 /// (keeping the best score).
 std::vector<PatternMatch> MatchAny(const AnalyzedText& text,
                                    const std::vector<SyntacticPattern>& patterns);
+
+/// \name Prepared field-descriptor search.
+///
+/// `MatchPattern` re-tokenizes a `kFieldDescriptor` pattern's literal and
+/// runs an allocating full-matrix edit distance on every call. That is fine
+/// when a pattern book holds a handful of patterns, but a form-regime book
+/// (D1: one descriptor per field, hundreds of fields, of which one form
+/// face's worth can match a given document) spends nearly all of
+/// VS2-Select re-splitting descriptors and filling DP tables for misses.
+/// Preparing the descriptor once and bounding the edit distance gives the
+/// same matches at a fraction of the cost — `MatchPreparedDescriptor` is
+/// match-for-match identical to `MatchPattern` on the same pattern.
+/// @{
+
+/// A `kFieldDescriptor` pattern pre-tokenized for repeated search.
+struct PreparedDescriptor {
+  std::vector<std::string> want;  ///< lowered descriptor tokens, in order
+  std::vector<size_t> budgets;    ///< per-token OCR edit budgets
+};
+
+/// Splits and lowers the descriptor literal once. `want` is empty (matches
+/// nothing) for non-descriptor patterns or empty literals.
+PreparedDescriptor PrepareDescriptor(const SyntacticPattern& pattern);
+
+/// Exactly `Levenshtein(a, b) <= budget`, computed with a length
+/// lower-bound reject, stack-allocated rows and row-minimum early exit.
+bool WithinEditBudget(std::string_view a, std::string_view b, size_t budget);
+
+/// Bitmask of token lengths present in `text` (bit `min(len, 63)`).
+uint64_t TokenLengthMask(const AnalyzedText& text);
+
+/// Cheap necessary condition: `text` holds a token whose length is within
+/// the first descriptor token's edit budget. False means
+/// `MatchPreparedDescriptor` would find nothing.
+bool DescriptorMayMatch(uint64_t length_mask, const PreparedDescriptor& prep);
+
+/// Identical matches to `MatchPattern(text, pattern)` for the descriptor
+/// `prep` was prepared from.
+std::vector<PatternMatch> MatchPreparedDescriptor(
+    const AnalyzedText& text, const PreparedDescriptor& prep);
+/// @}
 
 /// \name Regex-style shape recognizers (no std::regex; hand-rolled for
 /// speed and determinism).

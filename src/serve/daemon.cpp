@@ -154,6 +154,14 @@ std::string Daemon::HandleDocument(const std::string& line) {
   std::string payload = response.ok()
                             ? doc::ExtractionsToJson(*response)
                             : doc::ErrorToJson("<request>", response.status());
+  // Lane echo (DESIGN.md §16): only when the pipeline triages, so a daemon
+  // without triage keeps its pre-triage response bytes.
+  if (response.ok() && service_.pipeline().config().triage.mode !=
+                           triage::TriageMode::kOff) {
+    payload = util::Format("{\"lane\":\"%s\",",
+                           triage::LaneName((*response).triage.lane)) +
+              payload.substr(1);
+  }
   if (!has_trace) return payload;
   // Prefix the echo fields inside the existing object: both payload forms
   // are non-empty objects, so the trailing comma is always valid.

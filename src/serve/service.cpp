@@ -63,6 +63,26 @@ double SteadySeconds() {
       .count();
 }
 
+/// Per-lane serving outcome (DESIGN.md §16): total counters plus rolling
+/// 10s/1m/5m latency/throughput views per triage lane. Registered lazily on
+/// first triaged response, so deployments without triage keep their metric
+/// snapshot unchanged.
+void RecordLaneOutcome(triage::Lane lane, double total_ms) {
+  static obs::Counter* totals[] = {
+      &obs::Metrics::GetCounter("serve.lane.skip"),
+      &obs::Metrics::GetCounter("serve.lane.fast"),
+      &obs::Metrics::GetCounter("serve.lane.full"),
+  };
+  static obs::WindowedHistogram* latency[] = {
+      &obs::Metrics::GetWindowedHistogram("serve.lane.skip"),
+      &obs::Metrics::GetWindowedHistogram("serve.lane.fast"),
+      &obs::Metrics::GetWindowedHistogram("serve.lane.full"),
+  };
+  size_t i = static_cast<size_t>(lane);
+  totals[i]->Add(1);
+  latency[i]->Record(total_ms);
+}
+
 }  // namespace
 
 ExtractionService::ExtractionService(const core::Vs2& pipeline,
@@ -153,6 +173,12 @@ std::future<ExtractionService::Response> ExtractionService::Submit(
     double total_ms = (Now() - admitted_at) * 1e3;
     Instruments().request_latency.Record(total_ms);
     Instruments().extract_windowed.Record(total_ms);
+    if (response.ok() &&
+        pipeline_.config().triage.mode != triage::TriageMode::kOff) {
+      // Cache hits count too: the cached result carries the lane the
+      // original computation was routed through.
+      RecordLaneOutcome((*response).triage.lane, total_ms);
+    }
     obs::SlowLog::Global().Record(options.trace, total_ms,
                                   StatusCodeName(response.status().code()),
                                   recorder);

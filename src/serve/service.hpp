@@ -150,6 +150,9 @@ class ExtractionService {
 
   size_t jobs() const { return pool_->size(); }
   const ServiceOptions& options() const { return options_; }
+  /// The pipeline this service fronts (the daemon reads its triage mode to
+  /// decide whether responses carry a `"lane"` echo).
+  const core::Vs2& pipeline() const { return pipeline_; }
 
  private:
   double Now() const;

@@ -1,0 +1,109 @@
+#ifndef VS2_TRIAGE_TRIAGE_HPP_
+#define VS2_TRIAGE_TRIAGE_HPP_
+
+/// \file triage.hpp
+/// Microsecond pre-classification in front of the VS2 pipeline
+/// (DESIGN.md §16). Every document is routed to one of three lanes before
+/// any expensive stage runs:
+///
+///  * **SKIP** — near-empty/decorative pages: the pipeline returns a
+///    root-only layout tree and no extractions immediately.
+///  * **FAST** — dense rectangular form-like pages (the D1 regime, where
+///    the paper's own Table 5 shows straight-cut methods already work):
+///    the shared XY-cut splitter builds the layout tree, then normal
+///    VS2-Select runs on it.
+///  * **FULL** — free-form pages (the D2 regime): today's complete
+///    VS2-Segment, bit-identical to a pipeline without triage.
+///
+/// The classifier itself never mutates anything and records no metrics —
+/// callers (core::Vs2, fleet::Router) own their own accounting, so a router
+/// classifying in front of an in-process worker does not double count.
+
+#include <cstdint>
+#include <string_view>
+
+#include "doc/document.hpp"
+#include "triage/features.hpp"
+#include "triage/xycut.hpp"
+
+namespace vs2::triage {
+
+/// The processing lane a document is routed to.
+enum class Lane : uint8_t {
+  kSkip = 0,
+  kFast = 1,
+  kFull = 2,
+};
+
+/// Stable lowercase lane name ("skip" / "fast" / "full"); wire-visible.
+const char* LaneName(Lane lane);
+
+/// How the router decides. `kOff` disables triage entirely (zero overhead,
+/// bit-identical pre-triage behavior); `kAuto` classifies; the force modes
+/// pin every document to one lane for A/B measurement.
+enum class TriageMode : uint8_t {
+  kOff = 0,
+  kAuto = 1,
+  kForceSkip = 2,
+  kForceFast = 3,
+  kForceFull = 4,
+};
+
+/// Stable mode name ("off" / "auto" / "skip" / "fast" / "full").
+const char* TriageModeName(TriageMode mode);
+
+/// Parses a `--triage=` flag value (the names above). Returns false on
+/// unknown text, leaving `*mode` untouched.
+bool ParseTriageMode(std::string_view text, TriageMode* mode);
+
+/// Routing thresholds. The defaults are tuned on the three generators
+/// (DESIGN.md §16): D1 tax forms overwhelmingly route FAST, D2 posters and
+/// D3 flyers route FULL, and only near-blank pages route SKIP. FAST gates
+/// are conjunctive and deliberately conservative — a misroute to FULL costs
+/// only speed, a misroute to FAST can cost accuracy.
+struct TriageConfig {
+  TriageMode mode = TriageMode::kOff;
+
+  /// Classifier lattice resolution. Coarser than the segmenter's grid: the
+  /// classifier needs band statistics, not cut geometry.
+  raster::GridScale grid_scale{0.125};
+
+  // --- SKIP gate: near-empty/decorative pages -----------------------------
+  size_t skip_max_elements = 2;    ///< at most this many elements …
+  double skip_max_occupancy = 0.02;  ///< … or almost nothing rasterized
+
+  // --- FAST gate: dense rectangular form-like pages (all must hold) -------
+  // Tuned on the seed-2019 observed generator corpora (bench_triage
+  // --features): D1 spans 96..114 elements with height CV <= 0.30 and >= 4
+  // clear row bands even under mobile-capture deskew noise; D2 tops out at
+  // 74 elements, D3 at 72 with height CV >= 1.0.
+  size_t fast_min_elements = 80;      ///< forms are dense
+  double fast_min_clear_row_frac = 0.15;  ///< row-separable …
+  int fast_min_row_bands = 4;         ///< … into several horizontal bands
+  double fast_max_row_band_spacing_cv = 1.25;  ///< skew loosens the rhythm
+  double fast_max_height_cv = 0.45;   ///< near-uniform type size
+  double fast_max_occupancy = 0.75;   ///< some whitespace must remain
+
+  /// Fast-path splitter knobs (defaults match the A2 baseline).
+  XYCutOptions xycut;
+};
+
+/// The routing decision for one document.
+struct TriageDecision {
+  Lane lane = Lane::kFull;
+  bool forced = false;  ///< true under a force-lane mode
+  TriageFeatures features;
+};
+
+/// Pure routing rule over precomputed features (kAuto semantics).
+Lane RouteFeatures(const TriageFeatures& features, const TriageConfig& config);
+
+/// Computes features and routes `doc` per `config.mode`. Force modes still
+/// compute features (they are the debugging/A-B payload) but pin the lane.
+/// `kOff` behaves like `kForceFull` — callers normally gate on the mode and
+/// never call this when triage is off.
+TriageDecision Classify(const doc::Document& doc, const TriageConfig& config);
+
+}  // namespace vs2::triage
+
+#endif  // VS2_TRIAGE_TRIAGE_HPP_

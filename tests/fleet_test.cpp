@@ -443,6 +443,11 @@ TEST(FleetRouterTest, MergedStatsAggregateShardsAndRouterCounters) {
   EXPECT_NE(merged.find("\"cache_hits\":2"), std::string::npos) << merged;
   EXPECT_NE(merged.find("\"cache_misses\":2"), std::string::npos);
   EXPECT_NE(merged.find("\"hit_rate\":0.5"), std::string::npos);
+  // Router-side triage accounting: every routed document line is classified
+  // (cache hits included — caching is worker-side). D2 posters route FULL.
+  EXPECT_NE(merged.find("\"triage\":{\"skip\":0,\"fast\":0,\"full\":4}"),
+            std::string::npos)
+      << merged;
 
   std::string health = fleet_ptr->router->HandleLine("{\"cmd\":\"health\"}");
   EXPECT_NE(health.find("\"role\":\"router\""), std::string::npos) << health;

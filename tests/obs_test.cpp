@@ -536,6 +536,37 @@ TEST(MetricsTest, ServeGaugesReflectServiceStateInSnapshot) {
   EXPECT_NE(json.find("\"serve.request_latency_ms\""), std::string::npos);
 }
 
+TEST(MetricsTest, TriageInstrumentsAppearInSnapshot) {
+  datasets::GeneratorConfig gc;
+  gc.num_documents = 1;
+  doc::Corpus corpus = datasets::GenerateD2(gc);
+
+  core::PipelineConfig config =
+      core::DefaultConfigFor(doc::DatasetId::kD2EventPosters);
+  config.triage.mode = triage::TriageMode::kAuto;
+  core::Vs2 vs2(doc::DatasetId::kD2EventPosters,
+                datasets::PretrainedEmbedding(), config);
+
+  serve::ServiceOptions options;
+  options.jobs = 1;
+  serve::ExtractionService service(vs2, options);
+  ASSERT_TRUE(service.Extract(corpus.documents[0]).ok());
+  service.Drain();
+
+  std::string json = obs::Metrics::SnapshotJson();
+  EXPECT_TRUE(JsonChecker(json).Validate()) << json;
+  // Pipeline-side triage instruments (all three lane counters register
+  // together on the first triaged document).
+  EXPECT_NE(json.find("\"triage.classify_ms\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"triage.lane.skip\""), std::string::npos);
+  EXPECT_NE(json.find("\"triage.lane.fast\""), std::string::npos);
+  EXPECT_NE(json.find("\"triage.lane.full\""), std::string::npos);
+  // Serving-side per-lane outcome views (D2 posters route FULL).
+  EXPECT_NE(json.find("\"serve.lane.full\""), std::string::npos);
+  EXPECT_GE(obs::Metrics::GetCounter("serve.lane.full").value(), 1u);
+  EXPECT_GE(obs::Metrics::GetCounter("triage.lane.full").value(), 1u);
+}
+
 TEST(MetricsTest, ResetValuesZeroesButKeepsReferences) {
   obs::Counter& c = obs::Metrics::GetCounter("obs_test.reset_counter");
   obs::Histogram& h = obs::Metrics::GetHistogram("obs_test.reset_hist");
