@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <mutex>  // sync-lint-allowed: raw-std::mutex baseline for the sync wrapper pair
 #include <string>
 #include <vector>
 
@@ -29,6 +30,7 @@
 #include "obs/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/simd.hpp"
+#include "util/sync.hpp"
 
 using namespace vs2;
 
@@ -314,6 +316,64 @@ void BM_WindowedHistogramRecord(benchmark::State& state) {
 }
 BENCHMARK(BM_WindowedHistogramRecord);
 
+// ------------------------------------------------- sync wrapper pairs ----
+// Annotated-mutex overhead (DESIGN.md §17): with order checking off,
+// `sync::Mutex` must cost what the raw standard mutex it wraps costs (the
+// annotations are compile-time only; the runtime gate is one relaxed
+// atomic load). The lock-order checker's bookkeeping is the audit-mode
+// cost, and the documented budget is <2x the unchecked acquisition. The
+// pairs are folded into BENCH_segment.json as "sync".
+
+void BM_MutexRawStd(benchmark::State& state) {
+  static std::mutex mu;  // sync-lint-allowed: the raw baseline this pair measures against
+  for (auto _ : state) {
+    mu.lock();
+    benchmark::DoNotOptimize(&mu);
+    mu.unlock();
+  }
+}
+BENCHMARK(BM_MutexRawStd);
+
+void BM_SyncMutex_CheckerOff(benchmark::State& state) {
+  static sync::Mutex mu("bench.sync.plain");
+  const bool prior = sync::SetLockOrderCheckingEnabled(false);
+  for (auto _ : state) {
+    sync::MutexLock lock(&mu);
+    benchmark::DoNotOptimize(&mu);
+  }
+  sync::SetLockOrderCheckingEnabled(prior);
+}
+BENCHMARK(BM_SyncMutex_CheckerOff);
+
+// The nested outer→inner pair is the checker's real workload: the inner
+// acquisition records/looks up an acquired-after edge under the graph
+// lock, which a single uncontended lock never does.
+void BM_SyncMutexPair_CheckerOff(benchmark::State& state) {
+  static sync::Mutex outer("bench.sync.pair_outer");
+  static sync::Mutex inner("bench.sync.pair_inner");
+  const bool prior = sync::SetLockOrderCheckingEnabled(false);
+  for (auto _ : state) {
+    sync::MutexLock lock_outer(&outer);
+    sync::MutexLock lock_inner(&inner);
+    benchmark::DoNotOptimize(&inner);
+  }
+  sync::SetLockOrderCheckingEnabled(prior);
+}
+BENCHMARK(BM_SyncMutexPair_CheckerOff);
+
+void BM_SyncMutexPair_CheckerOn(benchmark::State& state) {
+  static sync::Mutex outer("bench.sync.pair_outer");
+  static sync::Mutex inner("bench.sync.pair_inner");
+  const bool prior = sync::SetLockOrderCheckingEnabled(true);
+  for (auto _ : state) {
+    sync::MutexLock lock_outer(&outer);
+    sync::MutexLock lock_inner(&inner);
+    benchmark::DoNotOptimize(&inner);
+  }
+  sync::SetLockOrderCheckingEnabled(prior);
+}
+BENCHMARK(BM_SyncMutexPair_CheckerOn);
+
 // --------------------------------------------------- SIMD kernel pairs ----
 // Scalar/vector pairs for the runtime-dispatched kernels (DESIGN.md §13).
 // Each pair pins `util::simd::ForceLevel` around the loop so both sides run
@@ -542,6 +602,44 @@ bool WriteSegmentJson(const std::string& path) {
   double obs_windowed_ns =
       NsPerOp([&] { record_batch(obs_windowed); }) / 256.0;
 
+  // Annotated-lock costs (DESIGN.md §17): wrapper vs the raw standard
+  // mutex, and the nested-pair acquisition with the lock-order checker off
+  // vs on (the checker budget is <2x). 64-iteration batches for ns-scale ops.
+  static std::mutex raw_mu;  // sync-lint-allowed: the raw baseline this pair measures against
+  static sync::Mutex sync_mu("bench.sync.json_plain");
+  static sync::Mutex sync_outer("bench.sync.json_outer");
+  static sync::Mutex sync_inner("bench.sync.json_inner");
+  const bool checker_prior = sync::SetLockOrderCheckingEnabled(false);
+  double std_mutex_ns = NsPerOp([&] {
+    for (int i = 0; i < 64; ++i) {
+      raw_mu.lock();
+      benchmark::DoNotOptimize(&raw_mu);
+      raw_mu.unlock();
+    }
+  }) / 64.0;
+  double sync_mutex_ns = NsPerOp([&] {
+    for (int i = 0; i < 64; ++i) {
+      sync::MutexLock lock(&sync_mu);
+      benchmark::DoNotOptimize(&sync_mu);
+    }
+  }) / 64.0;
+  double pair_off_ns = NsPerOp([&] {
+    for (int i = 0; i < 64; ++i) {
+      sync::MutexLock lock_outer(&sync_outer);
+      sync::MutexLock lock_inner(&sync_inner);
+      benchmark::DoNotOptimize(&sync_inner);
+    }
+  }) / 64.0;
+  sync::SetLockOrderCheckingEnabled(true);
+  double pair_on_ns = NsPerOp([&] {
+    for (int i = 0; i < 64; ++i) {
+      sync::MutexLock lock_outer(&sync_outer);
+      sync::MutexLock lock_inner(&sync_inner);
+      benchmark::DoNotOptimize(&sync_inner);
+    }
+  }) / 64.0;
+  sync::SetLockOrderCheckingEnabled(checker_prior);
+
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "bench_micro: cannot open %s\n", path.c_str());
@@ -564,7 +662,10 @@ bool WriteSegmentJson(const std::string& path) {
       "    \"distance_row\": {\"scalar_ns\": %.1f, \"simd_ns\": %.1f, "
       "\"speedup\": %.2f}},\n"
       "  \"obs\": {\"histogram_record_ns\": %.2f, "
-      "\"windowed_record_ns\": %.2f, \"ratio\": %.2f}\n"
+      "\"windowed_record_ns\": %.2f, \"ratio\": %.2f},\n"
+      "  \"sync\": {\"std_mutex_ns\": %.2f, \"sync_mutex_ns\": %.2f, "
+      "\"wrapper_ratio\": %.2f, \"pair_ns\": %.2f, "
+      "\"pair_checked_ns\": %.2f, \"checker_ratio\": %.2f}\n"
       "}\n",
       g.width(), g.height(), g.OccupancyRatio(), cuts_scalar, cuts_bitp,
       cuts_scalar / cuts_bitp, seg_baseline, seg_reuse_only, seg_optimized,
@@ -573,17 +674,21 @@ bool WriteSegmentJson(const std::string& path) {
       util::simd::LevelName(util::simd::DetectedLevel()), cosine_scalar,
       cosine_simd, cosine_scalar / cosine_simd, drow_scalar, drow_simd,
       drow_scalar / drow_simd, obs_plain_ns, obs_windowed_ns,
-      obs_windowed_ns / obs_plain_ns);
+      obs_windowed_ns / obs_plain_ns, std_mutex_ns, sync_mutex_ns,
+      sync_mutex_ns / std_mutex_ns, pair_off_ns, pair_on_ns,
+      pair_on_ns / pair_off_ns);
   std::fclose(f);
   std::fprintf(stderr,
                "bench_micro: wrote %s (cut kernel %.2fx, segment %.2fx, "
                "process %.2fx, %s cosine %.2fx, distance row %.2fx, "
-               "windowed record %.2fx plain)\n",
+               "windowed record %.2fx plain, sync wrapper %.2fx raw, "
+               "order checker %.2fx unchecked)\n",
                path.c_str(), cuts_scalar / cuts_bitp,
                seg_baseline / seg_optimized, proc_baseline / proc_optimized,
                util::simd::LevelName(util::simd::DetectedLevel()),
                cosine_scalar / cosine_simd, drow_scalar / drow_simd,
-               obs_windowed_ns / obs_plain_ns);
+               obs_windowed_ns / obs_plain_ns, sync_mutex_ns / std_mutex_ns,
+               pair_on_ns / pair_off_ns);
   return true;
 }
 

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Lints the tree for raw standard-library locking primitives (DESIGN.md
+# §17): all code under src/, examples/ and bench/ must go through the
+# annotated wrappers in util/sync.hpp (sync::Mutex, sync::MutexLock,
+# sync::CondVar, ...) so Clang's -Wthread-safety analysis sees every
+# acquisition. Runs as a ctest (sync_lint) and as a blocking CI step.
+#
+# Exemptions:
+#   * src/util/sync.hpp / src/util/sync.cpp — the wrapper implementation
+#     itself (the one place raw primitives are allowed).
+#   * Any line carrying a `sync-lint-allowed: <reason>` comment — for the
+#     rare deliberate raw use (e.g. bench_micro's raw-std::mutex baseline
+#     measurement). The reason is mandatory; a bare tag fails the lint.
+set -u
+
+cd "$(dirname "$0")/.."
+
+FORBIDDEN='std::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable)\b'
+INCLUDES='^[[:space:]]*#[[:space:]]*include[[:space:]]*<(mutex|shared_mutex|condition_variable)>'
+
+status=0
+matches=$(grep -RnE "$FORBIDDEN|$INCLUDES" src examples bench \
+            --include='*.cpp' --include='*.hpp' --include='*.h' \
+            --include='*.cc' --include='*.inc' 2>/dev/null |
+          grep -v -E '^src/util/sync\.(hpp|cpp):' |
+          grep -v 'sync-lint-allowed: .')
+
+if [ -n "$matches" ]; then
+  echo "sync lint: raw std locking primitives found outside util/sync.*" >&2
+  echo "Use sync::Mutex / sync::MutexLock / sync::CondVar (util/sync.hpp)" >&2
+  echo "or justify with a 'sync-lint-allowed: <reason>' comment:" >&2
+  echo "$matches" >&2
+  status=1
+fi
+
+# A bare exemption tag without a reason is itself a violation.
+bare=$(grep -RnE 'sync-lint-allowed:?[[:space:]]*$' src examples bench \
+         --include='*.cpp' --include='*.hpp' --include='*.h' 2>/dev/null)
+if [ -n "$bare" ]; then
+  echo "sync lint: 'sync-lint-allowed' must carry a reason:" >&2
+  echo "$bare" >&2
+  status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "sync lint: OK"
+fi
+exit "$status"

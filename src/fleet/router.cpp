@@ -41,6 +41,7 @@ Router::Router(std::vector<WorkerSpec> workers, RouterOptions options)
   for (WorkerSpec& spec : workers) {
     shards_.push_back(std::make_unique<Shard>(std::move(spec)));
   }
+  health_.resize(shards_.size());
 }
 
 Router::~Router() { Stop(); }
@@ -78,7 +79,13 @@ Status Router::Start() {
 void Router::Stop() {
   LineServer::Stop();  // no new lines; joins connection threads
   if (health_running_.exchange(false)) {
-    health_cv_.notify_all();
+    // The empty critical section serializes with the prober's locked
+    // running check: after it, the prober has either seen false or is
+    // already inside WaitFor and the notify below wakes it. Without it a
+    // notify could land between the prober's check and its wait and be
+    // lost (a bounded-latency stall the annotation migration surfaced).
+    { sync::MutexLock lock(&health_mu_); }
+    health_cv_.NotifyAll();
   }
   if (health_thread_.joinable()) health_thread_.join();
   if (options_.manage_workers) {
@@ -89,18 +96,18 @@ void Router::Stop() {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(test_conns_mu_);
+    sync::MutexLock lock(&test_conns_mu_);
     test_conns_.clear();
   }
 }
 
 bool Router::shard_up(size_t shard) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return shard < shards_.size() && shards_[shard]->up;
+  sync::MutexLock lock(&mu_);
+  return shard < health_.size() && health_[shard].up;
 }
 
 Router::Stats Router::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   Stats stats;
   stats.forwarded = forwarded_;
   stats.rerouted = rerouted_;
@@ -142,7 +149,7 @@ std::string Router::OversizedLineResponse(size_t max_line_bytes) {
 }
 
 std::string Router::HandleLine(const std::string& line) {
-  std::lock_guard<std::mutex> lock(test_conns_mu_);
+  sync::MutexLock lock(&test_conns_mu_);
   if (test_conns_.size() != shards_.size()) {
     test_conns_ = std::vector<LineConn>(shards_.size());
   }
@@ -187,18 +194,18 @@ bool Router::Forward(size_t shard, const std::string& line,
 }
 
 void Router::NoteForwardFailure(size_t shard) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Shard& s = *shards_[shard];
+  sync::MutexLock lock(&mu_);
+  ShardHealth& h = health_[shard];
   // A forward already retried on a fresh connection — conclusive enough
   // to take the shard out of the ring now instead of waiting
   // `mark_down_after` probes. The health prober marks it back up.
-  s.failures = options_.mark_down_after;
-  if (s.up) {
-    s.up = false;
+  h.failures = options_.mark_down_after;
+  if (h.up) {
+    h.up = false;
     ring_.SetUp(shard, false);
     ++markdowns_;
     VS2_LOG(WARN) << "fleet: shard " << shard << " ("
-                  << s.worker.endpoint().ToString()
+                  << shards_[shard]->worker.endpoint().ToString()
                   << ") marked down after forward failure";
   }
 }
@@ -211,7 +218,7 @@ std::string Router::RouteDocument(const std::string& line,
   // different shards while the cache treats them as one entry.
   auto parsed = doc::FromJson(line);
   if (!parsed.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     ++bad_document_;
     return doc::ErrorToJson(
         "<request>", Status::InvalidArgument("bad document JSON: " +
@@ -227,14 +234,14 @@ std::string Router::RouteDocument(const std::string& line,
     triage::Lane lane = triage::RouteFeatures(
         triage::ComputeTriageFeatures(*parsed, options_.triage.grid_scale),
         options_.triage);
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     ++triage_lanes_[static_cast<size_t>(lane)];
   }
 
   size_t primary, sibling;
   bool shed_primary;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     primary = ring_.ShardFor(key);
     if (primary == HashRing::kNone) {
       ++unavailable_;
@@ -243,7 +250,7 @@ std::string Router::RouteDocument(const std::string& line,
     sibling = ring_.SiblingFor(key);
     shed_primary =
         sibling != primary &&
-        shards_[primary]->queue_fraction >= options_.shed_queue_fraction;
+        health_[primary].queue_fraction >= options_.shed_queue_fraction;
   }
 
   std::string response;
@@ -252,16 +259,16 @@ std::string Router::RouteDocument(const std::string& line,
     // last probe; give the request to the sibling (cold there, but
     // capacity beats a rejection) rather than pile onto the hot shard.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(&mu_);
       ++shed_to_sibling_;
     }
     if (Forward(sibling, line, upstream, &response) &&
         !serve::IsUnavailableResponse(response)) {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(&mu_);
       ++forwarded_;
       return response;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     ++unavailable_;
     return UnavailableLine("fleet overloaded: primary shard hot, sibling " +
                            std::string(response.empty() ? "unreachable"
@@ -271,24 +278,24 @@ std::string Router::RouteDocument(const std::string& line,
   // Tier 1: the primary owner.
   if (Forward(primary, line, upstream, &response)) {
     if (!serve::IsUnavailableResponse(response) || sibling == primary) {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(&mu_);
       ++forwarded_;
       return response;
     }
     // Tier 2 (reactive): primary's queue is full — shed to the sibling.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(&mu_);
       ++shed_to_sibling_;
     }
     std::string sibling_response;
     if (Forward(sibling, line, upstream, &sibling_response) &&
         !serve::IsUnavailableResponse(sibling_response)) {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(&mu_);
       ++forwarded_;
       return sibling_response;
     }
     // Tier 3: immediate kUnavailable — relay the primary's rejection.
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     ++unavailable_;
     return response;
   }
@@ -298,7 +305,7 @@ std::string Router::RouteDocument(const std::string& line,
   NoteForwardFailure(primary);
   if (sibling != primary &&
       Forward(sibling, line, upstream, &response)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     if (serve::IsUnavailableResponse(response)) {
       ++unavailable_;
     } else {
@@ -307,7 +314,7 @@ std::string Router::RouteDocument(const std::string& line,
     ++rerouted_;
     return response;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   ++unavailable_;
   return UnavailableLine("worker shard unreachable and no live sibling");
 }
@@ -364,13 +371,13 @@ std::string Router::MergedStatsJson() {
   size_t live = 0;
   Stats router_stats = stats();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     live = ring_.live_count();
     for (size_t i = 0; i < shards_.size(); ++i) {
       views[i].endpoint = shards_[i]->worker.endpoint().ToString();
-      views[i].state = shards_[i]->restarting
+      views[i].state = health_[i].restarting
                            ? "restarting"
-                           : (shards_[i]->up ? "up" : "down");
+                           : (health_[i].up ? "up" : "down");
     }
   }
 
@@ -433,7 +440,7 @@ std::string Router::MergedStatsJson() {
 }
 
 std::string Router::RouterHealthJson() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   size_t live = ring_.live_count();
   return util::Format(
       "{\"status\":\"%s\",\"role\":\"router\",\"accepting\":%s,"
@@ -476,20 +483,21 @@ Status Router::RestartShard(size_t shard) {
   }
   Shard& s = *shards_[shard];
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
+    ShardHealth& h = health_[shard];
     if (!s.worker.spawned()) {
       return Status::InvalidArgument(
           "shard " + std::to_string(shard) + " (" +
           s.worker.endpoint().ToString() +
           ") is adopted: its lifecycle is managed externally");
     }
-    if (s.restarting) {
+    if (h.restarting) {
       return Status::AlreadyExists("shard " + std::to_string(shard) +
                                    " is already restarting");
     }
-    s.restarting = true;
-    if (s.up) {
-      s.up = false;
+    h.restarting = true;
+    if (h.up) {
+      h.up = false;
       ring_.SetUp(shard, false);  // traffic re-routes from here on
     }
   }
@@ -508,11 +516,12 @@ Status Router::RestartShard(size_t shard) {
     status = s.worker.WaitHealthy(options_.worker_start_timeout_sec);
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
-  s.restarting = false;
-  s.failures = 0;
+  sync::MutexLock lock(&mu_);
+  ShardHealth& h = health_[shard];
+  h.restarting = false;
+  h.failures = 0;
   if (status.ok()) {
-    s.up = true;
+    h.up = true;
     ring_.SetUp(shard, true);
     ++restarts_;
     VS2_LOG(INFO) << "fleet: shard " << shard << " restarted ("
@@ -525,15 +534,15 @@ Status Router::RestartShard(size_t shard) {
 }
 
 void Router::HealthLoop() {
-  std::unique_lock<std::mutex> lock(health_mu_);
-  while (health_running_.load()) {
-    lock.unlock();
-    ProbeAll();
-    lock.lock();
-    health_cv_.wait_for(
-        lock,
-        std::chrono::duration<double>(options_.health_interval_sec),
-        [this] { return !health_running_.load(); });
+  for (;;) {
+    ProbeAll();  // checks health_running_ per shard internally
+    sync::MutexLock lock(&health_mu_);
+    if (!health_running_.load()) return;
+    // A spurious or early wakeup just probes one interval sooner; Stop's
+    // empty health_mu_ critical section guarantees its notify cannot slip
+    // between the check above and this wait.
+    health_cv_.WaitFor(&health_mu_, options_.health_interval_sec);
+    if (!health_running_.load()) return;
   }
 }
 
@@ -549,27 +558,29 @@ void Router::ProbeAll() {
                         .ok();
     ShardSnapshot snapshot = ParseShardSnapshot(health, "");
 
-    std::lock_guard<std::mutex> lock(mu_);
-    Shard& s = *shards_[i];
+    sync::MutexLock lock(&mu_);
+    ShardHealth& h = health_[i];
     if (answered && snapshot.accepting) {
-      s.failures = 0;
-      s.queue_fraction = snapshot.queue_fraction();
-      if (!s.up && !s.restarting) {
-        s.up = true;
+      h.failures = 0;
+      h.queue_fraction = snapshot.queue_fraction();
+      if (!h.up && !h.restarting) {
+        h.up = true;
         ring_.SetUp(i, true);
         ++markups_;
         VS2_LOG(INFO) << "fleet: shard " << i << " ("
-                      << s.worker.endpoint().ToString() << ") marked up";
+                      << shards_[i]->worker.endpoint().ToString()
+                      << ") marked up";
       }
     } else {
       // Unreachable, or reachable-but-draining: either way it must not
       // take new traffic.
-      if (++s.failures >= options_.mark_down_after && s.up) {
-        s.up = false;
+      if (++h.failures >= options_.mark_down_after && h.up) {
+        h.up = false;
         ring_.SetUp(i, false);
         ++markdowns_;
         VS2_LOG(WARN) << "fleet: shard " << i << " ("
-                      << s.worker.endpoint().ToString() << ") marked down ("
+                      << shards_[i]->worker.endpoint().ToString()
+                      << ") marked down ("
                       << (answered ? "draining" : "unreachable") << ")";
       }
     }

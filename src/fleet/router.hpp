@@ -44,10 +44,8 @@
 /// (examples/) is the CLI host.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -58,6 +56,7 @@
 #include "serve/line_server.hpp"
 #include "triage/triage.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace vs2::fleet {
 
@@ -164,17 +163,28 @@ class Router : public serve::LineServer {
   std::string OversizedLineResponse(size_t max_line_bytes) override;
 
  private:
-  /// Per-shard routing state. `worker` handles lifecycle + admin probes;
-  /// `up` mirrors the ring; `restarting` pins a shard down across a
-  /// lifecycle cycle so the health prober cannot mark it up mid-restart.
+  /// Per-shard lifecycle state, *not* guarded by `mu_`: `worker` handles
+  /// lifecycle + admin probes (thread-compatible — the restart path
+  /// serializes lifecycle calls per shard via the `restarting` health
+  /// flag), and `in_flight` is a lock-free forward counter.
   struct Shard {
     explicit Shard(WorkerSpec spec) : worker(std::move(spec)) {}
     WorkerHandle worker;
+    std::atomic<uint64_t> in_flight{0};  ///< router-side forwards running
+  };
+
+  /// Per-shard health state, guarded by `mu_` (kept in a parallel vector
+  /// rather than inside `Shard` so the guard is expressible to the
+  /// thread-safety analysis, which matches capability expressions
+  /// structurally and cannot tie a field of one object to another
+  /// object's mutex). `up` mirrors the ring; `restarting` pins a shard
+  /// down across a lifecycle cycle so the health prober cannot mark it up
+  /// mid-restart.
+  struct ShardHealth {
     bool up = true;
     bool restarting = false;
-    int failures = 0;
-    double queue_fraction = 0.0;       ///< from the last health probe
-    std::atomic<uint64_t> in_flight{0};  ///< router-side forwards running
+    int failures = 0;             ///< consecutive failed probes
+    double queue_fraction = 0.0;  ///< from the last health probe
   };
 
   std::string HandleLineOn(const std::string& line,
@@ -201,25 +211,33 @@ class Router : public serve::LineServer {
   RouterOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  mutable std::mutex mu_;  ///< ring_, Shard health fields, counters
-  HashRing ring_;
-  uint64_t forwarded_ = 0;
-  uint64_t rerouted_ = 0;
-  uint64_t shed_to_sibling_ = 0;
-  uint64_t unavailable_ = 0;
-  uint64_t bad_document_ = 0;
-  uint64_t markdowns_ = 0;
-  uint64_t markups_ = 0;
-  uint64_t restarts_ = 0;
-  uint64_t triage_lanes_[3] = {0, 0, 0};  ///< indexed by triage::Lane
+  /// Routing-state lock: ring membership, shard health, counters. Leaf
+  /// lock — never held across a network round trip or while acquiring
+  /// another mutex (DESIGN.md §17).
+  mutable sync::Mutex mu_{"fleet.router.state"};
+  HashRing ring_ VS2_GUARDED_BY(mu_);
+  std::vector<ShardHealth> health_ VS2_GUARDED_BY(mu_);
+  uint64_t forwarded_ VS2_GUARDED_BY(mu_) = 0;
+  uint64_t rerouted_ VS2_GUARDED_BY(mu_) = 0;
+  uint64_t shed_to_sibling_ VS2_GUARDED_BY(mu_) = 0;
+  uint64_t unavailable_ VS2_GUARDED_BY(mu_) = 0;
+  uint64_t bad_document_ VS2_GUARDED_BY(mu_) = 0;
+  uint64_t markdowns_ VS2_GUARDED_BY(mu_) = 0;
+  uint64_t markups_ VS2_GUARDED_BY(mu_) = 0;
+  uint64_t restarts_ VS2_GUARDED_BY(mu_) = 0;
+  /// indexed by triage::Lane
+  uint64_t triage_lanes_[3] VS2_GUARDED_BY(mu_) = {0, 0, 0};
 
   std::atomic<bool> health_running_{false};
-  std::mutex health_mu_;
-  std::condition_variable health_cv_;
+  /// Prober wakeup lock: pairs with `health_cv_` only (never nested with
+  /// `mu_` — the prober takes `mu_` strictly after releasing it).
+  sync::Mutex health_mu_{"fleet.router.health"};
+  sync::CondVar health_cv_;
   std::thread health_thread_;
 
-  std::mutex test_conns_mu_;  ///< serializes the HandleLine test seam
-  std::vector<LineConn> test_conns_;
+  /// Serializes the HandleLine test seam.
+  sync::Mutex test_conns_mu_{"fleet.router.test_conns"};
+  std::vector<LineConn> test_conns_ VS2_GUARDED_BY(test_conns_mu_);
 };
 
 }  // namespace vs2::fleet

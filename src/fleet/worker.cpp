@@ -46,8 +46,7 @@ Status WorkerHandle::Launch() {
 
   pid_t pid = ::fork();
   if (pid < 0) {
-    return Status::Unavailable(std::string("fork() failed: ") +
-                               std::strerror(errno));
+    return Status::Unavailable("fork() failed: " + util::ErrnoText(errno));
   }
   if (pid == 0) {
     // Child: only async-signal-safe calls between fork and exec (the

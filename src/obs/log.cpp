@@ -6,9 +6,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
-#include <mutex>
 
 #include "util/strings.hpp"
+#include "util/sync.hpp"
 
 namespace vs2::obs {
 namespace {
@@ -17,6 +17,9 @@ constexpr int kUninitialized = -1;
 std::atomic<int> g_min_level{kUninitialized};
 
 LogLevel LevelFromEnv() {
+  // getenv has no reentrant variant; this reads a variable no code in the
+  // process writes, which POSIX permits concurrently with other readers.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("VS2_LOG_LEVEL");
   if (env == nullptr || *env == '\0') return LogLevel::kWarn;
   std::string v = util::ToLower(env);
@@ -28,12 +31,15 @@ LogLevel LevelFromEnv() {
   return LogLevel::kWarn;
 }
 
-std::mutex& EmitMutex() {
-  static std::mutex* mu = new std::mutex;
+sync::Mutex& EmitMutex() {
+  static sync::Mutex* mu = new sync::Mutex("obs.log.emit");
   return *mu;
 }
 
-std::function<void(LogLevel, const std::string&)>& SinkSlot() {
+/// The installed sink. Guarded by `EmitMutex()` — both the slot and the
+/// emit itself, so a sink swapped mid-run never interleaves with a write.
+std::function<void(LogLevel, const std::string&)>& SinkSlot()
+    VS2_REQUIRES(EmitMutex()) {
   static auto* sink = new std::function<void(LogLevel, const std::string&)>;
   return *sink;
 }
@@ -89,7 +95,7 @@ bool LogEnabled(LogLevel level) {
 }
 
 void SetLogSink(std::function<void(LogLevel, const std::string&)> sink) {
-  std::lock_guard<std::mutex> lock(EmitMutex());
+  sync::MutexLock lock(&EmitMutex());
   SinkSlot() = std::move(sink);
 }
 
@@ -113,7 +119,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   std::string line = stream_.str();
-  std::lock_guard<std::mutex> lock(EmitMutex());
+  sync::MutexLock lock(&EmitMutex());
   auto& sink = SinkSlot();
   if (sink) {
     sink(level_, line);

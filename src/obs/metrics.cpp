@@ -7,9 +7,9 @@
 #include <ctime>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "util/strings.hpp"
+#include "util/sync.hpp"
 
 namespace vs2::obs {
 namespace {
@@ -29,7 +29,7 @@ template <typename T>
 class NamedRegistry {
  public:
   T& GetOrCreate(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     std::unique_ptr<T>& slot = items_[name];
     if (slot == nullptr) slot = std::make_unique<T>(name);
     return *slot;
@@ -37,13 +37,13 @@ class NamedRegistry {
 
   template <typename Fn>
   void ForEach(Fn fn) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     for (const auto& [name, item] : items_) fn(*item);
   }
 
  private:
-  std::mutex mu_;
-  std::map<std::string, std::unique_ptr<T>> items_;
+  sync::Mutex mu_{"obs.metrics.registry"};
+  std::map<std::string, std::unique_ptr<T>> items_ VS2_GUARDED_BY(mu_);
 };
 
 // Leaked singletons: instrument references must outlive any static

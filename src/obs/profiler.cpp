@@ -4,11 +4,11 @@
 #include <cerrno>
 #include <cstdio>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "obs/trace.hpp"
 #include "util/strings.hpp"
+#include "util/sync.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define VS2_PROFILER_POSIX 1
@@ -30,15 +30,24 @@ struct Sample {
 /// Sampler state. The buffers are preallocated by Start() and only grown
 /// there, so the handler never allocates. Intentionally leaked via static
 /// storage: a straggler SIGPROF delivered during teardown must find them.
-std::mutex g_control_mu;            // serializes Start/Stop/Reset/export
-std::vector<Sample>* g_samples = new std::vector<Sample>;
-std::vector<std::atomic<uint8_t>>* g_ready =
+sync::Mutex g_control_mu{"obs.profiler.control"};  // Start/Stop/Reset/export
+std::vector<Sample>* g_samples VS2_PT_GUARDED_BY(g_control_mu) =
+    new std::vector<Sample>;
+std::vector<std::atomic<uint8_t>>* g_ready VS2_PT_GUARDED_BY(g_control_mu) =
     new std::vector<std::atomic<uint8_t>>;
 std::atomic<size_t> g_next_slot{0};
 std::atomic<uint64_t> g_dropped{0};
 std::atomic<bool> g_active{false};
 
 #if VS2_PROFILER_POSIX
+
+// VS2_NO_THREAD_SAFETY_ANALYSIS justification: async-signal context. The
+// handler cannot take g_control_mu (a lock held by the interrupted thread
+// would self-deadlock); it is ordered against Start/Stop by the g_active
+// atomic instead — the buffers it dereferences are only re-sized by Start
+// while g_active is false and no timer is armed — and against its own
+// thread's span stack by signal fences.
+void SigprofHandler(int signo) VS2_NO_THREAD_SAFETY_ANALYSIS;
 
 void SigprofHandler(int /*signo*/) {
   int saved_errno = errno;
@@ -81,7 +90,7 @@ void SigprofHandler(int /*signo*/) {
 
 Status Profiler::Start(const Options& options) {
 #if VS2_PROFILER_POSIX
-  std::lock_guard<std::mutex> lock(g_control_mu);
+  sync::MutexLock lock(&g_control_mu);
   if (g_active.load(std::memory_order_relaxed)) {
     return Status::AlreadyExists("profiler already active");
   }
@@ -125,7 +134,7 @@ Status Profiler::Start(const Options& options) {
 
 void Profiler::Stop() {
 #if VS2_PROFILER_POSIX
-  std::lock_guard<std::mutex> lock(g_control_mu);
+  sync::MutexLock lock(&g_control_mu);
   if (!g_active.load(std::memory_order_relaxed)) return;
   struct itimerval disarm = {};
   setitimer(ITIMER_PROF, &disarm, nullptr);
@@ -139,6 +148,11 @@ void Profiler::Stop() {
 bool Profiler::active() { return g_active.load(std::memory_order_relaxed); }
 
 size_t Profiler::sample_count() {
+  // The capacity read (`g_samples->size()`) needs the control lock: Start
+  // reallocates the sample buffer. Surfaced by -Wthread-safety once the
+  // buffers were annotated VS2_PT_GUARDED_BY(g_control_mu); previously the
+  // unlocked read raced a concurrent Start's assign().
+  sync::MutexLock lock(&g_control_mu);
   size_t next = g_next_slot.load(std::memory_order_relaxed);
   return next < g_samples->size() ? next : g_samples->size();
 }
@@ -148,7 +162,7 @@ size_t Profiler::dropped_samples() {
 }
 
 void Profiler::Reset() {
-  std::lock_guard<std::mutex> lock(g_control_mu);
+  sync::MutexLock lock(&g_control_mu);
   if (g_active.load(std::memory_order_relaxed)) return;  // refuse while armed
   g_next_slot.store(0, std::memory_order_relaxed);
   g_dropped.store(0, std::memory_order_relaxed);
@@ -156,7 +170,7 @@ void Profiler::Reset() {
 }
 
 std::string Profiler::CollapsedStacks() {
-  std::lock_guard<std::mutex> lock(g_control_mu);
+  sync::MutexLock lock(&g_control_mu);
   std::map<std::string, uint64_t> folded;
   size_t limit = g_next_slot.load(std::memory_order_relaxed);
   if (limit > g_samples->size()) limit = g_samples->size();

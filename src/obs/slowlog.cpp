@@ -10,7 +10,7 @@ SlowLog::SlowLog(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
 
 void SlowLog::Record(const TraceContext& trace, double total_ms,
                      const std::string& status, const StageRecorder& stages) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   if (entries_.size() >= capacity_) {
     // Evict the smallest total; among equals the oldest goes first, so a
     // newer equally-slow request still lands.
@@ -34,7 +34,7 @@ void SlowLog::Record(const TraceContext& trace, double total_ms,
 std::vector<SlowLog::Entry> SlowLog::Snapshot() const {
   std::vector<Entry> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     snapshot = entries_;
   }
   std::sort(snapshot.begin(), snapshot.end(),
@@ -46,12 +46,12 @@ std::vector<SlowLog::Entry> SlowLog::Snapshot() const {
 }
 
 size_t SlowLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return entries_.size();
 }
 
 void SlowLog::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   entries_.clear();
   next_seq_ = 0;
 }

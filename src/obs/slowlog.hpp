@@ -14,11 +14,11 @@
 /// far off the per-element hot paths, so a lock is within the cost model.
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "util/sync.hpp"
 
 namespace vs2::obs {
 
@@ -54,9 +54,10 @@ class SlowLog {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;  // unordered; sorted at snapshot time
-  uint64_t next_seq_ = 0;
+  mutable sync::Mutex mu_{"obs.slowlog"};
+  // unordered; sorted at snapshot time
+  std::vector<Entry> entries_ VS2_GUARDED_BY(mu_);
+  uint64_t next_seq_ VS2_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace vs2::obs

@@ -3,12 +3,12 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <random>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "util/strings.hpp"
+#include "util/sync.hpp"
 
 namespace vs2::obs {
 namespace {
@@ -47,8 +47,8 @@ struct Event {
 /// sampling profiler — written only by the owning thread, read by a signal
 /// handler interrupting that same thread.
 struct ThreadBuffer {
-  std::mutex mu;
-  std::vector<Event> events;
+  sync::Mutex mu{"obs.trace.buffer"};
+  std::vector<Event> events VS2_GUARDED_BY(mu);
   uint32_t tid = 0;
   internal::SpanStack stack;
 };
@@ -57,10 +57,13 @@ struct ThreadBuffer {
 /// survive worker-thread exit (a `BatchEngine` pool is torn down before the
 /// trace is exported). Intentionally leaked: thread_local destructors may
 /// run after static destructors on some platforms.
+/// Lock hierarchy (DESIGN.md §17): `Registry::mu` is acquired before any
+/// `ThreadBuffer::mu` (export walks the buffers); no code path holds a
+/// buffer lock while taking the registry lock.
 struct Registry {
-  std::mutex mu;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  uint32_t next_tid = 1;
+  sync::Mutex mu{"obs.trace.registry"};
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers VS2_GUARDED_BY(mu);
+  uint32_t next_tid VS2_GUARDED_BY(mu) = 1;
 };
 
 Registry& GetRegistry() {
@@ -79,7 +82,7 @@ ThreadBuffer& LocalBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
     auto created = std::make_shared<ThreadBuffer>();
     Registry& registry = GetRegistry();
-    std::lock_guard<std::mutex> lock(registry.mu);
+    sync::MutexLock lock(&registry.mu);
     created->tid = registry.next_tid++;
     registry.buffers.push_back(created);
     g_tls_span_stack = &created->stack;
@@ -180,19 +183,19 @@ void Trace::Disable() { SetFlag(kTracingBit, false); }
 
 void Trace::Reset() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  sync::MutexLock lock(&registry.mu);
   for (auto& buffer : registry.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    sync::MutexLock buffer_lock(&buffer->mu);
     buffer->events.clear();
   }
 }
 
 size_t Trace::EventCount() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  sync::MutexLock lock(&registry.mu);
   size_t count = 0;
   for (auto& buffer : registry.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    sync::MutexLock buffer_lock(&buffer->mu);
     count += buffer->events.size();
   }
   return count;
@@ -210,9 +213,9 @@ std::string Trace::ToJson() {
       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
       "\"args\":{\"name\":\"vs2\"}}";
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  sync::MutexLock lock(&registry.mu);
   for (auto& buffer : registry.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    sync::MutexLock buffer_lock(&buffer->mu);
     for (const Event& e : buffer->events) {
       out += ",\n{\"name\":\"";
       AppendEscaped(&out, e.name);
@@ -349,7 +352,7 @@ Span::~Span() {
                   ? buffer->stack.depth.load(std::memory_order_relaxed) + 1
                   : 1;
   TraceContext trace = g_tls_trace_context;
-  std::lock_guard<std::mutex> lock(buffer->mu);
+  sync::MutexLock lock(&buffer->mu);
   buffer->events.push_back({name_, start_us_, end_us - start_us_, depth, arg_,
                             trace.hi, trace.lo, has_arg_});
 }

@@ -8,7 +8,7 @@ namespace vs2::serve {
 ResultCache::Value ResultCache::Get(uint64_t hash,
                                     const std::string& canonical,
                                     double now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   auto it = index_.find(hash);
   if (it == index_.end()) {
     ++misses_;
@@ -35,7 +35,7 @@ ResultCache::Value ResultCache::Get(uint64_t hash,
 void ResultCache::Put(uint64_t hash, const std::string& canonical,
                       Value value, double now) {
   if (options_.capacity == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   auto it = index_.find(hash);
   if (it != index_.end()) {
     // Replace in place (collision overwrite or refresh after expiry race).
@@ -67,34 +67,34 @@ void ResultCache::Put(uint64_t hash, const std::string& canonical,
 }
 
 size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return lru_.size();
 }
 
 uint64_t ResultCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return hits_;
 }
 
 uint64_t ResultCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return misses_;
 }
 
 uint64_t ResultCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return evictions_;
 }
 
 void ResultCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   lru_.clear();
   index_.clear();
 }
 
 check::AuditReport AuditResultCache(const ResultCache& cache, double now) {
   check::AuditReport report;
-  std::lock_guard<std::mutex> lock(cache.mu_);
+  sync::MutexLock lock(&cache.mu_);
 
   VS2_AUDIT(report, cache.lru_.size() == cache.index_.size())
       << "LRU list holds " << cache.lru_.size() << " entries, index holds "

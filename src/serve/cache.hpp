@@ -13,12 +13,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "check/check.hpp"
 #include "core/pipeline.hpp"
+#include "util/sync.hpp"
 
 namespace vs2::serve {
 
@@ -78,13 +78,16 @@ class ResultCache {
   }
 
   Options options_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t access_seq_ = 0;  ///< bumped on every Get hit and Put
+  mutable sync::Mutex mu_{"serve.result_cache"};
+  /// front = most recently used
+  std::list<Entry> lru_ VS2_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_
+      VS2_GUARDED_BY(mu_);
+  uint64_t hits_ VS2_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ VS2_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ VS2_GUARDED_BY(mu_) = 0;
+  /// bumped on every Get hit and Put
+  uint64_t access_seq_ VS2_GUARDED_BY(mu_) = 0;
 };
 
 /// Deep LRU/TTL coherence audit (DESIGN.md §12): the index and the recency

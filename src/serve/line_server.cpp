@@ -11,6 +11,8 @@
 #include <csignal>
 #include <cstring>
 
+#include "util/strings.hpp"
+
 namespace vs2::serve {
 namespace {
 
@@ -80,7 +82,7 @@ Status LineServer::Start() {
       ::close(listen_fd_);
       listen_fd_ = -1;
       return Status::Unavailable("cannot bind " + options_.unix_socket_path +
-                                 ": " + std::strerror(errno));
+                                 ": " + util::ErrnoText(errno));
     }
   } else {
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -98,8 +100,8 @@ Status LineServer::Start() {
                sizeof(addr)) != 0) {
       ::close(listen_fd_);
       listen_fd_ = -1;
-      return Status::Unavailable(
-          std::string("cannot bind 127.0.0.1: ") + std::strerror(errno));
+      return Status::Unavailable("cannot bind 127.0.0.1: " +
+                                 util::ErrnoText(errno));
     }
     sockaddr_in bound{};
     socklen_t len = sizeof(bound);
@@ -112,8 +114,7 @@ Status LineServer::Start() {
   if (::listen(listen_fd_, options_.backlog) != 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
-    return Status::Unavailable(std::string("listen() failed: ") +
-                               std::strerror(errno));
+    return Status::Unavailable("listen() failed: " + util::ErrnoText(errno));
   }
   running_.store(true);
   started_at_sec_ = SteadySeconds();
@@ -122,7 +123,7 @@ Status LineServer::Start() {
 }
 
 void LineServer::ReapFinished() {
-  std::lock_guard<std::mutex> lock(clients_mu_);
+  sync::MutexLock lock(&clients_mu_);
   for (auto it = clients_.begin(); it != clients_.end();) {
     if ((*it)->done.load()) {
       (*it)->thread.join();
@@ -143,7 +144,7 @@ void LineServer::AcceptLoop() {
     }
     ReapFinished();
     connections_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(clients_mu_);
+    sync::MutexLock lock(&clients_mu_);
     if (!running_.load()) {
       ::close(fd);
       break;
@@ -212,7 +213,7 @@ void LineServer::Stop() {
   }
   std::vector<std::unique_ptr<Connection>> clients;
   {
-    std::lock_guard<std::mutex> lock(clients_mu_);
+    sync::MutexLock lock(&clients_mu_);
     clients.swap(clients_);
   }
   for (auto& connection : clients) {

@@ -20,12 +20,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace vs2::serve {
 
@@ -131,8 +131,9 @@ class LineServer {
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> connections_{0};
   std::thread accept_thread_;
-  std::mutex clients_mu_;
-  std::vector<std::unique_ptr<Connection>> clients_;
+  sync::Mutex clients_mu_{"serve.line_server.clients"};
+  std::vector<std::unique_ptr<Connection>> clients_
+      VS2_GUARDED_BY(clients_mu_);
 };
 
 }  // namespace vs2::serve

@@ -126,20 +126,26 @@ std::future<ExtractionService::Response> ExtractionService::Submit(
 
   double admitted_at = Now();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Releasable: the reject paths drop the lock before resolving the
+    // promise, so a client blocked on the future never wakes while the
+    // admission mutex is still held.
+    sync::ReleasableLock lock(&mu_);
     if (!accepting_) {
       ++rejected_;
       Instruments().rejected.Add();
       Instruments().rejected_windowed.Add();
+      lock.Release();
       promise->set_value(Status::Unavailable("service is draining"));
       return future;
     }
     if (queued_ >= options_.queue_capacity) {
       ++rejected_;
+      size_t queued_now = queued_;
       Instruments().rejected.Add();
       Instruments().rejected_windowed.Add();
+      lock.Release();
       promise->set_value(Status::Unavailable(util::Format(
-          "admission queue full (%zu queued, capacity %zu)", queued_,
+          "admission queue full (%zu queued, capacity %zu)", queued_now,
           options_.queue_capacity)));
       return future;
     }
@@ -156,7 +162,7 @@ std::future<ExtractionService::Response> ExtractionService::Submit(
   pool_->Submit([this, promise, options, deadline, admitted_at, telemetry,
                  document = std::move(document)]() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(&mu_);
       --queued_;
       ++in_flight_;
       Instruments().queue_depth.Set(static_cast<double>(queued_));
@@ -192,7 +198,7 @@ std::future<ExtractionService::Response> ExtractionService::Submit(
     // Account before fulfilling the promise: a client that unblocks on its
     // future must already see this request reflected in stats().
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(&mu_);
       --in_flight_;
       ++completed_;
       Instruments().in_flight.Set(static_cast<double>(in_flight_));
@@ -212,7 +218,7 @@ ExtractionService::Response ExtractionService::RunAdmitted(
   // Deadline check at dequeue: a request that died waiting in the queue
   // must not consume pipeline time.
   if (Now() > deadline) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     ++deadline_exceeded_;
     instruments.deadline_exceeded.Add();
     return Status::DeadlineExceeded("deadline expired while queued");
@@ -256,7 +262,7 @@ ExtractionService::Response ExtractionService::RunAdmitted(
   Response response = pipeline_.Process(document, checkpoint);
 
   if (response.status().code() == StatusCode::kDeadlineExceeded) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     ++deadline_exceeded_;
     instruments.deadline_exceeded.Add();
   }
@@ -290,14 +296,14 @@ ExtractionService::Response ExtractionService::Extract(
 
 void ExtractionService::Drain() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     accepting_ = false;
   }
   // Every admitted request is one pool task; Wait() returns once queued
   // and in-flight work has finished.
   pool_->Wait();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     if (flushed_) return;
     flushed_ = true;
   }
@@ -314,7 +320,7 @@ void ExtractionService::Drain() {
 ExtractionService::Stats ExtractionService::stats() const {
   Stats stats;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     stats.accepted = accepted_;
     stats.rejected = rejected_;
     stats.completed = completed_;

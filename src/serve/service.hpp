@@ -30,7 +30,6 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,6 +37,7 @@
 #include "obs/slowlog.hpp"
 #include "obs/trace.hpp"
 #include "serve/cache.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
 namespace vs2::serve {
@@ -168,15 +168,16 @@ class ExtractionService {
   std::unique_ptr<ResultCache> cache_;
   std::unique_ptr<util::ThreadPool> pool_;
 
-  mutable std::mutex mu_;
-  bool accepting_ = true;
-  bool flushed_ = false;  ///< obs exports written by a completed Drain
-  size_t queued_ = 0;
-  size_t in_flight_ = 0;
-  uint64_t accepted_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t completed_ = 0;
-  uint64_t deadline_exceeded_ = 0;
+  mutable sync::Mutex mu_{"serve.service"};
+  bool accepting_ VS2_GUARDED_BY(mu_) = true;
+  /// obs exports written by a completed Drain
+  bool flushed_ VS2_GUARDED_BY(mu_) = false;
+  size_t queued_ VS2_GUARDED_BY(mu_) = 0;
+  size_t in_flight_ VS2_GUARDED_BY(mu_) = 0;
+  uint64_t accepted_ VS2_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_ VS2_GUARDED_BY(mu_) = 0;
+  uint64_t completed_ VS2_GUARDED_BY(mu_) = 0;
+  uint64_t deadline_exceeded_ VS2_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace vs2::serve

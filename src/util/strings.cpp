@@ -1,5 +1,7 @@
 #include "util/strings.hpp"
 
+#include <string.h>
+
 #include <algorithm>
 #include <cctype>
 #include <cstdarg>
@@ -162,6 +164,21 @@ std::string ReplaceAll(std::string_view text, std::string_view from,
     pos = hit + from.size();
   }
   return out;
+}
+
+std::string ErrnoText(int errnum) {
+  char buf[128];
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // GNU strerror_r: returns the message (possibly a static known-good
+  // string, possibly buf) and never fails.
+  return std::string(strerror_r(errnum, buf, sizeof(buf)));
+#else
+  // XSI strerror_r: fills buf, non-zero on failure.
+  if (strerror_r(errnum, buf, sizeof(buf)) != 0) {
+    std::snprintf(buf, sizeof(buf), "errno %d", errnum);
+  }
+  return std::string(buf);
+#endif
 }
 
 }  // namespace vs2::util

@@ -61,6 +61,12 @@ std::string StripChars(std::string_view text, std::string_view strip);
 std::string ReplaceAll(std::string_view text, std::string_view from,
                        std::string_view to);
 
+/// Thread-safe `strerror`: renders `errnum` via `strerror_r`. The plain
+/// libc `strerror` writes into shared static storage and is flagged by
+/// clang-tidy's `concurrency-mt-unsafe` on the multi-threaded serving
+/// paths that report socket errors.
+std::string ErrnoText(int errnum);
+
 }  // namespace vs2::util
 
 #endif  // VS2_UTIL_STRINGS_HPP_

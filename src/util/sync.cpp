@@ -1,0 +1,333 @@
+#include "util/sync.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace vs2::sync {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lock-order checker internals.
+//
+// Per-thread: the stack of currently held sync::Mutexes in acquisition
+// order. Global: the acquired-after graph — edge A→B means "some thread
+// acquired B while A was its most recently acquired held lock". An
+// acquisition of M while holding H is an inversion iff the graph already
+// contains a path M ⇝ H: both orders have now been observed, so two
+// threads running those sites concurrently can deadlock, even though this
+// run did not.
+//
+// The graph lives behind a raw std::mutex on purpose: the checker's own
+// lock must not feed the checker (infinite recursion), and sync.cpp is the
+// one file the raw-primitive lint exempts. It is self-contained, leaf-level
+// (no callouts while held), and never visible to the analysis' users.
+//
+// Hot-path amortization: each thread keeps a small direct-mapped cache of
+// (held-stack hash, acquiring mutex) pairs it has already validated. A
+// cache hit means the top→m edge is on record and no inversion existed at
+// validation time, so the global graph lock is skipped entirely. This is
+// sound because the slow path records the edge *before* the cache entry is
+// written: whichever acquisition later records the opposite direction is
+// necessarily a cache miss (its edge is new), takes the slow path, sees
+// the first direction in the graph, and fires — the first cycle is still
+// reported the moment it is closed. Entries are invalidated wholesale by a
+// global epoch bumped on ResetLockOrderGraph() and mutex destruction (so a
+// reused address cannot alias a stale validation).
+// ---------------------------------------------------------------------------
+
+struct Edge {
+  // Held-lock names (innermost last) at the site that first recorded the
+  // edge — the "other side" of an inversion report.
+  std::vector<std::string> held_then;
+};
+
+struct Node {
+  std::string name;
+  std::unordered_map<const void*, Edge> out;
+};
+
+struct Graph {
+  std::mutex mu;
+  std::unordered_map<const void*, Node> nodes;
+};
+
+Graph& TheGraph() {
+  static Graph* g = new Graph();  // leaked: usable during static destruction
+  return *g;
+}
+
+/// One level of the per-thread held-lock stack. `prefix_hash` identifies
+/// the whole stack up to and including this entry, maintained incrementally
+/// so the fast path never rehashes the stack.
+struct HeldEntry {
+  const Mutex* mu;
+  uint64_t prefix_hash;
+};
+
+thread_local std::vector<HeldEntry> t_held;
+
+constexpr uint64_t kHashSeed = 0x51ed270b9a9c4c35ULL;
+
+uint64_t MixPtr(uint64_t h, const void* p) {
+  h ^= reinterpret_cast<uintptr_t>(p);
+  h *= 0x9e3779b97f4a7c15ULL;
+  return h ^ (h >> 29);
+}
+
+/// Direct-mapped per-thread cache of validated acquisitions. `epoch == 0`
+/// never matches (the global epoch starts at 1), so zero-init means empty.
+struct CacheEntry {
+  uint64_t key;
+  uint64_t epoch;
+};
+
+constexpr size_t kCacheSize = 1024;  // power of two
+thread_local CacheEntry t_cache[kCacheSize];
+
+std::atomic<uint64_t> g_epoch{1};
+
+std::atomic<bool> g_enabled{VS2_SYNC_ORDER_CHECK_DEFAULT == 1};
+
+void DefaultViolationHandler(const LockOrderViolation& v) {
+  std::fprintf(stderr,
+               "vs2.sync: LOCK-ORDER INVERSION: acquiring \"%s\" while "
+               "holding \"%s\", but \"%s\" was previously acquired before "
+               "\"%s\".\n",
+               v.second, v.first, v.second, v.first);
+  std::fprintf(stderr, "  held at this acquisition (innermost last):\n");
+  for (int i = 0; i < v.held_now_len; ++i) {
+    std::fprintf(stderr, "    %s\n", v.held_now[i]);
+  }
+  std::fprintf(stderr, "  held when the opposite order was recorded:\n");
+  for (int i = 0; i < v.held_then_len; ++i) {
+    std::fprintf(stderr, "    %s\n", v.held_then[i]);
+  }
+  std::abort();
+}
+
+std::atomic<LockOrderViolationHandler> g_handler{&DefaultViolationHandler};
+
+/// True when the graph holds a path from `from` to `to`. Called with
+/// graph.mu held.
+bool PathExists(const Graph& graph, const void* from, const void* to) {
+  std::vector<const void*> stack{from};
+  std::unordered_set<const void*> visited;
+  while (!stack.empty()) {
+    const void* cur = stack.back();
+    stack.pop_back();
+    if (cur == to) return true;
+    if (!visited.insert(cur).second) continue;
+    auto it = graph.nodes.find(cur);
+    if (it == graph.nodes.end()) continue;
+    for (const auto& [next, edge] : it->second.out) {
+      (void)edge;
+      stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+void ReportViolation(const Mutex* held, const Mutex* acquiring,
+                     const std::vector<std::string>& held_then) {
+  std::vector<const char*> now;
+  now.reserve(t_held.size());
+  for (const HeldEntry& e : t_held) now.push_back(e.mu->name());
+  std::vector<const char*> then_names;
+  then_names.reserve(held_then.size());
+  for (const std::string& n : held_then) then_names.push_back(n.c_str());
+  LockOrderViolation v;
+  v.first = held->name();
+  v.second = acquiring->name();
+  v.held_now = now.data();
+  v.held_now_len = static_cast<int>(now.size());
+  v.held_then = then_names.data();
+  v.held_then_len = static_cast<int>(then_names.size());
+  g_handler.load(std::memory_order_acquire)(v);
+}
+
+/// Bookkeeping after `m` was acquired (the underlying std::mutex is
+/// already held, so only this thread touches `m`'s slot in t_held).
+/// Checks `m` against the global graph and records the top→m edge. Called
+/// only on a cache miss; returns true when the acquisition validated clean
+/// (no inversion reported) and may be cached.
+bool ValidateAgainstGraph(const Mutex* m, const Mutex* top) {
+  bool clean = true;
+  Graph& graph = TheGraph();
+  std::lock_guard<std::mutex> g(graph.mu);
+
+  // Inversion: the opposite order (a path m ⇝ top) is already on record.
+  if (PathExists(graph, m, top)) {
+    // For the report, surface the first edge out of `m` on the recorded
+    // path; the direct edge when one exists, else any outgoing edge that
+    // still reaches `top`.
+    const Edge* then_edge = nullptr;
+    auto mit = graph.nodes.find(m);
+    if (mit != graph.nodes.end()) {
+      auto direct = mit->second.out.find(top);
+      if (direct != mit->second.out.end()) {
+        then_edge = &direct->second;
+      } else {
+        for (const auto& [next, edge] : mit->second.out) {
+          if (PathExists(graph, next, top)) {
+            then_edge = &edge;
+            break;
+          }
+        }
+      }
+    }
+    static const std::vector<std::string> kEmpty;
+    ReportViolation(top, m,
+                    then_edge != nullptr ? then_edge->held_then : kEmpty);
+    clean = false;
+  }
+
+  // Record top→m (first sighting keeps its held-stack snapshot).
+  Node& from = graph.nodes[top];
+  if (from.name.empty()) from.name = top->name();
+  auto [eit, inserted] = from.out.try_emplace(m);
+  if (inserted) {
+    eit->second.held_then.reserve(t_held.size() + 1);
+    for (const HeldEntry& held : t_held) {
+      eit->second.held_then.push_back(held.mu->name());
+    }
+    eit->second.held_then.push_back(m->name());
+    Node& to = graph.nodes[m];
+    if (to.name.empty()) to.name = m->name();
+  }
+  return clean;
+}
+
+void OnAcquired(const Mutex* m) {
+  // Self-deadlock: std::mutex is non-recursive, so a re-acquisition on the
+  // same thread would have hung before reaching here for a blocking Lock —
+  // but a TryLock on a held mutex gets this far and is always a bug.
+  for (const HeldEntry& held : t_held) {
+    if (held.mu == m) {
+      std::vector<std::string> empty;
+      ReportViolation(m, m, empty);
+      break;
+    }
+  }
+
+  uint64_t prefix = kHashSeed;
+  if (!t_held.empty()) {
+    prefix = t_held.back().prefix_hash;
+    const uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+    const uint64_t key = MixPtr(prefix, m);
+    CacheEntry& slot = t_cache[key & (kCacheSize - 1)];
+    if (slot.key != key || slot.epoch != epoch) {
+      // Violating acquisitions are never cached, so every repeat reports.
+      if (ValidateAgainstGraph(m, t_held.back().mu)) {
+        slot.key = key;
+        slot.epoch = epoch;
+      }
+    }
+  }
+
+  t_held.push_back(HeldEntry{m, MixPtr(prefix, m)});
+}
+
+void OnReleased(const Mutex* m) {
+  for (size_t i = t_held.size(); i-- > 0;) {
+    if (t_held[i].mu == m) {
+      t_held.erase(t_held.begin() + static_cast<ptrdiff_t>(i));
+      // An out-of-LIFO release shifts the entries above it: rebuild their
+      // prefix hashes so cache keys keep identifying the true stack.
+      for (size_t j = i; j < t_held.size(); ++j) {
+        const uint64_t parent =
+            j == 0 ? kHashSeed : t_held[j - 1].prefix_hash;
+        t_held[j].prefix_hash = MixPtr(parent, t_held[j].mu);
+      }
+      return;
+    }
+  }
+}
+
+/// Scrubs a destroyed mutex from the graph so a later allocation at the
+/// same address cannot alias its edges into a false inversion.
+void OnDestroyed(const Mutex* m) {
+  Graph& graph = TheGraph();
+  std::lock_guard<std::mutex> g(graph.mu);
+  graph.nodes.erase(m);
+  for (auto& [addr, node] : graph.nodes) {
+    (void)addr;
+    node.out.erase(m);
+  }
+  // A new mutex at the same address must not inherit cached validations.
+  g_epoch.fetch_add(1, std::memory_order_release);
+}
+
+}  // namespace
+
+Mutex::~Mutex() {
+  // Unconditional: the mutex may have recorded edges while checking was
+  // enabled even if it is disabled now.
+  OnDestroyed(this);
+}
+
+void Mutex::Lock() {
+  mu_.lock();
+  if (g_enabled.load(std::memory_order_relaxed)) OnAcquired(this);
+}
+
+void Mutex::Unlock() {
+  if (g_enabled.load(std::memory_order_relaxed)) OnReleased(this);
+  mu_.unlock();
+}
+
+bool Mutex::TryLock() {
+  if (!mu_.try_lock()) return false;
+  if (g_enabled.load(std::memory_order_relaxed)) OnAcquired(this);
+  return true;
+}
+
+void CondVar::Wait(Mutex* mu) {
+  // Adopt the already-held native handle for the wait, then hand ownership
+  // back so the caller's scoped lock still releases it. The mutex stays in
+  // this thread's held set across the wait: no order edges are recorded
+  // while blocked, and the caller observably holds it again on return.
+  std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
+  cv_.wait(native);
+  native.release();
+}
+
+bool CondVar::WaitFor(Mutex* mu, double seconds) {
+  std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
+  auto status = cv_.wait_for(
+      native, std::chrono::duration<double>(seconds < 0.0 ? 0.0 : seconds));
+  native.release();
+  return status == std::cv_status::no_timeout;
+}
+
+bool LockOrderCheckingEnabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+bool SetLockOrderCheckingEnabled(bool enabled) {
+  return g_enabled.exchange(enabled, std::memory_order_relaxed);
+}
+
+LockOrderViolationHandler SetLockOrderViolationHandler(
+    LockOrderViolationHandler handler) {
+  if (handler == nullptr) handler = &DefaultViolationHandler;
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+void ResetLockOrderGraph() {
+  Graph& graph = TheGraph();
+  std::lock_guard<std::mutex> g(graph.mu);
+  graph.nodes.clear();
+  // The per-thread caches assert "edge on record" — no longer true.
+  g_epoch.fetch_add(1, std::memory_order_release);
+}
+
+}  // namespace vs2::sync

@@ -1,0 +1,271 @@
+#ifndef VS2_UTIL_SYNC_HPP_
+#define VS2_UTIL_SYNC_HPP_
+
+/// \file sync.hpp
+/// Annotated synchronization primitives: the only lock vocabulary the rest
+/// of the tree is allowed to use (`scripts/check_sync_lint.sh` enforces
+/// this; raw `std::mutex` / `std::condition_variable` are forbidden outside
+/// this file).
+///
+/// Two layers (DESIGN.md §17):
+///
+///  1. **Compile-time capability annotations** — the Clang Thread Safety
+///     Analysis attribute set (Hutchins et al., "C/C++ Thread Safety
+///     Analysis", CGO 2014), spelled `VS2_GUARDED_BY(mu)`,
+///     `VS2_REQUIRES(mu)`, `VS2_ACQUIRE()`, ... . Under Clang with
+///     `-Wthread-safety` every lock acquisition and guarded-field access is
+///     proven consistent on every path; under GCC (the local build) the
+///     macros expand to nothing, so the wrappers compile to the exact code
+///     the raw std primitives would produce.
+///
+///  2. **Run-time lock-order checking** — in audit builds
+///     (`VS2_AUDIT_COMPILED_IN`, see check/check.hpp) every `sync::Mutex`
+///     acquisition records the per-thread held-lock set and feeds a global
+///     acquired-after graph. The first acquisition that closes a cycle
+///     (lock B taken while holding A, when some earlier thread took A while
+///     holding B) reports both orderings — with the lock names held at each
+///     end of the inverted edge — and aborts. A deadlock detector that
+///     needs no deadlock to fire: any two sites that disagree about order
+///     are caught the first time both run, on any interleaving.
+///
+/// Escape hatch: `VS2_NO_THREAD_SAFETY_ANALYSIS` disables the analysis for
+/// one function. Every use MUST carry a justification comment naming the
+/// reason (signal-handler context, or a documented analysis limitation).
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Thread-safety analysis attributes (no-ops outside Clang).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define VS2_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef VS2_THREAD_ANNOTATION_
+#define VS2_THREAD_ANNOTATION_(x)  // zero-overhead pass-through (GCC, MSVC)
+#endif
+
+/// Marks a class as a capability (lockable) type; `x` names the capability
+/// kind in diagnostics ("mutex").
+#define VS2_CAPABILITY(x) VS2_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability.
+#define VS2_SCOPED_CAPABILITY VS2_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field/variable may only be read or written while holding `x`.
+#define VS2_GUARDED_BY(x) VS2_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be accessed while holding `x`
+/// (the pointer itself is unguarded).
+#define VS2_PT_GUARDED_BY(x) VS2_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and does not
+/// release them).
+#define VS2_REQUIRES(...) \
+  VS2_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on exit). With no
+/// arguments on a capability class member: acquires `this`.
+#define VS2_ACQUIRE(...) \
+  VS2_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry, not on exit).
+#define VS2_RELEASE(...) \
+  VS2_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `x` (for TryLock).
+#define VS2_TRY_ACQUIRE(...) \
+  VS2_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (anti-reentrancy; catches
+/// self-deadlock at compile time).
+#define VS2_EXCLUDES(...) VS2_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability (annotates
+/// accessors like `EmitMutex()`).
+#define VS2_RETURN_CAPABILITY(x) VS2_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Documentation-grade ordering hints (parsed by Clang; the runtime
+/// lock-order checker is the enforcement mechanism).
+#define VS2_ACQUIRED_BEFORE(...) \
+  VS2_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define VS2_ACQUIRED_AFTER(...) \
+  VS2_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: disables the analysis for one function. Every use MUST be
+/// accompanied by a justification comment (signal context or a named
+/// analysis limitation) — the thread-safety CI gate's review contract.
+#define VS2_NO_THREAD_SAFETY_ANALYSIS \
+  VS2_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+// Lock-order checking defaults on exactly when the rest of the audit plane
+// does (mirrors VS2_AUDIT_COMPILED_IN in check/check.hpp; duplicated here
+// because util/ sits below check/ in the dependency order).
+#if defined(VS2_AUDIT_MODE) || !defined(NDEBUG)
+#define VS2_SYNC_ORDER_CHECK_DEFAULT 1
+#else
+#define VS2_SYNC_ORDER_CHECK_DEFAULT 0
+#endif
+
+namespace vs2::sync {
+
+class CondVar;
+
+/// \brief Annotated mutex: `std::mutex` plus a capability annotation and
+/// (audit builds) lock-order bookkeeping.
+///
+/// Give every long-lived mutex a name (`sync::Mutex mu_{"serve.service"}`):
+/// the name is what the lock-order checker prints when it reports an
+/// inversion. Non-recursive, non-timed — the only lock shape the tree uses.
+class VS2_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() : Mutex("mutex") {}
+  explicit Mutex(const char* name) : name_(name) {}
+  ~Mutex();
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() VS2_ACQUIRE();
+  void Unlock() VS2_RELEASE();
+  /// Non-blocking acquire; participates in order bookkeeping on success
+  /// (holding a try-locked mutex while blocking on another still orders).
+  bool TryLock() VS2_TRY_ACQUIRE(true);
+
+  /// Name shown in lock-order diagnostics.
+  const char* name() const { return name_; }
+
+  /// For negative-capability expressions: `VS2_REQUIRES(!mu)`.
+  const Mutex& operator!() const { return *this; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+  const char* name_;
+};
+
+/// \brief RAII lock for a scope: acquires in the constructor, releases in
+/// the destructor.
+class VS2_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) VS2_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() VS2_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// \brief RAII lock that may be released before scope exit (the Abseil
+/// `ReleasableMutexLock` shape): acquire in the constructor, optionally
+/// `Release()` early — e.g. to complete a promise or run a callback
+/// without holding the lock — and the destructor unlocks only if still
+/// held. No re-acquire: a scope that needs the lock back takes a new one.
+class VS2_SCOPED_CAPABILITY ReleasableLock {
+ public:
+  explicit ReleasableLock(Mutex* mu) VS2_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~ReleasableLock() VS2_RELEASE() {
+    if (mu_ != nullptr) mu_->Unlock();
+  }
+
+  /// Releases the lock now; the destructor becomes a no-op. Must not be
+  /// called twice.
+  void Release() VS2_RELEASE() {
+    mu_->Unlock();
+    mu_ = nullptr;
+  }
+
+  ReleasableLock(const ReleasableLock&) = delete;
+  ReleasableLock& operator=(const ReleasableLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// \brief Condition variable bound to `sync::Mutex`.
+///
+/// `Wait`/`WaitFor` take the mutex the caller already holds; the capability
+/// is annotated as continuously held across the wait (the analysis cannot
+/// see the release-reacquire inside, which is exactly the contract a
+/// caller's `while (!predicate) cv.Wait(&mu);` loop relies on).
+///
+/// Prefer the explicit while-loop over the `Wait(mu, pred)` template in
+/// src/: a predicate lambda is analyzed as a separate unannotated function,
+/// so guarded-field reads inside it would need their own annotations.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `*mu` and blocks; re-acquires before returning.
+  /// Spurious wakeups happen: always wrap in a predicate loop.
+  void Wait(Mutex* mu) VS2_REQUIRES(mu);
+
+  /// As `Wait`, but returns after at most `seconds`. Returns true when
+  /// notified, false on timeout (the predicate must be rechecked either
+  /// way).
+  bool WaitFor(Mutex* mu, double seconds) VS2_REQUIRES(mu);
+
+  /// Predicate-loop convenience; see the class comment for why src/ call
+  /// sites spell the loop out instead.
+  template <typename Pred>
+  void Wait(Mutex* mu, Pred pred) VS2_REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// ---------------------------------------------------------------------------
+// Lock-order checker controls (sync_test, bench_micro, and process hosts).
+// ---------------------------------------------------------------------------
+
+/// True when acquisitions feed the order checker. Defaults to the compile
+/// gate (`VS2_SYNC_ORDER_CHECK_DEFAULT`); flippable at runtime in any build
+/// — the hooks are always compiled, the default just differs.
+bool LockOrderCheckingEnabled();
+
+/// Flips the runtime switch; returns the previous value. Not a barrier:
+/// flip before spawning the threads whose acquisitions should be checked.
+bool SetLockOrderCheckingEnabled(bool enabled);
+
+/// One detected inversion: acquiring `second` while holding `first`, when
+/// the graph already holds the opposite edge. `held_now` / `held_then` are
+/// the full held-lock name stacks at this acquisition and at the site that
+/// recorded the opposite edge (innermost last).
+struct LockOrderViolation {
+  const char* first;
+  const char* second;
+  const char* const* held_now;
+  int held_now_len;
+  const char* const* held_then;
+  int held_then_len;
+};
+
+using LockOrderViolationHandler = void (*)(const LockOrderViolation&);
+
+/// Replaces the violation handler (default: print both stacks to stderr
+/// and abort). Returns the previous handler. Tests install a capturing
+/// handler so detection is assertable without a death test.
+LockOrderViolationHandler SetLockOrderViolationHandler(
+    LockOrderViolationHandler handler);
+
+/// Drops every recorded edge (test isolation between cases).
+void ResetLockOrderGraph();
+
+}  // namespace vs2::sync
+
+#endif  // VS2_UTIL_SYNC_HPP_

@@ -15,26 +15,26 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    all_done_.wait(lock, [this] { return pending_ == 0; });
+    sync::MutexLock lock(&mu_);
+    while (pending_ != 0) all_done_.Wait(&mu_);
     shutdown_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
     ++pending_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return pending_ == 0; });
+  sync::MutexLock lock(&mu_);
+  while (pending_ != 0) all_done_.Wait(&mu_);
 }
 
 size_t ThreadPool::DefaultThreadCount() {
@@ -46,18 +46,17 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return shutdown_ || !queue_.empty(); });
+      sync::MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) work_available_.Wait(&mu_);
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(&mu_);
       --pending_;
-      if (pending_ == 0) all_done_.notify_all();
+      if (pending_ == 0) all_done_.NotifyAll();
     }
   }
 }

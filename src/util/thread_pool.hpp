@@ -8,13 +8,13 @@
 /// the hot path: tasks are closures over const state plus a per-document
 /// output slot owned by exactly one task.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace vs2::util {
 
@@ -48,12 +48,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_available_;  ///< signaled on Submit/shutdown
-  std::condition_variable all_done_;        ///< signaled when pending_ hits 0
-  std::deque<std::function<void()>> queue_;
-  size_t pending_ = 0;  ///< queued + currently-running tasks
-  bool shutdown_ = false;
+  sync::Mutex mu_{"util.thread_pool"};
+  sync::CondVar work_available_;  ///< signaled on Submit/shutdown
+  sync::CondVar all_done_;        ///< signaled when pending_ hits 0
+  std::deque<std::function<void()>> queue_ VS2_GUARDED_BY(mu_);
+  size_t pending_ VS2_GUARDED_BY(mu_) = 0;  ///< queued + running tasks
+  bool shutdown_ VS2_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

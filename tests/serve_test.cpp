@@ -15,10 +15,8 @@
 #include <unistd.h>
 
 #include <atomic>
-#include <condition_variable>
 #include <cstring>
 #include <future>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,6 +31,7 @@
 #include "serve/daemon.hpp"
 #include "serve/service.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace vs2 {
 namespace {
@@ -77,24 +76,24 @@ struct ManualClock {
 /// A gate the service's dequeue hook blocks on until released; lets tests
 /// pin a worker and build queue depth deterministically.
 struct WorkerGate {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool released = false;
+  sync::Mutex mu{"test.worker_gate"};
+  sync::CondVar cv;
+  bool released VS2_GUARDED_BY(mu) = false;
   std::atomic<size_t> arrivals{0};
 
   std::function<void()> hook() {
     return [this] {
       arrivals.fetch_add(1);
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [this] { return released; });
+      sync::MutexLock lock(&mu);
+      while (!released) cv.Wait(&mu);
     };
   }
   void Release() {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      sync::MutexLock lock(&mu);
       released = true;
     }
-    cv.notify_all();
+    cv.NotifyAll();
   }
   void AwaitArrival() {
     while (arrivals.load() == 0) std::this_thread::yield();
